@@ -1,0 +1,76 @@
+"""E15/E16 — App. D.2: composing hyper-triples of different shapes.
+
+- minimality ∘ (monotonic ∧ deterministic) keeps a minimum (Fig. 12);
+- GNI ∘ NI stays GNI (Fig. 13) — the BigUnion decomposition argument;
+- the BigUnion rule itself on a low-preserving command."""
+
+from repro.assertions import low
+from repro.checker import Universe, check_triple, small_universe
+from repro.values import IntRange
+from repro.hyperprops import (
+    is_deterministic,
+    is_monotonic,
+    satisfies_gni_triple,
+    satisfies_minimum_triple,
+    satisfies_ni_triple,
+)
+from repro.lang import parse_command
+from repro.logic import rule_big_union, semantic_axiom
+
+
+def test_fig12_minimality_then_monotonicity(benchmark):
+    uni = small_universe(["x"], 0, 2)
+    c1 = parse_command("x := randInt(1, 2)")
+    c2 = parse_command("x := min(x + 1, 2)")
+    composed = parse_command("x := randInt(1, 2); x := min(x + 1, 2)")
+
+    def run():
+        return (
+            satisfies_minimum_triple(c1, "x", uni),
+            is_monotonic(c2, "x", "x", uni),
+            is_deterministic(c2, uni),
+            satisfies_minimum_triple(composed, "x", uni),
+        )
+
+    c1_min, c2_mono, c2_det, composed_min = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    print("\nC1 has min: %s; C2 monotonic: %s, deterministic: %s; "
+          "C1;C2 has min: %s" % (c1_min, c2_mono, c2_det, composed_min))
+    assert c1_min and c2_mono and c2_det and composed_min
+
+
+def test_fig13_gni_then_ni(benchmark):
+    uni = Universe(["h", "l", "y"], IntRange(0, 1))
+    gni_cmd = parse_command("y := nonDet(); l := h xor y")
+    ni_cmd = parse_command("l := l xor 1")
+    composed = parse_command("y := nonDet(); l := h xor y; l := l xor 1")
+
+    def run():
+        return (
+            satisfies_gni_triple(gni_cmd, uni, "l", "h"),
+            satisfies_ni_triple(ni_cmd, uni, "l"),
+            satisfies_gni_triple(composed, uni, "l", "h"),
+        )
+
+    gni_first, ni_second, composed_gni = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nC1 GNI: %s; C2 NI: %s; C1;C2 GNI: %s"
+          % (gni_first, ni_second, composed_gni))
+    assert gni_first and ni_second and composed_gni
+
+
+def test_big_union_rule(benchmark):
+    """The decomposition engine of the Fig. 13 proof: from
+    {low(l)} C {low(l)}, the rule derives {⨂low(l)} C {⨂low(l)} —
+    trivially satisfied pre, recomposable post."""
+    uni = Universe(["l"], IntRange(0, 1))
+    cmd = parse_command("l := l xor 1")
+
+    def run():
+        base = semantic_axiom(low("l"), cmd, low("l"), uni)
+        proof = rule_big_union(base)
+        return check_triple(proof.pre, proof.command, proof.post, uni).valid
+
+    valid = benchmark.pedantic(run, rounds=3, iterations=1)
+    print("\nBigUnion conclusion {⨂low(l)} C {⨂low(l)} valid:", valid)
+    assert valid

@@ -1,0 +1,132 @@
+"""E18 — App. E: termination-based reasoning, with the two ablations
+DESIGN.md calls out, plus recurrent sets (App. E.2).
+
+- WhileSync vs WhileSyncTerm: the emp disjunct is exactly the price of
+  not proving termination; the Term rule drops it using a variant.
+- FrameSafe vs Frame: framing ∃⟨_⟩ is unsound for plain triples and
+  sound for terminating ones."""
+
+from repro.assertions import TRUE_H, box, exists_s, low, not_emp_s, pv
+from repro.checker import (
+    Universe,
+    check_terminating_triple,
+    check_triple,
+    small_universe,
+)
+from repro.hyperprops import (
+    greatest_recurrent_set,
+    has_nonterminating_execution,
+    recurrence_via_triple,
+)
+from repro.lang import parse_bexpr, parse_command
+from repro.logic import (
+    rule_frame,
+    rule_while_sync_term,
+    semantic_axiom,
+    while_sync_term_body_post,
+    while_sync_term_body_pre,
+)
+from repro.values import IntRange
+
+
+def test_while_sync_term_vs_while_sync(benchmark):
+    uni = Universe(["x"], IntRange(0, 2), lvars=["tv"], lvar_domain=IntRange(0, 2))
+    cond = parse_bexpr("x > 0")
+    body = parse_command("x := x - 1")
+    inv = low("x")
+
+    def run():
+        body_proof = semantic_axiom(
+            while_sync_term_body_pre(inv, cond, parse_command("y := x").expr, "tv"),
+            body,
+            while_sync_term_body_post(inv, cond, parse_command("y := x").expr, "tv"),
+            uni,
+            terminating=True,
+        )
+        proof = rule_while_sync_term(
+            inv, cond, body_proof, parse_command("y := x").expr, "tv"
+        )
+        # the Term conclusion has no emp disjunct and still verifies, even
+        # conjoined with non-emptiness (an ∃⁺-shaped consequence):
+        strong = check_terminating_triple(
+            proof.pre & not_emp_s, proof.command, proof.post & not_emp_s, uni
+        ).valid
+        return proof.triple.terminating, strong
+
+    terminating, strong = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nWhileSyncTerm: ⊢⇓ conclusion, no emp disjunct, ∃⁺-compatible:",
+          terminating and strong)
+    assert terminating and strong
+
+
+def test_ablation_plain_loop_needs_emp(benchmark):
+    """Without termination, dropping the emp disjunct is unsound: the
+    never-terminating loop maps every set to ∅."""
+    uni = small_universe(["x"], 0, 1)
+    loop = parse_command("while (x >= 0) { skip }")
+    inv = low("x")
+    cond = parse_bexpr("x >= 0")
+    from repro.assertions import emp_s
+
+    def run():
+        with_emp = (inv | emp_s) & box(cond.negate())
+        without_emp = (inv & not_emp_s) & box(cond.negate())
+        return (
+            check_triple(inv, loop, with_emp, uni).valid,
+            check_triple(inv & not_emp_s, loop, without_emp, uni).valid,
+        )
+
+    with_emp_ok, without_emp_ok = benchmark.pedantic(run, rounds=3, iterations=1)
+    print("\npost with emp disjunct: %s; without (∃⁺-strengthened): %s"
+          % (with_emp_ok, without_emp_ok))
+    assert with_emp_ok and not without_emp_ok
+
+
+def test_frame_ablation(benchmark):
+    """Framing ∃⟨φ⟩. φ(y)=0 across `assume x>0` is unsound (plain) but
+    sound across a terminating command (Frame rule)."""
+    uni = Universe(["x", "y"], IntRange(0, 1))
+    frame = exists_s("p", pv("p", "y").eq(0))
+
+    def run():
+        dropper = parse_command("assume x > 0")
+        plain_unsound = not check_triple(
+            TRUE_H & frame, dropper, TRUE_H & frame, uni
+        ).valid
+        terminator = parse_command("x := 1")
+        base = semantic_axiom(TRUE_H, terminator, TRUE_H, uni, terminating=True)
+        framed = rule_frame(base, frame)
+        framed_ok = check_terminating_triple(
+            framed.pre, framed.command, framed.post, uni
+        ).valid
+        return plain_unsound, framed_ok
+
+    plain_unsound, framed_ok = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n∃-framing across assume (plain) unsound: %s; Frame (⊢⇓) sound: %s"
+          % (plain_unsound, framed_ok))
+    assert plain_unsound and framed_ok
+
+
+def test_recurrent_sets(benchmark):
+    uni = small_universe(["x"], 0, 2)
+    cond = parse_bexpr("x > 0")
+
+    def run():
+        rows = []
+        for text in ("x := x - 1", "x := max(x - 1, 1)", "x := nonDet()"):
+            body = parse_command(text)
+            region = greatest_recurrent_set(cond, body, uni)
+            nonterm = has_nonterminating_execution(cond, body, uni)
+            certified = (
+                recurrence_via_triple(region, cond, body, uni) if region else False
+            )
+            rows.append((text, len(region), nonterm, certified))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=3, iterations=1)
+    print("\nbody               |R|  non-termination  triple-certified")
+    for text, size, nonterm, certified in rows:
+        print("%-18s %-4d %-16s %s" % (text, size, nonterm, certified))
+    assert rows[0][2] is False  # decrement loop terminates
+    assert rows[1][2] is True and rows[1][3]
+    assert rows[2][2] is True and rows[2][3]

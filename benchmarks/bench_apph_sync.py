@@ -1,0 +1,43 @@
+"""E20 — Prop. 14 (App. H): synchronous reasoning across branches.
+
+The shared middle command of (C1; C; C1') + (C2; C; C2') is reasoned
+about once, with the logical tag u keeping the branch state-sets apart.
+Expected: the rule applies and its ⊗-conclusion verifies."""
+
+from repro.assertions import OTimes, OTimesTagged, box
+from repro.checker import Universe, check_triple
+from repro.lang import parse_command
+from repro.lang.expr import V
+from repro.logic import rule_sync_if, semantic_axiom
+from repro.values import IntRange
+
+
+def test_prop14(benchmark):
+    uni = Universe(["x"], IntRange(0, 1), lvars=["u"], lvar_domain=IntRange(1, 2))
+    c1 = parse_command("x := 0")
+    c2 = parse_command("x := x")
+    shared = parse_command("x := min(x + 1, 1)")
+    tail = parse_command("skip")
+    pre = box(V("x").le(1))
+    p_one, p_two = box(V("x").eq(0)), box(V("x").le(1))
+    r_one, r_two = box(V("x").eq(1)), box(V("x").le(1))
+
+    def run():
+        p1 = semantic_axiom(pre, c1, p_one, uni)
+        p2 = semantic_axiom(pre, c2, p_two, uni)
+        p3 = semantic_axiom(
+            OTimesTagged(p_one, p_two, "u"),
+            shared,
+            OTimesTagged(r_one, r_two, "u"),
+            uni,
+        )
+        p4 = semantic_axiom(r_one, tail, r_one, uni)
+        p5 = semantic_axiom(r_two, tail, r_two, uni)
+        proof = rule_sync_if(p1, p2, p3, p4, p5, "u")
+        return proof, check_triple(proof.pre, proof.command, proof.post, uni).valid
+
+    proof, valid = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nProp. 14 conclusion: %s — valid: %s" % (proof.triple, valid))
+    assert valid
+    assert isinstance(proof.post, OTimes)
+    assert proof.rule == "SyncIf"

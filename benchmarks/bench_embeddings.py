@@ -1,0 +1,87 @@
+"""E17 — App. C (Props. 2, 4, 6, 9, 11, 13): every embedded logic's
+verdict must coincide with its Hyper Hoare Logic translation.
+
+Expected: 100% agreement across the program battery for each of
+HL (Prop. 2), CHL (Prop. 4), IL (Prop. 6), FU/OL (Prop. 9),
+k-FU (Prop. 11), and k-UE/RHLE (Prop. 13)."""
+
+from repro.checker import Universe
+from repro.embeddings import (
+    check_ol,
+    check_prop2,
+    check_prop4,
+    check_prop6,
+    check_prop9,
+    check_prop11,
+    check_prop13,
+)
+from repro.lang import parse_command
+from repro.values import IntRange
+
+UNI = Universe(["x"], IntRange(0, 1))
+TAGGED = Universe(["x"], IntRange(0, 1), lvars=["t"], lvar_domain=IntRange(1, 2))
+TAGGED2 = Universe(["x"], IntRange(0, 1), lvars=["t", "u"], lvar_domain=IntRange(1, 2))
+
+PROGRAMS = [
+    parse_command(t)
+    for t in (
+        "skip",
+        "x := 0",
+        "x := 1 - x",
+        "x := nonDet()",
+        "assume x > 0",
+        "{ x := 0 } + { x := 1 }",
+    )
+]
+
+
+def test_unary_embeddings(benchmark):
+    pre = lambda phi: phi.prog["x"] == 0  # noqa: E731
+    post = lambda phi: phi.prog["x"] <= 1  # noqa: E731
+    strict_post = lambda phi: phi.prog["x"] == 1  # noqa: E731
+    states = UNI.ext_states()
+    il_pre = frozenset(p for p in states if p.prog["x"] == 0)
+    il_post = frozenset(states)
+
+    def run():
+        rows = []
+        for cmd in PROGRAMS:
+            hl = check_prop2(pre, cmd, post, UNI)
+            fu = check_prop9(pre, cmd, strict_post, UNI)
+            ol = check_ol(pre, cmd, post, UNI)
+            il = check_prop6(il_pre, cmd, il_post, UNI)
+            for name, (a, b) in (("HL", hl), ("FU", fu), ("OL", ol), ("IL", il)):
+                assert a == b, (name, cmd)
+            rows.append((hl[0], fu[0], ol[0], il[0]))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nprogram-by-program verdicts (HL, FU, OL, IL) — all embeddings agree:")
+    for cmd, row in zip(PROGRAMS, rows):
+        print("  %-28s %s" % (type(cmd).__name__, row))
+
+
+def test_relational_embeddings(benchmark):
+    eq_pair = lambda t: t[0].prog["x"] == t[1].prog["x"]  # noqa: E731
+    true_pred = lambda t: True  # noqa: E731
+
+    def run():
+        agreements = 0
+        for cmd in PROGRAMS:
+            a, b = check_prop4(2, eq_pair, cmd, eq_pair, TAGGED)
+            assert a == b
+            agreements += 1
+        for text in ("x := 0", "x := nonDet()"):
+            cmd = parse_command(text)
+            a, b = check_prop11(2, eq_pair, cmd, eq_pair, TAGGED)
+            assert a == b
+            agreements += 1
+            a, b = check_prop13(1, 1, true_pred, cmd, eq_pair, TAGGED2)
+            assert a == b
+            agreements += 1
+        return agreements
+
+    agreements = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nrelational embeddings (CHL/k-FU/k-UE): %d checks, all agree"
+          % agreements)
+    assert agreements == len(PROGRAMS) + 4

@@ -1,0 +1,89 @@
+"""E9 — Example 1 (the Exist rule is needed for completeness) and
+Example 4 (an intersection rule would be unsound).
+
+Expected, per the paper:
+- Choice alone proves (P0∨P2) ⊗ (P1∨P3), which admits the two spurious
+  sets {φ0,φ3}, {φ2,φ1}; routing through Exist eliminates them;
+- the intersection-combination of two valid triples is invalid."""
+
+from repro.assertions import EqualsSet, OTimes, SemAssertion
+from repro.checker import check_triple, small_universe
+from repro.lang import Assign, Choice, Skip, parse_command
+from repro.lang.expr import V
+from repro.logic import rule_assign, rule_choice, rule_cons, rule_exist, rule_skip
+from repro.semantics.state import ExtState, State
+from repro.util import iter_subsets
+
+import common
+
+
+def test_example1_exist_rule_necessity(benchmark):
+    uni = small_universe(["x"], 0, 3)
+    phi = [ExtState(State({}), State({"x": v})) for v in range(4)]
+    pins = [EqualsSet(frozenset((phi[v],))) for v in range(4)]
+    command = Choice(Skip(), Assign("x", V("x") + 1))
+    oracle = common.oracle_for(uni)
+
+    def run():
+        # Choice-only: the most precise conclusion has spurious disjuncts
+        choice_post = OTimes(pins[0] | pins[2], pins[1] | pins[3])
+        spurious = frozenset((phi[0], phi[3]))
+        spurious_admitted = choice_post.holds(spurious, uni.domain)
+        # Exist: case-split on which pinned set we started from
+        premises = {}
+        for start in (0, 2):
+            pre = pins[start]
+            skip_proof = rule_cons(pre, pre, rule_skip(pre), oracle)
+            inc_post = pins[start + 1]
+            inc_proof = rule_cons(
+                pre, inc_post, rule_assign(inc_post, "x", V("x") + 1), oracle
+            )
+            premises[start] = rule_choice(skip_proof, inc_proof)
+        exist_proof = rule_exist(premises)
+        precise_rejects_spurious = not exist_proof.post.holds(spurious, uni.domain)
+        target = frozenset((phi[0], phi[1]))
+        precise_accepts_real = exist_proof.post.holds(target, uni.domain)
+        conclusion_valid = check_triple(
+            exist_proof.pre, exist_proof.command, exist_proof.post, uni
+        ).valid
+        return (
+            spurious_admitted,
+            precise_rejects_spurious,
+            precise_accepts_real,
+            conclusion_valid,
+        )
+
+    spurious, rejects, accepts, valid = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nChoice-only post admits spurious {φ0,φ3}: %s" % spurious)
+    print("Exist-refined post rejects it: %s, accepts {φ0,φ1}: %s" % (rejects, accepts))
+    assert spurious and rejects and accepts and valid
+
+
+def test_example4_intersection_unsound(benchmark):
+    uni = small_universe(["x"], 0, 2)
+    phi1 = ExtState(State({}), State({"x": 1}))
+    phi2 = ExtState(State({}), State({"x": 2}))
+    p1 = EqualsSet(frozenset((phi1,)))
+    p2 = EqualsSet(frozenset((phi2,)))
+    cmd = parse_command("x := 1")
+
+    def inter(a, b):
+        def fn(states):
+            for s1 in iter_subsets(uni.ext_states()):
+                for s2 in iter_subsets(uni.ext_states()):
+                    if s1 & s2 == states and a.holds(s1) and b.holds(s2):
+                        return True
+            return False
+
+        return SemAssertion(fn, "∃S1,S2. S = S1∩S2 ∧ …")
+
+    def run():
+        premise1 = check_triple(p1, cmd, p1, uni).valid
+        premise2 = check_triple(p2, cmd, p1, uni).valid
+        combined = check_triple(inter(p1, p2), cmd, inter(p1, p1), uni).valid
+        return premise1, premise2, combined
+
+    premise1, premise2, combined = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nExample 4: premises valid: %s/%s; intersection-combined triple "
+          "valid: %s (unsound rule, as the paper shows)" % (premise1, premise2, combined))
+    assert premise1 and premise2 and not combined

@@ -1,0 +1,47 @@
+"""E14 — Fig. 10 / App. B: quantitative information flow.
+
+Regenerates the App. B analysis: per low input v the loop admits exactly
+v+1 distinct outputs (min-capacity log2(v+1) bits), certified both by
+counting and by the two App. B hyper-triples — the upper bound (problem
+1, hypersafety-but-not-k-safety) and the exact count (problem 2, beyond
+hypersafety, needs set cardinality)."""
+
+import math
+
+from repro.checker import Universe
+from repro.hyperprops import leakage_table, output_values, qif_triples_hold
+from repro.values import IntRange
+
+from tests.paper_programs import c_l
+
+
+def test_fig10_leakage_table(benchmark):
+    uni = Universe(["h", "l", "o", "i", "r"], IntRange(0, 2))
+    program = c_l()
+
+    def run():
+        return leakage_table(program, uni, "o", "l", "h")
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nl=v  #outputs  min-capacity(bits)  Shannon(bits)")
+    for v, count, cap, ent in rows:
+        print("%-4d %-9d %-19.4f %-14.4f" % (v, count, cap, ent))
+        assert count == v + 1
+        assert cap == (0.0 if count == 1 else math.log2(count))
+        assert ent <= cap + 1e-9
+    # the leak direction: o never exceeds h
+    for h in uni.domain:
+        assert all(o <= h for o in output_values(program, uni, "o", {"h": h}))
+
+
+def test_fig10_hyper_triples(benchmark):
+    uni = Universe(["h", "l", "o", "i", "r"], IntRange(0, 2))
+    program = c_l()
+
+    def run():
+        return qif_triples_hold(program, uni, "o", "l", "h", 1)
+
+    at_most, exactly = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n{□(h≥0 ∧ l=1)} C_l {|outputs| ≤ 2}:", at_most)
+    print("{□(h≥0 ∧ l=1)} C_l {|outputs| = 2}:", exactly)
+    assert at_most and exactly

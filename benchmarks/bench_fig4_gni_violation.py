@@ -1,0 +1,53 @@
+"""E10 — Fig. 4: the backward proof outline that C4 violates GNI.
+
+The mechanized replay: start from the ∃∃∀ postcondition, apply AssignS,
+AssumeS, HavocS backward, close with Cons — the entailment discharged by
+the SAT backend over the 27-state universe (our Z3 stand-in).
+
+Expected: derivation {Cons, Seq×2, HavocS, AssumeS, AssignS}; the
+unstrengthened precondition low(l) does NOT entail the wp (the paper's
+point about strengthening the pre to disprove)."""
+
+from repro.assertions import EntailmentOracle, differing_highs, gni_violation, low
+from repro.checker import Universe
+from repro.lang import parse_command
+from repro.logic import verify_straightline, wp_syntactic
+from repro.values import IntRange
+
+
+def setup():
+    uni = Universe(["h", "l", "y"], IntRange(0, 2))
+    c4 = parse_command("y := nonDet(); assume y <= 1; l := h + y")
+    pre = low("l") & differing_highs("h")
+    post = gni_violation("h", "l")
+    oracle = EntailmentOracle(uni.ext_states(), uni.domain, method="sat")
+    return uni, c4, pre, post, oracle
+
+
+def test_fig4_outline_proof(benchmark):
+    uni, c4, pre, post, oracle = setup()
+
+    def run():
+        return verify_straightline(pre, c4, post, oracle)
+
+    proof = benchmark.pedantic(run, rounds=1, iterations=1)
+    rules = proof.rules_used()
+    print("\nFig. 4 derivation (%d rule applications): %s"
+          % (proof.size(), dict(sorted(rules.items()))))
+    assert rules.get("HavocS") == 1
+    assert rules.get("AssumeS") == 1
+    assert rules.get("AssignS") == 1
+    assert not proof.all_assumptions()
+
+
+def test_fig4_strengthening_is_necessary(benchmark):
+    uni, c4, pre, post, oracle = setup()
+    wp = wp_syntactic(c4, post)
+
+    def run():
+        return oracle.entails(pre, wp), oracle.entails(low("l"), wp)
+
+    strengthened_ok, weak_ok = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nlow(l) ∧ ∃ differing highs |= wp: %s; low(l) alone: %s"
+          % (strengthened_ok, weak_ok))
+    assert strengthened_ok and not weak_ok

@@ -1,0 +1,69 @@
+"""E12 — Fig. 7 / App. F: Fibonacci monotonicity via While-∀*∃*.
+
+Two regenerations:
+
+1. the Fig. 7 program itself, run exactly: fib(n) is monotone in n
+   (the property the hyper-triple expresses);
+2. the While-∀*∃* rule applied to the shrunken unaligned-exit loop with
+   the App. F-style invariant — the rule the paper introduces because
+   WhileSync cannot handle runs exiting at different iterations.
+"""
+
+from repro.assertions import SAnd, forall_s, lv, pv, simplies
+from repro.checker import Universe, check_triple
+from repro.lang import if_then, parse_bexpr, parse_command
+from repro.logic import (
+    rule_assume_s,
+    rule_cons,
+    rule_while_forall_exists,
+    semantic_axiom,
+)
+from repro.semantics.bigstep import run_deterministic
+from repro.semantics.state import State
+from repro.values import IntRange
+
+import common
+from tests.paper_programs import c_fib
+
+
+def test_fib_is_monotone_directly(benchmark):
+    program = c_fib()
+    domain = IntRange(0, 8)
+
+    def run():
+        values = []
+        for n in range(7):
+            final = run_deterministic(
+                program, State({"n": n, "a": 0, "b": 0, "i": 0, "tmp": 0}), domain
+            )
+            values.append(final["a"])
+        return values
+
+    fibs = benchmark.pedantic(run, rounds=3, iterations=1)
+    print("\nfib(0..6) =", fibs)
+    assert fibs == [0, 1, 1, 2, 3, 5, 8]
+    assert all(a <= b for a, b in zip(fibs, fibs[1:]))
+
+
+def test_while_forall_exists_rule(benchmark):
+    uni = Universe(["x", "y"], IntRange(0, 1), lvars=["t"], lvar_domain=IntRange(1, 2))
+    cond = parse_bexpr("x > 0")
+    body = parse_command("x := x - 1; y := 1")
+    tags = SAnd(lv("φ1", "t").eq(1), lv("φ2", "t").eq(2))
+    ordered = SAnd(pv("φ1", "x").ge(pv("φ2", "x")), pv("φ1", "y").ge(pv("φ2", "y")))
+    inv = forall_s("φ1", forall_s("φ2", simplies(tags, ordered)))
+    post = forall_s(
+        "φ1", forall_s("φ2", simplies(tags, pv("φ1", "y").ge(pv("φ2", "y"))))
+    )
+    oracle = common.oracle_for(uni)
+
+    def run():
+        body_proof = semantic_axiom(inv, if_then(cond, body), inv, uni)
+        exit_proof = rule_cons(inv, post, rule_assume_s(post, cond.negate()), oracle)
+        return rule_while_forall_exists(inv, cond, body_proof, exit_proof)
+
+    proof = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = check_triple(proof.pre, proof.command, proof.post, uni)
+    print("\nWhile-∀*∃* conclusion valid over 256 initial sets:", result.valid)
+    assert result.valid
+    assert proof.rule == "While-∀*∃*"

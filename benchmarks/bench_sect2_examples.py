@@ -1,0 +1,94 @@
+"""E2–E4 — the Sect. 2 example programs C0–C4.
+
+Expected row shape (paper Sect. 2):
+
+    C0: P1 (over) valid, P2 (under) valid with non-empty pre only
+    C1: NI holds           C2: NI fails, violation provable
+    C3: GNI holds, NI no   C4: GNI fails, violation provable
+"""
+
+from repro.assertions import (
+    TRUE_H,
+    exists_s,
+    forall_s,
+    forall_v,
+    hv,
+    not_emp_s,
+    pv,
+    simplies,
+)
+from repro.checker import Universe, check_triple, small_universe
+from repro.hyperprops import (
+    satisfies_gni_triple,
+    satisfies_ni_triple,
+    violates_gni_triple,
+    violates_ni_triple,
+)
+from repro.lang import parse_command
+from repro.values import IntRange
+
+import common
+
+
+def test_c0_over_and_under(benchmark):
+    command = parse_command("x := randInt(0, 3)")
+    universe = small_universe(["x"], 0, 3)
+    p1_post = forall_s("p", pv("p", "x").ge(0) & pv("p", "x").le(3))
+    p2_post = forall_v(
+        "n",
+        simplies(
+            hv("n").ge(0) & hv("n").le(3),
+            exists_s("p", pv("p", "x").eq(hv("n"))),
+        ),
+    )
+
+    def run():
+        return (
+            check_triple(TRUE_H, command, p1_post, universe).valid,
+            check_triple(not_emp_s, command, p2_post, universe).valid,
+            check_triple(TRUE_H, command, p2_post, universe).valid,
+        )
+
+    p1, p2, p2_trivial = benchmark.pedantic(run, rounds=3, iterations=1)
+    print("\nC0: P1 (over) = %s, P2 (under) = %s, P2 with ⊤ pre = %s"
+          % (p1, p2, p2_trivial))
+    assert p1 and p2 and not p2_trivial
+
+
+def test_c1_c2_noninterference(benchmark):
+    uni = common.security_universe(with_pad=False)
+    c1 = parse_command("if (l > 0) { l := 1 } else { l := 0 }")
+    c2 = parse_command("if (h > 0) { l := 1 } else { l := 0 }")
+
+    def run():
+        return (
+            satisfies_ni_triple(c1, uni, "l"),
+            satisfies_ni_triple(c2, uni, "l"),
+            violates_ni_triple(c2, uni, "l", "h"),
+        )
+
+    c1_ni, c2_ni, c2_violation = benchmark.pedantic(run, rounds=3, iterations=1)
+    print("\nC1 NI = %s | C2 NI = %s, violation provable = %s"
+          % (c1_ni, c2_ni, c2_violation))
+    assert c1_ni and not c2_ni and c2_violation
+
+
+def test_c3_c4_generalized_noninterference(benchmark):
+    uni = common.security_universe()
+    c3 = parse_command("y := nonDet(); l := h xor y")
+    big = Universe(["h", "l", "y"], IntRange(0, 2))
+    c4 = parse_command("y := nonDet(); assume y <= 1; l := h + y")
+
+    def run():
+        return (
+            satisfies_gni_triple(c3, uni, "l", "h"),
+            satisfies_ni_triple(c3, uni, "l"),
+            satisfies_gni_triple(c4, big, "l", "h", max_size=3),
+            violates_gni_triple(c4, big, "l", "h", max_size=4),
+        )
+
+    c3_gni, c3_ni, c4_gni, c4_violation = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nC3 GNI = %s, NI = %s | C4 GNI = %s, violation provable = %s"
+          % (c3_gni, c3_ni, c4_gni, c4_violation))
+    assert c3_gni and not c3_ni
+    assert not c4_gni and c4_violation

@@ -1,0 +1,60 @@
+"""E21 — the SAT backend vs brute-force entailment (the Z3 substitution).
+
+Expected shape: identical verdicts; brute force is exponential in the
+universe (2^n subsets), the grounding + DPLL pipeline handles universes
+whose powerset is far out of reach (the crossover is around a dozen
+states) — the same reason the authors' Hypra uses an SMT solver."""
+
+import pytest
+
+from repro.assertions import agree_on, box, entails, low
+from repro.checker import Universe
+from repro.lang.expr import V
+from repro.solver.encode import entails_sat
+from repro.values import IntRange
+
+QUERIES = [
+    ("□(x=0) |= low(x)", box(V("x").eq(0)), low("x"), True),
+    ("low(x)∧low(y) |= agree", low("x") & low("y"), agree_on(["x", "y"]), True),
+    ("low(x) |= low(y)", low("x"), low("y"), False),
+]
+
+
+@pytest.mark.parametrize("pvars", [["x", "y"], ["x", "y", "z"]])
+def test_sat_entailment_scaling(benchmark, pvars):
+    uni = Universe(pvars, IntRange(0, 2))
+    states = uni.ext_states()
+
+    def run():
+        return [
+            entails_sat(pre, post, states, uni.domain) for _, pre, post, _ in QUERIES
+        ]
+
+    verdicts = benchmark.pedantic(run, rounds=2, iterations=1)
+    print("\nuniverse of %d states (powerset: 2^%d subsets):"
+          % (len(states), len(states)))
+    for (name, _, _, expected), got in zip(QUERIES, verdicts):
+        print("  %-28s SAT says %s (expected %s)" % (name, got, expected))
+        assert got == expected
+
+
+def test_brute_agrees_on_small_universe(benchmark):
+    uni = Universe(["x", "y"], IntRange(0, 1))
+    states = uni.ext_states()
+
+    def run():
+        out = []
+        for _, pre, post, _ in QUERIES:
+            out.append(
+                (
+                    entails(pre, post, states, uni.domain),
+                    entails_sat(pre, post, states, uni.domain),
+                )
+            )
+        return out
+
+    results = benchmark.pedantic(run, rounds=2, iterations=1)
+    print("\nbrute vs SAT on 4 states:")
+    for (name, _, _, _), (brute, sat) in zip(QUERIES, results):
+        print("  %-28s brute=%s sat=%s" % (name, brute, sat))
+        assert brute == sat

@@ -1,0 +1,55 @@
+"""E8 — Thm. 5: disproving hyper-triples, measured over a triple battery.
+
+Expected: invalidity ⟺ existence of a Thm. 5 disproof (a satisfiable
+``P' |= P`` with ``|= {P'} C {¬Q}``), and the paper's HL contrast — HHL
+disproves the classical triple {⊤} x := nonDet() {x ≥ c} which HL cannot
+even express the refutation of."""
+
+from repro.assertions import TRUE_H, box, low, not_emp_s
+from repro.checker import check_triple, small_universe
+from repro.lang import parse_command
+from repro.lang.expr import V
+from repro.logic import disprove_triple, negate_assertion, triples_exclusive
+
+
+def test_thm5_biconditional_battery(benchmark):
+    uni = small_universe(["x"], 0, 1)
+    commands = [parse_command(t) for t in ("x := 0", "x := nonDet()", "skip")]
+    pres = [TRUE_H, not_emp_s, box(V("x").eq(1))]
+    posts = [box(V("x").eq(0)), low("x"), not_emp_s]
+
+    def run():
+        invalid_count = 0
+        for cmd in commands:
+            for pre in pres:
+                for post in posts:
+                    invalid, disprovable = triples_exclusive(pre, cmd, post, uni)
+                    assert invalid == disprovable
+                    invalid_count += invalid
+        return invalid_count
+
+    invalid_count = benchmark.pedantic(run, rounds=1, iterations=1)
+    total = 27
+    print("\nThm. 5 biconditional over %d triples: holds (invalid: %d, valid: %d)"
+          % (total, invalid_count, total - invalid_count))
+    assert 0 < invalid_count < total
+
+
+def test_hl_contrast(benchmark):
+    uni = small_universe(["x"], 0, 1)
+    cmd = parse_command("x := nonDet()")
+    claim = box(V("x").ge(1))
+
+    def run():
+        original_invalid = not check_triple(TRUE_H, cmd, claim, uni).valid
+        disproof = disprove_triple(TRUE_H, cmd, claim, uni, construct_proof=True)
+        hyper_negation = check_triple(
+            not_emp_s, cmd, negate_assertion(claim), uni
+        ).valid
+        return original_invalid, disproof, hyper_negation
+
+    invalid, disproof, negation_valid = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n{⊤} x := nonDet() {x ≥ 1}: invalid = %s" % invalid)
+    print("HHL disproof triple {∃⟨φ⟩.⊤} C {¬□(x≥1)} valid = %s" % negation_valid)
+    print("constructed derivation: %d rule applications" % disproof.proof.size())
+    assert invalid and negation_valid and disproof is not None

@@ -1,0 +1,87 @@
+"""E7 — Thms. 3–4: hyper-triples ⟷ program hyperproperties.
+
+For a battery of hyperproperties × commands, the Thm. 3 construction's
+triple must agree with Def. 8 satisfaction (and conversely for Thm. 4).
+Expected: 100% agreement — the paper's "hyper-triples capture exactly the
+program hyperproperties"."""
+
+from repro.assertions import TRUE_H, box, low, not_emp_s
+from repro.checker import small_universe
+from repro.hyperprops import (
+    ProgramHyperproperty,
+    existence_property,
+    safety_property,
+    verify_thm3,
+    verify_thm4,
+)
+from repro.lang import parse_command
+from repro.lang.expr import V
+
+COMMANDS = [
+    parse_command(t)
+    for t in (
+        "skip",
+        "x := 0",
+        "x := 1 - x",
+        "x := nonDet()",
+        "assume x > 0",
+        "{ x := 0 } + { x := 1 }",
+        "while (x > 0) { x := x - 1 }",
+    )
+]
+
+PROPERTIES = [
+    safety_property(lambda s, s2: s2["x"] == 0, "all-end-zero"),
+    existence_property(lambda s, s2: s2["x"] == 1, "some-end-one"),
+    ProgramHyperproperty(lambda rel: len(rel) <= 2, "≤2 behaviours"),
+    ProgramHyperproperty(
+        lambda rel: all(
+            not (s1 == t1) or (s2["x"] == t2["x"])
+            for s1, s2 in rel
+            for t1, t2 in rel
+        ),
+        "deterministic",
+    ),
+]
+
+
+def test_thm3_agreement(benchmark):
+    uni = small_universe(["x"], 0, 1)
+
+    def run():
+        agreements = 0
+        satisfied = 0
+        for H in PROPERTIES:
+            for cmd in COMMANDS:
+                in_h, triple_valid = verify_thm3(H, cmd, uni)
+                assert in_h == triple_valid
+                agreements += 1
+                satisfied += in_h
+        return agreements, satisfied
+
+    agreements, satisfied = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nThm. 3: %d (hyperproperty, command) pairs, all agree; %d satisfied"
+          % (agreements, satisfied))
+    assert agreements == len(PROPERTIES) * len(COMMANDS)
+
+
+def test_thm4_agreement(benchmark):
+    uni = small_universe(["x"], 0, 1)
+    triples = [
+        (TRUE_H, box(V("x").eq(0))),
+        (not_emp_s, not_emp_s),
+        (low("x"), low("x")),
+    ]
+
+    def run():
+        agreements = 0
+        for pre, post in triples:
+            for cmd in COMMANDS:
+                in_h, triple_valid = verify_thm4(pre, post, cmd, uni)
+                assert in_h == triple_valid
+                agreements += 1
+        return agreements
+
+    agreements = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nThm. 4: %d (triple, command) pairs, all agree" % agreements)
+    assert agreements == len(triples) * len(COMMANDS)

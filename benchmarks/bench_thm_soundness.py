@@ -1,0 +1,82 @@
+"""E5 — Thm. 1 (soundness) as a measurement: sweep every rule family
+over a batch of assertions/programs and oracle-check each conclusion.
+
+Also regenerates the Sect. 3.3 ablation: the naive shared-postcondition
+Choice rule is refuted by the singleton counterexample, while the ⊗
+version verifies — the design choice DESIGN.md calls out."""
+
+from repro.assertions import (
+    OTimes,
+    box,
+    exists_s,
+    low,
+    not_emp_s,
+    pv,
+    singleton,
+)
+from repro.checker import check_triple, small_universe
+from repro.lang import Assign, Choice
+from repro.lang.expr import V
+from repro.logic import (
+    rule_assign_s,
+    rule_assume_s,
+    rule_havoc_s,
+    rule_seq,
+    rule_skip,
+)
+
+ASSERTIONS = [
+    low("x"),
+    box(V("x").ge(0)),
+    not_emp_s,
+    exists_s("p", pv("p", "x").eq(1)),
+    low("x") & not_emp_s,
+]
+
+
+def test_syntactic_rule_soundness_sweep(benchmark):
+    uni = small_universe(["x", "y"], 0, 1)
+
+    def run():
+        checked = 0
+        for post in ASSERTIONS:
+            for proof in (
+                rule_assign_s(post, "x", V("y")),
+                rule_havoc_s(post, "x"),
+                rule_assume_s(post, V("x").gt(0)),
+                rule_skip(post),
+                rule_seq(
+                    rule_assign_s(rule_havoc_s(post, "y").pre, "x", V("y")),
+                    rule_havoc_s(post, "y"),
+                ),
+            ):
+                assert check_triple(proof.pre, proof.command, proof.post, uni).valid
+                checked += 1
+        return checked
+
+    checked = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nconclusions oracle-verified: %d (all sound)" % checked)
+    assert checked == 25
+
+
+def test_naive_choice_ablation(benchmark):
+    """Sect. 3.3: the rule Choice needs ⊗."""
+    uni = small_universe(["x"], 0, 1)
+    single = singleton()
+    c1, c2 = Assign("x", 0), Assign("x", 1)
+
+    def run():
+        premise1 = check_triple(single, c1, single, uni).valid
+        premise2 = check_triple(single, c2, single, uni).valid
+        naive = check_triple(single, Choice(c1, c2), single, uni).valid
+        with_otimes = check_triple(
+            single, Choice(c1, c2), OTimes(single, single), uni
+        ).valid
+        return premise1, premise2, naive, with_otimes
+
+    p1, p2, naive, otimes_ok = benchmark.pedantic(run, rounds=3, iterations=1)
+    print("\npremises hold: %s/%s; naive conclusion: %s; ⊗ conclusion: %s"
+          % (p1, p2, naive, otimes_ok))
+    assert p1 and p2
+    assert not naive, "the naive Choice rule would be unsound — as the paper says"
+    assert otimes_ok

@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` module regenerates one experiment from the paper (see
+DESIGN.md's per-experiment index): it asserts the paper's *qualitative*
+claim and times the reproduction with pytest-benchmark, printing the
+regenerated rows so the output can be eyeballed against the paper.
+"""
+
+from repro.assertions import EntailmentOracle
+from repro.checker import Universe
+from repro.values import IntRange
+
+
+def security_universe(hi=1, with_pad=True):
+    """The ``h``/``l``(/``y``) universe used by the Sect. 2 benches."""
+    pvars = ["h", "l", "y"] if with_pad else ["h", "l"]
+    return Universe(pvars, IntRange(0, hi))
+
+
+def tagged_universe(pvars=("x",), hi=1):
+    """A universe with the execution tag ``t`` ∈ {1, 2}."""
+    return Universe(list(pvars), IntRange(0, hi), lvars=["t"], lvar_domain=IntRange(1, 2))
+
+
+def oracle_for(universe, method="brute"):
+    """An entailment oracle over the universe."""
+    return EntailmentOracle(universe.ext_states(), universe.domain, method=method)
+
+
+def banner(title):
+    """Print a section banner so bench output reads like the paper."""
+    print()
+    print("=" * 64)
+    print(title)
+    print("=" * 64)

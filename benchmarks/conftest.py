@@ -1,0 +1,8 @@
+"""Benchmark harness configuration: make repo-root imports available."""
+
+import os
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if ROOT not in sys.path:
+    sys.path.insert(0, ROOT)

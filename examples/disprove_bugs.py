@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Disproving specifications — bug-finding without false positives
+(Thm. 5, Sect. 3.5) plus refinement checking via product programs
+(Example 3).
+
+Run:  python examples/disprove_bugs.py
+"""
+
+from repro.assertions import TRUE_H, box, not_emp_s, pretty_assertion
+from repro.checker import check_triple, small_universe, Universe
+from repro.hyperprops import refines_direct, refines_via_hyper_triple
+from repro.lang import parse_command, pretty
+from repro.lang.expr import V
+from repro.logic import disprove_triple, negate_assertion
+from repro.values import IntRange
+
+
+def buggy_spec():
+    print("=" * 60)
+    print("1. disproving a functional spec (Thm. 5)")
+    # the 'spec': after the program, x is always 0.  The program has a bug.
+    command = parse_command("if (y > 0) { x := 0 } else { x := y + 1 }")
+    universe = small_universe(["x", "y"], 0, 1)
+    spec = box(V("x").eq(0))
+    print("  program:\n    " + pretty(command).replace("\n", "\n    "))
+    print("  claimed: {⊤} C {%s}" % pretty_assertion(spec))
+    disproof = disprove_triple(TRUE_H, command, spec, universe, construct_proof=True)
+    print("  INVALID — Thm. 5 disproof found:")
+    for phi in sorted(disproof.witness, key=repr):
+        print("    refuting initial state:", dict(phi.prog.items()))
+    print("  the disproof is itself a provable triple {P'} C {¬Q}:")
+    print("    derivation size:", disproof.proof.size(), "rule applications")
+    print("    rules:", dict(sorted(disproof.proof.rules_used().items())))
+
+
+def hl_contrast():
+    print("=" * 60)
+    print("2. what classical HL cannot do (Sect. 3.5)")
+    universe = small_universe(["x"], 0, 1)
+    command = parse_command("x := nonDet()")
+    claim = box(V("x").ge(1))
+    print("  claim: {⊤} x := nonDet() {x ≥ 1}   — false, but HL cannot")
+    print("  exhibit the offending execution; HHL proves its negation:")
+    valid = check_triple(not_emp_s, command, negate_assertion(claim), universe)
+    print("  {∃⟨φ⟩.⊤} x := nonDet() {¬(∀⟨φ⟩. φ(x) ≥ 1)} valid:", valid.valid)
+
+
+def refinement():
+    print("=" * 60)
+    print("3. refinement via the Example 3 product program")
+    uni = Universe(["x", "t"], IntRange(0, 1))
+    abstract = parse_command("x := nonDet()")
+    good = parse_command("x := 0")
+    bad = parse_command("x := x")  # also refines nonDet(); try a non-refinement:
+    non_refinement = (parse_command("x := nonDet()"), parse_command("x := 0"))
+    for concrete, name in ((good, "x := 0"), (bad, "x := x")):
+        direct = refines_direct(concrete, abstract, uni)
+        via = refines_via_hyper_triple(concrete, abstract, uni)
+        print("  %-12s refines x := nonDet():  direct=%s  product-triple=%s"
+              % (name, direct, via))
+    concrete, abstract2 = non_refinement
+    direct = refines_direct(concrete, abstract2, uni)
+    via = refines_via_hyper_triple(concrete, abstract2, uni)
+    print("  %-12s refines x := 0:          direct=%s  product-triple=%s"
+          % ("x := nonDet()", direct, via))
+
+
+def main():
+    buggy_spec()
+    hl_contrast()
+    refinement()
+
+
+if __name__ == "__main__":
+    main()

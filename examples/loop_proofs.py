@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Machine-checked loop proofs with the Fig. 5 rules.
+
+Three reasoning principles on three loops (Sect. 5):
+
+1. WhileSync       — synchronized control flow (all runs exit together);
+2. While-∀*∃*      — unaligned exits, ∀∃-postcondition (monotonicity,
+                     the Fig. 7 phenomenon);
+3. While-∃         — a top-level existential: some run is minimal
+                     (the Fig. 8 phenomenon) — the first loop rule for
+                     ∃*∀*-hyperproperties in any Hoare logic.
+
+Run:  python examples/loop_proofs.py
+"""
+
+from repro.assertions import (
+    EntailmentOracle,
+    HBin,
+    HLit,
+    SAnd,
+    forall_s,
+    low,
+    lv,
+    pv,
+    simplies,
+)
+from repro.checker import Universe, check_triple
+from repro.lang import if_then, parse_bexpr, parse_command, pretty, while_loop
+from repro.lang.expr import V
+from repro.logic import (
+    rule_assign_s,
+    rule_assume_s,
+    rule_cons,
+    rule_while_exists,
+    rule_while_forall_exists,
+    rule_while_sync,
+    semantic_axiom,
+    while_exists_fixed_post,
+    while_exists_fixed_pre,
+    while_exists_variant_post,
+    while_exists_variant_pre,
+    while_sync_body_pre,
+)
+from repro.values import IntRange
+
+
+def example_while_sync():
+    print("=" * 60)
+    print("1. WhileSync: {low(x)} while (x > 0) { x := x - 1 } {…}")
+    uni = Universe(["x"], IntRange(0, 2))
+    oracle = EntailmentOracle(uni.ext_states(), uni.domain)
+    cond = parse_bexpr("x > 0")
+    inv = low("x")
+    body_pre = while_sync_body_pre(inv, cond)
+    inner = rule_assign_s(inv, "x", V("x") - 1)
+    body_proof = rule_cons(body_pre, inv, inner, oracle)
+    proof = rule_while_sync(inv, cond, body_proof, oracle)
+    print("  derivation:\n    " + proof.tree().replace("\n", "\n    "))
+    result = check_triple(proof.pre, proof.command, proof.post, uni)
+    print("  oracle confirms conclusion:", result.valid)
+
+
+def example_while_forall_exists():
+    print("=" * 60)
+    print("2. While-∀*∃*: monotonicity with unaligned exits (Fig. 7 style)")
+    uni = Universe(["x", "y"], IntRange(0, 1), lvars=["t"], lvar_domain=IntRange(1, 2))
+    cond = parse_bexpr("x > 0")
+    body = parse_command("x := x - 1; y := 1")
+    tags = SAnd(lv("φ1", "t").eq(1), lv("φ2", "t").eq(2))
+    ordered = SAnd(pv("φ1", "x").ge(pv("φ2", "x")), pv("φ1", "y").ge(pv("φ2", "y")))
+    inv = forall_s("φ1", forall_s("φ2", simplies(tags, ordered)))
+    post = forall_s(
+        "φ1", forall_s("φ2", simplies(tags, pv("φ1", "y").ge(pv("φ2", "y"))))
+    )
+    body_proof = semantic_axiom(inv, if_then(cond, body), inv, uni)
+    oracle = EntailmentOracle(uni.ext_states(), uni.domain)
+    exit_proof = rule_cons(inv, post, rule_assume_s(post, cond.negate()), oracle)
+    proof = rule_while_forall_exists(inv, cond, body_proof, exit_proof)
+    print("  loop:\n    " + pretty(proof.command).replace("\n", "\n    "))
+    result = check_triple(proof.pre, proof.command, proof.post, uni)
+    print("  tagged run 1 ends with y ≥ run 2's y — oracle:", result.valid)
+
+
+def example_while_exists():
+    print("=" * 60)
+    print("3. While-∃: a minimal execution exists (Fig. 8 style)")
+    uni = Universe(["r", "x"], IntRange(0, 2))
+    cond = parse_bexpr("x < 2")
+    body = parse_command("r := nonDet(); assume r >= 1; x := min(x + r, 2)")
+    state = "φ"
+    p_body = forall_s(
+        "α", SAnd(HLit(0).le(pv("φ", "x")), pv("φ", "x").le(pv("α", "x")))
+    )
+    q_body = forall_s("α", pv("φ", "x").le(pv("α", "x")))
+    variant = HBin("-", HLit(2), pv("φ", "x"))
+
+    conditional = if_then(cond, body)
+    loop = while_loop(cond, body)
+    variant_proofs = {
+        v: semantic_axiom(
+            while_exists_variant_pre(p_body, state, cond, variant, v),
+            conditional,
+            while_exists_variant_post(p_body, state, variant, v),
+            uni,
+        )
+        for v in uni.domain
+    }
+    fixed_proofs = {
+        phi: semantic_axiom(
+            while_exists_fixed_pre(p_body, state, phi),
+            loop,
+            while_exists_fixed_post(q_body, state, phi),
+            uni,
+        )
+        for phi in uni.ext_states()
+    }
+    proof = rule_while_exists(
+        p_body, q_body, state, cond, variant, variant_proofs, fixed_proofs, uni
+    )
+    print("  conclusion: {∃⟨φ⟩. P_φ} while (x<2) {…} {∃⟨φ⟩. ∀⟨α⟩. φ(x) ≤ α(x)}")
+    result = check_triple(proof.pre, proof.command, proof.post, uni)
+    print("  oracle confirms the ∃∀ conclusion:", result.valid)
+    print("  premises checked: %d (one per variant value + one per state)"
+          % len(proof.premises))
+
+
+def main():
+    example_while_sync()
+    example_while_forall_exists()
+    example_while_exists()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Information-flow security, Sects. 2.2–2.3: NI, GNI, and their
+violations on the paper's programs C1–C4.
+
+The punchline is the bottom half: *disproving* GNI needs an
+∃∃∀-hyperproperty, which no prior Hoare logic expresses — here it is a
+checked (and mechanically provable) hyper-triple.
+
+Run:  python examples/noninterference.py
+"""
+
+from repro.assertions import pretty_assertion
+from repro.checker import Universe
+from repro.hyperprops import (
+    gni_violation_triple,
+    ni_triple,
+    satisfies_gni_direct,
+    satisfies_gni_triple,
+    satisfies_ni_direct,
+    satisfies_ni_triple,
+    violates_gni_triple,
+    violates_ni_triple,
+)
+from repro.lang import parse_command, pretty
+from repro.values import IntRange
+
+
+def show(title, command):
+    print("=" * 60)
+    print(title)
+    print("  " + pretty(command).replace("\n", "\n  "))
+
+
+def main():
+    uni = Universe(["h", "l"], IntRange(0, 1))
+    uni_y = Universe(["h", "l", "y"], IntRange(0, 1))
+    uni_big = Universe(["h", "l", "y"], IntRange(0, 2))
+
+    # C1: secure deterministic program — satisfies NI
+    c1 = parse_command("if (l > 0) { l := 1 } else { l := 0 }")
+    show("C1 (secure): NI holds", c1)
+    pre, post = ni_triple("l")
+    print("  NI triple {%s} C1 {%s}" % (pretty_assertion(pre), pretty_assertion(post)))
+    print("  NI (direct):", satisfies_ni_direct(c1, uni, "l"))
+    print("  NI (triple):", satisfies_ni_triple(c1, uni, "l"))
+
+    # C2: branches on the secret — violates NI, provably
+    c2 = parse_command("if (h > 0) { l := 1 } else { l := 0 }")
+    show("C2 (insecure branch on h): NI fails, violation provable", c2)
+    print("  NI (direct):", satisfies_ni_direct(c2, uni, "l"))
+    print("  NI-violation triple valid:", violates_ni_triple(c2, uni, "l", "h"))
+
+    # C3: one-time pad — GNI holds even though NI fails
+    c3 = parse_command("y := nonDet(); l := h xor y")
+    show("C3 (pad): GNI holds, NI fails", c3)
+    print("  NI  (triple):", satisfies_ni_triple(c3, uni_y, "l"))
+    print("  GNI (direct):", satisfies_gni_direct(c3, uni_y, "l", "h"))
+    print("  GNI (triple):", satisfies_gni_triple(c3, uni_y, "l", "h"))
+
+    # C4: bounded pad — leaks; the GNI violation is the ∃∃∀ triple
+    c4 = parse_command("y := nonDet(); assume y <= 1; l := h + y")
+    show("C4 (bounded pad): GNI fails, violation provable (Fig. 4)", c4)
+    print("  GNI (direct):", satisfies_gni_direct(c4, uni_big, "l", "h"))
+    vpre, vpost = gni_violation_triple("l", "h")
+    print("  violation triple:")
+    print("    pre :", pretty_assertion(vpre))
+    print("    post:", pretty_assertion(vpost))
+    print("  violation triple valid (sets of size <= 4):",
+          violates_gni_triple(c4, uni_big, "l", "h", max_size=4))
+
+    print("=" * 60)
+    print("summary (matches the paper):")
+    print("  C1: NI ✓          C2: NI ✗ (violation provable)")
+    print("  C3: GNI ✓, NI ✗   C4: GNI ✗ (violation provable)")
+
+
+if __name__ == "__main__":
+    main()

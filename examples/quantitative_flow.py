@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quantitative information flow (App. B, Fig. 10).
+
+Bounding the number of distinct outputs is a hyperproperty over an
+*unbounded* number of executions; exactly pinning it is not even
+hypersafety — it needs assertions about set cardinality, which Hyper
+Hoare Logic's set-level assertions state directly.
+
+Run:  python examples/quantitative_flow.py
+"""
+
+from repro.checker import Universe
+from repro.hyperprops import leakage_table, output_values, qif_triples_hold
+from repro.lang import parse_command, pretty
+from repro.values import IntRange
+
+
+def main():
+    # Fig. 10 (with the min(l,h) bound its claims require; the figure's
+    # `max` appears to be a typo — see EXPERIMENTS.md):
+    command = parse_command(
+        """
+        o := 0;
+        i := 0;
+        while (i < min(l, h)) {
+            r := nonDet();
+            assume 0 <= r <= 1;
+            o := o + r;
+            i := i + 1
+        }
+        """
+    )
+    uni = Universe(["h", "l", "o", "i", "r"], IntRange(0, 2))
+    print("program C_l:")
+    print("  " + pretty(command).replace("\n", "\n  "))
+    print()
+
+    print("the leak: observing o teaches h >= o")
+    for h in uni.domain:
+        outs = sorted(output_values(command, uni, "o", {"h": h}))
+        print("  h = %d  ->  possible o: %s" % (h, outs))
+    print()
+
+    print("per low-input leakage (the App. B table):")
+    print("  %-4s %-9s %-18s %-18s" % ("l=v", "#outputs", "min-capacity", "Shannon"))
+    for v, count, cap, ent in leakage_table(command, uni, "o", "l", "h"):
+        print("  %-4d %-9d %-18.4f %-18.4f" % (v, count, cap, ent))
+    print()
+
+    print("the App. B hyper-triples for v = 1:")
+    at_most, exactly = qif_triples_hold(command, uni, "o", "l", "h", 1)
+    print("  {□(h≥0 ∧ l=1)} C_l {|{φ(o) | φ∈S}| ≤ 2}  (problem 1):", at_most)
+    print("  {□(h≥0 ∧ l=1)} C_l {|{φ(o) | φ∈S}| = 2}  (problem 2):", exactly)
+    print()
+    print("problem 1 is hypersafety but not k-safety for any k;")
+    print("problem 2 is beyond hypersafety — only set-level assertions express it.")
+
+
+if __name__ == "__main__":
+    main()

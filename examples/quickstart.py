@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Quickstart: proving and disproving with Hyper Hoare Logic.
+
+Reproduces Sect. 2.1 of the paper on the command
+
+    C0  =  x := randIntBounded(0, 3)
+
+- P1 (overapproximate):  every final x lies in [0, 3];
+- P2 (underapproximate): every value in [0, 3] is actually reachable —
+  together in ONE logic, which is the paper's headline.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.assertions import (
+    TRUE_H,
+    exists_s,
+    forall_s,
+    forall_v,
+    hv,
+    not_emp_s,
+    pretty_assertion,
+    pv,
+    simplies,
+)
+from repro.checker import check_triple, small_universe
+from repro.lang import parse_command, pretty
+from repro.logic import disprove_triple, prove_valid_triple
+
+
+def main():
+    command = parse_command("x := randInt(0, 3)")
+    universe = small_universe(["x"], 0, 3)
+    print("program C0:")
+    print("  " + pretty(command).replace("\n", "\n  "))
+    print("universe:", universe)
+    print()
+
+    # P1: {⊤} C0 {∀⟨φ'⟩. 0 ≤ φ'(x) ≤ 3}
+    p1_post = forall_s("φ'", pv("φ'", "x").ge(0) & pv("φ'", "x").le(3))
+    p1 = check_triple(TRUE_H, command, p1_post, universe)
+    print("P1  {⊤} C0 {%s}" % pretty_assertion(p1_post))
+    print("    valid:", p1.valid)
+
+    # P2: {∃⟨φ⟩. ⊤} C0 {∀n. 0 ≤ n ≤ 3 ⇒ ∃⟨φ'⟩. φ'(x) = n}
+    p2_post = forall_v(
+        "n",
+        simplies(
+            hv("n").ge(0) & hv("n").le(3),
+            exists_s("φ'", pv("φ'", "x").eq(hv("n"))),
+        ),
+    )
+    p2 = check_triple(not_emp_s, command, p2_post, universe)
+    print("P2  {∃⟨φ⟩.⊤} C0 {%s}" % pretty_assertion(p2_post))
+    print("    valid:", p2.valid)
+
+    # P2 needs the non-empty precondition: with ⊤ it is invalid (S = ∅).
+    p2_trivial = check_triple(TRUE_H, command, p2_post, universe)
+    print("P2 with {⊤} instead (expect invalid):", p2_trivial.valid)
+
+    # Thm. 2 in action: build an actual core-rule derivation of P1.
+    proof = prove_valid_triple(TRUE_H, command, p1_post, universe)
+    print()
+    print("Thm. 2 derivation of P1: %d rule applications, rules used: %s"
+          % (proof.size(), dict(sorted(proof.rules_used().items()))))
+
+    # Thm. 5 in action: disprove a wrong claim about C0.
+    wrong = forall_s("φ'", pv("φ'", "x").le(2))
+    disproof = disprove_triple(TRUE_H, command, wrong, universe)
+    print()
+    print("disproving {⊤} C0 {∀⟨φ'⟩. φ'(x) ≤ 2}:")
+    print("  refuting initial set has %d state(s); {P'} C0 {¬Q} is valid"
+          % len(disproof.witness))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The environment has no ``wheel`` package available offline, so editable
+installs go through the classic ``setup.py develop`` path; all metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

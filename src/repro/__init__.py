@@ -1,0 +1,12 @@
+"""repro — an executable reproduction of Hyper Hoare Logic (PLDI 2024).
+
+See DESIGN.md for the system inventory and README.md for a quickstart.
+"""
+
+__version__ = "1.0.0"
+
+from . import lang, semantics, assertions, checker  # noqa: F401
+from . import logic, solver, embeddings, hyperprops  # noqa: F401
+from .lang import parse_command, parse_expr, parse_bexpr, pretty  # noqa: F401
+from .checker import Universe, small_universe, check_triple, valid_triple  # noqa: F401
+from .verifier import Verifier, VerificationResult  # noqa: F401

@@ -1,0 +1,60 @@
+"""The common interface of hyper-assertions.
+
+A hyper-assertion (Def. 3) is a predicate over *sets of extended states*.
+The library has two realizations:
+
+- **semantic** hyper-assertions (:mod:`repro.assertions.semantic`) wrap an
+  arbitrary Python predicate — maximally expressive, used by the core
+  rules, the completeness construction and the oracle checker;
+- **syntactic** hyper-assertions (:mod:`repro.assertions.syntax`) are the
+  restricted Def. 9 syntax that the easy-to-apply rules of Sects. 4–5
+  manipulate by substitution.
+
+Both implement ``holds(S, domain)``.  The ``domain`` argument is only
+consulted by constructs that quantify over *values* (syntactic ``∀y/∃y``),
+mirroring how the paper's assertions are schematic in ``PVals``/``LVals``.
+"""
+
+
+class Assertion:
+    """Abstract base of hyper-assertions."""
+
+    __slots__ = ()
+
+    #: short human-readable description, overridden by subclasses
+    label = "assertion"
+
+    def holds(self, states, domain=None):
+        """Truth of this hyper-assertion on the set ``states``."""
+        raise NotImplementedError
+
+    # -- uniform combinators (work across semantic/syntactic operands) ------
+    def __and__(self, other):
+        from .semantic import AndAssertion
+
+        return AndAssertion(self, other)
+
+    def __or__(self, other):
+        from .semantic import OrAssertion
+
+        return OrAssertion(self, other)
+
+    def __invert__(self):
+        return self.negate()
+
+    def negate(self):
+        """The complement hyper-assertion ``λS. ¬self(S)``."""
+        from .semantic import NotAssertion
+
+        return NotAssertion(self)
+
+    def implies(self, other):
+        """The hyper-assertion ``λS. self(S) ⇒ other(S)``."""
+        return self.negate() | other
+
+    def describe(self):
+        """A printable description (best effort)."""
+        return self.label
+
+    def __repr__(self):
+        return "<%s %s>" % (type(self).__name__, self.describe())

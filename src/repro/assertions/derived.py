@@ -1,0 +1,196 @@
+"""Derived hyper-assertion forms used by the inference rules.
+
+These are the semantic constructions that appear in rule conclusions and
+preconditions but are not part of the Def. 9 syntax:
+
+- the backward preconditions of the core Assume/Assign/Havoc rules
+  (set comprehensions over the post-set, Fig. 2);
+- state-indexed families ``∀⟨φ⟩. P_φ`` / ``∃⟨φ⟩. P_φ`` where ``P_φ`` is a
+  full hyper-assertion depending on the bound state (Linking, While-∃);
+- partial evaluation, which closes a syntactic assertion under concrete
+  bindings for some of its state/value variables.
+"""
+
+from .base import Assertion
+
+
+class FilterPre(Assertion):
+    """Precondition of the core Assume rule:
+    ``λS. P({φ ∈ S | b(φ_P)})`` (Fig. 2)."""
+
+    __slots__ = ("operand", "cond")
+
+    def __init__(self, operand, cond):
+        self.operand = operand
+        self.cond = cond
+
+    def holds(self, states, domain=None):
+        kept = frozenset(phi for phi in states if self.cond.eval(phi.prog))
+        return self.operand.holds(kept, domain)
+
+    def describe(self):
+        return "λS. P({φ∈S | b}) for P=%s" % self.operand.describe()
+
+
+class AssignPre(Assertion):
+    """Precondition of the core Assign rule:
+    ``λS. P({φ | ∃α∈S. φ_L = α_L ∧ φ_P = α_P[x ↦ e(α_P)]})`` (Fig. 2)."""
+
+    __slots__ = ("operand", "var", "expr")
+
+    def __init__(self, operand, var, expr):
+        self.operand = operand
+        self.var = var
+        self.expr = expr
+
+    def holds(self, states, domain=None):
+        image = frozenset(
+            phi.set_pvar(self.var, self.expr.eval(phi.prog)) for phi in states
+        )
+        return self.operand.holds(image, domain)
+
+    def describe(self):
+        return "λS. P(S[%s:=e]) for P=%s" % (self.var, self.operand.describe())
+
+
+class HavocPre(Assertion):
+    """Precondition of the core Havoc rule:
+    ``λS. P({φ | ∃α∈S. ∃v. φ_L = α_L ∧ φ_P = α_P[x ↦ v]})`` (Fig. 2).
+
+    The value ``v`` ranges over the evaluation domain, which is supplied
+    at ``holds`` time — the same domain the havoc command executes over.
+    """
+
+    __slots__ = ("operand", "var")
+
+    def __init__(self, operand, var):
+        self.operand = operand
+        self.var = var
+
+    def holds(self, states, domain=None):
+        if domain is None:
+            raise ValueError("HavocPre needs the value domain")
+        image = frozenset(
+            phi.set_pvar(self.var, v) for phi in states for v in domain
+        )
+        return self.operand.holds(image, domain)
+
+    def describe(self):
+        return "λS. P(S[%s:=*]) for P=%s" % (self.var, self.operand.describe())
+
+
+class ForallStateFam(Assertion):
+    """``∀⟨φ⟩. P_φ`` where ``P_φ`` is itself a hyper-assertion.
+
+    ``family`` maps a concrete extended state to an :class:`Assertion`.
+    Used by the Linking rule (Fig. 11).
+    """
+
+    __slots__ = ("family", "label")
+
+    def __init__(self, family, label="∀⟨φ⟩. P_φ"):
+        self.family = family
+        self.label = label
+
+    def holds(self, states, domain=None):
+        states = frozenset(states)
+        return all(self.family(phi).holds(states, domain) for phi in states)
+
+    def describe(self):
+        return self.label
+
+
+class ExistsStateFam(Assertion):
+    """``∃⟨φ⟩. P_φ`` where ``P_φ`` is itself a hyper-assertion.
+
+    Used by the While-∃ rule (Fig. 5), where the existential witness
+    state parameterizes the loop invariant.
+    """
+
+    __slots__ = ("family", "label")
+
+    def __init__(self, family, label="∃⟨φ⟩. P_φ"):
+        self.family = family
+        self.label = label
+
+    def holds(self, states, domain=None):
+        states = frozenset(states)
+        return any(self.family(phi).holds(states, domain) for phi in states)
+
+    def describe(self):
+        return self.label
+
+
+class PartialEval(Assertion):
+    """A syntactic assertion with some state/value variables pre-bound.
+
+    ``sigma_env`` maps state names to concrete extended states and
+    ``delta_env`` maps value variables to concrete values; the remaining
+    structure is evaluated against the set as usual (Def. 12 with
+    non-empty initial environments, as used by the While-∃ premises).
+    """
+
+    __slots__ = ("syn", "sigma_env", "delta_env")
+
+    def __init__(self, syn, sigma_env=(), delta_env=()):
+        self.syn = syn
+        self.sigma_env = dict(sigma_env)
+        self.delta_env = dict(delta_env)
+
+    def holds(self, states, domain=None):
+        if domain is None:
+            raise ValueError("PartialEval needs the value domain")
+        return self.syn.eval(
+            frozenset(states), dict(self.sigma_env), dict(self.delta_env), domain
+        )
+
+    def describe(self):
+        return "partial-eval(%d states, %d values bound)" % (
+            len(self.sigma_env),
+            len(self.delta_env),
+        )
+
+
+class MapPre(Assertion):
+    """``λS. P(f(S))`` for an arbitrary set transformer ``f``.
+
+    General escape hatch used by embeddings and tests.
+    """
+
+    __slots__ = ("operand", "transform", "label")
+
+    def __init__(self, operand, transform, label="λS. P(f(S))"):
+        self.operand = operand
+        self.transform = transform
+        self.label = label
+
+    def holds(self, states, domain=None):
+        return self.operand.holds(frozenset(self.transform(frozenset(states))), domain)
+
+    def describe(self):
+        return self.label
+
+
+class OTimesTagged(Assertion):
+    """``A ⊗_{x=1,2} B`` (Notation 1, App. H): the sub-set of states whose
+    logical variable ``x`` equals 1 satisfies ``A`` and the sub-set where
+    it equals 2 satisfies ``B``."""
+
+    __slots__ = ("left", "right", "tag")
+
+    def __init__(self, left, right, tag):
+        self.left = left
+        self.right = right
+        self.tag = tag
+
+    def holds(self, states, domain=None):
+        ones = frozenset(phi for phi in states if phi.log.get(self.tag) == 1)
+        twos = frozenset(phi for phi in states if phi.log.get(self.tag) == 2)
+        return self.left.holds(ones, domain) and self.right.holds(twos, domain)
+
+    def describe(self):
+        return "(%s) ⊗_{%s=1,2} (%s)" % (
+            self.left.describe(),
+            self.tag,
+            self.right.describe(),
+        )

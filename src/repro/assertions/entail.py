@@ -1,0 +1,129 @@
+"""Entailment between hyper-assertions (Def. 3).
+
+``P |= Q`` iff every set of extended states satisfying ``P`` satisfies
+``Q``.  Over a finite universe of extended states this is decidable by
+enumerating the ``2**n`` subsets; the SAT backend of :mod:`repro.solver`
+offers the same verdicts via a propositional encoding when the assertions
+are syntactic.
+
+The rules that require entailments (Cons, WhileSync's ``I |= low(b)``,
+LUpdate, ...) consume an :class:`EntailmentOracle`.  Three oracle flavors:
+
+- ``brute``  — exhaustive subset enumeration (the reference),
+- ``sat``    — the propositional encoding (syntactic assertions only),
+- ``assume`` — record the entailment as an unchecked assumption, for
+  reasoning that is schematic in the domain (every recorded assumption is
+  reported on the resulting proof object).
+"""
+
+from ..errors import EntailmentError
+from ..util import iter_subsets
+
+
+def entails(pre, post, universe, domain, max_size=None):
+    """``pre |= post`` over all subsets of ``universe`` (up to ``max_size``)."""
+    return find_entailment_counterexample(pre, post, universe, domain, max_size) is None
+
+
+def find_entailment_counterexample(pre, post, universe, domain, max_size=None):
+    """A set ``S`` with ``pre(S)`` and ``not post(S)``, or ``None``."""
+    states = sorted(universe, key=repr)
+    for subset in iter_subsets(states, max_size=max_size):
+        if pre.holds(subset, domain) and not post.holds(subset, domain):
+            return subset
+    return None
+
+
+def equivalent(a, b, universe, domain, max_size=None):
+    """Semantic equivalence of two hyper-assertions over the universe."""
+    return entails(a, b, universe, domain, max_size) and entails(
+        b, a, universe, domain, max_size
+    )
+
+
+def satisfiable(assertion, universe, domain, max_size=None):
+    """Some subset of the universe satisfies ``assertion``."""
+    states = sorted(universe, key=repr)
+    for subset in iter_subsets(states, max_size=max_size):
+        if assertion.holds(subset, domain):
+            return True
+    return False
+
+
+class EntailmentOracle:
+    """Discharges the entailment side conditions of proof rules.
+
+    Parameters
+    ----------
+    universe:
+        Iterable of all extended states considered (ignored by the
+        ``assume`` method).
+    domain:
+        Value domain for evaluating syntactic assertions.
+    method:
+        ``"brute"`` (default) or ``"sat"``.
+    max_size:
+        Optional cap on the subset size enumerated (keeps the cost
+        polynomial when only small sets matter — unsound in general, so
+        off by default).
+    """
+
+    def __init__(self, universe, domain, method="brute", max_size=None):
+        self.universe = tuple(sorted(universe, key=repr))
+        self.domain = domain
+        self.method = method
+        self.max_size = max_size
+        self.assumed = []
+
+    def entails(self, pre, post):
+        """True iff ``pre |= post``; never raises on a negative verdict."""
+        if self.method == "sat":
+            from ..solver.encode import entails_sat, Unsupported
+
+            try:
+                return entails_sat(pre, post, self.universe, self.domain)
+            except Unsupported:
+                pass  # fall back to brute force for non-syntactic operands
+        return entails(pre, post, self.universe, self.domain, self.max_size)
+
+    def require(self, pre, post, context=""):
+        """Raise :class:`EntailmentError` unless ``pre |= post``."""
+        if not self.entails(pre, post):
+            cex = find_entailment_counterexample(
+                pre, post, self.universe, self.domain, self.max_size
+            )
+            raise EntailmentError(
+                "entailment failed%s: %s |=/= %s (counterexample: %d-state set)"
+                % (
+                    " in " + context if context else "",
+                    pre.describe(),
+                    post.describe(),
+                    -1 if cex is None else len(cex),
+                )
+            )
+        return True
+
+    def assume(self, pre, post, context=""):
+        """Record an entailment as an unchecked assumption."""
+        self.assumed.append((pre, post, context))
+        return True
+
+
+class AssumingOracle(EntailmentOracle):
+    """An oracle that *records* every entailment instead of checking it.
+
+    Use when the reasoning is schematic in an infinite domain and the user
+    takes responsibility for the entailments (they are all listed on
+    ``oracle.assumed`` for audit).
+    """
+
+    def __init__(self):
+        super().__init__((), None)
+
+    def entails(self, pre, post):
+        self.assumed.append((pre, post, ""))
+        return True
+
+    def require(self, pre, post, context=""):
+        self.assumed.append((pre, post, context))
+        return True

@@ -1,0 +1,319 @@
+"""Concrete syntax for syntactic hyper-assertions (Def. 9).
+
+ASCII grammar (the pretty-printer's unicode output has an ASCII twin via
+:func:`format_assertion`, and the two round-trip)::
+
+    A      ::= quant | imp
+    quant  ::= ('forall'|'exists') binder (',' binder)* '.' A
+    binder ::= '<' IDENT '>'        (state)  |  IDENT  (value)
+    imp    ::= or ('==>' imp)?
+    or     ::= and ('||' and)*
+    and    ::= atom ('&&' atom)*
+    atom   ::= 'true' | 'false' | '!' atom | '(' A ')' | e CMP e
+
+    e      ::= term (('+'|'-') term)*
+    term   ::= factor ('*' factor)*
+    factor ::= INT | IDENT                       (bound value variable)
+             | IDENT '(' IDENT ')'               (program lookup φ_P(x))
+             | IDENT '_L' '(' IDENT ')'          (logical lookup φ_L(x))
+             | '(' e ')'
+
+Example::
+
+    parse_assertion("forall <p>, <q>. p(x) == q(x)")      # low(x)
+    parse_assertion("exists <p>. forall v. p(x) <= v")
+"""
+
+import re
+
+from ..errors import ParseError
+from .syntax import (
+    HBin,
+    HLit,
+    HLog,
+    HProg,
+    HVar,
+    SAnd,
+    SBool,
+    SCmp,
+    SExistsState,
+    SExistsVal,
+    SForallState,
+    SForallVal,
+    SOr,
+    simplies,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+    | (?P<int>\d+)
+    | (?P<ident>[A-Za-z_α-ωφ][A-Za-z_0-9'α-ωφ]*)
+    | (?P<sym>==>|==|!=|<=|>=|\|\||&&|[.,()<>!+\-*])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"forall", "exists", "true", "false"}
+_CMPS = ("==", "!=", "<=", ">=", "<", ">")
+
+
+def _tokenize(text):
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise ParseError("unexpected character %r" % text[pos], pos, text)
+        if m.lastgroup != "ws":
+            tokens.append((m.lastgroup, m.group(), m.start()))
+        pos = m.end()
+    tokens.append(("eof", "", len(text)))
+    return tokens
+
+
+class _AParser:
+    def __init__(self, text):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.pos = 0
+        self.states = []  # names bound as states (innermost last)
+        self.values = []  # names bound as values
+
+    def peek(self):
+        return self.tokens[self.pos]
+
+    def at(self, value):
+        return self.peek()[1] == value and value != ""
+
+    def accept(self, value):
+        if self.at(value):
+            self.pos += 1
+            return True
+        return False
+
+    def expect(self, value):
+        if not self.accept(value):
+            _, text, offset = self.peek()
+            raise ParseError(
+                "expected %r, found %r" % (value, text or "end of input"),
+                offset,
+                self.text,
+            )
+
+    def ident(self):
+        kind, text, offset = self.peek()
+        if kind != "ident" or text in _KEYWORDS:
+            raise ParseError("expected identifier, found %r" % text, offset, self.text)
+        self.pos += 1
+        return text
+
+    # -- assertions -----------------------------------------------------
+    def assertion(self):
+        _, text, _ = self.peek()
+        if text in ("forall", "exists"):
+            return self.quantified()
+        return self.implication()
+
+    def quantified(self):
+        universal = self.accept("forall")
+        if not universal:
+            self.expect("exists")
+        binders = [self.binder()]
+        while self.accept(","):
+            binders.append(self.binder())
+        self.expect(".")
+        for is_state, name in binders:
+            (self.states if is_state else self.values).append(name)
+        body = self.assertion()
+        for is_state, name in reversed(binders):
+            if is_state:
+                self.states.remove(name)
+                body = (SForallState if universal else SExistsState)(name, body)
+            else:
+                self.values.remove(name)
+                body = (SForallVal if universal else SExistsVal)(name, body)
+        return body
+
+    def binder(self):
+        if self.accept("<"):
+            name = self.ident()
+            self.expect(">")
+            return True, name
+        return False, self.ident()
+
+    def implication(self):
+        left = self.disjunction()
+        if self.accept("==>"):
+            return simplies(left, self.implication())
+        return left
+
+    def disjunction(self):
+        out = self.conjunction()
+        while self.accept("||"):
+            out = SOr(out, self.conjunction())
+        return out
+
+    def conjunction(self):
+        out = self.atom()
+        while self.accept("&&"):
+            out = SAnd(out, self.atom())
+        return out
+
+    def atom(self):
+        if self.accept("true"):
+            return SBool(True)
+        if self.accept("false"):
+            return SBool(False)
+        if self.accept("!"):
+            return self.atom().negate()
+        _, text, _ = self.peek()
+        if text in ("forall", "exists"):
+            return self.quantified()
+        saved = self.pos
+        if self.accept("("):
+            # could be a grouped assertion or a parenthesized expression
+            try:
+                inner = self.assertion()
+                self.expect(")")
+                kind, nxt, _ = self.peek()
+                if nxt not in _CMPS:
+                    return inner
+            except ParseError:
+                pass
+            self.pos = saved
+        left = self.expr()
+        kind, op, offset = self.peek()
+        if op not in _CMPS:
+            raise ParseError("expected comparison, found %r" % op, offset, self.text)
+        self.pos += 1
+        right = self.expr()
+        out = SCmp(op, left, right)
+        # chained comparisons: a <= b <= c
+        while self.peek()[1] in _CMPS:
+            op2 = self.peek()[1]
+            self.pos += 1
+            nxt = self.expr()
+            out = SAnd(out, SCmp(op2, right, nxt))
+            right = nxt
+        return out
+
+    # -- hyper-expressions ----------------------------------------------
+    def expr(self):
+        out = self.term()
+        while True:
+            if self.accept("+"):
+                out = HBin("+", out, self.term())
+            elif self.accept("-"):
+                out = HBin("-", out, self.term())
+            else:
+                return out
+
+    def term(self):
+        out = self.factor()
+        while self.accept("*"):
+            out = HBin("*", out, self.factor())
+        return out
+
+    def factor(self):
+        kind, text, offset = self.peek()
+        if kind == "int":
+            self.pos += 1
+            return HLit(int(text))
+        if self.accept("("):
+            out = self.expr()
+            self.expect(")")
+            return out
+        name = self.ident()
+        # logical lookup: φ_L(x) written name_L(x)
+        if name.endswith("_L") and name[:-2] in self.states and self.at("("):
+            self.expect("(")
+            var = self.ident()
+            self.expect(")")
+            return HLog(name[:-2], var)
+        if name in self.states:
+            self.expect("(")
+            var = self.ident()
+            self.expect(")")
+            return HProg(name, var)
+        if name in self.values:
+            return HVar(name)
+        raise ParseError(
+            "unbound name %r (not a quantified state or value)" % name,
+            offset,
+            self.text,
+        )
+
+    def done(self):
+        kind, text, offset = self.peek()
+        if kind != "eof":
+            raise ParseError("trailing input %r" % text, offset, self.text)
+
+
+def parse_assertion(text):
+    """Parse a syntactic hyper-assertion from concrete syntax."""
+    p = _AParser(text)
+    out = p.assertion()
+    p.done()
+    return out
+
+
+# ---------------------------------------------------------------------------
+# the ASCII formatter (round-trips with parse_assertion)
+# ---------------------------------------------------------------------------
+
+
+def _format_expr(expr):
+    if isinstance(expr, HLit):
+        return str(expr.value)
+    if isinstance(expr, HVar):
+        return expr.name
+    if isinstance(expr, HProg):
+        return "%s(%s)" % (expr.state, expr.var)
+    if isinstance(expr, HLog):
+        return "%s_L(%s)" % (expr.state, expr.var)
+    if isinstance(expr, HBin):
+        if expr.op in ("+", "-", "*"):
+            return "(%s %s %s)" % (_format_expr(expr.left), expr.op, _format_expr(expr.right))
+        raise ParseError("operator %r has no concrete syntax" % expr.op)
+    raise ParseError("no concrete syntax for %r" % (expr,))
+
+
+def _format_operand(assertion):
+    """Format a connective operand; a quantifier's body extends maximally,
+    so quantified operands need explicit grouping parentheses."""
+    text = format_assertion(assertion)
+    if isinstance(assertion, (SForallVal, SExistsVal, SForallState, SExistsState)):
+        return "(%s)" % text
+    return text
+
+
+def format_assertion(assertion):
+    """ASCII concrete syntax, parseable by :func:`parse_assertion`."""
+    if isinstance(assertion, SBool):
+        return "true" if assertion.value else "false"
+    if isinstance(assertion, SCmp):
+        return "%s %s %s" % (
+            _format_expr(assertion.left),
+            assertion.op,
+            _format_expr(assertion.right),
+        )
+    if isinstance(assertion, SAnd):
+        return "(%s && %s)" % (
+            _format_operand(assertion.left),
+            _format_operand(assertion.right),
+        )
+    if isinstance(assertion, SOr):
+        return "(%s || %s)" % (
+            _format_operand(assertion.left),
+            _format_operand(assertion.right),
+        )
+    if isinstance(assertion, SForallVal):
+        return "forall %s. %s" % (assertion.var, format_assertion(assertion.body))
+    if isinstance(assertion, SExistsVal):
+        return "exists %s. %s" % (assertion.var, format_assertion(assertion.body))
+    if isinstance(assertion, SForallState):
+        return "forall <%s>. %s" % (assertion.state, format_assertion(assertion.body))
+    if isinstance(assertion, SExistsState):
+        return "exists <%s>. %s" % (assertion.state, format_assertion(assertion.body))
+    raise ParseError("no concrete syntax for %r" % (assertion,))

@@ -1,0 +1,75 @@
+"""Pretty-printer for syntactic hyper-assertions and hyper-expressions.
+
+Output follows the paper's notation: ``∀⟨φ⟩``, ``∃y``, ``φ(x)`` for
+program lookups and ``φ_L(x)`` for logical lookups.
+"""
+
+from .syntax import (
+    HBin,
+    HFun,
+    HLit,
+    HLog,
+    HProg,
+    HTupleE,
+    HVar,
+    SAnd,
+    SBool,
+    SCmp,
+    SExistsState,
+    SExistsVal,
+    SForallState,
+    SForallVal,
+    SOr,
+)
+
+
+def pretty_hexpr(expr):
+    """Concrete (paper-style) syntax for a hyper-expression."""
+    if isinstance(expr, HLit):
+        return repr(expr.value)
+    if isinstance(expr, HVar):
+        return expr.name
+    if isinstance(expr, HProg):
+        return "%s(%s)" % (expr.state, expr.var)
+    if isinstance(expr, HLog):
+        return "%s_L(%s)" % (expr.state, expr.var)
+    if isinstance(expr, HBin):
+        if expr.op == "[]":
+            return "%s[%s]" % (pretty_hexpr(expr.left), pretty_hexpr(expr.right))
+        return "(%s %s %s)" % (pretty_hexpr(expr.left), expr.op, pretty_hexpr(expr.right))
+    if isinstance(expr, HFun):
+        return "%s(%s)" % (expr.name, ", ".join(pretty_hexpr(a) for a in expr.args))
+    if isinstance(expr, HTupleE):
+        return "[%s]" % ", ".join(pretty_hexpr(i) for i in expr.items)
+    raise TypeError("not a hyper-expression: %r" % (expr,))
+
+
+def pretty_assertion(assertion):
+    """Concrete (paper-style) syntax for a syntactic hyper-assertion."""
+    if isinstance(assertion, SBool):
+        return "⊤" if assertion.value else "⊥"
+    if isinstance(assertion, SCmp):
+        return "%s %s %s" % (
+            pretty_hexpr(assertion.left),
+            assertion.op,
+            pretty_hexpr(assertion.right),
+        )
+    if isinstance(assertion, SAnd):
+        return "(%s ∧ %s)" % (
+            pretty_assertion(assertion.left),
+            pretty_assertion(assertion.right),
+        )
+    if isinstance(assertion, SOr):
+        return "(%s ∨ %s)" % (
+            pretty_assertion(assertion.left),
+            pretty_assertion(assertion.right),
+        )
+    if isinstance(assertion, SForallVal):
+        return "∀%s. %s" % (assertion.var, pretty_assertion(assertion.body))
+    if isinstance(assertion, SExistsVal):
+        return "∃%s. %s" % (assertion.var, pretty_assertion(assertion.body))
+    if isinstance(assertion, SForallState):
+        return "∀⟨%s⟩. %s" % (assertion.state, pretty_assertion(assertion.body))
+    if isinstance(assertion, SExistsState):
+        return "∃⟨%s⟩. %s" % (assertion.state, pretty_assertion(assertion.body))
+    raise TypeError("not a syntactic hyper-assertion: %r" % (assertion,))

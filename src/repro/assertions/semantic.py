@@ -1,0 +1,475 @@
+"""Semantic hyper-assertions (Def. 3) and the paper's set operators.
+
+A semantic hyper-assertion is just a total predicate over sets of extended
+states, wrapped so it composes with the rest of the library.  This module
+also implements the combination operators the core rules need:
+
+- ``⊗`` (Def. 6) used by the Choice rule,
+- the indexed ``⨂_{n∈N}`` (Def. 7) used by the Iter rule,
+- the big-union ``⨂`` over arbitrary families (App. D, BigUnion),
+- the bound operators ``⊑``/``⊒`` (Fig. 11 AtMost/AtLeast).
+
+Deciding these operators on a concrete finite set requires searching for
+the decomposition witness; the searches are exponential in ``|S|`` and
+meant for the tiny universes of the oracle checker.
+"""
+
+from ..util import iter_splits, iter_subsets
+from .base import Assertion
+
+
+class SemAssertion(Assertion):
+    """A hyper-assertion given by an arbitrary Python predicate.
+
+    ``fn`` receives a ``frozenset`` of :class:`~repro.semantics.state.ExtState`
+    and must return a ``bool``.
+    """
+
+    __slots__ = ("_fn", "label")
+
+    def __init__(self, fn, label="sem"):
+        self._fn = fn
+        self.label = label
+
+    def holds(self, states, domain=None):
+        return bool(self._fn(frozenset(states)))
+
+    def __call__(self, states):
+        return self.holds(states)
+
+
+def sem(fn, label="sem"):
+    """Shorthand constructor for :class:`SemAssertion`."""
+    return SemAssertion(fn, label)
+
+
+class AndAssertion(Assertion):
+    """Pointwise conjunction of hyper-assertions."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, *parts):
+        flat = []
+        for p in parts:
+            if isinstance(p, AndAssertion):
+                flat.extend(p.parts)
+            else:
+                flat.append(p)
+        self.parts = tuple(flat)
+
+    def holds(self, states, domain=None):
+        return all(p.holds(states, domain) for p in self.parts)
+
+    def describe(self):
+        return " ∧ ".join(p.describe() for p in self.parts)
+
+
+class OrAssertion(Assertion):
+    """Pointwise disjunction of hyper-assertions."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, *parts):
+        flat = []
+        for p in parts:
+            if isinstance(p, OrAssertion):
+                flat.extend(p.parts)
+            else:
+                flat.append(p)
+        self.parts = tuple(flat)
+
+    def holds(self, states, domain=None):
+        return any(p.holds(states, domain) for p in self.parts)
+
+    def describe(self):
+        return " ∨ ".join("(%s)" % p.describe() for p in self.parts)
+
+
+class NotAssertion(Assertion):
+    """Pointwise negation (used e.g. by Thm. 5 disproofs)."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand):
+        self.operand = operand
+
+    def holds(self, states, domain=None):
+        return not self.operand.holds(states, domain)
+
+    def negate(self):
+        return self.operand
+
+    def describe(self):
+        return "¬(%s)" % self.operand.describe()
+
+
+# ---------------------------------------------------------------------------
+# constant and primitive assertions
+# ---------------------------------------------------------------------------
+
+TRUE_H = SemAssertion(lambda S: True, "⊤")
+"""The trivially true hyper-assertion."""
+
+FALSE_H = SemAssertion(lambda S: False, "⊥")
+"""The trivially false hyper-assertion."""
+
+EMP = SemAssertion(lambda S: len(S) == 0, "emp")
+"""``emp`` — the set of states is empty (Sect. 4.1)."""
+
+NOT_EMP = SemAssertion(lambda S: len(S) > 0, "¬emp")
+"""The set of states is non-empty (``∃⟨φ⟩. ⊤``)."""
+
+
+class ContainsState(Assertion):
+    """``⟨φ⟩`` — the hyper-assertion ``λS. φ ∈ S`` (App. C/D)."""
+
+    __slots__ = ("state",)
+
+    def __init__(self, state):
+        self.state = state
+
+    def holds(self, states, domain=None):
+        return self.state in states
+
+    def describe(self):
+        return "⟨φ⟩"
+
+
+class EqualsSet(Assertion):
+    """``λS. S = target`` — pins the set exactly (completeness proofs)."""
+
+    __slots__ = ("target",)
+
+    def __init__(self, target):
+        self.target = frozenset(target)
+
+    def holds(self, states, domain=None):
+        return frozenset(states) == self.target
+
+    def describe(self):
+        return "S = {%d states}" % len(self.target)
+
+
+class SubsetOf(Assertion):
+    """``λS. S ⊆ target`` — the HL upper-bound embedding (Prop. 2)."""
+
+    __slots__ = ("target",)
+
+    def __init__(self, target):
+        self.target = frozenset(target)
+
+    def holds(self, states, domain=None):
+        return frozenset(states) <= self.target
+
+    def describe(self):
+        return "S ⊆ {%d states}" % len(self.target)
+
+
+class SupersetOf(Assertion):
+    """``λS. target ⊆ S`` — the IL lower-bound embedding (Prop. 6)."""
+
+    __slots__ = ("target",)
+
+    def __init__(self, target):
+        self.target = frozenset(target)
+
+    def holds(self, states, domain=None):
+        return self.target <= frozenset(states)
+
+    def describe(self):
+        return "S ⊇ {%d states}" % len(self.target)
+
+
+def contains_state(phi):
+    """Constructor for :class:`ContainsState`."""
+    return ContainsState(phi)
+
+
+def equals_set(target):
+    """Constructor for :class:`EqualsSet`."""
+    return EqualsSet(target)
+
+
+def subset_of(target):
+    """Constructor for :class:`SubsetOf`."""
+    return SubsetOf(target)
+
+
+def superset_of(target):
+    """Constructor for :class:`SupersetOf`."""
+    return SupersetOf(target)
+
+
+def forall_states(pred, label="∀⟨φ⟩"):
+    """``∀⟨φ⟩ ∈ S. pred(φ)`` as a semantic assertion."""
+    return SemAssertion(lambda S: all(pred(phi) for phi in S), label)
+
+
+def exists_state(pred, label="∃⟨φ⟩"):
+    """``∃⟨φ⟩ ∈ S. pred(φ)`` as a semantic assertion."""
+    return SemAssertion(lambda S: any(pred(phi) for phi in S), label)
+
+
+def singleton():
+    """``isSingleton`` — exactly one state (App. D.2)."""
+    return SemAssertion(lambda S: len(S) == 1, "isSingleton")
+
+
+def cardinality(pred, label="|S| pred"):
+    """A hyper-assertion about the cardinality of the set itself.
+
+    Example: ``cardinality(lambda n: n <= 3)``.  Set-properties like this
+    are exactly what the "Set properties" row of Fig. 1 is about.
+    """
+    return SemAssertion(lambda S: pred(len(S)), label)
+
+
+# ---------------------------------------------------------------------------
+# the paper's set-splitting operators
+# ---------------------------------------------------------------------------
+
+
+class OTimes(Assertion):
+    """``Q1 ⊗ Q2`` (Def. 6): ``S`` splits into ``S1 ∪ S2`` with
+    ``Q1(S1)`` and ``Q2(S2)`` (the parts may overlap)."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left, right):
+        self.left = left
+        self.right = right
+
+    def holds(self, states, domain=None):
+        states = frozenset(states)
+        for s1, s2 in iter_splits(states):
+            if self.left.holds(s1, domain) and self.right.holds(s2, domain):
+                return True
+        return False
+
+    def describe(self):
+        return "(%s) ⊗ (%s)" % (self.left.describe(), self.right.describe())
+
+
+def otimes(left, right):
+    """Constructor for :class:`OTimes`."""
+    return OTimes(left, right)
+
+
+class OTimesFamily(Assertion):
+    """``⨂_{n∈N} I_n`` (Def. 7): ``S = ⋃_{n∈N} f(n)`` with ``I_n(f(n))``
+    for *every* natural number ``n``.
+
+    The index set is infinite, so deciding the operator on a concrete set
+    needs an assumption about the family's shape: ``family`` must be
+    *eventually periodic* — for ``n >= stable_from``, ``family(n)`` is
+    semantically equal to ``family(stable_from + (n - stable_from) %
+    period)``.  Every family the Iter rule can produce over a finite
+    reachable state space is eventually periodic (the layers
+    ``sem(C^n, V)`` cycle); the caller supplies the indices.
+
+    Decision procedure: search explicit parts ``f(0) … f(stable_from-1)``;
+    the infinite periodic tail must assign *every* tail index a part, so
+
+    - each residue class ``r < period`` needs some ``T_r ⊆ S`` with
+      ``I_{stable_from+r}(T_r)`` (repeat it forever; ``∅`` counts when the
+      invariant holds of ``∅``), and
+    - every state left uncovered by the prefix must lie in some
+      ``T ⊆ S`` satisfying one of the tail invariants.
+    """
+
+    __slots__ = ("family", "stable_from", "period")
+
+    def __init__(self, family, stable_from, period=1):
+        if period < 1:
+            raise ValueError("period must be >= 1")
+        self.family = family
+        self.stable_from = stable_from
+        self.period = period
+
+    def holds(self, states, domain=None):
+        states = frozenset(states)
+        return self._cover(states, frozenset(), 0, domain)
+
+    def _cover(self, states, covered, n, domain):
+        if n == self.stable_from:
+            return self._tail_ok(states, states - covered, domain)
+        assertion = self.family(n)
+        items = sorted(states, key=repr)
+        for part in iter_subsets(items):
+            if assertion.holds(part, domain):
+                if self._cover(states, covered | part, n + 1, domain):
+                    return True
+        return False
+
+    def _tail_ok(self, states, remainder, domain):
+        tail_invariants = [
+            self.family(self.stable_from + r) for r in range(self.period)
+        ]
+        items = sorted(states, key=repr)
+        # every residue class must be assignable to some subset of S
+        witnesses = []
+        for invariant in tail_invariants:
+            found = [
+                part for part in iter_subsets(items) if invariant.holds(part, domain)
+            ]
+            if not found:
+                return False
+            witnesses.append(found)
+        if not remainder:
+            return True
+        coverable = frozenset().union(*(frozenset().union(*w) if w else frozenset() for w in witnesses))
+        return remainder <= coverable
+
+    def describe(self):
+        if self.period == 1:
+            return "⨂_{n∈N} I_n (stable from %d)" % self.stable_from
+        return "⨂_{n∈N} I_n (period %d from %d)" % (self.period, self.stable_from)
+
+
+def otimes_family(family, stable_from, period=1):
+    """Constructor for :class:`OTimesFamily`."""
+    return OTimesFamily(family, stable_from, period)
+
+
+class BigUnion(Assertion):
+    """``⨂ P`` (App. D): ``S`` is a union of subsets each satisfying ``P``.
+
+    Decision: the empty set always satisfies it (empty family); a
+    non-empty ``S`` satisfies it iff every element belongs to some
+    ``P``-satisfying subset of ``S``.
+    """
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand):
+        self.operand = operand
+
+    def holds(self, states, domain=None):
+        states = frozenset(states)
+        if not states:
+            return True
+        for x in states:
+            rest = sorted(states - {x}, key=repr)
+            if not any(
+                self.operand.holds(part | {x}, domain) for part in iter_subsets(rest)
+            ):
+                return False
+        return True
+
+    def describe(self):
+        return "⨂(%s)" % self.operand.describe()
+
+
+def big_union(operand):
+    """Constructor for :class:`BigUnion`."""
+    return BigUnion(operand)
+
+
+class IndexedUnion(Assertion):
+    """``⨂_{x∈X} P_x`` (Fig. 11 IndexedUnion): ``S = ⋃_{x∈X} f(x)`` with
+    ``P_x(f(x))`` for each ``x`` in the *finite* index set ``X``."""
+
+    __slots__ = ("family", "indices")
+
+    def __init__(self, family, indices):
+        self.family = family
+        self.indices = tuple(indices)
+
+    def holds(self, states, domain=None):
+        states = frozenset(states)
+        return self._cover(states, frozenset(), 0, domain)
+
+    def _cover(self, states, covered, i, domain):
+        if i == len(self.indices):
+            return covered == states
+        assertion = self.family(self.indices[i])
+        for part in iter_subsets(sorted(states, key=repr)):
+            if assertion.holds(part, domain):
+                if self._cover(states, covered | part, i + 1, domain):
+                    return True
+        return False
+
+    def describe(self):
+        return "⨂_{x∈%r} P_x" % (self.indices,)
+
+
+class AtMost(Assertion):
+    """``⊑ P`` (Fig. 11): some superset of ``S`` (within ``universe``)
+    satisfies ``P``."""
+
+    __slots__ = ("operand", "universe")
+
+    def __init__(self, operand, universe):
+        self.operand = operand
+        self.universe = frozenset(universe)
+
+    def holds(self, states, domain=None):
+        states = frozenset(states)
+        extra = sorted(self.universe - states, key=repr)
+        for add in iter_subsets(extra):
+            if self.operand.holds(states | add, domain):
+                return True
+        return False
+
+    def describe(self):
+        return "⊑(%s)" % self.operand.describe()
+
+
+class AtLeast(Assertion):
+    """``⊒ P`` (Fig. 11): some subset of ``S`` satisfies ``P``.
+
+    The paper's formula reads ``∃S'. S' ⊆ S ⇒ P(S')`` which is trivially
+    true as printed; we implement the evident intent ``∃S' ⊆ S. P(S')``
+    (which is what makes the AtLeast rule non-degenerate).
+    """
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand):
+        self.operand = operand
+
+    def holds(self, states, domain=None):
+        states = frozenset(states)
+        for part in iter_subsets(sorted(states, key=repr)):
+            if self.operand.holds(part, domain):
+                return True
+        return False
+
+    def describe(self):
+        return "⊒(%s)" % self.operand.describe()
+
+
+class ExistsValue(Assertion):
+    """``∃x ∈ index. P_x`` at the hyper-assertion level (Exist rule).
+
+    ``family`` maps an index value to a hyper-assertion; the index set
+    must be finite for decidability (the rule itself is schematic).
+    """
+
+    __slots__ = ("family", "indices")
+
+    def __init__(self, family, indices):
+        self.family = family
+        self.indices = tuple(indices)
+
+    def holds(self, states, domain=None):
+        return any(self.family(x).holds(states, domain) for x in self.indices)
+
+    def describe(self):
+        return "∃x∈%d-set. P_x" % len(self.indices)
+
+
+class ForallValue(Assertion):
+    """``∀x ∈ index. P_x`` at the hyper-assertion level (Forall rule)."""
+
+    __slots__ = ("family", "indices")
+
+    def __init__(self, family, indices):
+        self.family = family
+        self.indices = tuple(indices)
+
+    def holds(self, states, domain=None):
+        return all(self.family(x).holds(states, domain) for x in self.indices)
+
+    def describe(self):
+        return "∀x∈%d-set. P_x" % len(self.indices)

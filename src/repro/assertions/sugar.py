@@ -1,0 +1,147 @@
+"""Common hyper-assertion patterns from the paper, as builders.
+
+All builders return *syntactic* hyper-assertions (Def. 9) unless noted,
+so they compose with the syntactic rules of Fig. 3 and the loop rules.
+
+Glossary (paper sections in parentheses):
+
+- ``low(x)``        — all states agree on program variable ``x`` (2.2);
+- ``low_pred(b)``   — all states agree on the truth of predicate ``b``
+  (Fig. 5 caption);
+- ``box(b)``        — ``□b``: every state satisfies ``b`` (4.1);
+- ``emp_s``         — no states (4.1);
+- ``not_emp_s``     — at least one state;
+- ``ni(l)``         — non-interference pre/postcondition, alias of low;
+- ``gni(h, l)``     — generalized non-interference postcondition (2.3);
+- ``gni_violation(h, l)`` — its Sect. 2.3 negation-style counterpart;
+- ``mono(t, x)``    — monotonicity tagging via logical variable ``t`` (2.2);
+- ``has_min(x)``    — existence of a minimal state (5.3).
+"""
+
+from .syntax import (
+    SAnd,
+    SBool,
+    SExistsState,
+    SForallState,
+    SOr,
+    exists_s,
+    forall_s,
+    lv,
+    pred_to_hyper,
+    pv,
+    simplies,
+)
+
+
+def low(var, s1="φ1", s2="φ2"):
+    """``low(x) := ∀⟨φ1⟩,⟨φ2⟩. φ1(x) = φ2(x)`` (Sect. 2.2)."""
+    return forall_s(s1, forall_s(s2, pv(s1, var).eq(pv(s2, var))))
+
+
+def low_log(var, s1="φ1", s2="φ2"):
+    """``low`` on a *logical* variable."""
+    return forall_s(s1, forall_s(s2, lv(s1, var).eq(lv(s2, var))))
+
+
+def low_pred(cond, s1="φ1", s2="φ2"):
+    """``low(b) := ∀⟨φ1⟩,⟨φ2⟩. b(φ1) = b(φ2)`` for a program predicate."""
+    b1 = pred_to_hyper(cond, s1)
+    b2 = pred_to_hyper(cond, s2)
+    agree = SOr(SAnd(b1, b2), SAnd(b1.negate(), b2.negate()))
+    return forall_s(s1, forall_s(s2, agree))
+
+
+def box(cond, state="φ"):
+    """``□b := ∀⟨φ⟩. b(φ)`` (Sect. 4.1)."""
+    return forall_s(state, pred_to_hyper(cond, state))
+
+
+def diamond(cond, state="φ"):
+    """``∃⟨φ⟩. b(φ)`` — some state satisfies ``b``."""
+    return exists_s(state, pred_to_hyper(cond, state))
+
+
+emp_s = SForallState("φ", SBool(False))
+"""``emp := ∀⟨φ⟩. ⊥`` — the set of states is empty (Sect. 4.1)."""
+
+not_emp_s = SExistsState("φ", SBool(True))
+"""``∃⟨φ⟩. ⊤`` — the set of states is non-empty."""
+
+
+def ni(l_var):
+    """Non-interference pre/postcondition: ``low(l)`` (Sect. 2.2)."""
+    return low(l_var)
+
+
+def ni_violation(l_var, s1="φ1", s2="φ2"):
+    """``∃⟨φ1'⟩,⟨φ2'⟩. φ1'(l) ≠ φ2'(l)`` — the Sect. 2.2 NI violation post."""
+    return exists_s(s1, exists_s(s2, pv(s1, l_var).ne(pv(s2, l_var))))
+
+
+def gni(h_var, l_var, s1="φ1", s2="φ2", witness="φ"):
+    """GNI postcondition (Sect. 2.3)::
+
+        ∀⟨φ1⟩,⟨φ2⟩. ∃⟨φ⟩. φ(h) = φ1(h) ∧ φ(l) = φ2(l)
+    """
+    body = SAnd(pv(witness, h_var).eq(pv(s1, h_var)), pv(witness, l_var).eq(pv(s2, l_var)))
+    return forall_s(s1, forall_s(s2, exists_s(witness, body)))
+
+
+def gni_log(h_log, l_var, s1="φ1", s2="φ2", witness="φ"):
+    """App. D's ``GNI_l^h`` with the high input recorded in a *logical*
+    variable: ``∀⟨φ1⟩,⟨φ2⟩. ∃⟨φ⟩. φ_L(h) = φ1_L(h) ∧ φ_P(l) = φ2_P(l)``."""
+    body = SAnd(lv(witness, h_log).eq(lv(s1, h_log)), pv(witness, l_var).eq(pv(s2, l_var)))
+    return forall_s(s1, forall_s(s2, exists_s(witness, body)))
+
+
+def gni_violation(h_var, l_var, s1="φ1", s2="φ2", witness="φ"):
+    """GNI-violation postcondition (Sect. 2.3)::
+
+        ∃⟨φ1⟩,⟨φ2⟩. ∀⟨φ⟩. φ(h) = φ1(h) ⇒ φ(l) ≠ φ2(l)
+    """
+    body = simplies(
+        pv(witness, h_var).eq(pv(s1, h_var)),
+        pv(witness, l_var).ne(pv(s2, l_var)),
+    )
+    return exists_s(s1, exists_s(s2, forall_s(witness, body)))
+
+
+def differing_highs(h_var, s1="φ1", s2="φ2"):
+    """``∃⟨φ1⟩,⟨φ2⟩. φ1(h) ≠ φ2(h)`` — the precondition strengthening used
+    when disproving GNI (Sect. 2.3)."""
+    return exists_s(s1, exists_s(s2, pv(s1, h_var).ne(pv(s2, h_var))))
+
+
+def mono(tag_log, var, s1="φ1", s2="φ2", op="ge"):
+    """``mono_x^t := ∀⟨φ1⟩,⟨φ2⟩. φ1_L(t)=1 ∧ φ2_L(t)=2 ⇒ φ1(x) ⪰ φ2(x)``.
+
+    The logical variable ``t`` tags which execution a state belongs to
+    (Sect. 2.2).  ``op`` picks the comparison (default ``>=``).
+    """
+    cmp_fn = getattr(pv(s1, var), op)
+    body = simplies(
+        SAnd(lv(s1, tag_log).eq(1), lv(s2, tag_log).eq(2)),
+        cmp_fn(pv(s2, var)),
+    )
+    return forall_s(s1, forall_s(s2, body))
+
+
+def tagged_inputs_ordered(tag_log, var, s1="φ1", s2="φ2", op="ge"):
+    """Alias of :func:`mono` for readability at call sites (preconditions)."""
+    return mono(tag_log, var, s1=s1, s2=s2, op=op)
+
+
+def has_min(var, s1="φ", s2="φ'"):
+    """``hasMin_x := ∃⟨φ⟩. ∀⟨φ'⟩. φ(x) ≤ φ'(x)`` (Sect. 5.3 / App. D.2)."""
+    return exists_s(s1, forall_s(s2, pv(s1, var).le(pv(s2, var))))
+
+
+def agree_on(variables, s1="φ1", s2="φ2"):
+    """All states pairwise agree on every program variable in ``variables``."""
+    out = None
+    for v in variables:
+        atom = pv(s1, v).eq(pv(s2, v))
+        out = atom if out is None else SAnd(out, atom)
+    if out is None:
+        out = SBool(True)
+    return forall_s(s1, forall_s(s2, out))

@@ -1,0 +1,140 @@
+"""The syntactic transformations behind the Fig. 3 rules.
+
+- ``assign_transform`` is ``A_x^e[·]`` (Def. 13): substitute ``e(φ)`` for
+  ``φ_P(x)`` under every state quantifier — the hyper-level generalization
+  of the classical Hoare assignment rule.
+- ``havoc_transform`` is ``H_x[·]`` (Def. 14): replace ``φ_P(x)`` by a
+  fresh value variable, universally quantified under ``∀⟨φ⟩`` and
+  existentially under ``∃⟨φ⟩``.
+- ``assume_transform`` is ``Π_b[·]`` (Def. 15): add ``b(φ)`` as an
+  assumption under universal state quantifiers and as an obligation under
+  existential ones.
+
+All three recurse through the Def. 9 syntax and are exactly the paper's
+definitions; soundness of the corresponding rules is established by the
+oracle tests in ``tests/logic/test_syntactic_rules.py``.
+"""
+
+from ..util import FreshNames
+from .syntax import (
+    HVar,
+    SAnd,
+    SBool,
+    SCmp,
+    SExistsState,
+    SExistsVal,
+    SForallState,
+    SForallVal,
+    SOr,
+    SynAssertion,
+    pred_to_hyper,
+    prog_to_hyper,
+    value_names_used,
+)
+
+
+def assign_transform(assertion, var, expr):
+    """``A_x^e[assertion]`` — precondition of ``x := e`` for ``assertion``."""
+    if isinstance(assertion, (SBool, SCmp)):
+        return assertion
+    if isinstance(assertion, SAnd):
+        return SAnd(
+            assign_transform(assertion.left, var, expr),
+            assign_transform(assertion.right, var, expr),
+        )
+    if isinstance(assertion, SOr):
+        return SOr(
+            assign_transform(assertion.left, var, expr),
+            assign_transform(assertion.right, var, expr),
+        )
+    if isinstance(assertion, SForallVal):
+        return SForallVal(assertion.var, assign_transform(assertion.body, var, expr))
+    if isinstance(assertion, SExistsVal):
+        return SExistsVal(assertion.var, assign_transform(assertion.body, var, expr))
+    if isinstance(assertion, SForallState):
+        replaced = assertion.body.subst_prog(
+            assertion.state, var, prog_to_hyper(expr, assertion.state)
+        )
+        return SForallState(assertion.state, assign_transform(replaced, var, expr))
+    if isinstance(assertion, SExistsState):
+        replaced = assertion.body.subst_prog(
+            assertion.state, var, prog_to_hyper(expr, assertion.state)
+        )
+        return SExistsState(assertion.state, assign_transform(replaced, var, expr))
+    raise TypeError("not a syntactic hyper-assertion: %r" % (assertion,))
+
+
+def havoc_transform(assertion, var, fresh=None):
+    """``H_x[assertion]`` — precondition of ``x := nonDet()``."""
+    if fresh is None:
+        fresh = FreshNames(value_names_used(assertion))
+    if isinstance(assertion, (SBool, SCmp)):
+        return assertion
+    if isinstance(assertion, SAnd):
+        return SAnd(
+            havoc_transform(assertion.left, var, fresh),
+            havoc_transform(assertion.right, var, fresh),
+        )
+    if isinstance(assertion, SOr):
+        return SOr(
+            havoc_transform(assertion.left, var, fresh),
+            havoc_transform(assertion.right, var, fresh),
+        )
+    if isinstance(assertion, SForallVal):
+        return SForallVal(assertion.var, havoc_transform(assertion.body, var, fresh))
+    if isinstance(assertion, SExistsVal):
+        return SExistsVal(assertion.var, havoc_transform(assertion.body, var, fresh))
+    if isinstance(assertion, SForallState):
+        v = fresh.fresh("v")
+        replaced = assertion.body.subst_prog(assertion.state, var, HVar(v))
+        return SForallState(
+            assertion.state, SForallVal(v, havoc_transform(replaced, var, fresh))
+        )
+    if isinstance(assertion, SExistsState):
+        v = fresh.fresh("v")
+        replaced = assertion.body.subst_prog(assertion.state, var, HVar(v))
+        return SExistsState(
+            assertion.state, SExistsVal(v, havoc_transform(replaced, var, fresh))
+        )
+    raise TypeError("not a syntactic hyper-assertion: %r" % (assertion,))
+
+
+def assume_transform(assertion, cond):
+    """``Π_b[assertion]`` — precondition of ``assume b``.
+
+    ``cond`` is a program predicate (:class:`repro.lang.expr.BExpr`).
+    """
+    if isinstance(assertion, (SBool, SCmp)):
+        return assertion
+    if isinstance(assertion, SAnd):
+        return SAnd(
+            assume_transform(assertion.left, cond),
+            assume_transform(assertion.right, cond),
+        )
+    if isinstance(assertion, SOr):
+        return SOr(
+            assume_transform(assertion.left, cond),
+            assume_transform(assertion.right, cond),
+        )
+    if isinstance(assertion, SForallVal):
+        return SForallVal(assertion.var, assume_transform(assertion.body, cond))
+    if isinstance(assertion, SExistsVal):
+        return SExistsVal(assertion.var, assume_transform(assertion.body, cond))
+    if isinstance(assertion, SForallState):
+        guard = pred_to_hyper(cond, assertion.state)
+        return SForallState(
+            assertion.state,
+            SOr(guard.negate(), assume_transform(assertion.body, cond)),
+        )
+    if isinstance(assertion, SExistsState):
+        guard = pred_to_hyper(cond, assertion.state)
+        return SExistsState(
+            assertion.state,
+            SAnd(guard, assume_transform(assertion.body, cond)),
+        )
+    raise TypeError("not a syntactic hyper-assertion: %r" % (assertion,))
+
+
+def is_syntactic(assertion):
+    """True iff ``assertion`` is in the Def. 9 fragment."""
+    return isinstance(assertion, SynAssertion)

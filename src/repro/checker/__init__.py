@@ -1,0 +1,30 @@
+"""The semantic oracle: finite universes and exhaustive triple checking."""
+
+from .universe import Universe, small_universe
+from .validity import (
+    CheckResult,
+    check_triple,
+    valid_triple,
+    check_terminating_triple,
+    valid_terminating_triple,
+    sampled_check_triple,
+)
+from .counterexample import (
+    find_counterexample,
+    explain_counterexample,
+    minimal_counterexample,
+)
+
+__all__ = [
+    "Universe",
+    "small_universe",
+    "CheckResult",
+    "check_triple",
+    "valid_triple",
+    "check_terminating_triple",
+    "valid_terminating_triple",
+    "sampled_check_triple",
+    "find_counterexample",
+    "explain_counterexample",
+    "minimal_counterexample",
+]

@@ -1,0 +1,54 @@
+"""Counterexample search and reporting for invalid hyper-triples."""
+
+from ..semantics.extended import sem
+from ..util import iter_subsets
+
+
+def find_counterexample(pre, command, post, universe, max_size=None):
+    """A pair ``(S, sem(C, S))`` refuting the triple, or ``None``.
+
+    Prefers the smallest witness (subset enumeration is by size).
+    """
+    domain = universe.domain
+    for subset in iter_subsets(universe.ext_states(), max_size=max_size):
+        if pre.holds(subset, domain):
+            post_set = sem(command, subset, domain)
+            if not post.holds(post_set, domain):
+                return subset, post_set
+    return None
+
+
+def explain_counterexample(witness):
+    """A multi-line human-readable rendering of a counterexample pair."""
+    if witness is None:
+        return "no counterexample (triple is valid over this universe)"
+    pre_set, post_set = witness
+    lines = ["counterexample:", "  initial set S:"]
+    for phi in sorted(pre_set, key=repr):
+        lines.append("    %r" % (phi,))
+    lines.append("  sem(C, S):")
+    for phi in sorted(post_set, key=repr):
+        lines.append("    %r" % (phi,))
+    return "\n".join(lines)
+
+
+def minimal_counterexample(pre, command, post, universe, max_size=None):
+    """Like :func:`find_counterexample`, shrinking the witness further by
+    greedily dropping states while it still refutes the triple."""
+    found = find_counterexample(pre, command, post, universe, max_size)
+    if found is None:
+        return None
+    subset, _ = found
+    domain = universe.domain
+    changed = True
+    while changed:
+        changed = False
+        for phi in sorted(subset, key=repr):
+            smaller = subset - {phi}
+            if pre.holds(smaller, domain):
+                post_set = sem(command, smaller, domain)
+                if not post.holds(post_set, domain):
+                    subset = smaller
+                    changed = True
+                    break
+    return subset, sem(command, subset, domain)

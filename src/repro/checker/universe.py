@@ -1,0 +1,91 @@
+"""Finite universes of extended states.
+
+A :class:`Universe` declares the program variables, logical variables and
+the shared finite value domain, and enumerates every extended state over
+them.  The oracle checker quantifies hyper-triples over subsets of this
+enumeration, turning Def. 5 into a finite (if exponential) check.
+
+The number of extended states is ``|domain| ** (|pvars| + |lvars|)`` and
+validity checking enumerates its powerset — keep the declaration tiny
+(two variables over three values is already 512 subsets).
+"""
+
+from itertools import product
+
+from ..semantics.state import ExtState, State
+
+
+class Universe:
+    """All extended states over declared variables and a finite domain.
+
+    Parameters
+    ----------
+    pvars:
+        Names of program variables.
+    domain:
+        The shared finite value :class:`~repro.values.Domain`.
+    lvars:
+        Names of logical variables (default: none).
+    lvar_domain:
+        Optional separate domain for logical variables (default: ``domain``).
+    """
+
+    def __init__(self, pvars, domain, lvars=(), lvar_domain=None):
+        self.pvars = tuple(sorted(pvars))
+        self.lvars = tuple(sorted(lvars))
+        self.domain = domain
+        self.lvar_domain = lvar_domain if lvar_domain is not None else domain
+        self._states = None
+
+    def program_states(self):
+        """All program states (tuple ordered deterministically)."""
+        out = []
+        for combo in product(self.domain.values, repeat=len(self.pvars)):
+            out.append(State(dict(zip(self.pvars, combo))))
+        return tuple(out)
+
+    def logical_states(self):
+        """All logical states."""
+        out = []
+        for combo in product(self.lvar_domain.values, repeat=len(self.lvars)):
+            out.append(State(dict(zip(self.lvars, combo))))
+        return tuple(out)
+
+    def ext_states(self):
+        """All extended states (cached)."""
+        if self._states is None:
+            progs = self.program_states()
+            logs = self.logical_states()
+            self._states = tuple(ExtState(l, p) for l in logs for p in progs)
+        return self._states
+
+    def size(self):
+        """Number of extended states."""
+        return len(self.ext_states())
+
+    def restrict(self, predicate):
+        """The extended states satisfying a Python predicate ``φ -> bool``."""
+        return tuple(phi for phi in self.ext_states() if predicate(phi))
+
+    def __repr__(self):
+        return "Universe(pvars=%r, lvars=%r, %r: %d states)" % (
+            self.pvars,
+            self.lvars,
+            self.domain,
+            self.size(),
+        )
+
+
+def small_universe(pvars, lo, hi, lvars=(), llo=None, lhi=None):
+    """Convenience: a Universe over integer ranges.
+
+    ``small_universe(["x"], 0, 2)`` declares one program variable over
+    ``{0, 1, 2}``.
+    """
+    from ..values import IntRange
+
+    domain = IntRange(lo, hi)
+    ldom = None
+    if llo is not None:
+        ldom = IntRange(llo, lhi if lhi is not None else llo)
+    return Universe(pvars, domain, lvars=lvars, lvar_domain=ldom)

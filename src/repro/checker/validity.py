@@ -1,0 +1,121 @@
+"""The semantic oracle: exhaustive validity checking of hyper-triples.
+
+Def. 5:  ``|= {P} C {Q}  iff  ∀S. P(S) ⇒ Q(sem(C, S))``.
+
+Over a finite :class:`~repro.checker.universe.Universe` the quantifier
+ranges over the ``2**n`` subsets of the enumerated extended states, so
+validity is decided exactly *relative to the universe*.  This restriction
+is the finite-domain substitution documented in DESIGN.md: a triple can
+only be refuted with states from the universe, and "valid" means valid
+over that universe.  All soundness/unsoundness phenomena exercised by the
+paper already appear on universes of a handful of states.
+
+Def. 24 (App. E) terminating triples add "every initial state can reach a
+final state"; :func:`check_terminating_triple` checks that conjunct too.
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..semantics.extended import sem
+from ..semantics.termination import all_can_terminate
+from ..util import iter_subsets
+
+
+@dataclass
+class CheckResult:
+    """Outcome of a validity check.
+
+    ``valid`` is the verdict; when invalid, ``witness_pre`` is a set of
+    initial states satisfying the precondition whose post-set violates
+    the postcondition (and ``witness_post`` is that post-set).
+    """
+
+    valid: bool
+    witness_pre: Optional[frozenset] = None
+    witness_post: Optional[frozenset] = None
+    checked_sets: int = 0
+
+    def __bool__(self):
+        return self.valid
+
+
+def check_triple(pre, command, post, universe, max_size=None, max_states=100000):
+    """Decide ``|= {pre} command {post}`` over ``universe``.
+
+    ``max_size`` optionally caps the size of the initial sets enumerated
+    (an *under*-approximation of the check: refutations stay sound, a
+    "valid" verdict only covers the enumerated sets).
+    """
+    domain = universe.domain
+    checked = 0
+    for subset in _candidate_sets(pre, universe, max_size):
+        checked += 1
+        if not pre.holds(subset, domain):
+            continue
+        post_set = sem(command, subset, domain, max_states)
+        if not post.holds(post_set, domain):
+            return CheckResult(False, subset, post_set, checked)
+    return CheckResult(True, checked_sets=checked)
+
+
+def _candidate_sets(pre, universe, max_size):
+    """The initial sets to enumerate.
+
+    A precondition that pins the set exactly (``EqualsSet``) admits a
+    single candidate, which keeps pinned-set checks (Thm. 3, App. B)
+    tractable over universes whose full powerset is out of reach.
+    """
+    from ..assertions.semantic import EqualsSet
+
+    if isinstance(pre, EqualsSet):
+        if max_size is None or len(pre.target) <= max_size:
+            return [pre.target]
+        return []
+    return iter_subsets(universe.ext_states(), max_size=max_size)
+
+
+def valid_triple(pre, command, post, universe, max_size=None):
+    """Boolean form of :func:`check_triple`."""
+    return check_triple(pre, command, post, universe, max_size).valid
+
+
+def check_terminating_triple(pre, command, post, universe, max_size=None, max_states=100000):
+    """Decide the terminating triple ``|=⇓ {pre} command {post}`` (Def. 24)."""
+    domain = universe.domain
+    states = universe.ext_states()
+    checked = 0
+    for subset in iter_subsets(states, max_size=max_size):
+        checked += 1
+        if not pre.holds(subset, domain):
+            continue
+        post_set = sem(command, subset, domain, max_states)
+        if not post.holds(post_set, domain):
+            return CheckResult(False, subset, post_set, checked)
+        if not all_can_terminate(command, subset, domain, max_states):
+            return CheckResult(False, subset, post_set, checked)
+    return CheckResult(True, checked_sets=checked)
+
+
+def valid_terminating_triple(pre, command, post, universe, max_size=None):
+    """Boolean form of :func:`check_terminating_triple`."""
+    return check_terminating_triple(pre, command, post, universe, max_size).valid
+
+
+def sampled_check_triple(pre, command, post, universe, rng, samples=200, max_set_size=4):
+    """Randomized refutation search for larger universes.
+
+    Draws random subsets (of size up to ``max_set_size``); only useful to
+    *find* counterexamples — a pass is evidence, not proof.
+    """
+    domain = universe.domain
+    states = list(universe.ext_states())
+    for _ in range(samples):
+        k = rng.randint(0, max_set_size)
+        subset = frozenset(rng.sample(states, min(k, len(states))))
+        if not pre.holds(subset, domain):
+            continue
+        post_set = sem(command, subset, domain)
+        if not post.holds(post_set, domain):
+            return CheckResult(False, subset, post_set)
+    return CheckResult(True)

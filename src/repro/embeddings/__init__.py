@@ -1,0 +1,65 @@
+"""Embeddings of existing Hoare logics into Hyper Hoare Logic (App. C)."""
+
+from .hl import hl_valid, hl_to_hyper, check_prop2, hl_hyperproperty
+from .chl import chl_valid, chl_to_hyper, check_prop4, chl_hyperproperty
+from .il import (
+    il_valid,
+    il_to_hyper,
+    check_prop6,
+    il_hyperproperty,
+    k_il_valid,
+    k_il_to_hyper,
+    check_prop8,
+)
+from .fu import (
+    fu_valid,
+    fu_to_hyper,
+    check_prop9,
+    ol_valid,
+    ol_to_hyper,
+    check_ol,
+    k_fu_valid,
+    k_fu_to_hyper,
+    check_prop11,
+)
+from .ue import (
+    k_ue_valid,
+    k_ue_to_hyper,
+    check_prop13,
+    k_ue_hyperproperty,
+)
+from .landscape import ROWS, verify_landscape, render_landscape
+
+__all__ = [
+    "hl_valid",
+    "hl_to_hyper",
+    "check_prop2",
+    "hl_hyperproperty",
+    "chl_valid",
+    "chl_to_hyper",
+    "check_prop4",
+    "chl_hyperproperty",
+    "il_valid",
+    "il_to_hyper",
+    "check_prop6",
+    "il_hyperproperty",
+    "k_il_valid",
+    "k_il_to_hyper",
+    "check_prop8",
+    "fu_valid",
+    "fu_to_hyper",
+    "check_prop9",
+    "ol_valid",
+    "ol_to_hyper",
+    "check_ol",
+    "k_fu_valid",
+    "k_fu_to_hyper",
+    "check_prop11",
+    "k_ue_valid",
+    "k_ue_to_hyper",
+    "check_prop13",
+    "k_ue_hyperproperty",
+    "ROWS",
+    "verify_landscape",
+    "render_landscape",
+]

@@ -1,0 +1,77 @@
+"""Cartesian Hoare Logic (Def. 17, Props. 3–4, App. C.1).
+
+CHL relates ``k`` executions of the same command with assertions over
+``k``-tuples of extended states.  The embedding tags each state with its
+execution number via a logical variable ``t``::
+
+    P' := ∀φ⃗. (∀i. ⟨φi⟩ ∧ φi_L(t) = i) ⇒ φ⃗ ∈ P
+"""
+
+from ..assertions.semantic import SemAssertion
+from ..checker.validity import check_triple
+from .common import all_tuples, k_step, predicate_hyperproperty, tagged
+
+
+def chl_valid(k, pre, command, post, universe):
+    """Def. 17: every k-tuple in ``P`` leads only to k-tuples in ``Q``."""
+    for phis in all_tuples(universe, k):
+        if not pre(phis):
+            continue
+        for finals in k_step(command, phis, universe):
+            if not post(finals):
+                return False
+    return True
+
+
+def chl_to_hyper(k, pre, post, tag="t"):
+    """Prop. 4: the tagged universal embedding ``(P', Q')``."""
+
+    def make(tuple_pred, name):
+        def fn(states):
+            ordered = sorted(states, key=repr)
+            from itertools import product as iproduct
+
+            for phis in iproduct(ordered, repeat=k):
+                if not tagged(phis, tag, k):
+                    continue
+                if not tuple_pred(phis):
+                    return False
+            return True
+
+        return SemAssertion(fn, name)
+
+    return make(pre, "CHL-pre'"), make(post, "CHL-post'")
+
+
+def check_prop4(k, pre, command, post, universe, tag="t"):
+    """Prop. 4 as a checked biconditional (requires ``t`` among the
+    universe's logical variables and ``t`` free in neither assertion)."""
+    hyper_pre, hyper_post = chl_to_hyper(k, pre, post, tag)
+    return (
+        chl_valid(k, pre, command, post, universe),
+        check_triple(hyper_pre, command, hyper_post, universe).valid,
+    )
+
+
+def chl_hyperproperty(k, pre, post, universe):
+    """Prop. 3: the program hyperproperty equivalent to a CHL triple."""
+
+    def predicate(relation):
+        from itertools import product as iproduct
+
+        for phis in all_tuples(universe, k):
+            if not pre(phis):
+                continue
+            choices = []
+            for phi in phis:
+                outs = [s2 for (s, s2) in relation if s == phi.prog]
+                choices.append([(phi.log, s2) for s2 in outs])
+            from ..semantics.state import ExtState
+
+            for combo in iproduct(*choices):
+                finals = tuple(ExtState(l, p) for (l, p) in combo)
+                if not post(finals):
+                    return False
+        return True
+
+    return predicate_hyperproperty(predicate, "CHL(k=%d)" % k)

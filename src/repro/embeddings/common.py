@@ -1,0 +1,35 @@
+"""Shared helpers for the App. C logic embeddings."""
+
+from itertools import product
+
+from ..semantics.bigstep import post_states
+from ..semantics.state import ExtState
+
+
+def predicate_hyperproperty(predicate, name):
+    """Wrap a relation predicate as a ProgramHyperproperty (late import to
+    avoid a package cycle)."""
+    from ..hyperprops.base import ProgramHyperproperty
+
+    return ProgramHyperproperty(predicate, name)
+
+
+def k_step(command, phis, universe):
+    """The lifted relation ``⟨C, φ⃗⟩ →k φ⃗'`` (App. C.1): all tuples of
+    final extended states reachable componentwise (logical parts kept)."""
+    domain = universe.domain
+    per_component = []
+    for phi in phis:
+        finals = post_states(command, phi.prog, domain)
+        per_component.append([ExtState(phi.log, s2) for s2 in finals])
+    return [tuple(combo) for combo in product(*per_component)]
+
+
+def tagged(phis, tag, k):
+    """Whether the i-th state of the tuple carries logical tag ``i+1``."""
+    return all(phis[i].log.get(tag) == i + 1 for i in range(k))
+
+
+def all_tuples(universe, k):
+    """All k-tuples of extended states over the universe."""
+    return product(universe.ext_states(), repeat=k)

@@ -1,0 +1,136 @@
+"""Forward underapproximation / Outcome-Logic style triples
+(Defs. 20–21, Props. 9–11, App. C.2).
+
+FU reads triples forward: every pre state reaches *some* post state::
+
+    |=FU {P} C {Q}   ⟺   |= {λS. P ∩ S ≠ ∅} C {λS. Q ∩ S ≠ ∅}
+                      ⟺   |= {∃⟨φ⟩. φ∈P} C {∃⟨φ⟩. φ∈Q}
+
+The k-ary generalization (Def. 21) uses execution tags like CHL but with
+existential force (Prop. 11).
+"""
+
+from itertools import product
+
+from ..assertions.semantic import SemAssertion, exists_state
+from ..checker.validity import check_triple
+from ..semantics.bigstep import post_states
+from ..semantics.state import ExtState
+from .common import tagged
+
+
+def fu_valid(pre, command, post, universe):
+    """Def. 20: every pre state reaches some post state."""
+    domain = universe.domain
+    for phi in universe.ext_states():
+        if not pre(phi):
+            continue
+        finals = post_states(command, phi.prog, domain)
+        if not any(post(ExtState(phi.log, s2)) for s2 in finals):
+            return False
+    return True
+
+
+def fu_to_hyper(pre, post):
+    """Prop. 9: the non-empty-intersection embedding."""
+    return (
+        exists_state(pre, "∃⟨φ⟩. φ∈P (FU pre)"),
+        exists_state(post, "∃⟨φ⟩. φ∈Q (FU post)"),
+    )
+
+
+def check_prop9(pre, command, post, universe):
+    """Prop. 9 as a checked biconditional."""
+    hyper_pre, hyper_post = fu_to_hyper(pre, post)
+    return (
+        fu_valid(pre, command, post, universe),
+        check_triple(hyper_pre, command, hyper_post, universe).valid,
+    )
+
+
+def ol_to_hyper(pre, post):
+    """The Outcome Logic reading noted after Prop. 9: ``S`` is a
+    *non-empty subset* of ``P`` (HL ∧ FU simultaneously)."""
+
+    def make(state_pred, name):
+        def fn(states):
+            return len(states) > 0 and all(state_pred(phi) for phi in states)
+
+        return SemAssertion(fn, name)
+
+    return make(pre, "OL pre"), make(post, "OL post")
+
+
+def ol_valid(pre, command, post, universe):
+    """Outcome Logic validity: HL conjoined with FU (App. C.2)."""
+    from .hl import hl_valid
+
+    return hl_valid(pre, command, post, universe) and fu_valid(
+        pre, command, post, universe
+    )
+
+
+def check_ol(pre, command, post, universe):
+    """The OL correspondence as a checked biconditional."""
+    hyper_pre, hyper_post = ol_to_hyper(pre, post)
+    return (
+        ol_valid(pre, command, post, universe),
+        check_triple(hyper_pre, command, hyper_post, universe).valid,
+    )
+
+
+# ---------------------------------------------------------------------------
+# k-FU (Def. 21, Props. 10–11)
+# ---------------------------------------------------------------------------
+
+
+def k_fu_valid(k, pre, command, post, universe):
+    """Def. 21: every pre k-tuple reaches some post k-tuple."""
+    domain = universe.domain
+    states = universe.ext_states()
+    for phis in product(states, repeat=k):
+        if not pre(phis):
+            continue
+        found = False
+        per_component = [
+            [ExtState(phi.log, s2) for s2 in post_states(command, phi.prog, domain)]
+            for phi in phis
+        ]
+        for finals in product(*per_component):
+            if post(tuple(finals)):
+                found = True
+                break
+        if not found:
+            return False
+    return True
+
+
+def k_fu_to_hyper(k, pre, post, universe, tag="t"):
+    """Prop. 11: the tagged existential embedding."""
+    all_states = universe.ext_states()
+
+    def make(tuple_pred, name):
+        def fn(states):
+            states = frozenset(states)
+            for phis in product(all_states, repeat=k):
+                if not tagged(phis, tag, k):
+                    continue
+                if not tuple_pred(phis):
+                    continue
+                if all(phi in states for phi in phis):
+                    return True
+            return False
+
+        return SemAssertion(fn, name)
+
+    return make(pre, "k-FU pre'"), make(post, "k-FU post'")
+
+
+def check_prop11(k, pre, command, post, universe, tag="t"):
+    """Prop. 11 as a checked biconditional (``t`` free in neither
+    assertion, tags available in the logical domain)."""
+    hyper_pre, hyper_post = k_fu_to_hyper(k, pre, post, universe, tag)
+    return (
+        k_fu_valid(k, pre, command, post, universe),
+        check_triple(hyper_pre, command, hyper_post, universe).valid,
+    )

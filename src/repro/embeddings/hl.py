@@ -1,0 +1,62 @@
+"""Classical Hoare Logic (Def. 16, Props. 1–2, App. C.1).
+
+HL triples are embedded into Hyper Hoare Logic by reading assertions as
+*upper bounds* on sets of states::
+
+    |=HL {P} C {Q}   ⟺   |= {λS. S ⊆ P} C {λS. S ⊆ Q}
+                      ⟺   |= {∀⟨φ⟩. φ∈P} C {∀⟨φ⟩. φ∈Q}
+
+Assertions here are Python predicates over extended states (the paper's
+"sets of extended states").
+"""
+
+from ..assertions.semantic import forall_states
+from ..checker.validity import check_triple
+from ..semantics.bigstep import post_states
+from ..semantics.state import ExtState
+from .common import predicate_hyperproperty
+
+
+def hl_valid(pre, command, post, universe):
+    """Def. 16: ``∀φ ∈ P. ∀σ'. ⟨C, φ_P⟩ → σ' ⇒ (φ_L, σ') ∈ Q``."""
+    domain = universe.domain
+    for phi in universe.ext_states():
+        if not pre(phi):
+            continue
+        for sigma2 in post_states(command, phi.prog, domain):
+            if not post(ExtState(phi.log, sigma2)):
+                return False
+    return True
+
+
+def hl_to_hyper(pre, post):
+    """Prop. 2: the upper-bound embedding ``(∀⟨φ⟩. φ∈P, ∀⟨φ⟩. φ∈Q)``."""
+    return (
+        forall_states(pre, "∀⟨φ⟩. φ∈P (HL pre)"),
+        forall_states(post, "∀⟨φ⟩. φ∈Q (HL post)"),
+    )
+
+
+def check_prop2(pre, command, post, universe):
+    """Prop. 2 as a checked biconditional: returns the two verdicts
+    ``(|=HL, |= embedded)`` — tests assert they agree."""
+    hyper_pre, hyper_post = hl_to_hyper(pre, post)
+    return (
+        hl_valid(pre, command, post, universe),
+        check_triple(hyper_pre, command, hyper_post, universe).valid,
+    )
+
+
+def hl_hyperproperty(pre, post, universe):
+    """Prop. 1: the program hyperproperty equivalent to an HL triple."""
+
+    def predicate(relation):
+        for phi in universe.ext_states():
+            if not pre(phi):
+                continue
+            for (sigma, sigma2) in relation:
+                if sigma == phi.prog and not post(ExtState(phi.log, sigma2)):
+                    return False
+        return True
+
+    return predicate_hyperproperty(predicate, "HL{P}{Q}")

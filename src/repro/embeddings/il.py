@@ -1,0 +1,134 @@
+"""Incorrectness Logic / Reverse Hoare Logic (Defs. 18–19, Props. 5–8,
+App. C.2 — *backward* underapproximation).
+
+IL triples are embedded by reading assertions as *lower bounds*::
+
+    |=IL {P} C {Q}   ⟺   |= {λS. P ⊆ S} C {λS. Q ⊆ S}
+
+(with ``P``/``Q`` concrete sets of extended states).  The k-ary variant
+(Murray's insecurity logic, restricted to one program) additionally needs
+an identity logical variable ``u`` recording which precondition tuple a
+final state originated from (Prop. 8).
+"""
+
+from itertools import product
+
+from ..assertions.semantic import SemAssertion, superset_of
+from ..checker.validity import check_triple
+from ..semantics.bigstep import post_states
+from .common import predicate_hyperproperty, tagged
+
+
+def il_valid(pre_set, command, post_set, universe):
+    """Def. 18: every post state is reachable from some pre state."""
+    domain = universe.domain
+    pre_set = frozenset(pre_set)
+    for phi in post_set:
+        found = False
+        for alpha in pre_set:
+            if alpha.log != phi.log:
+                continue
+            if phi.prog in post_states(command, alpha.prog, domain):
+                found = True
+                break
+        if not found:
+            return False
+    return True
+
+
+def il_to_hyper(pre_set, post_set):
+    """Prop. 6: the lower-bound embedding ``(λS. P ⊆ S, λS. Q ⊆ S)``."""
+    return superset_of(pre_set), superset_of(post_set)
+
+
+def check_prop6(pre_set, command, post_set, universe):
+    """Prop. 6 as a checked biconditional."""
+    hyper_pre, hyper_post = il_to_hyper(pre_set, post_set)
+    return (
+        il_valid(pre_set, command, post_set, universe),
+        check_triple(hyper_pre, command, hyper_post, universe).valid,
+    )
+
+
+def il_hyperproperty(pre_set, post_set, universe):
+    """Prop. 5: the program hyperproperty equivalent to an IL triple."""
+    pre_set = frozenset(pre_set)
+
+    def predicate(relation):
+        for phi in post_set:
+            if not any(
+                alpha.log == phi.log and (alpha.prog, phi.prog) in relation
+                for alpha in pre_set
+            ):
+                return False
+        return True
+
+    return predicate_hyperproperty(predicate, "IL{P}{Q}")
+
+
+# ---------------------------------------------------------------------------
+# k-IL (Def. 19, Props. 7–8)
+# ---------------------------------------------------------------------------
+
+
+def k_il_valid(k, pre, command, post, universe):
+    """Def. 19: every post k-tuple is reachable from some pre k-tuple."""
+    domain = universe.domain
+    states = universe.ext_states()
+    pre_tuples = [t for t in product(states, repeat=k) if pre(t)]
+    for finals in product(states, repeat=k):
+        if not post(finals):
+            continue
+        ok = False
+        for initials in pre_tuples:
+            if all(
+                initials[i].log == finals[i].log
+                and finals[i].prog in post_states(command, initials[i].prog, domain)
+                for i in range(k)
+            ):
+                ok = True
+                break
+        if not ok:
+            return False
+    return True
+
+
+def k_il_to_hyper(k, pre, post, universe, tag="t", ident="u"):
+    """Prop. 8: the backward embedding with identity variable ``u``.
+
+    ``P'`` requires every tagged pre-tuple to appear in ``S`` under some
+    shared identity value; ``Q'`` requires the same of post-tuples.
+    ``pre`` must depend only on program states (Prop. 8's condition (1)).
+    """
+    ident_values = tuple(universe.lvar_domain)
+    all_states = universe.ext_states()
+
+    def make(tuple_pred, name):
+        def fn(states):
+            states = frozenset(states)
+            for phis in product(all_states, repeat=k):
+                if not tagged(phis, tag, k):
+                    continue
+                if not tuple_pred(phis):
+                    continue
+                if not any(
+                    all(phis[i].set_lvar(ident, v) in states for i in range(k))
+                    for v in ident_values
+                ):
+                    return False
+            return True
+
+        return SemAssertion(fn, name)
+
+    return make(pre, "k-IL pre'"), make(post, "k-IL post'")
+
+
+def check_prop8(k, pre, command, post, universe, tag="t", ident="u"):
+    """Prop. 8 as a checked biconditional (under its conditions: ``pre``
+    depends only on program variables, enough identity values, and the
+    tags free in neither assertion)."""
+    hyper_pre, hyper_post = k_il_to_hyper(k, pre, post, universe, tag, ident)
+    return (
+        k_il_valid(k, pre, command, post, universe),
+        check_triple(hyper_pre, command, hyper_post, universe).valid,
+    )

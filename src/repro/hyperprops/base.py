@@ -1,0 +1,64 @@
+"""Program hyperproperties (Def. 8).
+
+A program hyperproperty is a set of sets of pairs of program states —
+equivalently a predicate over ``P(PStates × PStates)``.  A command ``C``
+satisfies ``H`` iff its complete pre/post relation
+
+    Σ(C) = {(σ, σ') | ⟨C, σ⟩ → σ'}
+
+is an element of ``H``.  Over a finite universe ``Σ(C)`` is computed
+exactly, so satisfaction is decidable.
+"""
+
+from ..semantics.bigstep import post_states
+
+
+class ProgramHyperproperty:
+    """A hyperproperty as a predicate over the pre/post-state relation."""
+
+    def __init__(self, predicate, name="H"):
+        self.predicate = predicate
+        self.name = name
+
+    def contains(self, relation):
+        """Whether a concrete relation (set of state pairs) is in ``H``."""
+        return bool(self.predicate(frozenset(relation)))
+
+    def satisfied_by(self, command, universe):
+        """``C ∈ H`` — Def. 8 satisfaction over the universe's inputs."""
+        return self.contains(semantics_of(command, universe))
+
+    def complement(self):
+        """The complement hyperproperty (note after Thm. 4: disproving
+        ``H`` is proving its complement)."""
+        return ProgramHyperproperty(
+            lambda rel: not self.predicate(rel), "¬" + self.name
+        )
+
+    def __repr__(self):
+        return "ProgramHyperproperty(%s)" % self.name
+
+
+def semantics_of(command, universe, max_states=100000):
+    """``Σ(C)`` — all pre/post program-state pairs over the universe."""
+    pairs = set()
+    for sigma in universe.program_states():
+        for sigma2 in post_states(command, sigma, universe.domain, max_states):
+            pairs.add((sigma, sigma2))
+    return frozenset(pairs)
+
+
+def safety_property(state_pair_pred, name="safety"):
+    """Lift a per-execution predicate to the trace-set level:
+    ``H = {Σ | ∀(σ,σ') ∈ Σ. pred(σ,σ')}`` (ordinary properties are the
+    degenerate hyperproperties)."""
+    return ProgramHyperproperty(
+        lambda rel: all(state_pair_pred(s, s2) for (s, s2) in rel), name
+    )
+
+
+def existence_property(state_pair_pred, name="existence"):
+    """``H = {Σ | ∃(σ,σ') ∈ Σ. pred(σ,σ')}`` — the underapproximate dual."""
+    return ProgramHyperproperty(
+        lambda rel: any(state_pair_pred(s, s2) for (s, s2) in rel), name
+    )

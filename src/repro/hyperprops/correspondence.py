@@ -1,0 +1,94 @@
+"""The expressivity correspondence (Thms. 3 and 4).
+
+- Thm. 3: every program hyperproperty ``H`` has hyper-assertions
+  ``(P, Q)`` with ``C ∈ H ⟺ |= {P} C {Q}`` for every ``C``.  The
+  construction records each initial program state in logical variables
+  (the cardinality assumptions hold trivially here: we mirror every
+  program variable by a logical variable of the same name).
+- Thm. 4: conversely, every hyper-triple denotes a hyperproperty.
+
+Both constructions are executable and round-trip tested.
+"""
+
+from ..assertions.semantic import EqualsSet, SemAssertion
+from ..checker.validity import check_triple
+from ..semantics.state import ExtState, State
+from ..util import iter_subsets
+
+
+def _mirror_log(sigma):
+    """The logical state recording the program state's values."""
+    return State(dict(sigma.items()))
+
+
+def hyperproperty_to_triple(hyperproperty, universe):
+    """Thm. 3: ``(P, Q)`` such that ``C ∈ H  ⟺  |= {P} C {Q}``.
+
+    ``P`` pins the set of initial states to *all* program states, each
+    tagged with a logical mirror of its own values; ``Q`` decodes the
+    final set back into the pre/post relation and asks ``H`` about it.
+    """
+    initial = frozenset(
+        ExtState(_mirror_log(sigma), sigma) for sigma in universe.program_states()
+    )
+    pre = EqualsSet(initial)
+
+    def post_fn(states):
+        relation = frozenset(
+            (State(dict(phi.log.items())), phi.prog) for phi in states
+        )
+        return hyperproperty.contains(relation)
+
+    post = SemAssertion(post_fn, "H-decode")
+    return pre, post
+
+
+def triple_to_hyperproperty(pre, post, universe):
+    """Thm. 4: the hyperproperty ``H`` with ``C ∈ H ⟺ |= {P} C {Q}``.
+
+    ``H = {Σ | ∀S. P(S) ⇒ Q({(l, σ') | ∃σ. (l, σ) ∈ S ∧ (σ, σ') ∈ Σ})}``
+    with ``S`` ranging over subsets of the universe (the finite-domain
+    reading of Def. 5).
+    """
+    from .base import ProgramHyperproperty
+
+    domain = universe.domain
+    states = universe.ext_states()
+
+    def predicate(relation):
+        for subset in iter_subsets(states):
+            if not pre.holds(subset, domain):
+                continue
+            image = frozenset(
+                ExtState(phi.log, sigma2)
+                for phi in subset
+                for (sigma, sigma2) in relation
+                if sigma == phi.prog
+            )
+            if not post.holds(image, domain):
+                return False
+        return True
+
+    return ProgramHyperproperty(predicate, "⟦{P} C {Q}⟧")
+
+
+def verify_thm3(hyperproperty, command, universe):
+    """One direction-pair of Thm. 3 for a concrete command:
+    returns ``(C ∈ H, |= {P} C {Q})`` — tests assert they agree."""
+    pre, post = hyperproperty_to_triple(hyperproperty, universe)
+    return (
+        hyperproperty.satisfied_by(command, universe),
+        check_triple(pre, command, post, universe).valid,
+    )
+
+
+def verify_thm4(pre, post, command, universe):
+    """One direction-pair of Thm. 4 for a concrete command:
+    returns ``(C ∈ H, |= {P} C {Q})`` — tests assert they agree."""
+    hyperproperty = triple_to_hyperproperty(pre, post, universe)
+    from .base import semantics_of
+
+    return (
+        hyperproperty.contains(semantics_of(command, universe)),
+        check_triple(pre, command, post, universe).valid,
+    )

@@ -1,0 +1,91 @@
+"""Functional (hyper)properties: determinism, monotonicity, minimality.
+
+As in :mod:`repro.hyperprops.security`, each notion has a direct
+definitional check and a hyper-triple formulation.
+"""
+
+from ..assertions.semantic import singleton
+from ..assertions.sugar import has_min, mono, not_emp_s
+from ..checker.validity import check_triple
+from ..semantics.bigstep import post_states
+
+
+def is_deterministic(command, universe):
+    """Every input has exactly one final state."""
+    for sigma in universe.program_states():
+        if len(post_states(command, sigma, universe.domain)) != 1:
+            return False
+    return True
+
+
+def determinism_triple():
+    """The App. D.2 determinism triple ``{isSingleton} C {isSingleton}``.
+
+    (It additionally requires that no execution is dropped or diverges,
+    which is exactly why App. D.2 uses it.)
+    """
+    return singleton(), singleton()
+
+
+def satisfies_determinism_triple(command, universe):
+    """Determinism via the singleton-preservation triple."""
+    pre, post = determinism_triple()
+    return check_triple(pre, command, post, universe).valid
+
+
+def is_monotonic(command, in_var, out_var, universe):
+    """Direct monotonicity: larger input ⇒ every pair of outputs ordered.
+
+    For deterministic commands this is the Sect. 2.2 notion; for
+    non-deterministic ones it is the demonic reading (all pairs)."""
+    inputs = universe.program_states()
+    domain = universe.domain
+    for s1 in inputs:
+        for s2 in inputs:
+            if not s1[in_var] >= s2[in_var]:
+                continue
+            for o1 in post_states(command, s1, domain):
+                for o2 in post_states(command, s2, domain):
+                    if not o1[out_var] >= o2[out_var]:
+                        return False
+    return True
+
+
+def monotonicity_triples(in_var, out_var, tag="t"):
+    """The Sect. 2.2 monotonicity hyper-triple ``{mono_x^t} C {mono_y^t}``.
+
+    The logical tag distinguishes the two executions; callers must pick a
+    universe whose logical variable ``t`` ranges over at least {1, 2}.
+    """
+    return mono(tag, in_var), mono(tag, out_var)
+
+
+def satisfies_monotonicity_triple(command, in_var, out_var, universe, tag="t"):
+    """Monotonicity via the tagged hyper-triple."""
+    pre, post = monotonicity_triples(in_var, out_var, tag)
+    return check_triple(pre, command, post, universe).valid
+
+
+def has_minimum_direct(command, out_var, universe):
+    """Some reachable final state's ``out_var`` is ≤ every other's —
+    over the *whole* reachable set from all inputs."""
+    outs = set()
+    for sigma in universe.program_states():
+        outs |= set(post_states(command, sigma, universe.domain))
+    if not outs:
+        return False
+    values = [o[out_var] for o in outs]
+    lo = min(values)
+    return any(v == lo for v in values)
+
+
+def minimum_triple(out_var):
+    """The Sect. 5.3 minimal-execution triple
+    ``{¬emp} C {∃⟨φ⟩. ∀⟨φ'⟩. φ(x) ≤ φ'(x)}``."""
+    return not_emp_s, has_min(out_var)
+
+
+def satisfies_minimum_triple(command, out_var, universe, pre=None):
+    """Existence of a minimal final state via the ∃∀ triple."""
+    base_pre, post = minimum_triple(out_var)
+    return check_triple(pre if pre is not None else base_pre, command, post, universe).valid

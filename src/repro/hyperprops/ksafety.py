@@ -1,0 +1,106 @@
+"""Generic k-safety hyperproperties (Sect. 2.2).
+
+The paper cites transitivity (k = 3) and associativity (k = 4) from
+Cartesian Hoare Logic as the motivation for going beyond 2-safety.  This
+module provides the generic checker — a k-safety property is a predicate
+over k-tuples of (input, output) execution pairs, checked over all
+combinations — plus the classic instances, and the tagged hyper-triple
+formulation via the CHL embedding (Prop. 4).
+"""
+
+from itertools import product
+
+from ..semantics.bigstep import post_states
+
+
+def k_safety_holds(command, universe, k, predicate):
+    """``∀ executions e1..ek of C. predicate((in1, out1), …, (ink, outk))``.
+
+    ``predicate`` receives a k-tuple of ``(State, State)`` pairs and the
+    check enumerates every combination of executions over the universe's
+    inputs — the Def. 8 reading of a k-safety hyperproperty.
+    """
+    domain = universe.domain
+    executions = []
+    for sigma in universe.program_states():
+        for sigma2 in post_states(command, sigma, domain):
+            executions.append((sigma, sigma2))
+    for combo in product(executions, repeat=k):
+        if not predicate(*combo):
+            return False
+    return True
+
+
+def find_k_safety_violation(command, universe, k, predicate):
+    """A violating k-tuple of executions, or ``None``."""
+    domain = universe.domain
+    executions = []
+    for sigma in universe.program_states():
+        for sigma2 in post_states(command, sigma, domain):
+            executions.append((sigma, sigma2))
+    for combo in product(executions, repeat=k):
+        if not predicate(*combo):
+            return combo
+    return None
+
+
+def relation_of(command, universe, in_var, out_var):
+    """The input/output relation the program computes on two variables."""
+    pairs = set()
+    for sigma in universe.program_states():
+        for sigma2 in post_states(command, sigma, universe.domain):
+            pairs.add((sigma[in_var], sigma2[out_var]))
+    return frozenset(pairs)
+
+
+def relation_transitive(command, universe, in_var, out_var):
+    """Transitivity of the computed relation — the CHL k = 3 example."""
+    rel = relation_of(command, universe, in_var, out_var)
+    return all(
+        (a, c) in rel
+        for (a, b) in rel
+        for (b2, c) in rel
+        if b == b2
+    )
+
+
+def binop_associative(command, universe, x_var, y_var, out_var):
+    """Associativity of a deterministic binary operation (k = 4).
+
+    ``command`` computes ``out := f(x, y)``; associativity is
+    ``f(f(a, b), c) == f(a, f(b, c))`` for all domain values — the
+    Sousa & Dillig 4-execution example, checked by chaining runs.
+    """
+    domain = universe.domain
+
+    def apply(a, b):
+        base = universe.program_states()[0]
+        sigma = base.set(x_var, a).set(y_var, b)
+        outs = post_states(command, sigma, domain)
+        if len(outs) != 1:
+            return None  # non-deterministic: not a function
+        return next(iter(outs))[out_var]
+
+    for a in domain:
+        for b in domain:
+            for c in domain:
+                ab = apply(a, b)
+                bc = apply(b, c)
+                if ab is None or bc is None:
+                    return False
+                if apply(ab, c) != apply(a, bc):
+                    return False
+    return True
+
+
+def symmetry_2safety(command, universe, x_var, y_var, out_var):
+    """Commutativity as a 2-safety property: swapping the inputs of two
+    executions must swap nothing in the output."""
+
+    def predicate(e1, e2):
+        (i1, o1), (i2, o2) = e1, e2
+        if i1[x_var] == i2[y_var] and i1[y_var] == i2[x_var]:
+            return o1[out_var] == o2[out_var]
+        return True
+
+    return k_safety_holds(command, universe, 2, predicate)

@@ -1,0 +1,75 @@
+"""Recurrent sets and non-termination (App. E.2).
+
+A set ``R`` of program states (all satisfying the loop guard ``b``) is a
+*recurrent set* of ``while (b) { C }`` when executing ``assume b; C``
+from any state of ``R`` can stay in ``R`` (Gupta et al. 2008).  Reaching
+``R`` then witnesses a non-terminating execution.
+
+The App. E.2 observation: recurrence is itself a hyper-triple::
+
+    {∃⟨φ⟩. φ ∈ R} assume b; C {∃⟨φ⟩. φ ∈ R}
+"""
+
+from ..assertions.semantic import exists_state
+from ..checker.validity import check_triple
+from ..lang.ast import Assume, Seq
+from ..lang.expr import as_bexpr
+from ..semantics.bigstep import post_states
+
+
+def is_recurrent_set(region, cond, body, domain):
+    """Whether ``region`` (a set of program states) is recurrent for
+    ``while (cond) { body }``."""
+    cond = as_bexpr(cond)
+    region = frozenset(region)
+    if not region:
+        return False
+    step = Seq(Assume(cond), body)
+    for sigma in region:
+        if not cond.eval(sigma):
+            return False
+        if not any(s2 in region for s2 in post_states(step, sigma, domain)):
+            return False
+    return True
+
+
+def greatest_recurrent_set(cond, body, universe):
+    """The largest recurrent set within the universe's program states.
+
+    Computed as a greatest fixpoint: start from all guard-satisfying
+    states and repeatedly discard states with no successor inside.
+    """
+    cond = as_bexpr(cond)
+    domain = universe.domain
+    step = Seq(Assume(cond), body)
+    region = {s for s in universe.program_states() if cond.eval(s)}
+    changed = True
+    while changed:
+        changed = False
+        for sigma in list(region):
+            if not any(s2 in region for s2 in post_states(step, sigma, domain)):
+                region.discard(sigma)
+                changed = True
+    return frozenset(region)
+
+
+def has_nonterminating_execution(cond, body, universe):
+    """Whether some state of the universe starts a non-terminating run of
+    the loop (i.e. the greatest recurrent set is non-empty)."""
+    return bool(greatest_recurrent_set(cond, body, universe))
+
+
+def recurrence_triple(region, cond):
+    """The App. E.2 hyper-triple whose validity certifies recurrence."""
+    region = frozenset(region)
+    member = exists_state(lambda phi: phi.prog in region, "∃⟨φ⟩. φ∈R")
+    return member, member
+
+
+def recurrence_via_triple(region, cond, body, universe):
+    """Certify recurrence of ``region`` by checking the hyper-triple."""
+    cond = as_bexpr(cond)
+    pre, post = recurrence_triple(region, cond)
+    step = Seq(Assume(cond), body)
+    guard_ok = all(cond.eval(sigma) for sigma in region)
+    return guard_ok and bool(region) and check_triple(pre, step, post, universe).valid

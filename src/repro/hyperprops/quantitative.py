@@ -1,0 +1,136 @@
+"""Quantitative information flow (App. B).
+
+Bounding the number of distinct outputs for a fixed low input is a
+hyperproperty over an *unbounded* number of executions — not 𝑘-safety for
+any 𝑘 — and exactly bounding it (problem (2) of App. B) is not even
+hypersafety; it needs assertions about the set itself (cardinality),
+which Hyper Hoare Logic's set-level assertions express directly.
+
+This module provides the counting machinery (output sets, min-capacity,
+Shannon entropy) and the App. B hyper-triples.
+"""
+
+import math
+from itertools import product
+
+from ..assertions.semantic import SemAssertion
+from ..checker.validity import check_triple
+from ..semantics.bigstep import post_states
+
+
+def output_values(command, universe, out_var, fixed=()):
+    """All values of ``out_var`` reachable from inputs matching ``fixed``.
+
+    ``fixed`` maps input variables to required values (e.g. the low input);
+    all other inputs range over the universe.
+    """
+    fixed = dict(fixed)
+    out = set()
+    for sigma in universe.program_states():
+        if any(sigma[var] != value for var, value in fixed.items()):
+            continue
+        for final in post_states(command, sigma, universe.domain):
+            out.add(final[out_var])
+    return frozenset(out)
+
+
+def min_capacity_bits(command, universe, out_var, fixed=()):
+    """Min-capacity leakage: ``log2`` of the number of distinct outputs
+    (Smith 2009; Assaf et al. 2017)."""
+    count = len(output_values(command, universe, out_var, fixed))
+    return math.log2(count) if count else 0.0
+
+
+def shannon_entropy_bits(command, universe, out_var, fixed=()):
+    """Shannon entropy of the output under uniformly distributed inputs
+    and uniformly resolved non-determinism."""
+    fixed = dict(fixed)
+    weights = {}
+    for sigma in universe.program_states():
+        if any(sigma[var] != value for var, value in fixed.items()):
+            continue
+        finals = post_states(command, sigma, universe.domain)
+        if not finals:
+            continue
+        share = 1.0 / len(finals)
+        for final in finals:
+            weights[final[out_var]] = weights.get(final[out_var], 0.0) + share
+    total = sum(weights.values())
+    if total == 0:
+        return 0.0
+    entropy = 0.0
+    for w in weights.values():
+        p = w / total
+        entropy -= p * math.log2(p)
+    return entropy
+
+
+def output_count_at_most(out_var, bound_fn):
+    """The App. B upper-bound hyper-assertion::
+
+        λS. |{φ(o) | φ ∈ S}| ≤ bound
+
+    ``bound_fn`` receives the set and returns the bound (e.g. ``v + 1``
+    where ``v`` is read off the common low input)."""
+
+    def fn(states):
+        outs = {phi.prog[out_var] for phi in states}
+        return len(outs) <= bound_fn(states)
+
+    return SemAssertion(fn, "|outputs| ≤ bound")
+
+
+def output_count_exactly(out_var, bound_fn):
+    """The App. B exact-count hyper-assertion (problem (2)):
+    ``λS. |{φ(o) | φ ∈ S}| = bound`` — beyond hypersafety."""
+
+    def fn(states):
+        outs = {phi.prog[out_var] for phi in states}
+        return len(outs) == bound_fn(states)
+
+    return SemAssertion(fn, "|outputs| = bound")
+
+
+def qif_triples_hold(command, universe, out_var, low_var, high_var, low_value):
+    """Check both App. B triples for a fixed low input ``v``::
+
+        {□(h ≥ 0 ∧ l = v)} C {λS. |{φ(o) | φ∈S}| ≤ v+1}   (problem 1)
+        {□(h ≥ 0 ∧ l = v)} C {λS. |{φ(o) | φ∈S}| = v+1}   (problem 2)
+
+    The precondition pins the full input set: we use the *exact* set of
+    extended states with ``l = v`` and ``h ≥ 0`` so the existential
+    lower bound is meaningful.  Returns ``(at_most_ok, exactly_ok)``.
+    """
+    from ..assertions.semantic import EqualsSet
+    from ..semantics.state import ExtState
+
+    initial = frozenset(
+        ExtState(log, sigma)
+        for log in universe.logical_states()
+        for sigma in universe.program_states()
+        if sigma[low_var] == low_value and sigma[high_var] >= 0
+    )
+    pre = EqualsSet(initial)
+    at_most = output_count_at_most(out_var, lambda S: low_value + 1)
+    exactly = output_count_exactly(out_var, lambda S: low_value + 1)
+    return (
+        check_triple(pre, command, at_most, universe).valid,
+        check_triple(pre, command, exactly, universe).valid,
+    )
+
+
+def leakage_table(command, universe, out_var, low_var, high_var):
+    """Rows ``(v, #outputs, min-capacity bits, Shannon bits)`` per low
+    input value — the data behind the App. B discussion."""
+    rows = []
+    for v in universe.domain:
+        outs = output_values(command, universe, out_var, {low_var: v})
+        rows.append(
+            (
+                v,
+                len(outs),
+                min_capacity_bits(command, universe, out_var, {low_var: v}),
+                shannon_entropy_bits(command, universe, out_var, {low_var: v}),
+            )
+        )
+    return rows

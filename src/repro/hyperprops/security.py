@@ -1,0 +1,115 @@
+"""Information-flow security notions (Sects. 2.2–2.3).
+
+Each notion comes in two executable forms that tests cross-validate:
+
+- a *direct* definitional check over the program's complete pre/post
+  relation (the classical trace-based definition);
+- the paper's *hyper-triple* formulation, checked by the oracle.
+"""
+
+from ..assertions.sugar import (
+    differing_highs,
+    gni,
+    gni_violation,
+    low,
+    ni_violation,
+)
+from ..checker.validity import check_triple
+from ..semantics.bigstep import post_states
+
+
+def satisfies_ni_direct(command, universe, low_var):
+    """Classical NI (Volpano et al.): any two executions with equal low
+    inputs end with equal low outputs."""
+    inputs = universe.program_states()
+    domain = universe.domain
+    for s1 in inputs:
+        for s2 in inputs:
+            if s1[low_var] != s2[low_var]:
+                continue
+            outs1 = post_states(command, s1, domain)
+            outs2 = post_states(command, s2, domain)
+            for o1 in outs1:
+                for o2 in outs2:
+                    if o1[low_var] != o2[low_var]:
+                        return False
+    return True
+
+
+def ni_triple(low_var):
+    """The Sect. 2.2 NI hyper-triple ``{low(l)} C {low(l)}``."""
+    return low(low_var), low(low_var)
+
+
+def satisfies_ni_triple(command, universe, low_var, max_size=None):
+    """NI via the hyper-triple formulation (Sect. 2.2).
+
+    ``max_size`` caps the initial-set size enumerated (needed on larger
+    universes; NI itself is 2-safety so pairs already decide it)."""
+    pre, post = ni_triple(low_var)
+    return check_triple(pre, command, post, universe, max_size=max_size).valid
+
+
+def ni_violation_triple(low_var, high_var):
+    """The Sect. 2.2 NI-*violation* hyper-triple::
+
+        {low(l) ∧ ∃⟨φ1⟩,⟨φ2⟩. φ1(h)>0 ∧ φ2(h)≤0-style strengthening}
+        C
+        {∃⟨φ1'⟩,⟨φ2'⟩. φ1'(l) ≠ φ2'(l)}
+
+    We use the general strengthening ``∃⟨φ1⟩,⟨φ2⟩. φ1(h) ≠ φ2(h)``.
+    """
+    pre = low(low_var) & differing_highs(high_var)
+    post = ni_violation(low_var)
+    return pre, post
+
+
+def violates_ni_triple(command, universe, low_var, high_var, max_size=None):
+    """Prove the NI violation via the negated postcondition (Sect. 2.2)."""
+    pre, post = ni_violation_triple(low_var, high_var)
+    return check_triple(pre, command, post, universe, max_size=max_size).valid
+
+
+def satisfies_gni_direct(command, universe, low_var, high_var):
+    """Possibilistic GNI (McCullough): for executions τ1, τ2 with equal
+    low inputs, some execution with τ1's inputs matches τ2's low output."""
+    inputs = universe.program_states()
+    domain = universe.domain
+    for s1 in inputs:
+        outs1 = post_states(command, s1, domain)
+        for s2 in inputs:
+            if s1[low_var] != s2[low_var]:
+                continue
+            for o2 in post_states(command, s2, domain):
+                if not any(o1[low_var] == o2[low_var] for o1 in outs1):
+                    return False
+    return True
+
+
+def gni_triple(low_var, high_var):
+    """The Sect. 2.3 GNI hyper-triple ``{low(l)} C {∀⟨φ1⟩,⟨φ2⟩. ∃⟨φ⟩. …}``."""
+    return low(low_var), gni(high_var, low_var)
+
+
+def satisfies_gni_triple(command, universe, low_var, high_var, max_size=None):
+    """GNI via the hyper-triple formulation (Sect. 2.3)."""
+    pre, post = gni_triple(low_var, high_var)
+    return check_triple(pre, command, post, universe, max_size=max_size).valid
+
+
+def gni_violation_triple(low_var, high_var):
+    """The Sect. 2.3 GNI-violation hyper-triple::
+
+        {low(l) ∧ (∃⟨φ1⟩,⟨φ2⟩. φ1(h) ≠ φ2(h))}
+        C
+        {∃⟨φ1'⟩,⟨φ2'⟩. ∀⟨φ'⟩. φ'(h) = φ1'(h) ⇒ φ'(l) ≠ φ2'(l)}
+    """
+    pre = low(low_var) & differing_highs(high_var)
+    post = gni_violation(high_var, low_var)
+    return pre, post
+
+
+def violates_gni_triple(command, universe, low_var, high_var, max_size=None):
+    """Prove the GNI violation (the paper's flagship ∃∃∀ example)."""
+    pre, post = gni_violation_triple(low_var, high_var)
+    return check_triple(pre, command, post, universe, max_size=max_size).valid

@@ -1,0 +1,94 @@
+"""The imperative programming language of the paper (Sect. 3.1).
+
+Commands (Def. 1)::
+
+    C ::= skip | x := e | x := nonDet() | assume b | C; C | C + C | C*
+
+plus the standard desugarings of ``if`` and ``while`` (:mod:`repro.lang.sugar`).
+"""
+
+from .expr import (
+    Expr,
+    Lit,
+    Var,
+    BinOp,
+    UnOp,
+    FunApp,
+    TupleLit,
+    BExpr,
+    BLit,
+    Cmp,
+    BAnd,
+    BOr,
+    BNot,
+    TRUE,
+    FALSE,
+    V,
+    lit,
+    as_expr,
+    as_bexpr,
+    implies,
+    conj,
+    disj,
+)
+from .ast import Command, Skip, Assign, Havoc, Assume, Seq, Choice, Iter, seq
+from .sugar import (
+    if_then_else,
+    if_then,
+    while_loop,
+    rand_int_bounded,
+    match_while,
+    match_if_then_else,
+)
+from .parser import parse_command, parse_expr, parse_bexpr
+from .printer import pretty
+from .analysis import written_vars, read_vars, is_loop_free, command_size, subcommands
+
+__all__ = [
+    "Expr",
+    "Lit",
+    "Var",
+    "BinOp",
+    "UnOp",
+    "FunApp",
+    "TupleLit",
+    "BExpr",
+    "BLit",
+    "Cmp",
+    "BAnd",
+    "BOr",
+    "BNot",
+    "TRUE",
+    "FALSE",
+    "V",
+    "lit",
+    "as_expr",
+    "as_bexpr",
+    "implies",
+    "conj",
+    "disj",
+    "Command",
+    "Skip",
+    "Assign",
+    "Havoc",
+    "Assume",
+    "Seq",
+    "Choice",
+    "Iter",
+    "seq",
+    "if_then_else",
+    "if_then",
+    "while_loop",
+    "rand_int_bounded",
+    "match_while",
+    "match_if_then_else",
+    "parse_command",
+    "parse_expr",
+    "parse_bexpr",
+    "pretty",
+    "written_vars",
+    "read_vars",
+    "is_loop_free",
+    "command_size",
+    "subcommands",
+]

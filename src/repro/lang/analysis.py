@@ -1,0 +1,81 @@
+"""Static analyses over command trees.
+
+These are the side-condition helpers the proof rules need:
+
+- ``written_vars(C)`` is the paper's ``wr(C)`` — program variables that may
+  be written (used by FrameSafe, Specialize, Frame; Fig. 11 caption).
+- ``read_vars(C)`` — variables whose value the command may inspect.
+- ``is_loop_free(C)`` — whether ``C`` contains no ``Iter`` node; loop-free
+  and assume-free commands are exactly those for which terminating and
+  plain hyper-triples coincide (App. E.1).
+"""
+
+from .ast import Assign, Assume, Havoc, Iter, Skip
+
+
+def written_vars(command):
+    """The set ``wr(C)`` of program variables possibly written by ``C``."""
+    if isinstance(command, Skip):
+        return frozenset()
+    if isinstance(command, (Assign, Havoc)):
+        return frozenset((command.var,))
+    if isinstance(command, Assume):
+        return frozenset()
+    out = frozenset()
+    for child in command.children():
+        out |= written_vars(child)
+    return out
+
+
+def read_vars(command):
+    """Program variables whose value may influence the execution of ``C``."""
+    if isinstance(command, Skip):
+        return frozenset()
+    if isinstance(command, Assign):
+        return command.expr.free_vars()
+    if isinstance(command, Havoc):
+        return frozenset()
+    if isinstance(command, Assume):
+        return command.cond.free_vars()
+    out = frozenset()
+    for child in command.children():
+        out |= read_vars(child)
+    return out
+
+
+def is_loop_free(command):
+    """True iff ``C`` contains no ``Iter`` node."""
+    if isinstance(command, Iter):
+        return False
+    return all(is_loop_free(child) for child in command.children())
+
+
+def has_assume(command):
+    """True iff ``C`` contains an ``assume`` statement."""
+    if isinstance(command, Assume):
+        return True
+    return any(has_assume(child) for child in command.children())
+
+
+def command_size(command):
+    """Number of AST nodes in ``C``."""
+    return 1 + sum(command_size(child) for child in command.children())
+
+
+def subcommands(command):
+    """All sub-commands of ``C`` (including ``C`` itself), pre-order."""
+    out = [command]
+    for child in command.children():
+        out.extend(subcommands(child))
+    return out
+
+
+def always_terminates_everywhere(command):
+    """Sufficient syntactic check that every execution of ``C`` terminates
+    and no execution is dropped: no loops and no assume statements.
+
+    For such commands plain and terminating hyper-triples coincide
+    (App. E.1).  ``assume`` statements introduced by ``if`` desugarings do
+    count as assumes here; use the terminating rules for those.
+    """
+    return is_loop_free(command) and not has_assume(command)

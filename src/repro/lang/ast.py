@@ -1,0 +1,121 @@
+"""Command syntax trees (Def. 1).
+
+Commands are immutable and hashable; structural equality is derived from
+the dataclass machinery.  The non-deterministic core constructs (``+`` and
+``*``) are primitive; deterministic ``if``/``while`` are desugarings (see
+:mod:`repro.lang.sugar`), exactly as in Sect. 3.1 of the paper.
+"""
+
+from dataclasses import dataclass
+
+from .expr import BExpr, Expr, as_bexpr, as_expr
+
+
+class Command:
+    """Abstract base class of program commands."""
+
+
+    def then(self, other):
+        """Sequential composition ``self; other``."""
+        return Seq(self, other)
+
+    def choice(self, other):
+        """Non-deterministic choice ``self + other``."""
+        return Choice(self, other)
+
+    def star(self):
+        """Non-deterministic iteration ``self*``."""
+        return Iter(self)
+
+    def children(self):
+        """Immediate sub-commands, as a tuple."""
+        return ()
+
+
+@dataclass(frozen=True)
+class Skip(Command):
+    """The no-op command ``skip``."""
+
+
+    def __repr__(self):
+        return "Skip()"
+
+
+@dataclass(frozen=True)
+class Assign(Command):
+    """The deterministic assignment ``x := e``."""
+
+    var: str
+    expr: Expr
+
+
+    def __post_init__(self):
+        object.__setattr__(self, "expr", as_expr(self.expr))
+
+
+@dataclass(frozen=True)
+class Havoc(Command):
+    """The non-deterministic assignment ``x := nonDet()``."""
+
+    var: str
+
+
+
+@dataclass(frozen=True)
+class Assume(Command):
+    """``assume b``: skip if ``b`` holds, otherwise no execution."""
+
+    cond: BExpr
+
+
+    def __post_init__(self):
+        object.__setattr__(self, "cond", as_bexpr(self.cond))
+
+
+@dataclass(frozen=True)
+class Seq(Command):
+    """Sequential composition ``C1; C2``."""
+
+    first: Command
+    second: Command
+
+
+    def children(self):
+        return (self.first, self.second)
+
+
+@dataclass(frozen=True)
+class Choice(Command):
+    """Non-deterministic choice ``C1 + C2``."""
+
+    left: Command
+    right: Command
+
+
+    def children(self):
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Iter(Command):
+    """Non-deterministic iteration ``C*`` (zero or more repetitions)."""
+
+    body: Command
+
+
+    def children(self):
+        return (self.body,)
+
+
+def seq(*commands):
+    """Right-nested sequential composition of any number of commands.
+
+    ``seq()`` is ``Skip()``; ``seq(c)`` is ``c``.
+    """
+    commands = list(commands)
+    if not commands:
+        return Skip()
+    out = commands[-1]
+    for c in reversed(commands[:-1]):
+        out = Seq(c, out)
+    return out

@@ -1,0 +1,357 @@
+"""Recursive-descent parser for the concrete syntax.
+
+Grammar (statements bind tighter than ``;``, choice braces are explicit)::
+
+    command  ::= stmt (';' stmt)*
+    stmt     ::= 'skip'
+               | IDENT ':=' 'nonDet' '(' ')'
+               | IDENT ':=' 'randInt' '(' expr ',' expr ')'
+               | IDENT ':=' expr
+               | 'assume' bexpr
+               | '{' command '}' ('+' '{' command '}')+
+               | 'loop' '{' command '}'
+               | 'while' '(' bexpr ')' '{' command '}'
+               | 'if' '(' bexpr ')' '{' command '}' ['else' '{' command '}']
+
+    bexpr    ::= bterm ('||' bterm)*
+    bterm    ::= bfactor ('&&' bfactor)*
+    bfactor  ::= '!' bfactor | 'true' | 'false'
+               | expr CMP expr | '(' bexpr ')'
+
+    expr     ::= xorlvl ; xorlvl ::= addlvl ('xor' addlvl)*
+    addlvl   ::= mullvl (('+'|'-'|'++') mullvl)*
+    mullvl   ::= postfix (('*'|'//'|'%') postfix)*
+    postfix  ::= atom ('[' expr ']')*
+    atom     ::= INT | IDENT | '-' postfix | '(' expr ')'
+               | '[' [expr (',' expr)*] ']'
+               | ('len'|'abs') '(' expr ')'
+               | ('min'|'max') '(' expr ',' expr ')'
+"""
+
+import re
+
+from ..errors import ParseError
+from .ast import Assign, Assume, Choice, Havoc, Iter, Seq, Skip
+from .expr import (
+    BinOp,
+    BLit,
+    BNot,
+    Cmp,
+    FunApp,
+    Lit,
+    TupleLit,
+    UnOp,
+    Var,
+    BAnd,
+    BOr,
+)
+from .sugar import if_then, if_then_else, rand_int_bounded, while_loop
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|\#[^\n]*)
+    | (?P<int>\d+)
+    | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+    | (?P<sym>:=|==|!=|<=|>=|&&|\|\||\+\+|//|[;+\-*%<>(){}\[\],!])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "skip",
+    "assume",
+    "nonDet",
+    "randInt",
+    "loop",
+    "while",
+    "if",
+    "else",
+    "true",
+    "false",
+    "xor",
+    "len",
+    "abs",
+    "min",
+    "max",
+}
+
+_CMP_OPS = ("==", "!=", "<=", ">=", "<", ">")
+
+
+def _tokenize(text):
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise ParseError("unexpected character %r" % text[pos], pos, text)
+        if m.lastgroup != "ws":
+            tokens.append((m.lastgroup, m.group(), m.start()))
+        pos = m.end()
+    tokens.append(("eof", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    """Stateful token cursor with backtracking support."""
+
+    def __init__(self, text):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.pos = 0
+
+    # -- cursor helpers -----------------------------------------------------
+    def peek(self):
+        return self.tokens[self.pos]
+
+    def at(self, value):
+        kind, text, _ = self.peek()
+        if kind == "ident":
+            return text == value and value in _KEYWORDS
+        return text == value and value != ""
+
+    def accept(self, value):
+        if self.at(value):
+            self.pos += 1
+            return True
+        return False
+
+    def expect(self, value):
+        if not self.accept(value):
+            kind, text, offset = self.peek()
+            raise ParseError(
+                "expected %r, found %r" % (value, text or "end of input"),
+                offset,
+                self.text,
+            )
+
+    def ident(self):
+        kind, text, offset = self.peek()
+        if kind != "ident" or text in _KEYWORDS:
+            raise ParseError("expected identifier, found %r" % text, offset, self.text)
+        self.pos += 1
+        return text
+
+    def fail(self, message):
+        _, text, offset = self.peek()
+        raise ParseError("%s (found %r)" % (message, text or "end of input"), offset, self.text)
+
+    # -- commands -----------------------------------------------------------
+    def command(self):
+        stmts = [self.stmt()]
+        while self.accept(";"):
+            if self.peek()[0] == "eof" or self.at("}"):
+                break  # tolerate trailing semicolon
+            stmts.append(self.stmt())
+        out = stmts[-1]
+        for s in reversed(stmts[:-1]):
+            out = Seq(s, out)
+        return out
+
+    def stmt(self):
+        if self.accept("skip"):
+            return Skip()
+        if self.accept("assume"):
+            return Assume(self.bexpr())
+        if self.accept("loop"):
+            self.expect("{")
+            body = self.command()
+            self.expect("}")
+            return Iter(body)
+        if self.accept("while"):
+            self.expect("(")
+            cond = self.bexpr()
+            self.expect(")")
+            self.expect("{")
+            body = self.command()
+            self.expect("}")
+            return while_loop(cond, body)
+        if self.accept("if"):
+            self.expect("(")
+            cond = self.bexpr()
+            self.expect(")")
+            self.expect("{")
+            then_b = self.command()
+            self.expect("}")
+            if self.accept("else"):
+                self.expect("{")
+                else_b = self.command()
+                self.expect("}")
+                return if_then_else(cond, then_b, else_b)
+            return if_then(cond, then_b)
+        if self.accept("{"):
+            first = self.command()
+            self.expect("}")
+            if not self.at("+"):
+                return first  # plain grouping braces
+            out = first
+            while self.accept("+"):
+                self.expect("{")
+                nxt = self.command()
+                self.expect("}")
+                out = Choice(out, nxt)
+            return out
+        # assignment
+        name = self.ident()
+        self.expect(":=")
+        if self.accept("nonDet"):
+            self.expect("(")
+            self.expect(")")
+            return Havoc(name)
+        if self.accept("randInt"):
+            self.expect("(")
+            lo = self.expr()
+            self.expect(",")
+            hi = self.expr()
+            self.expect(")")
+            return rand_int_bounded(name, lo, hi)
+        return Assign(name, self.expr())
+
+    # -- predicates ---------------------------------------------------------
+    def bexpr(self):
+        out = self.bterm()
+        while self.accept("||"):
+            out = BOr(out, self.bterm())
+        return out
+
+    def bterm(self):
+        out = self.bfactor()
+        while self.accept("&&"):
+            out = BAnd(out, self.bfactor())
+        return out
+
+    def bfactor(self):
+        if self.accept("!"):
+            return BNot(self.bfactor())
+        if self.accept("true"):
+            return BLit(True)
+        if self.accept("false"):
+            return BLit(False)
+        # Try `expr CMP expr [CMP expr]...`; backtrack into `( bexpr )`.
+        saved = self.pos
+        try:
+            left = self.expr()
+            _, text, _ = self.peek()
+            if text not in _CMP_OPS:
+                self.fail("expected comparison operator")
+            out = None
+            while self.peek()[1] in _CMP_OPS:
+                op = self.peek()[1]
+                self.pos += 1
+                right = self.expr()
+                link = Cmp(op, left, right)
+                out = link if out is None else BAnd(out, link)
+                left = right  # allow chains like a <= x && x <= b via a <= x <= b
+            return out
+        except ParseError:
+            self.pos = saved
+        self.expect("(")
+        out = self.bexpr()
+        self.expect(")")
+        return out
+
+    # -- expressions ----------------------------------------------------------
+    def expr(self):
+        out = self.addlvl()
+        while self.accept("xor"):
+            out = BinOp("xor", out, self.addlvl())
+        return out
+
+    def addlvl(self):
+        out = self.mullvl()
+        while True:
+            if self.accept("+"):
+                out = BinOp("+", out, self.mullvl())
+            elif self.accept("-"):
+                out = BinOp("-", out, self.mullvl())
+            elif self.accept("++"):
+                out = BinOp("++", out, self.mullvl())
+            else:
+                return out
+
+    def mullvl(self):
+        out = self.postfix()
+        while True:
+            if self.accept("*"):
+                out = BinOp("*", out, self.postfix())
+            elif self.accept("//"):
+                out = BinOp("//", out, self.postfix())
+            elif self.accept("%"):
+                out = BinOp("%", out, self.postfix())
+            else:
+                return out
+
+    def postfix(self):
+        out = self.atom()
+        while self.accept("["):
+            index = self.expr()
+            self.expect("]")
+            out = BinOp("[]", out, index)
+        return out
+
+    def atom(self):
+        kind, text, offset = self.peek()
+        if kind == "int":
+            self.pos += 1
+            return Lit(int(text))
+        if self.accept("-"):
+            return UnOp("-", self.postfix())
+        if self.accept("("):
+            out = self.expr()
+            self.expect(")")
+            return out
+        if self.accept("["):
+            items = []
+            if not self.at("]"):
+                items.append(self.expr())
+                while self.accept(","):
+                    items.append(self.expr())
+            self.expect("]")
+            return TupleLit(tuple(items))
+        for fn in ("len", "abs"):
+            if self.accept(fn):
+                self.expect("(")
+                arg = self.expr()
+                self.expect(")")
+                return UnOp("abs", arg) if fn == "abs" else FunApp("len", (arg,))
+        for fn in ("min", "max"):
+            if self.accept(fn):
+                self.expect("(")
+                a = self.expr()
+                self.expect(",")
+                b = self.expr()
+                self.expect(")")
+                return BinOp(fn, a, b)
+        if kind == "ident" and text not in _KEYWORDS:
+            self.pos += 1
+            return Var(text)
+        raise ParseError("expected expression, found %r" % text, offset, self.text)
+
+    def done(self):
+        kind, text, offset = self.peek()
+        if kind != "eof":
+            raise ParseError("trailing input %r" % text, offset, self.text)
+
+
+def parse_command(text):
+    """Parse a command from concrete syntax."""
+    p = _Parser(text)
+    out = p.command()
+    p.done()
+    return out
+
+
+def parse_expr(text):
+    """Parse a value expression from concrete syntax."""
+    p = _Parser(text)
+    out = p.expr()
+    p.done()
+    return out
+
+
+def parse_bexpr(text):
+    """Parse a Boolean predicate from concrete syntax."""
+    p = _Parser(text)
+    out = p.bexpr()
+    p.done()
+    return out

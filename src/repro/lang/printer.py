@@ -1,0 +1,154 @@
+"""Pretty-printer for commands, expressions and predicates.
+
+The output uses the concrete syntax accepted by :mod:`repro.lang.parser`,
+and the two are round-trip tested: ``parse(pretty(C)) == C``.
+Recognizable ``if``/``while`` desugarings are re-sugared for readability.
+"""
+
+from .ast import Assign, Assume, Choice, Havoc, Iter, Seq, Skip
+from .expr import (
+    BAnd,
+    BinOp,
+    BLit,
+    BNot,
+    BOr,
+    Cmp,
+    FunApp,
+    Lit,
+    TupleLit,
+    UnOp,
+    Var,
+)
+from .sugar import match_if_then_else, match_while
+
+_PREC = {
+    "[]": 60,
+    "*": 50,
+    "//": 50,
+    "%": 50,
+    "+": 40,
+    "-": 40,
+    "++": 40,
+    "xor": 30,
+    "min": 0,
+    "max": 0,
+}
+
+
+def pretty_expr(expr, parent_prec=0):
+    """Concrete syntax for an expression."""
+    if isinstance(expr, Lit):
+        if isinstance(expr.value, tuple):
+            return "[%s]" % ", ".join(pretty_expr(Lit(v)) for v in expr.value)
+        return repr(expr.value)
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, TupleLit):
+        return "[%s]" % ", ".join(pretty_expr(i) for i in expr.items)
+    if isinstance(expr, UnOp):
+        if expr.op == "-":
+            return "-%s" % pretty_expr(expr.operand, 55)
+        return "%s(%s)" % (expr.op, pretty_expr(expr.operand))
+    if isinstance(expr, FunApp):
+        return "%s(%s)" % (expr.name, ", ".join(pretty_expr(a) for a in expr.args))
+    if isinstance(expr, BinOp):
+        if expr.op in ("min", "max"):
+            return "%s(%s, %s)" % (expr.op, pretty_expr(expr.left), pretty_expr(expr.right))
+        if expr.op == "[]":
+            return "%s[%s]" % (pretty_expr(expr.left, 60), pretty_expr(expr.right))
+        prec = _PREC[expr.op]
+        text = "%s %s %s" % (
+            pretty_expr(expr.left, prec),
+            expr.op,
+            pretty_expr(expr.right, prec + 1),
+        )
+        return "(%s)" % text if prec < parent_prec else text
+    raise TypeError("not an expression: %r" % (expr,))
+
+
+def pretty_bexpr(pred, parent_prec=0):
+    """Concrete syntax for a predicate."""
+    if isinstance(pred, BLit):
+        return "true" if pred.value else "false"
+    if isinstance(pred, Cmp):
+        text = "%s %s %s" % (pretty_expr(pred.left), pred.op, pretty_expr(pred.right))
+        return "(%s)" % text if parent_prec > 20 else text
+    if isinstance(pred, BAnd):
+        text = "%s && %s" % (pretty_bexpr(pred.left, 10), pretty_bexpr(pred.right, 11))
+        return "(%s)" % text if parent_prec > 10 else text
+    if isinstance(pred, BOr):
+        text = "%s || %s" % (pretty_bexpr(pred.left, 5), pretty_bexpr(pred.right, 6))
+        return "(%s)" % text if parent_prec > 5 else text
+    if isinstance(pred, BNot):
+        return "!%s" % pretty_bexpr(pred.operand, 30)
+    raise TypeError("not a predicate: %r" % (pred,))
+
+
+def pretty(command, indent=0, sugar=True):
+    """Concrete syntax for a command.
+
+    With ``sugar=True`` (the default) recognizable ``if``/``while``
+    desugarings are printed in their sugared form.
+    """
+    pad = "  " * indent
+
+    if sugar:
+        m = match_while(command)
+        if m is not None:
+            guard, body = m
+            return "%swhile (%s) {\n%s\n%s}" % (
+                pad,
+                pretty_bexpr(guard),
+                pretty(body, indent + 1, sugar),
+                pad,
+            )
+        m = match_if_then_else(command)
+        if m is not None:
+            guard, then_b, else_b = m
+            if else_b == Skip():
+                return "%sif (%s) {\n%s\n%s}" % (
+                    pad,
+                    pretty_bexpr(guard),
+                    pretty(then_b, indent + 1, sugar),
+                    pad,
+                )
+            return "%sif (%s) {\n%s\n%s} else {\n%s\n%s}" % (
+                pad,
+                pretty_bexpr(guard),
+                pretty(then_b, indent + 1, sugar),
+                pad,
+                pretty(else_b, indent + 1, sugar),
+                pad,
+            )
+
+    if isinstance(command, Skip):
+        return pad + "skip"
+    if isinstance(command, Assign):
+        return "%s%s := %s" % (pad, command.var, pretty_expr(command.expr))
+    if isinstance(command, Havoc):
+        return "%s%s := nonDet()" % (pad, command.var)
+    if isinstance(command, Assume):
+        return "%sassume %s" % (pad, pretty_bexpr(command.cond))
+    if isinstance(command, Seq):
+        first = command.first
+        if isinstance(first, Seq):
+            # keep left-nested sequencing associativity through grouping braces
+            first_text = "%s{\n%s\n%s}" % (
+                pad,
+                pretty(first, indent + 1, sugar),
+                pad,
+            )
+        else:
+            first_text = pretty(first, indent, sugar)
+        return "%s;\n%s" % (first_text, pretty(command.second, indent, sugar))
+    if isinstance(command, Choice):
+        return "%s{\n%s\n%s} + {\n%s\n%s}" % (
+            pad,
+            pretty(command.left, indent + 1, sugar),
+            pad,
+            pretty(command.right, indent + 1, sugar),
+            pad,
+        )
+    if isinstance(command, Iter):
+        return "%sloop {\n%s\n%s}" % (pad, pretty(command.body, indent + 1, sugar), pad)
+    raise TypeError("not a command: %r" % (command,))

@@ -1,0 +1,83 @@
+"""Desugarings of deterministic control flow (Sect. 3.1).
+
+The paper defines::
+
+    if (b) { C1 } else { C2 }  :=  (assume b; C1) + (assume !b; C2)
+    if (b) { C }               :=  (assume b; C) + (assume !b)
+    while (b) { C }            :=  (assume b; C)*; assume !b
+    x := randIntBounded(a, b)  :=  x := nonDet(); assume a <= x <= b
+
+Loop rules (Fig. 5) are stated for ``while``; :func:`match_while` recovers
+the guard and body from the desugared tree so proofs can pattern-match.
+"""
+
+from .ast import Assume, Choice, Havoc, Iter, Seq
+from .expr import BAnd, as_bexpr, as_expr, V
+
+
+def if_then_else(cond, then_branch, else_branch):
+    """``if (cond) { then_branch } else { else_branch }``."""
+    cond = as_bexpr(cond)
+    return Choice(
+        Seq(Assume(cond), then_branch),
+        Seq(Assume(cond.negate()), else_branch),
+    )
+
+
+def if_then(cond, body):
+    """``if (cond) { body }`` (no else branch)."""
+    cond = as_bexpr(cond)
+    return Choice(Seq(Assume(cond), body), Assume(cond.negate()))
+
+
+def while_loop(cond, body):
+    """``while (cond) { body }``."""
+    cond = as_bexpr(cond)
+    return Seq(Iter(Seq(Assume(cond), body)), Assume(cond.negate()))
+
+
+def rand_int_bounded(var, lo, hi):
+    """``var := randIntBounded(lo, hi)`` — uniform choice in ``[lo, hi]``."""
+    lo = as_expr(lo)
+    hi = as_expr(hi)
+    x = V(var)
+    return Seq(Havoc(var), Assume(BAnd(lo.le(x), x.le(hi))))
+
+
+def match_while(command):
+    """Recover ``(guard, body)`` from a desugared while loop.
+
+    Returns ``None`` when ``command`` does not have the exact shape
+    ``(assume b; C)*; assume !b``.
+    """
+    if not isinstance(command, Seq):
+        return None
+    loop, exit_assume = command.first, command.second
+    if not isinstance(loop, Iter) or not isinstance(exit_assume, Assume):
+        return None
+    inner = loop.body
+    if not isinstance(inner, Seq) or not isinstance(inner.first, Assume):
+        return None
+    guard = inner.first.cond
+    if exit_assume.cond != guard.negate():
+        return None
+    return guard, inner.second
+
+
+def match_if_then_else(command):
+    """Recover ``(guard, then_branch, else_branch)`` from a desugared if.
+
+    Returns ``None`` when ``command`` does not have the exact shape
+    ``(assume b; C1) + (assume !b; C2)``.
+    """
+    if not isinstance(command, Choice):
+        return None
+    left, right = command.left, command.right
+    if not (isinstance(left, Seq) and isinstance(left.first, Assume)):
+        return None
+    if not (isinstance(right, Seq) and isinstance(right.first, Assume)):
+        return None
+    guard = left.first.cond
+    if right.first.cond != guard.negate():
+        return None
+    return guard, left.second, right.second

@@ -1,0 +1,39 @@
+"""Semantic axioms: oracle-discharged leaf judgments.
+
+A verifier built on Hyper Hoare Logic (the authors' follow-on Hypra
+discharges its leaves with Z3) needs a way to admit a triple that has
+been *checked semantically* rather than derived.  ``semantic_axiom``
+model-checks the triple over a finite universe and wraps the verdict as a
+leaf :class:`ProofNode`; if the enumeration was capped (``max_size``) the
+residual obligation is recorded as an assumption on the node.
+"""
+
+from ..checker.validity import check_terminating_triple, check_triple
+from ..errors import ProofError
+from .judgment import ProofNode, Triple
+
+
+def semantic_axiom(pre, command, post, universe, max_size=None, terminating=False):
+    """A leaf proof of ``{pre} command {post}``, discharged by the oracle.
+
+    Raises :class:`ProofError` when the oracle refutes the triple.  With
+    ``max_size`` set, only initial sets up to that size are enumerated and
+    the node carries an assumption recording the gap.
+    """
+    checker = check_terminating_triple if terminating else check_triple
+    result = checker(pre, command, post, universe, max_size=max_size)
+    if not result.valid:
+        raise ProofError(
+            "semantic_axiom: the oracle refutes the triple (counterexample "
+            "with %d initial states)" % len(result.witness_pre)
+        )
+    assumptions = ()
+    if max_size is not None:
+        assumptions = (
+            "semantic_axiom checked initial sets of size ≤ %d only" % max_size,
+        )
+    return ProofNode(
+        "SemanticAxiom",
+        Triple(pre, command, post, terminating=terminating),
+        assumptions=assumptions,
+    )

@@ -1,0 +1,144 @@
+"""The Thm. 2 completeness construction, executable.
+
+Given any triple that is *valid* over a finite universe, build an actual
+core-rule derivation of it, following the paper's proof:
+
+1. For each concrete set ``V`` satisfying the precondition, derive the
+   most precise triple ``⊢ {S = V} C {S = sem(C, V)}``
+   (:func:`prove_exact`) by structural induction — Choice goes through
+   ``⊗``, Iter through an eventually-periodic ``⨂`` family over the
+   layers ``sem(C^n, V)``.
+2. Combine all of them with the Exist rule (this is exactly why Exist is
+   needed for completeness — Example 1), then finish with Cons.
+
+The construction is exponential in the universe size — it is the
+*constructive content* of Thm. 2, not an efficient verifier.
+"""
+
+from ..assertions.entail import EntailmentOracle
+from ..assertions.semantic import AndAssertion, EqualsSet, FALSE_H
+from ..checker.validity import check_triple
+from ..errors import ProofError
+from ..lang.ast import Assign, Assume, Choice, Havoc, Iter, Seq, Skip
+from ..semantics.extended import sem
+from ..util import iter_subsets
+from .core_rules import (
+    rule_assign,
+    rule_assume,
+    rule_choice,
+    rule_cons,
+    rule_exist,
+    rule_havoc,
+    rule_iter,
+    rule_seq,
+    rule_skip,
+)
+
+
+def _pin(states, satisfiable=True):
+    """``λS. S = states`` (conjoined with ``⊥`` for the vacuous branch)."""
+    pinned = EqualsSet(states)
+    if satisfiable:
+        return pinned
+    return AndAssertion(pinned, FALSE_H)
+
+
+def prove_exact(command, initial, universe, oracle, satisfiable=True):
+    """Derive ``⊢ {S = V} C {S = sem(C, V)}`` with core rules only."""
+    domain = universe.domain
+    initial = frozenset(initial)
+    target = sem(command, initial, domain)
+    pre = _pin(initial, satisfiable)
+    post = _pin(target, satisfiable)
+
+    if isinstance(command, Skip):
+        return rule_cons(pre, post, rule_skip(pre), oracle, "prove_exact skip")
+    if isinstance(command, Assign):
+        base = rule_assign(post, command.var, command.expr)
+        return rule_cons(pre, post, base, oracle, "prove_exact assign")
+    if isinstance(command, Havoc):
+        base = rule_havoc(post, command.var)
+        return rule_cons(pre, post, base, oracle, "prove_exact havoc")
+    if isinstance(command, Assume):
+        base = rule_assume(post, command.cond)
+        return rule_cons(pre, post, base, oracle, "prove_exact assume")
+    if isinstance(command, Seq):
+        mid = sem(command.first, initial, domain)
+        p1 = prove_exact(command.first, initial, universe, oracle, satisfiable)
+        p2 = prove_exact(command.second, mid, universe, oracle, satisfiable)
+        return rule_seq(p1, p2)
+    if isinstance(command, Choice):
+        p1 = prove_exact(command.left, initial, universe, oracle, satisfiable)
+        p2 = prove_exact(command.right, initial, universe, oracle, satisfiable)
+        combined = rule_choice(p1, p2)
+        return rule_cons(pre, post, combined, oracle, "prove_exact choice")
+    if isinstance(command, Iter):
+        return _prove_exact_iter(command, initial, universe, oracle, satisfiable, pre, post)
+    raise ProofError("not a command: %r" % (command,))
+
+
+def _prove_exact_iter(command, initial, universe, oracle, satisfiable, pre, post):
+    """The Iter case: pin each layer ``sem(C^n, V)`` until the layer
+    sequence cycles, then apply the Iter rule with the periodic family."""
+    domain = universe.domain
+    body = command.body
+    layers = []
+    seen = {}
+    current = frozenset(initial)
+    while current not in seen:
+        seen[current] = len(layers)
+        layers.append(current)
+        current = sem(body, current, domain)
+    stable_from = seen[current]
+    period = len(layers) - stable_from
+
+    pins = [_pin(layer, satisfiable) for layer in layers]
+
+    def family(n):
+        if n < len(layers):
+            return pins[n]
+        return pins[stable_from + (n - stable_from) % period]
+
+    proofs = [
+        prove_exact(body, layers[n], universe, oracle, satisfiable)
+        for n in range(stable_from + period)
+    ]
+    iterated = rule_iter(family, proofs, stable_from, period)
+    return rule_cons(pre, post, iterated, oracle, "prove_exact iter")
+
+
+def prove_valid_triple(pre, command, post, universe, oracle=None, check_first=True):
+    """Thm. 2: a core-rule derivation of any valid triple.
+
+    Raises :class:`ProofError` when the triple is in fact invalid over the
+    universe (with the counterexample in the message).
+    """
+    if oracle is None:
+        oracle = EntailmentOracle(universe.ext_states(), universe.domain)
+    domain = universe.domain
+    if check_first:
+        result = check_triple(pre, command, post, universe)
+        if not result.valid:
+            raise ProofError(
+                "triple is invalid over the universe; counterexample has "
+                "%d initial states" % len(result.witness_pre)
+            )
+    satisfying = [
+        subset
+        for subset in iter_subsets(universe.ext_states())
+        if pre.holds(subset, domain)
+    ]
+    if satisfying:
+        premises = {
+            subset: prove_exact(command, subset, universe, oracle)
+            for subset in satisfying
+        }
+    else:
+        # vacuous precondition: a single unsatisfiable pinned branch
+        premises = {
+            frozenset(): prove_exact(
+                command, frozenset(), universe, oracle, satisfiable=False
+            )
+        }
+    existential = rule_exist(premises)
+    return rule_cons(pre, post, existential, oracle, "Thm.2 final Cons")

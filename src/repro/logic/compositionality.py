@@ -1,0 +1,362 @@
+"""Compositionality rules (Fig. 11, App. D) and the synchronous-if rule
+(Prop. 14, App. H).
+
+These rules are admissible — they do not enlarge the set of provable
+hyper-triples — but they let proofs of different shapes be *composed*
+(e.g. sequencing a GNI triple with an NI triple, App. D.2).
+"""
+
+from ..assertions.derived import ForallStateFam, OTimesTagged
+from ..assertions.semantic import (
+    BigUnion,
+    EMP,
+    FALSE_H,
+    ForallValue,
+    IndexedUnion,
+    OTimes,
+    AtLeast,
+    AtMost,
+    TRUE_H,
+)
+from ..assertions.syntax import (
+    HLog,
+    SAnd,
+    SCmp,
+    SForallState,
+    SynAssertion,
+)
+from ..assertions.transform import assume_transform
+from ..errors import SideConditionError
+from ..lang.analysis import written_vars
+from ..lang.ast import Choice, Command, Seq
+from ..lang.expr import as_bexpr
+from ..semantics.extended import sem
+from .judgment import (
+    ProofNode,
+    Triple,
+    require,
+    require_match,
+    require_same_command,
+)
+
+
+def rule_and(left, right):
+    """And: from ``⊢{P1} C {Q1}`` and ``⊢{P2} C {Q2}``,
+    ``⊢{P1 ∧ P2} C {Q1 ∧ Q2}``."""
+    require_same_command(left.command, right.command, "And")
+    pre = left.pre & right.pre
+    post = left.post & right.post
+    terminating = left.triple.terminating or right.triple.terminating
+    return ProofNode("And", Triple(pre, left.command, post, terminating), (left, right))
+
+
+def rule_or(left, right):
+    """Or: from ``⊢{P1} C {Q1}`` and ``⊢{P2} C {Q2}``,
+    ``⊢{P1 ∨ P2} C {Q1 ∨ Q2}``."""
+    require_same_command(left.command, right.command, "Or")
+    pre = left.pre | right.pre
+    post = left.post | right.post
+    terminating = left.triple.terminating and right.triple.terminating
+    return ProofNode("Or", Triple(pre, left.command, post, terminating), (left, right))
+
+
+def rule_forall(premises):
+    """Forall: from ``∀x. ⊢{P_x} C {Q_x}``, ``⊢{∀x. P_x} C {∀x. Q_x}``.
+
+    ``premises`` maps each (finite) index to its proof.
+    """
+    premises = dict(premises)
+    require(len(premises) > 0, "Forall: empty index set")
+    indices = tuple(premises.keys())
+    command = premises[indices[0]].command
+    for x in indices:
+        require_same_command(command, premises[x].command, "Forall")
+    pre = ForallValue(lambda x: premises[x].pre, indices)
+    post = ForallValue(lambda x: premises[x].post, indices)
+    return ProofNode("Forall", Triple(pre, command, post), tuple(premises.values()))
+
+
+def rule_frame_safe(proof, frame):
+    """FrameSafe: ``⊢{P ∧ F} C {Q ∧ F}`` when ``F`` has no ``∃⟨_⟩`` and
+    reads no variable written by ``C`` (Fig. 11).
+
+    The no-∃⟨_⟩ restriction exists because framing the existence of a
+    state across a possibly non-terminating command is unsound; the
+    terminating rule :func:`repro.logic.termination_rules.rule_frame`
+    lifts it.
+    """
+    require(isinstance(frame, SynAssertion), "FrameSafe: frame must be syntactic")
+    if frame.has_exists_state():
+        raise SideConditionError(
+            "FrameSafe: frame contains ∃⟨_⟩ — use the terminating Frame rule"
+        )
+    overlap = written_vars(proof.command) & frame.free_prog_vars()
+    if overlap:
+        raise SideConditionError(
+            "FrameSafe: frame reads variables written by C: %s" % sorted(overlap)
+        )
+    pre = proof.pre & frame
+    post = proof.post & frame
+    return ProofNode(
+        "FrameSafe", Triple(pre, proof.command, post, proof.triple.terminating), (proof,)
+    )
+
+
+def rule_indexed_union(premises):
+    """IndexedUnion: from ``∀x. ⊢{P_x} C {Q_x}``,
+    ``⊢{⨂_{x∈X} P_x} C {⨂_{x∈X} Q_x}`` for finite ``X``."""
+    premises = dict(premises)
+    require(len(premises) > 0, "IndexedUnion: empty index set")
+    indices = tuple(premises.keys())
+    command = premises[indices[0]].command
+    for x in indices:
+        require_same_command(command, premises[x].command, "IndexedUnion")
+    pre = IndexedUnion(lambda x: premises[x].pre, indices)
+    post = IndexedUnion(lambda x: premises[x].post, indices)
+    return ProofNode(
+        "IndexedUnion", Triple(pre, command, post), tuple(premises.values())
+    )
+
+
+def rule_union(left, right):
+    """Union: from ``⊢{P1} C {Q1}`` and ``⊢{P2} C {Q2}``,
+    ``⊢{P1 ⊗ P2} C {Q1 ⊗ Q2}``."""
+    require_same_command(left.command, right.command, "Union")
+    pre = OTimes(left.pre, right.pre)
+    post = OTimes(left.post, right.post)
+    return ProofNode("Union", Triple(pre, left.command, post), (left, right))
+
+
+def rule_big_union(proof):
+    """BigUnion: from ``⊢{P} C {Q}``, ``⊢{⨂ P} C {⨂ Q}`` — decompose the
+    set into P-satisfying pieces, run C on each, recompose (App. D.1)."""
+    pre = BigUnion(proof.pre)
+    post = BigUnion(proof.post)
+    return ProofNode("BigUnion", Triple(pre, proof.command, post), (proof,))
+
+
+def rule_specialize(proof, cond):
+    """Specialize: from ``⊢{P} C {Q}`` with ``wr(C) ∩ fv(b) = ∅``,
+    ``⊢{Π_b[P]} C {Π_b[Q]}`` — restrict a triple to the sub-set of states
+    satisfying the state expression ``b`` (Fig. 11)."""
+    cond = as_bexpr(cond)
+    require(
+        isinstance(proof.pre, SynAssertion) and isinstance(proof.post, SynAssertion),
+        "Specialize: pre/postcondition must be syntactic (Π_b is syntactic)",
+    )
+    overlap = written_vars(proof.command) & cond.free_vars()
+    if overlap:
+        raise SideConditionError(
+            "Specialize: b reads variables written by C: %s" % sorted(overlap)
+        )
+    pre = assume_transform(proof.pre, cond)
+    post = assume_transform(proof.post, cond)
+    return ProofNode(
+        "Specialize", Triple(pre, proof.command, post, proof.triple.terminating), (proof,)
+    )
+
+
+def rule_linking(p_family, q_family, proof_factory, command, universe):
+    """Linking (Fig. 11)::
+
+        ∀φ1,φ2. (φ1_L = φ2_L ∧ ⊢{⟨φ1⟩} C {⟨φ2⟩}) ⟹ ⊢{P_φ1} C {Q_φ2}
+        -------------------------------------------------------------
+        ⊢ {∀⟨φ⟩. P_φ} C {∀⟨φ⟩. Q_φ}
+
+    ``⊢{⟨φ1⟩} C {⟨φ2⟩}`` holds exactly when ``φ2 ∈ sem(C, {φ1})``; the
+    rule enumerates those pairs over the finite universe and obtains each
+    premise from ``proof_factory(φ1, φ2)``.
+    """
+    premises = []
+    domain = universe.domain
+    for phi1 in universe.ext_states():
+        for phi2 in sem(command, (phi1,), domain):
+            proof = proof_factory(phi1, phi2)
+            require_same_command(command, proof.command, "Linking")
+            require_match(proof.pre, p_family(phi1), "Linking premise pre")
+            require_match(proof.post, q_family(phi2), "Linking premise post")
+            premises.append(proof)
+    pre = ForallStateFam(p_family)
+    post = ForallStateFam(q_family)
+    return ProofNode("Linking", Triple(pre, command, post), tuple(premises))
+
+
+def rule_lupdate(new_pre, proof, logical_vars, universe):
+    """LUpdate (Fig. 11)::
+
+        P ⇒_V P'      ⊢{P'} C {Q}      inv_V(Q)
+        ----------------------------------------
+        ⊢ {P} C {Q}
+
+    Both semantic side conditions (Def. 23) are checked exhaustively over
+    the universe: every ``P``-set must have a ``V``-logical-update
+    reaching a ``P'``-set, and ``Q`` must be invariant under ``V``-updates.
+    """
+    logical_vars = frozenset(logical_vars)
+    domain = universe.domain
+    states = universe.ext_states()
+    from ..util import iter_subsets
+
+    def project(subset):
+        return frozenset(
+            (phi.log.restrict(set(phi.log.vars) - logical_vars), phi.prog)
+            for phi in subset
+        )
+
+    # inv_V(Q): Q constant on projection classes
+    classes = {}
+    for subset in iter_subsets(states):
+        key = project(subset)
+        verdict = proof.post.holds(subset, domain)
+        if key in classes:
+            if classes[key] != verdict:
+                raise SideConditionError(
+                    "LUpdate: postcondition is not invariant under logical "
+                    "updates of %s" % sorted(logical_vars)
+                )
+        else:
+            classes[key] = verdict
+
+    # P ⇒_V P'
+    reachable = {}
+    for subset in iter_subsets(states):
+        key = project(subset)
+        if proof.pre.holds(subset, domain):
+            reachable.setdefault(key, True)
+    for subset in iter_subsets(states):
+        if not new_pre.holds(subset, domain):
+            continue
+        key = project(subset)
+        if key not in reachable:
+            raise SideConditionError(
+                "LUpdate: no V-logical-update of a P-set satisfies P' "
+                "(P ⇒_V P' fails)"
+            )
+    return ProofNode(
+        "LUpdate",
+        Triple(new_pre, proof.command, proof.post, proof.triple.terminating),
+        (proof,),
+        note="V=%s" % sorted(logical_vars),
+    )
+
+
+def rule_lupdate_s(proof, tag_var):
+    """LUpdateS (Fig. 11): syntactic logical update.
+
+    The premise's precondition must have the shape
+    ``P ∧ (∀⟨φ⟩. φ_L(t) = e(φ))`` with ``t ∉ fv(P) ∪ fv(Q) ∪ fv(e)``;
+    the conclusion drops the conjunct: ``⊢ {P} C {Q}``.
+    """
+    pre = proof.pre
+    require(
+        isinstance(pre, SAnd),
+        "LUpdateS: premise precondition must be `P ∧ (∀⟨φ⟩. φ_L(t) = e(φ))`",
+    )
+    base, update = pre.left, pre.right
+    require(
+        isinstance(update, SForallState)
+        and isinstance(update.body, SCmp)
+        and update.body.op == "=="
+        and isinstance(update.body.left, HLog)
+        and update.body.left.state == update.state
+        and update.body.left.var == tag_var,
+        "LUpdateS: second conjunct must be `∀⟨φ⟩. φ_L(%s) = e(φ)`" % tag_var,
+    )
+    expr = update.body.right
+    for part, what in ((base, "P"), (proof.post, "Q")):
+        require(
+            isinstance(part, SynAssertion),
+            "LUpdateS: %s must be syntactic" % what,
+        )
+        if tag_var in frozenset(v for _, v in part.log_lookups()):
+            raise SideConditionError(
+                "LUpdateS: %s mentions the updated logical variable %r"
+                % (what, tag_var)
+            )
+    if tag_var in frozenset(v for _, v in expr.log_lookups()):
+        raise SideConditionError("LUpdateS: e mentions %r" % tag_var)
+    return ProofNode(
+        "LUpdateS",
+        Triple(base, proof.command, proof.post, proof.triple.terminating),
+        (proof,),
+        note="t=%s" % tag_var,
+    )
+
+
+def rule_at_most(proof, universe):
+    """AtMost: from ``⊢{P} C {Q}``, ``⊢{⊑P} C {⊑Q}`` (Fig. 11)."""
+    states = universe.ext_states()
+    pre = AtMost(proof.pre, states)
+    post = AtMost(proof.post, states)
+    return ProofNode("AtMost", Triple(pre, proof.command, post), (proof,))
+
+
+def rule_at_least(proof):
+    """AtLeast: from ``⊢{P} C {Q}``, ``⊢{⊒P} C {⊒Q}`` (Fig. 11)."""
+    pre = AtLeast(proof.pre)
+    post = AtLeast(proof.post)
+    return ProofNode("AtLeast", Triple(pre, proof.command, post), (proof,))
+
+
+def rule_true(pre, command):
+    """True: ``⊢ {P} C {⊤}``."""
+    require(isinstance(command, Command), "True: not a command")
+    return ProofNode("True", Triple(pre, command, TRUE_H))
+
+
+def rule_false(command, post):
+    """False: ``⊢ {⊥} C {Q}``."""
+    require(isinstance(command, Command), "False: not a command")
+    return ProofNode("False", Triple(FALSE_H, command, post))
+
+
+def rule_empty(command):
+    """Empty: ``⊢ {emp} C {emp}``."""
+    require(isinstance(command, Command), "Empty: not a command")
+    return ProofNode("Empty", Triple(EMP, command, EMP))
+
+
+def rule_sync_if(p1, p2, p3, p4, p5, tag_var):
+    """Prop. 14 (App. H) — synchronous reasoning across branches::
+
+        (1) ⊢{P}  C1 {P1}      (2) ⊢{P}  C2 {P2}
+        (3) ⊢{P1 ⊗_{x=1,2} P2} C {R1 ⊗_{x=1,2} R2}
+        (4) ⊢{R1} C1' {Q1}     (5) ⊢{R2} C2' {Q2}
+        x ∉ fv(P1) ∪ fv(P2) ∪ fv(R1) ∪ fv(R2)
+        -------------------------------------------------
+        ⊢ {P} (C1; C; C1') + (C2; C; C2') {Q1 ⊗ Q2}
+
+    The shared middle command ``C`` is reasoned about once, across both
+    branches, using the tag ``x`` to keep their state sets apart.
+    """
+    require_match(p1.pre, p2.pre, "SyncIf premises 1/2")
+    require(
+        isinstance(p3.pre, OTimesTagged) and p3.pre.tag == tag_var,
+        "SyncIf: premise 3 precondition must be P1 ⊗_{x=1,2} P2",
+    )
+    require(
+        isinstance(p3.post, OTimesTagged) and p3.post.tag == tag_var,
+        "SyncIf: premise 3 postcondition must be R1 ⊗_{x=1,2} R2",
+    )
+    require_match(p3.pre.left, p1.post, "SyncIf P1")
+    require_match(p3.pre.right, p2.post, "SyncIf P2")
+    require_match(p4.pre, p3.post.left, "SyncIf R1")
+    require_match(p5.pre, p3.post.right, "SyncIf R2")
+    for assertion, name in (
+        (p1.post, "P1"),
+        (p2.post, "P2"),
+        (p3.post.left, "R1"),
+        (p3.post.right, "R2"),
+    ):
+        if isinstance(assertion, SynAssertion):
+            if tag_var in frozenset(v for _, v in assertion.log_lookups()):
+                raise SideConditionError(
+                    "SyncIf: %s mentions the tag variable %r" % (name, tag_var)
+                )
+    shared = p3.command
+    command = Choice(
+        Seq(p1.command, Seq(shared, p4.command)),
+        Seq(p2.command, Seq(shared, p5.command)),
+    )
+    post = OTimes(p4.post, p5.post)
+    return ProofNode("SyncIf", Triple(p1.pre, command, post), (p1, p2, p3, p4, p5))

@@ -1,0 +1,196 @@
+"""Classical proof rules derived inside Hyper Hoare Logic (App. C.1/C.2).
+
+The paper observes that the upper-bound embedding of HL (Prop. 2) turns
+the core rules into the classical ones — e.g. the HL while rule falls
+out of Iter because ``⊑`` distributes over ``⊗`` and ``⨂`` — and dually
+for IL's lower bounds (Prop. 6).  This module packages those two derived
+loop rules as checked rules over state predicates, plus the Fig. 14
+``WhileDesugaredTerm`` variant with a loop variant.
+"""
+
+from ..assertions.semantic import OTimesFamily, exists_state, forall_states
+from ..assertions.sugar import box
+from ..assertions.syntax import SynAssertion
+from ..errors import SideConditionError
+from ..lang.expr import as_bexpr, as_expr
+from ..lang.sugar import while_loop
+from .judgment import ProofNode, Triple, require, require_match
+
+
+def hl_invariant(pred):
+    """The Prop. 2 reading of an HL invariant: ``∀⟨φ⟩. I(φ_P)``."""
+    pred = as_bexpr(pred)
+    return forall_states(lambda phi: pred.eval(phi.prog), "∀⟨φ⟩. I")
+
+
+def rule_hl_while(invariant_pred, cond, body_proof):
+    """The classical HL while rule, derived (App. C.1)::
+
+        ⊢ {□(I ∧ b)} C {□I}
+        --------------------------------
+        ⊢ {□I} while (b) {C} {□(I ∧ ¬b)}
+
+    ``invariant_pred``/``cond`` are *state* predicates; the premise must
+    use the exact ``hl_while_body_pre/post`` assertion objects.
+    """
+    cond = as_bexpr(cond)
+    invariant_pred = as_bexpr(invariant_pred)
+    require_match(body_proof.pre, hl_while_body_pre(invariant_pred, cond), "HL-While pre")
+    require_match(body_proof.post, hl_while_body_post(invariant_pred), "HL-While post")
+    pre = box(invariant_pred)
+    post = box(invariant_pred & cond.negate())
+    triple = Triple(pre, while_loop(cond, body_proof.command), post)
+    return ProofNode("HL-While", triple, (body_proof,))
+
+
+def hl_while_body_pre(invariant_pred, cond):
+    """``□(I ∧ b)`` for the HL-While body premise."""
+    return box(as_bexpr(invariant_pred) & as_bexpr(cond))
+
+
+def hl_while_body_post(invariant_pred):
+    """``□I`` for the HL-While body premise."""
+    return box(as_bexpr(invariant_pred))
+
+
+def rule_il_while(target_pred, cond, body):
+    """The IL/Reverse-HL loop-exit axiom, derived from the lower-bound
+    reading (Prop. 6)::
+
+        -------------------------------------------------------------
+        ⊢ {∃⟨φ⟩. P(φ) ∧ ¬b(φ)} while (b) {C} {∃⟨φ⟩. P(φ) ∧ ¬b(φ)}
+
+    A state satisfying ``P`` outside the guard survives the loop — the
+    non-deterministic iteration always admits zero further unrollings and
+    the exit ``assume ¬b`` keeps the state — witnessing reachability of
+    the post.  This is the zero-subscript instance of the IL backward
+    variant rule; deeper unrollings compose it with
+    :func:`repro.logic.core_rules.rule_seq` over ``assume b; C`` proofs.
+    """
+    cond = as_bexpr(cond)
+    target_pred = as_bexpr(target_pred)
+    exited = exists_state(
+        lambda phi: target_pred.eval(phi.prog) and not cond.eval(phi.prog),
+        "∃⟨φ⟩. P ∧ ¬b",
+    )
+    from ..lang.ast import Command
+
+    require(isinstance(body, Command), "IL-While: body must be a command")
+    triple = Triple(exited, while_loop(cond, body), exited)
+    return ProofNode("IL-While", triple)
+
+
+def rule_while_desugared_term(
+    p_family,
+    q_family,
+    guard_proofs,
+    body_proofs,
+    exit_proof,
+    cond,
+    variant,
+    tag_log,
+    stable_from,
+    period=1,
+):
+    """WhileDesugaredTerm (Fig. 14) — the general loop rule with a
+    variant, concluding a *terminating* triple::
+
+        ⊢  {P_n} assume b {Q_n}
+        ⊢⇓ {Q_n ∧ □(e = t^L)} C {P_{n+1} ∧ □(e ≺ t^L)}
+        ⊢  {⨂_n P_n} assume ¬b {R}      t^L ∉ fv(P_n) ∪ fv(Q_n)
+        -------------------------------------------------------
+        ⊢⇓ {P_0} while (b) {C} {R}
+
+    Families are handled as in :func:`repro.logic.core_rules.rule_iter`
+    (eventually periodic, finitely many checked premises).  Build the
+    body premises with :func:`while_sync_term_body_pre`-style helpers:
+    the exact objects are ``q_family(n) & □(e = t^L)`` and
+    ``p_family(n+1) & □(e ≺ t^L)`` — equivalently the pre/post helpers
+    exposed here.
+    """
+    cond = as_bexpr(cond)
+    variant = as_expr(variant)
+    guard_proofs = tuple(guard_proofs)
+    body_proofs = tuple(body_proofs)
+    needed = stable_from + period
+    require(
+        len(guard_proofs) == needed and len(body_proofs) == needed,
+        "WhileDesugaredTerm: need %d guard and body premises" % needed,
+    )
+    for family in (p_family, q_family):
+        for r in range(period):
+            require_match(
+                family(stable_from + r),
+                family(stable_from + r + period),
+                "WhileDesugaredTerm periodicity",
+            )
+    for n in range(needed):
+        for assertion, what in ((p_family(n), "P_n"), (q_family(n), "Q_n")):
+            if isinstance(assertion, SynAssertion):
+                if tag_log in frozenset(v for _, v in assertion.log_lookups()):
+                    raise SideConditionError(
+                        "WhileDesugaredTerm: %s mentions %r" % (what, tag_log)
+                    )
+    from ..lang.ast import Assume
+
+    body = body_proofs[0].command
+    for n in range(needed):
+        gp = guard_proofs[n]
+        require(
+            isinstance(gp.command, Assume) and gp.command.cond == cond,
+            "WhileDesugaredTerm: guard premise %d must be `assume b`" % n,
+        )
+        require_match(gp.pre, p_family(n), "WhileDesugaredTerm guard %d pre" % n)
+        require_match(gp.post, q_family(n), "WhileDesugaredTerm guard %d post" % n)
+        bp = body_proofs[n]
+        require(
+            bp.triple.terminating,
+            "WhileDesugaredTerm: body premise %d must be terminating" % n,
+        )
+        post_index = n + 1
+        if post_index >= needed:
+            post_index = stable_from + (post_index - stable_from) % period
+        require_match(
+            bp.pre,
+            while_desugared_term_body_pre(q_family, n, variant, tag_log),
+            "WhileDesugaredTerm body %d pre" % n,
+        )
+        require_match(
+            bp.post,
+            while_desugared_term_body_post(p_family, post_index, variant, tag_log),
+            "WhileDesugaredTerm body %d post" % n,
+        )
+    require(
+        isinstance(exit_proof.command, Assume)
+        and exit_proof.command.cond == cond.negate(),
+        "WhileDesugaredTerm: exit premise must be `assume ¬b`",
+    )
+    require(
+        isinstance(exit_proof.pre, OTimesFamily)
+        and exit_proof.pre.family is p_family
+        and exit_proof.pre.stable_from == stable_from
+        and exit_proof.pre.period == period,
+        "WhileDesugaredTerm: exit premise pre must be ⨂ of the P family",
+    )
+    triple = Triple(
+        p_family(0), while_loop(cond, body), exit_proof.post, terminating=True
+    )
+    return ProofNode(
+        "WhileDesugaredTerm",
+        triple,
+        guard_proofs + body_proofs + (exit_proof,),
+    )
+
+
+def while_desugared_term_body_pre(q_family, n, variant, tag_log):
+    """``Q_n ∧ □(e = t^L)`` — body premise precondition at index ``n``."""
+    from .termination_rules import _variant_eq_tag
+
+    return q_family(n) & _variant_eq_tag(as_expr(variant), tag_log)
+
+
+def while_desugared_term_body_post(p_family, n, variant, tag_log):
+    """``P_n ∧ □(e ≺ t^L)`` — body premise postcondition at index ``n``."""
+    from .termination_rules import _variant_decreases
+
+    return p_family(n) & _variant_decreases(as_expr(variant), tag_log)

@@ -1,0 +1,78 @@
+"""Disproving hyper-triples (Thm. 5).
+
+``|= {P} C {Q}`` fails  iff  some satisfiable ``P'`` entails ``P`` and
+``|= {P'} C {¬Q}`` holds.  The constructive direction pins the refuting
+set: ``P' := (λS. S = S₀)`` for a counterexample ``S₀``.
+
+This is what makes Hyper Hoare Logic a logic for both proving *and*
+disproving: the disproof is itself a provable hyper-triple (optionally
+materialized through the Thm. 2 construction).
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..assertions.base import Assertion
+from ..assertions.semantic import EqualsSet, NotAssertion
+from ..assertions.syntax import SynAssertion
+from ..checker.validity import check_triple
+from .completeness import prove_valid_triple
+from .judgment import ProofNode
+
+
+@dataclass
+class Disproof:
+    """A Thm. 5 disproof of ``{P} C {Q}``.
+
+    ``strengthened_pre`` is the satisfiable ``P'`` entailing ``P``;
+    ``negated_post`` is ``¬Q``; ``witness`` is the refuting initial set;
+    ``proof`` (optional) is a core-rule derivation of ``{P'} C {¬Q}``.
+    """
+
+    strengthened_pre: Assertion
+    negated_post: Assertion
+    witness: frozenset
+    proof: Optional[ProofNode] = None
+
+
+def negate_assertion(assertion):
+    """``¬Q`` — syntactic dual when possible, semantic complement otherwise."""
+    if isinstance(assertion, SynAssertion):
+        return assertion.negate()
+    return NotAssertion(assertion)
+
+
+def disprove_triple(pre, command, post, universe, construct_proof=False):
+    """Disprove ``{pre} command {post}`` per Thm. 5.
+
+    Returns a :class:`Disproof`, or ``None`` when the triple is valid
+    over the universe (nothing to disprove).
+    """
+    result = check_triple(pre, command, post, universe)
+    if result.valid:
+        return None
+    witness = result.witness_pre
+    strengthened = EqualsSet(witness)
+    negated = negate_assertion(post)
+    confirm = check_triple(strengthened, command, negated, universe)
+    if not confirm.valid:
+        raise AssertionError(
+            "Thm. 5 violated: {P'} C {¬Q} should be valid by construction"
+        )
+    proof = None
+    if construct_proof:
+        proof = prove_valid_triple(
+            strengthened, command, negated, universe, check_first=False
+        )
+    return Disproof(strengthened, negated, witness, proof)
+
+
+def triples_exclusive(pre, command, post, universe):
+    """The two directions of Thm. 5 as a checked biconditional.
+
+    Returns ``(invalid, has_disproof)`` — these must always be equal;
+    tests assert the equivalence across random triples.
+    """
+    invalid = not check_triple(pre, command, post, universe).valid
+    has_disproof = disprove_triple(pre, command, post, universe) is not None
+    return invalid, has_disproof

@@ -1,0 +1,214 @@
+"""Hyper-triples and checked proof objects.
+
+A :class:`Triple` is the judgment ``{P} C {Q}`` (``terminating=True`` for
+the ``|=⇓`` judgments of App. E).  A :class:`ProofNode` records one rule
+application; rule constructors in the sibling modules validate premise
+shapes and side conditions at construction time, so holding a
+:class:`ProofNode` means the derivation is well-formed.
+
+Entailment side conditions are discharged by an
+:class:`~repro.assertions.entail.EntailmentOracle`; if the oracle is an
+``AssumingOracle`` the entailments become recorded *assumptions*, listed
+by :meth:`ProofNode.all_assumptions` (the analogue of unproved lemmas).
+"""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..assertions.base import Assertion
+from ..assertions.derived import (
+    AssignPre,
+    ExistsStateFam,
+    FilterPre,
+    ForallStateFam,
+    HavocPre,
+    OTimesTagged,
+    PartialEval,
+)
+from ..assertions.semantic import (
+    AndAssertion,
+    ContainsState,
+    EqualsSet,
+    SubsetOf,
+    SupersetOf,
+    AtLeast,
+    AtMost,
+    BigUnion,
+    ExistsValue,
+    ForallValue,
+    NotAssertion,
+    OrAssertion,
+    OTimes,
+    OTimesFamily,
+)
+from ..assertions.syntax import SynAssertion
+from ..errors import ProofError
+from ..lang.ast import Command
+
+
+@dataclass(frozen=True)
+class Triple:
+    """The judgment ``{pre} command {post}``."""
+
+    pre: Assertion
+    command: Command
+    post: Assertion
+    terminating: bool = False
+
+    def __post_init__(self):
+        if not isinstance(self.pre, Assertion):
+            raise ProofError("precondition is not an Assertion: %r" % (self.pre,))
+        if not isinstance(self.post, Assertion):
+            raise ProofError("postcondition is not an Assertion: %r" % (self.post,))
+        if not isinstance(self.command, Command):
+            raise ProofError("command is not a Command: %r" % (self.command,))
+
+    def __str__(self):
+        marker = "⊢⇓" if self.terminating else "⊢"
+        return "%s {%s} C {%s}" % (marker, self.pre.describe(), self.post.describe())
+
+
+@dataclass(frozen=True)
+class ProofNode:
+    """One rule application with its validated premises."""
+
+    rule: str
+    triple: Triple
+    premises: Tuple["ProofNode", ...] = ()
+    assumptions: Tuple[str, ...] = ()
+    note: str = ""
+
+    @property
+    def pre(self):
+        """Precondition of the conclusion."""
+        return self.triple.pre
+
+    @property
+    def post(self):
+        """Postcondition of the conclusion."""
+        return self.triple.post
+
+    @property
+    def command(self):
+        """Command of the conclusion."""
+        return self.triple.command
+
+    def all_assumptions(self):
+        """Every unchecked assumption in the whole derivation."""
+        out = list(self.assumptions)
+        for p in self.premises:
+            out.extend(p.all_assumptions())
+        return tuple(out)
+
+    def size(self):
+        """Number of rule applications in the derivation."""
+        return 1 + sum(p.size() for p in self.premises)
+
+    def rules_used(self):
+        """Multiset (dict) of rule names used in the derivation."""
+        out = {}
+
+        def walk(node):
+            out[node.rule] = out.get(node.rule, 0) + 1
+            for p in node.premises:
+                walk(p)
+
+        walk(self)
+        return out
+
+    def tree(self, indent=0):
+        """A printable derivation tree."""
+        pad = "  " * indent
+        lines = ["%s%s: %s" % (pad, self.rule, self.triple)]
+        for p in self.premises:
+            lines.append(p.tree(indent + 1))
+        return "\n".join(lines)
+
+
+def assertions_match(a, b):
+    """Structural matching of assertions for premise checks.
+
+    Identity always matches; syntactic assertions match structurally;
+    the library's combinator wrappers match recursively.  Semantic lambdas
+    match only by identity — bridge mismatches with the Cons rule.
+    """
+    if a is b:
+        return True
+    if isinstance(a, SynAssertion) and isinstance(b, SynAssertion):
+        return a == b
+    if isinstance(a, AndAssertion) and isinstance(b, AndAssertion):
+        return len(a.parts) == len(b.parts) and all(
+            assertions_match(x, y) for x, y in zip(a.parts, b.parts)
+        )
+    if isinstance(a, OrAssertion) and isinstance(b, OrAssertion):
+        return len(a.parts) == len(b.parts) and all(
+            assertions_match(x, y) for x, y in zip(a.parts, b.parts)
+        )
+    if isinstance(a, NotAssertion) and isinstance(b, NotAssertion):
+        return assertions_match(a.operand, b.operand)
+    if isinstance(a, OTimes) and isinstance(b, OTimes):
+        return assertions_match(a.left, b.left) and assertions_match(a.right, b.right)
+    if isinstance(a, OTimesFamily) and isinstance(b, OTimesFamily):
+        return (
+            a.family is b.family
+            and a.stable_from == b.stable_from
+            and a.period == b.period
+        )
+    if isinstance(a, (ExistsValue, ForallValue)) and type(a) is type(b):
+        return a.family is b.family and a.indices == b.indices
+    if isinstance(a, BigUnion) and isinstance(b, BigUnion):
+        return assertions_match(a.operand, b.operand)
+    if isinstance(a, AtLeast) and isinstance(b, AtLeast):
+        return assertions_match(a.operand, b.operand)
+    if isinstance(a, AtMost) and isinstance(b, AtMost):
+        return assertions_match(a.operand, b.operand) and a.universe == b.universe
+    if isinstance(a, FilterPre) and isinstance(b, FilterPre):
+        return a.cond == b.cond and assertions_match(a.operand, b.operand)
+    if isinstance(a, AssignPre) and isinstance(b, AssignPre):
+        return (
+            a.var == b.var
+            and a.expr == b.expr
+            and assertions_match(a.operand, b.operand)
+        )
+    if isinstance(a, HavocPre) and isinstance(b, HavocPre):
+        return a.var == b.var and assertions_match(a.operand, b.operand)
+    if isinstance(a, PartialEval) and isinstance(b, PartialEval):
+        return (
+            a.syn == b.syn
+            and a.sigma_env == b.sigma_env
+            and a.delta_env == b.delta_env
+        )
+    if isinstance(a, (ForallStateFam, ExistsStateFam)) and type(a) is type(b):
+        return a.family is b.family
+    if isinstance(a, (EqualsSet, SubsetOf, SupersetOf)) and type(a) is type(b):
+        return a.target == b.target
+    if isinstance(a, ContainsState) and isinstance(b, ContainsState):
+        return a.state == b.state
+    if isinstance(a, OTimesTagged) and isinstance(b, OTimesTagged):
+        return (
+            a.tag == b.tag
+            and assertions_match(a.left, b.left)
+            and assertions_match(a.right, b.right)
+        )
+    return False
+
+
+def require(condition, message):
+    """Raise :class:`ProofError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ProofError(message)
+
+
+def require_match(a, b, context):
+    """Raise unless :func:`assertions_match` holds."""
+    if not assertions_match(a, b):
+        raise ProofError(
+            "%s: assertions do not match (%s vs %s); insert a Cons step"
+            % (context, a.describe(), b.describe())
+        )
+
+
+def require_same_command(c1, c2, context):
+    """Raise unless the two commands are structurally equal."""
+    if c1 != c2:
+        raise ProofError("%s: premises talk about different commands" % context)

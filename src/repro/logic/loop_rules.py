@@ -1,0 +1,382 @@
+"""Rules for while loops and synchronized branching (Fig. 5).
+
+All four loop rules plus IfSync, with builder helpers exposing the exact
+premise pre/postcondition objects a caller must prove, so premise matching
+stays structural.
+
+- :func:`rule_while_desugared` — the fully general rule derived from Iter;
+- :func:`rule_while_sync` — synchronized control flow, natural invariants;
+- :func:`rule_if_sync` — synchronized branching;
+- :func:`rule_while_forall_exists` — While-∀*∃* for ``∀*∃*`` postconditions;
+- :func:`rule_while_exists` — While-∃ for top-level existentials
+  (the paper's first loop rule for ∃*∀*-hyperproperties).
+"""
+
+from ..assertions.derived import PartialEval
+from ..assertions.semantic import OTimesFamily
+from ..assertions.sugar import box, emp_s, low_pred
+from ..assertions.syntax import (
+    HLit,
+    SAnd,
+    SynAssertion,
+    exists_s,
+    pred_to_hyper,
+)
+from ..errors import ProofError
+from ..lang.ast import Assume, Seq
+from ..lang.expr import as_bexpr
+from ..lang.sugar import if_then, while_loop
+from .judgment import (
+    ProofNode,
+    Triple,
+    require,
+    require_match,
+    require_same_command,
+)
+
+
+# ---------------------------------------------------------------------------
+# WhileDesugared
+# ---------------------------------------------------------------------------
+
+
+def while_desugared_exit_pre(family, stable_from, period=1):
+    """The ``⨂_{n∈N} I_n`` precondition object for the exit premise."""
+    return OTimesFamily(family, stable_from, period)
+
+
+def rule_while_desugared(family, body_proofs, stable_from, exit_proof, cond, period=1):
+    """WhileDesugared (Fig. 5): from ``⊢{I_n} assume b; C {I_{n+1}}`` (all n)
+    and ``⊢{⨂_n I_n} assume !b {Q}``, conclude ``⊢{I_0} while(b){C} {Q}``.
+
+    ``body_proofs`` covers ``n = 0 … stable_from + period - 1`` with the
+    family eventually periodic (see
+    :func:`repro.logic.core_rules.rule_iter`).  Build the exit premise's
+    precondition with :func:`while_desugared_exit_pre` so it matches
+    structurally.
+    """
+    cond = as_bexpr(cond)
+    body_proofs = tuple(body_proofs)
+    require(
+        len(body_proofs) == stable_from + period, "WhileDesugared: premise count"
+    )
+    for r in range(period):
+        require_match(
+            family(stable_from + r),
+            family(stable_from + r + period),
+            "WhileDesugared periodicity",
+        )
+    guarded = body_proofs[0].command
+    require(
+        isinstance(guarded, Seq)
+        and isinstance(guarded.first, Assume)
+        and guarded.first.cond == cond,
+        "WhileDesugared: body premises must be about `assume b; C`",
+    )
+    body = guarded.second
+    for n, proof in enumerate(body_proofs):
+        require_same_command(guarded, proof.command, "WhileDesugared premise %d" % n)
+        require_match(proof.pre, family(n), "WhileDesugared premise %d pre" % n)
+        post_index = n + 1
+        if post_index >= stable_from + period:
+            post_index = stable_from + (post_index - stable_from) % period
+        require_match(
+            proof.post, family(post_index), "WhileDesugared premise %d post" % n
+        )
+    require(
+        isinstance(exit_proof.command, Assume)
+        and exit_proof.command.cond == cond.negate(),
+        "WhileDesugared: exit premise must be about `assume !b`",
+    )
+    require(
+        isinstance(exit_proof.pre, OTimesFamily)
+        and exit_proof.pre.family is family
+        and exit_proof.pre.stable_from == stable_from
+        and exit_proof.pre.period == period,
+        "WhileDesugared: exit premise precondition must be the ⨂ of the "
+        "same family (use while_desugared_exit_pre)",
+    )
+    triple = Triple(family(0), while_loop(cond, body), exit_proof.post)
+    return ProofNode(
+        "WhileDesugared", triple, body_proofs + (exit_proof,)
+    )
+
+
+# ---------------------------------------------------------------------------
+# WhileSync / IfSync
+# ---------------------------------------------------------------------------
+
+
+def while_sync_body_pre(invariant, cond):
+    """The ``I ∧ □b`` precondition object for the WhileSync body premise."""
+    return invariant & box(as_bexpr(cond))
+
+
+def while_sync_post(invariant, cond):
+    """The ``(I ∨ emp) ∧ □(!b)`` conclusion postcondition of WhileSync."""
+    return (invariant | emp_s) & box(as_bexpr(cond).negate())
+
+
+def rule_while_sync(invariant, cond, body_proof, oracle):
+    """WhileSync (Fig. 5)::
+
+        I |= low(b)     ⊢ {I ∧ □b} C {I}
+        --------------------------------------------
+        ⊢ {I} while (b) {C} {(I ∨ emp) ∧ □(!b)}
+
+    The ``emp`` disjunct covers non-termination; see
+    :func:`repro.logic.termination_rules.rule_while_sync_term` for the
+    terminating variant that drops it (App. E).
+    """
+    cond = as_bexpr(cond)
+    before = len(oracle.assumed)
+    oracle.require(invariant, low_pred(cond), "WhileSync: I |= low(b)")
+    assumed = tuple(
+        "%s: %s |= %s" % (ctx, p.describe(), q.describe())
+        for p, q, ctx in oracle.assumed[before:]
+    )
+    require_match(body_proof.pre, while_sync_body_pre(invariant, cond), "WhileSync body pre")
+    require_match(body_proof.post, invariant, "WhileSync body post")
+    triple = Triple(
+        invariant, while_loop(cond, body_proof.command), while_sync_post(invariant, cond)
+    )
+    return ProofNode("WhileSync", triple, (body_proof,), assumptions=assumed)
+
+
+def if_sync_then_pre(pre, cond):
+    """The ``P ∧ □b`` premise precondition of IfSync."""
+    return pre & box(as_bexpr(cond))
+
+
+def if_sync_else_pre(pre, cond):
+    """The ``P ∧ □(!b)`` premise precondition of IfSync."""
+    return pre & box(as_bexpr(cond).negate())
+
+
+def rule_if_sync(pre, cond, then_proof, else_proof, oracle):
+    """IfSync (Fig. 5)::
+
+        P |= low(b)   ⊢{P ∧ □b} C1 {Q}   ⊢{P ∧ □!b} C2 {Q}
+        ---------------------------------------------------
+        ⊢ {P} if (b) {C1} else {C2} {Q}
+    """
+    cond = as_bexpr(cond)
+    before = len(oracle.assumed)
+    oracle.require(pre, low_pred(cond), "IfSync: P |= low(b)")
+    assumed = tuple(
+        "%s: %s |= %s" % (ctx, p.describe(), q.describe())
+        for p, q, ctx in oracle.assumed[before:]
+    )
+    require_match(then_proof.pre, if_sync_then_pre(pre, cond), "IfSync then-pre")
+    require_match(else_proof.pre, if_sync_else_pre(pre, cond), "IfSync else-pre")
+    require_match(then_proof.post, else_proof.post, "IfSync posts")
+    from ..lang.sugar import if_then_else
+
+    triple = Triple(
+        pre,
+        if_then_else(cond, then_proof.command, else_proof.command),
+        then_proof.post,
+    )
+    return ProofNode("IfSync", triple, (then_proof, else_proof), assumptions=assumed)
+
+
+# ---------------------------------------------------------------------------
+# While-∀*∃*
+# ---------------------------------------------------------------------------
+
+
+def rule_while_forall_exists(invariant, cond, body_proof, exit_proof):
+    """While-∀*∃* (Fig. 5)::
+
+        ⊢{I} if (b) {C} {I}    ⊢{I} assume !b {Q}    no ∀⟨_⟩ after ∃ in Q
+        -----------------------------------------------------------------
+        ⊢ {I} while (b) {C} {Q}
+
+    The body premise is about the *one-armed conditional* ``if (b) {C}``,
+    so the invariant ranges over executions still in the loop *and*
+    executions that already exited — the paper's key idea for unaligned
+    control flow (Sect. 5.2).
+    """
+    cond = as_bexpr(cond)
+    require_match(body_proof.pre, invariant, "While-∀*∃* body pre")
+    require_match(body_proof.post, invariant, "While-∀*∃* body post")
+    conditional = body_proof.command
+    expected_shape = None
+    from ..lang.sugar import match_if_then_else
+    from ..lang.ast import Skip
+
+    m = match_if_then_else(conditional)
+    if m is not None and m[2] == Skip():
+        expected_shape = m
+    else:
+        # the one-armed sugar `(assume b; C) + assume !b`
+        from ..lang.ast import Choice
+
+        if (
+            isinstance(conditional, Choice)
+            and isinstance(conditional.left, Seq)
+            and isinstance(conditional.left.first, Assume)
+            and conditional.left.first.cond == cond
+            and isinstance(conditional.right, Assume)
+            and conditional.right.cond == cond.negate()
+        ):
+            expected_shape = (cond, conditional.left.second, None)
+    require(
+        expected_shape is not None and expected_shape[0] == cond,
+        "While-∀*∃*: body premise must be about `if (b) {C}`",
+    )
+    body = expected_shape[1]
+    require(
+        isinstance(exit_proof.command, Assume)
+        and exit_proof.command.cond == cond.negate(),
+        "While-∀*∃*: exit premise must be about `assume !b`",
+    )
+    require_match(exit_proof.pre, invariant, "While-∀*∃* exit pre")
+    post = exit_proof.post
+    require(
+        isinstance(post, SynAssertion),
+        "While-∀*∃*: the postcondition must be syntactic so the "
+        "quantifier-shape side condition is checkable",
+    )
+    require(
+        post.forall_not_after_exists(),
+        "While-∀*∃*: no ∀⟨_⟩ may occur after an ∃ in the postcondition "
+        "(the rule is unsound for top-level existentials — use While-∃)",
+    )
+    triple = Triple(invariant, while_loop(cond, body), post)
+    return ProofNode("While-∀*∃*", triple, (body_proof, exit_proof))
+
+
+# ---------------------------------------------------------------------------
+# While-∃
+# ---------------------------------------------------------------------------
+
+
+def while_exists_variant_pre(p_body, state, cond, variant, value):
+    """First-premise precondition for value ``v``::
+
+        ∃⟨φ⟩. P_φ ∧ b(φ) ∧ v = e(φ)
+    """
+    cond = as_bexpr(cond)
+    return exists_s(
+        state,
+        SAnd(p_body, SAnd(pred_to_hyper(cond, state), HLit(value).eq(variant))),
+    )
+
+
+def while_exists_variant_post(p_body, state, variant, value):
+    """First-premise postcondition for value ``v``::
+
+        ∃⟨φ⟩. P_φ ∧ e(φ) ≺ v
+
+    with ``a ≺ b  :=  0 ≤ a ∧ a < b`` (footnote 12 — well-founded on ℕ).
+    """
+    return exists_s(
+        state,
+        SAnd(p_body, SAnd(HLit(0).le(variant), variant.lt(HLit(value)))),
+    )
+
+
+def while_exists_fixed_pre(p_body, state, phi):
+    """Second-premise precondition ``P_φ`` for a concrete state ``φ``."""
+    return PartialEval(p_body, {state: phi})
+
+
+def while_exists_fixed_post(q_body, state, phi):
+    """Second-premise postcondition ``Q_φ`` for a concrete state ``φ``."""
+    return PartialEval(q_body, {state: phi})
+
+
+def rule_while_exists(
+    p_body,
+    q_body,
+    state,
+    cond,
+    variant,
+    variant_proofs,
+    fixed_proofs,
+    universe,
+):
+    """While-∃ (Fig. 5) — loops under a top-level existential::
+
+        ∀v. ⊢{∃⟨φ⟩. P_φ ∧ b(φ) ∧ v = e(φ)} if (b) {C} {∃⟨φ⟩. P_φ ∧ e(φ) ≺ v}
+        ∀φ. ⊢{P_φ} while (b) {C} {Q_φ}          ≺ well-founded
+        --------------------------------------------------------------------
+        ⊢ {∃⟨φ⟩. P_φ} while (b) {C} {∃⟨φ⟩. Q_φ}
+
+    ``p_body``/``q_body`` are syntactic assertions with the witness state
+    name ``state`` free; ``variant`` is a hyper-expression over that state
+    (the ``e(φ)`` whose ``≺``-descent forces the witness out of the loop).
+    ``variant_proofs`` maps each domain value ``v`` to its premise proof;
+    ``fixed_proofs`` maps each extended state of the universe to its
+    premise proof.  The well-founded order is fixed to ``<`` on ℕ.
+    """
+    cond = as_bexpr(cond)
+    require(isinstance(p_body, SynAssertion), "While-∃: P_φ must be syntactic")
+    require(isinstance(q_body, SynAssertion), "While-∃: Q_φ must be syntactic")
+    variant_proofs = dict(variant_proofs)
+    fixed_proofs = dict(fixed_proofs)
+    domain = universe.domain
+    require(
+        set(variant_proofs.keys()) >= set(domain.values),
+        "While-∃: first premise needs a proof for every domain value",
+    )
+    states = universe.ext_states()
+    require(
+        set(fixed_proofs.keys()) >= set(states),
+        "While-∃: second premise needs a proof for every universe state",
+    )
+    # shape-check the first premise family
+    sample = variant_proofs[domain.values[0]]
+    conditional = sample.command
+    for v in domain.values:
+        proof = variant_proofs[v]
+        require_same_command(conditional, proof.command, "While-∃ premise 1")
+        require_match(
+            proof.pre,
+            while_exists_variant_pre(p_body, state, cond, variant, v),
+            "While-∃ premise 1 pre (v=%r)" % (v,),
+        )
+        require_match(
+            proof.post,
+            while_exists_variant_post(p_body, state, variant, v),
+            "While-∃ premise 1 post (v=%r)" % (v,),
+        )
+    expected_conditional = if_then(cond, _extract_if_body(conditional, cond))
+    require(
+        conditional == expected_conditional,
+        "While-∃: first premise must be about `if (b) {C}`",
+    )
+    body = _extract_if_body(conditional, cond)
+    loop = while_loop(cond, body)
+    for phi in states:
+        proof = fixed_proofs[phi]
+        require_same_command(loop, proof.command, "While-∃ premise 2")
+        require_match(
+            proof.pre,
+            while_exists_fixed_pre(p_body, state, phi),
+            "While-∃ premise 2 pre",
+        )
+        require_match(
+            proof.post,
+            while_exists_fixed_post(q_body, state, phi),
+            "While-∃ premise 2 post",
+        )
+    triple = Triple(exists_s(state, p_body), loop, exists_s(state, q_body))
+    premises = tuple(variant_proofs.values()) + tuple(fixed_proofs.values())
+    return ProofNode("While-∃", triple, premises)
+
+
+def _extract_if_body(conditional, cond):
+    """Recover ``C`` from the desugared ``if (b) {C}``."""
+    from ..lang.ast import Choice
+
+    if (
+        isinstance(conditional, Choice)
+        and isinstance(conditional.left, Seq)
+        and isinstance(conditional.left.first, Assume)
+        and conditional.left.first.cond == cond
+        and isinstance(conditional.right, Assume)
+    ):
+        return conditional.left.second
+    raise ProofError("While-∃: expected a one-armed `if (b) {C}` premise command")

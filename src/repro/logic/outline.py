@@ -1,0 +1,84 @@
+"""Proof outlines: mechanized backward application of the syntactic rules.
+
+This is the engine behind the paper's proof-outline figures (Fig. 4,
+Fig. 6, Apps. F/G): given a loop-free straight-line command and a
+syntactic postcondition, compute the weakest syntactic precondition by
+chaining ``AssignS``/``HavocS``/``AssumeS``, and optionally bridge
+user-supplied annotations with Cons steps.
+"""
+
+from ..assertions.syntax import SynAssertion
+from ..errors import ProofError
+from ..lang.ast import Assign, Assume, Havoc, Seq, Skip
+from .core_rules import rule_cons, rule_seq, rule_skip
+from .syntactic_rules import rule_assign_s, rule_assume_s, rule_havoc_s
+
+
+def backward_proof(command, post):
+    """A proof of ``{wp(C, post)} C {post}`` via the Fig. 3 rules.
+
+    ``command`` must be loop-free straight-line code (Skip/Assign/Havoc/
+    Assume/Seq); ``post`` must be syntactic.
+    """
+    if not isinstance(post, SynAssertion):
+        raise ProofError("backward_proof needs a syntactic postcondition")
+    if isinstance(command, Skip):
+        return rule_skip(post)
+    if isinstance(command, Assign):
+        return rule_assign_s(post, command.var, command.expr)
+    if isinstance(command, Havoc):
+        return rule_havoc_s(post, command.var)
+    if isinstance(command, Assume):
+        return rule_assume_s(post, command.cond)
+    if isinstance(command, Seq):
+        second = backward_proof(command.second, post)
+        first = backward_proof(command.first, second.pre)
+        return rule_seq(first, second)
+    raise ProofError(
+        "backward_proof handles straight-line commands only; got %r "
+        "(use the loop rules for Iter/Choice)" % (command,)
+    )
+
+
+def wp_syntactic(command, post):
+    """The weakest syntactic precondition ``wp(C, post)``.
+
+    For straight-line code this is exactly the composition of the
+    Defs. 13–15 transformations.
+    """
+    return backward_proof(command, post).pre
+
+
+def verify_straightline(pre, command, post, oracle):
+    """Prove ``{pre} C {post}`` for straight-line ``C``: compute the
+    syntactic wp backward, then discharge ``pre |= wp`` via the oracle.
+
+    Returns the proof (backward chain + one Cons at the top).
+    """
+    chain = backward_proof(command, post)
+    return rule_cons(pre, post, chain, oracle, "outline entailment")
+
+
+def replay_outline(pre, annotated_steps, oracle):
+    """Replay a paper-style proof outline.
+
+    ``annotated_steps`` is a list of ``(command, annotation)`` pairs read
+    top to bottom, exactly like the figures: each annotation is the
+    asserted intermediate condition *after* its command.  Each segment is
+    proved by backward wp + a Cons bridging the previous annotation, and
+    the segments are folded with Seq.
+
+    Returns the proof of ``{pre} C1; …; Cn {last annotation}``.
+    """
+    if not annotated_steps:
+        raise ProofError("replay_outline needs at least one step")
+    proofs = []
+    current_pre = pre
+    for command, annotation in annotated_steps:
+        segment = verify_straightline(current_pre, command, annotation, oracle)
+        proofs.append(segment)
+        current_pre = annotation
+    out = proofs[0]
+    for segment in proofs[1:]:
+        out = rule_seq(out, segment)
+    return out

@@ -1,0 +1,50 @@
+"""The syntactic rules of Fig. 3: AssignS, HavocS, AssumeS.
+
+These restrict pre/postconditions to the Def. 9 fragment and compute the
+precondition by pure substitution (Defs. 13–15) — no set comprehensions,
+no semantic reasoning.  They are derived rules: each is semantically
+subsumed by its core counterpart, which the oracle tests verify.
+"""
+
+from ..assertions.syntax import SynAssertion
+from ..assertions.transform import assign_transform, assume_transform, havoc_transform
+from ..errors import ProofError
+from ..lang.ast import Assign, Assume, Havoc
+from ..lang.expr import as_bexpr, as_expr
+from .judgment import ProofNode, Triple
+
+
+def _require_syntactic(assertion, rule):
+    if not isinstance(assertion, SynAssertion):
+        raise ProofError(
+            "%s applies only to syntactic hyper-assertions (Def. 9); "
+            "got %r" % (rule, assertion)
+        )
+
+
+def rule_assign_s(post, var, expr):
+    """AssignS: ``⊢ {A_x^e[P]} x := e {P}`` (Def. 13)."""
+    _require_syntactic(post, "AssignS")
+    expr = as_expr(expr)
+    pre = assign_transform(post, var, expr)
+    return ProofNode("AssignS", Triple(pre, Assign(var, expr), post, terminating=True))
+
+
+def rule_havoc_s(post, var):
+    """HavocS: ``⊢ {H_x[P]} x := nonDet() {P}`` (Def. 14)."""
+    _require_syntactic(post, "HavocS")
+    pre = havoc_transform(post, var)
+    return ProofNode("HavocS", Triple(pre, Havoc(var), post, terminating=True))
+
+
+def rule_assume_s(post, cond):
+    """AssumeS: ``⊢ {Π_b[P]} assume b {P}`` (Def. 15).
+
+    Note the resulting triple is *not* marked terminating: ``assume``
+    drops executions, which is exactly what terminating triples must not
+    hide (App. E.1).
+    """
+    _require_syntactic(post, "AssumeS")
+    cond = as_bexpr(cond)
+    pre = assume_transform(post, cond)
+    return ProofNode("AssumeS", Triple(pre, Assume(cond), post))

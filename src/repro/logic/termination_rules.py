@@ -1,0 +1,140 @@
+"""Termination-based rules (App. E, Fig. 14).
+
+Terminating hyper-triples ``⊢⇓ {P} C {Q}`` (Def. 24) additionally promise
+that every initial state has at least one terminating execution.  That
+extra knowledge buys two rules the plain logic cannot have:
+
+- :func:`rule_frame` — frame *any* syntactic assertion, including
+  ``∃⟨_⟩`` (FrameSafe must forbid those);
+- :func:`rule_while_sync_term` — WhileSync without the ``emp`` disjunct,
+  unlocked by a variant that strictly decreases every iteration, which is
+  what ∃⁺∀*-postconditions need.
+
+Atomic commands other than ``assume`` always terminate, so their rule
+constructors already produce ``terminating=True`` triples; Seq/Choice/
+Exist/Cons propagate the flag.
+"""
+
+from ..assertions.sugar import box, low_pred
+from ..assertions.syntax import (
+    HLit,
+    HLog,
+    SAnd,
+    SynAssertion,
+    forall_s,
+    pred_to_hyper,
+    prog_to_hyper,
+)
+from ..errors import ProofError, SideConditionError
+from ..lang.analysis import written_vars
+from ..lang.expr import as_bexpr, as_expr
+from ..lang.sugar import while_loop
+from .judgment import ProofNode, Triple, require, require_match
+
+
+def rule_frame(proof, frame):
+    """Frame (Fig. 14): ``⊢⇓{P ∧ F} C {Q ∧ F}`` for any syntactic ``F``
+    with ``wr(C) ∩ fv(F) = ∅`` — existentials included, because the
+    premise guarantees executions do not vanish."""
+    require(
+        proof.triple.terminating,
+        "Frame: the premise must be a terminating triple (⊢⇓); "
+        "use FrameSafe for plain triples",
+    )
+    require(isinstance(frame, SynAssertion), "Frame: frame must be syntactic")
+    overlap = written_vars(proof.command) & frame.free_prog_vars()
+    if overlap:
+        raise SideConditionError(
+            "Frame: frame reads variables written by C: %s" % sorted(overlap)
+        )
+    pre = proof.pre & frame
+    post = proof.post & frame
+    return ProofNode(
+        "Frame", Triple(pre, proof.command, post, terminating=True), (proof,)
+    )
+
+
+def _variant_eq_tag(variant, tag_log, state="φv"):
+    """``□(e = t^L)`` — every state's variant equals its logical tag."""
+    return forall_s(state, prog_to_hyper(variant, state).eq(HLog(state, tag_log)))
+
+
+def _variant_decreases(variant, tag_log, state="φv"):
+    """``□(e ≺ t^L)`` with ``a ≺ b := 0 ≤ a ∧ a < b``."""
+    e = prog_to_hyper(variant, state)
+    return forall_s(state, SAnd(HLit(0).le(e), e.lt(HLog(state, tag_log))))
+
+
+def _guard_and_tag(cond, variant, tag_log, state="φv"):
+    """``□(b ∧ e = t^L)``."""
+    e = prog_to_hyper(variant, state)
+    return forall_s(
+        state, SAnd(pred_to_hyper(cond, state), e.eq(HLog(state, tag_log)))
+    )
+
+
+def while_sync_term_body_pre(invariant, cond, variant, tag_log):
+    """The body-premise precondition ``I ∧ □(b ∧ e = t^L)``."""
+    return invariant & _guard_and_tag(as_bexpr(cond), as_expr(variant), tag_log)
+
+
+def while_sync_term_body_post(invariant, cond, variant, tag_log):
+    """The body-premise postcondition ``I ∧ low(b) ∧ □(e ≺ t^L)``."""
+    return (
+        invariant
+        & low_pred(as_bexpr(cond))
+        & _variant_decreases(as_expr(variant), tag_log)
+    )
+
+
+def rule_while_sync_term(invariant, cond, body_proof, variant, tag_log):
+    """WhileSyncTerm (Fig. 14)::
+
+        ⊢⇓ {I ∧ □(b ∧ e = t^L)} C {I ∧ low(b) ∧ □(e ≺ t^L)}
+        ≺ well-founded      t^L ∉ fv(I)
+        ---------------------------------------------------
+        ⊢⇓ {I ∧ low(b)} while (b) {C} {I ∧ □(!b)}
+
+    No ``emp`` disjunct: the variant forces termination, so the rule can
+    prove ∃⁺∀*-postconditions through loops.  ``≺`` is fixed to ``<`` on
+    the naturals (well-founded); ``t^L`` is the logical variable that
+    snapshots the variant at the top of each iteration.
+    """
+    cond = as_bexpr(cond)
+    variant = as_expr(variant)
+    require(
+        body_proof.triple.terminating,
+        "WhileSyncTerm: the body premise must be a terminating triple",
+    )
+    if isinstance(invariant, SynAssertion):
+        if tag_log in frozenset(v for _, v in invariant.log_lookups()):
+            raise SideConditionError(
+                "WhileSyncTerm: invariant mentions the variant tag %r" % tag_log
+            )
+    require_match(
+        body_proof.pre,
+        while_sync_term_body_pre(invariant, cond, variant, tag_log),
+        "WhileSyncTerm body pre",
+    )
+    require_match(
+        body_proof.post,
+        while_sync_term_body_post(invariant, cond, variant, tag_log),
+        "WhileSyncTerm body post",
+    )
+    pre = invariant & low_pred(cond)
+    post = invariant & box(cond.negate())
+    triple = Triple(pre, while_loop(cond, body_proof.command), post, terminating=True)
+    return ProofNode("WhileSyncTerm", triple, (body_proof,))
+
+
+def assert_terminating(proof):
+    """Raise unless the proof concludes a terminating triple.
+
+    Helper for callers composing App. E reasoning.
+    """
+    if not proof.triple.terminating:
+        raise ProofError(
+            "expected a terminating (⊢⇓) proof, got a plain one for %s"
+            % proof.triple
+        )
+    return proof

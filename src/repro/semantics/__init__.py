@@ -1,0 +1,31 @@
+"""Program semantics: states, big-step execution, and the extended
+semantics ``sem(C, S)`` of Def. 4.
+
+Everything is computed *exactly* over finite reachable state spaces: the
+big-step relation for ``C*`` is the least fixpoint of the body relation,
+obtained by breadth-first closure (with a safety cap for genuinely
+divergent reachable sets).
+"""
+
+from .state import State, ExtState, ext_state
+from .bigstep import post_states, run_deterministic
+from .extended import sem, sem_iterate, reachable_under_iteration
+from .termination import (
+    has_terminating_execution,
+    all_can_terminate,
+    terminating_subset,
+)
+
+__all__ = [
+    "State",
+    "ExtState",
+    "ext_state",
+    "post_states",
+    "run_deterministic",
+    "sem",
+    "sem_iterate",
+    "reachable_under_iteration",
+    "has_terminating_execution",
+    "all_can_terminate",
+    "terminating_subset",
+]

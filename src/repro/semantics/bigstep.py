@@ -1,0 +1,89 @@
+"""Big-step operational semantics (Fig. 9, App. A).
+
+``post_states(C, σ, domain)`` computes the *complete* set
+``{σ' | ⟨C, σ⟩ → σ'}`` of final states reachable from ``σ``:
+
+- ``x := nonDet()`` ranges over the given finite ``domain``;
+- ``assume b`` yields ``{σ}`` when ``b(σ)`` holds and ``{}`` otherwise
+  (the semantics "gets stuck");
+- ``C*`` is the reflexive-transitive closure of the body relation,
+  computed by breadth-first fixpoint.
+
+Values produced by assignments are *not* clamped to the domain — the
+domain only bounds non-deterministic choice.  The fixpoint for ``C*``
+therefore terminates exactly when the set of states reachable through the
+loop body is finite, which holds for every program in the paper (their
+loops are guarded).  A ``max_states`` cap turns genuine divergence of the
+reachable set into a loud error instead of a hang.
+"""
+
+from ..errors import EvaluationError
+from ..lang.ast import Assign, Assume, Choice, Havoc, Iter, Seq, Skip
+
+
+def post_states(command, sigma, domain, max_states=100000):
+    """All final program states of ``command`` started in ``sigma``.
+
+    Returns a ``frozenset`` of :class:`~repro.semantics.state.State`.
+    An empty result means no execution terminates (e.g. a failed assume).
+    """
+    return _post(command, sigma, domain, max_states)
+
+
+def _post(command, sigma, domain, max_states):
+    if isinstance(command, Skip):
+        return frozenset((sigma,))
+    if isinstance(command, Assign):
+        return frozenset((sigma.set(command.var, command.expr.eval(sigma)),))
+    if isinstance(command, Havoc):
+        return frozenset(sigma.set(command.var, v) for v in domain)
+    if isinstance(command, Assume):
+        return frozenset((sigma,)) if command.cond.eval(sigma) else frozenset()
+    if isinstance(command, Seq):
+        out = set()
+        for mid in _post(command.first, sigma, domain, max_states):
+            out |= _post(command.second, mid, domain, max_states)
+            _check_cap(out, max_states)
+        return frozenset(out)
+    if isinstance(command, Choice):
+        return _post(command.left, sigma, domain, max_states) | _post(
+            command.right, sigma, domain, max_states
+        )
+    if isinstance(command, Iter):
+        # Least fixpoint: states reachable by any finite number of body runs.
+        seen = {sigma}
+        frontier = [sigma]
+        while frontier:
+            nxt = []
+            for s in frontier:
+                for s2 in _post(command.body, s, domain, max_states):
+                    if s2 not in seen:
+                        seen.add(s2)
+                        nxt.append(s2)
+            _check_cap(seen, max_states)
+            frontier = nxt
+        return frozenset(seen)
+    raise TypeError("not a command: %r" % (command,))
+
+
+def _check_cap(collection, max_states):
+    if len(collection) > max_states:
+        raise EvaluationError(
+            "reachable state space exceeded %d states; "
+            "the iterated body likely diverges" % max_states
+        )
+
+
+def run_deterministic(command, sigma, domain):
+    """Run a command expected to have exactly one final state.
+
+    Raises :class:`EvaluationError` if the command is non-deterministic
+    from ``sigma`` (zero or several final states).  Useful in tests and
+    examples for straight-line deterministic code.
+    """
+    outs = post_states(command, sigma, domain)
+    if len(outs) != 1:
+        raise EvaluationError(
+            "expected a single final state, got %d" % len(outs)
+        )
+    return next(iter(outs))

@@ -1,0 +1,106 @@
+"""The extended semantics ``sem(C, S)`` of Def. 4.
+
+``sem(C, S)`` lifts the big-step relation to sets of *extended* states:
+
+    sem(C, S) = { φ | ∃σ. (φ_L, σ) ∈ S  ∧  ⟨C, σ⟩ → φ_P }
+
+Logical states travel through executions unchanged, which is what makes
+logical variables usable as execution tags (Sect. 2.2).
+
+The algebraic properties of Lemma 1 (union-distribution, monotonicity,
+``sem(C1; C2, S) = sem(C2, sem(C1, S))``, etc.) hold by construction and
+are property-tested in ``tests/semantics/test_lemma1.py``.
+"""
+
+from ..lang.ast import Seq
+from .bigstep import post_states
+from .state import ExtState
+
+
+def sem(command, states, domain, max_states=100000):
+    """``sem(C, S)`` — extended states reachable from ``S`` (Def. 4).
+
+    ``states`` is any iterable of :class:`ExtState`; the result is a
+    ``frozenset`` of :class:`ExtState`.
+    """
+    cache = {}
+    out = set()
+    for phi in states:
+        key = phi.prog
+        finals = cache.get(key)
+        if finals is None:
+            finals = post_states(command, phi.prog, domain, max_states)
+            cache[key] = finals
+        log = phi.log
+        for sigma2 in finals:
+            out.add(ExtState(log, sigma2))
+    return frozenset(out)
+
+
+def sem_iterate(command, states, domain, n, max_states=100000):
+    """``sem(C^n, S)`` — exactly ``n`` sequential copies of ``C``.
+
+    ``C^0`` is ``skip`` so ``sem_iterate(C, S, d, 0) == frozenset(S)``.
+    Used by the Iter rule's indexed invariants (Def. 7) and by tests of
+    Lemma 1(7).
+    """
+    current = frozenset(states)
+    for _ in range(n):
+        current = sem(command, current, domain, max_states)
+    return current
+
+
+def reachable_under_iteration(command, states, domain, max_states=100000):
+    """The pairs ``(n, sem(C^n, S))`` until the accumulated union stops
+    growing, returned as a list.
+
+    Over a finite reachable space the union ``⋃_n sem(C^n, S)`` — which is
+    ``sem(C*, S)`` by Lemma 1(7) — stabilizes at some finite index; this
+    helper exposes the whole prefix, which the ``WhileDesugared`` checks
+    and the completeness construction both need.
+
+    Note the individual layers ``sem(C^n, S)`` may keep cycling after the
+    union has stabilized; we stop once every state of layer ``n`` has been
+    seen before, which is exactly when the union is complete.
+    """
+    layers = []
+    seen = set()
+    seen_layers = set()
+    current = frozenset(states)
+    n = 0
+    while True:
+        layers.append((n, current))
+        seen |= current
+        seen_layers.add(current)
+        if len(seen) > max_states:
+            raise RuntimeError("iteration union exceeded %d states" % max_states)
+        nxt = sem(command, current, domain, max_states)
+        if nxt in seen_layers and nxt <= seen:
+            break
+        current = nxt
+        n += 1
+    return layers
+
+
+def sem_star_via_layers(command, states, domain, max_states=100000):
+    """``sem(C*, S)`` computed as the stabilized union of the layers.
+
+    Semantically equal to ``sem(Iter(C), S, domain)``; exists so tests can
+    cross-check the two computations (Lemma 1(7)).
+    """
+    union = set()
+    for _, layer in reachable_under_iteration(command, states, domain, max_states):
+        union |= layer
+    return frozenset(union)
+
+
+def sem_seq_n(command, n):
+    """The command ``C^n = C; ...; C`` (``skip`` when ``n == 0``)."""
+    from ..lang.ast import Skip
+
+    if n == 0:
+        return Skip()
+    out = command
+    for _ in range(n - 1):
+        out = Seq(out, command)
+    return out

@@ -1,0 +1,50 @@
+"""Termination queries (App. E).
+
+Terminating hyper-triples (Def. 24) strengthen plain triples with
+"every initial state has at least one terminating execution":
+
+    |=⇓ {P} C {Q}  :=  ∀S. P(S) ⇒ Q(sem(C,S)) ∧ (∀φ ∈ S. ∃σ'. ⟨C, φ_P⟩ → σ')
+
+Because the big-step fixpoint computes the *complete* set of reachable
+final states, "has a terminating execution" is simply "the set of final
+states is non-empty".
+"""
+
+from .bigstep import post_states
+
+
+def has_terminating_execution(command, sigma, domain, max_states=100000):
+    """True iff some execution of ``command`` from ``sigma`` terminates."""
+    return bool(post_states(command, sigma, domain, max_states))
+
+
+def all_can_terminate(command, states, domain, max_states=100000):
+    """True iff every extended state in ``states`` can reach a final state.
+
+    This is the extra conjunct of Def. 24.
+    """
+    cache = {}
+    for phi in states:
+        key = phi.prog
+        ok = cache.get(key)
+        if ok is None:
+            ok = has_terminating_execution(command, phi.prog, domain, max_states)
+            cache[key] = ok
+        if not ok:
+            return False
+    return True
+
+
+def terminating_subset(command, states, domain, max_states=100000):
+    """The extended states of ``states`` that can reach a final state."""
+    cache = {}
+    out = set()
+    for phi in states:
+        key = phi.prog
+        ok = cache.get(key)
+        if ok is None:
+            ok = has_terminating_execution(command, phi.prog, domain, max_states)
+            cache[key] = ok
+        if ok:
+            out.add(phi)
+    return frozenset(out)

@@ -1,0 +1,145 @@
+"""Grounding syntactic hyper-assertions into propositional logic.
+
+Over a finite universe ``U`` of extended states, a set ``S ⊆ U`` is
+described by one Boolean *membership atom* per state.  A Def. 9 assertion
+grounds as:
+
+- ``∀⟨φ⟩. A``  ⟶  ``⋀_{u∈U} (m_u → ⟦A⟧[φ:=u])``
+- ``∃⟨φ⟩. A``  ⟶  ``⋁_{u∈U} (m_u ∧ ⟦A⟧[φ:=u])``
+- value quantifiers expand over the finite domain,
+- closed atomic comparisons evaluate to constants.
+
+``P |= Q`` then reduces to UNSAT of ``⟦P⟧ ∧ ¬⟦Q⟧`` — the same shape of
+reduction the Hypra verifier performs with Z3, here with our own DPLL.
+"""
+
+from ..assertions.base import Assertion
+from ..assertions.semantic import AndAssertion, NotAssertion, OrAssertion
+from ..assertions.syntax import (
+    SAnd,
+    SBool,
+    SCmp,
+    SExistsState,
+    SExistsVal,
+    SForallState,
+    SForallVal,
+    SOr,
+    SynAssertion,
+)
+from .formula import FFalse, FTrue, f_or, fand, fnot, fvar
+from .sat import solve_formula
+
+
+class Unsupported(Exception):
+    """Raised when an assertion is outside the groundable fragment."""
+
+
+def _membership_atom(state):
+    return ("member", state)
+
+
+def ground_assertion(assertion, universe, domain, sigma_env=None, delta_env=None):
+    """Ground ``assertion`` to a propositional formula over membership atoms.
+
+    ``universe`` is the tuple of all extended states; the resulting
+    formula's atoms are ``("member", φ)`` pairs.
+    """
+    sigma_env = dict(sigma_env or {})
+    delta_env = dict(delta_env or {})
+    return _ground(assertion, tuple(universe), domain, sigma_env, delta_env)
+
+
+def _ground(node, universe, domain, sigma_env, delta_env):
+    # semantic combinator wrappers around syntactic parts remain groundable
+    if isinstance(node, AndAssertion):
+        return fand(*(_ground(p, universe, domain, sigma_env, delta_env) for p in node.parts))
+    if isinstance(node, OrAssertion):
+        return f_or(*(_ground(p, universe, domain, sigma_env, delta_env) for p in node.parts))
+    if isinstance(node, NotAssertion):
+        return fnot(_ground(node.operand, universe, domain, sigma_env, delta_env))
+    if not isinstance(node, SynAssertion):
+        raise Unsupported("cannot ground %r" % (node,))
+
+    if isinstance(node, SBool):
+        return FTrue() if node.value else FFalse()
+    if isinstance(node, SCmp):
+        return FTrue() if node.eval(frozenset(), sigma_env, delta_env, domain) else FFalse()
+    if isinstance(node, SAnd):
+        return fand(
+            _ground(node.left, universe, domain, sigma_env, delta_env),
+            _ground(node.right, universe, domain, sigma_env, delta_env),
+        )
+    if isinstance(node, SOr):
+        return f_or(
+            _ground(node.left, universe, domain, sigma_env, delta_env),
+            _ground(node.right, universe, domain, sigma_env, delta_env),
+        )
+    if isinstance(node, SForallVal):
+        parts = []
+        for v in domain:
+            d2 = dict(delta_env)
+            d2[node.var] = v
+            parts.append(_ground(node.body, universe, domain, sigma_env, d2))
+        return fand(*parts)
+    if isinstance(node, SExistsVal):
+        parts = []
+        for v in domain:
+            d2 = dict(delta_env)
+            d2[node.var] = v
+            parts.append(_ground(node.body, universe, domain, sigma_env, d2))
+        return f_or(*parts)
+    if isinstance(node, SForallState):
+        parts = []
+        for u in universe:
+            s2 = dict(sigma_env)
+            s2[node.state] = u
+            body = _ground(node.body, universe, domain, s2, delta_env)
+            parts.append(f_or(fnot(fvar(_membership_atom(u))), body))
+        return fand(*parts)
+    if isinstance(node, SExistsState):
+        parts = []
+        for u in universe:
+            s2 = dict(sigma_env)
+            s2[node.state] = u
+            body = _ground(node.body, universe, domain, s2, delta_env)
+            parts.append(fand(fvar(_membership_atom(u)), body))
+        return f_or(*parts)
+    raise Unsupported("cannot ground %r" % (node,))
+
+
+def entails_sat(pre, post, universe, domain):
+    """Decide ``pre |= post`` over subsets of ``universe`` via SAT.
+
+    Encodes ``⟦pre⟧ ∧ ¬⟦post⟧`` and reports entailment iff it is UNSAT.
+    Raises :class:`Unsupported` when either side cannot be grounded.
+    """
+    if not isinstance(pre, Assertion) or not isinstance(post, Assertion):
+        raise Unsupported("operands must be assertions")
+    universe = tuple(universe)
+    query = fand(
+        ground_assertion(pre, universe, domain),
+        fnot(ground_assertion(post, universe, domain)),
+    )
+    return solve_formula(query) is None
+
+
+def entailment_model(pre, post, universe, domain):
+    """A counterexample set ``S`` with ``pre(S) ∧ ¬post(S)`` via SAT.
+
+    Returns a frozenset of extended states, or ``None`` when entailed.
+    """
+    universe = tuple(universe)
+    query = fand(
+        ground_assertion(pre, universe, domain),
+        fnot(ground_assertion(post, universe, domain)),
+    )
+    model = solve_formula(query)
+    if model is None:
+        return None
+    return frozenset(u for u in universe if model.get(_membership_atom(u), False))
+
+
+def satisfiable_sat(assertion, universe, domain):
+    """Whether some subset of ``universe`` satisfies ``assertion`` (SAT)."""
+    universe = tuple(universe)
+    return solve_formula(ground_assertion(assertion, universe, domain)) is not None

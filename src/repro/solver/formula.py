@@ -1,0 +1,169 @@
+"""Propositional formulas.
+
+Atoms are identified by arbitrary hashable names.  Constructors perform
+light simplification (constant folding, flattening) so that grounded
+hyper-assertions stay small.
+"""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class Formula:
+    """Abstract base of propositional formulas."""
+
+    def evaluate(self, assignment):
+        """Truth value under ``assignment`` (dict name -> bool)."""
+        raise NotImplementedError
+
+    def atoms(self):
+        """The set of atom names occurring in the formula."""
+        raise NotImplementedError
+
+    def __and__(self, other):
+        return fand(self, other)
+
+    def __or__(self, other):
+        return f_or(self, other)
+
+    def __invert__(self):
+        return fnot(self)
+
+
+@dataclass(frozen=True)
+class FTrue(Formula):
+    """The constant ``true``."""
+
+    def evaluate(self, assignment):
+        return True
+
+    def atoms(self):
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class FFalse(Formula):
+    """The constant ``false``."""
+
+    def evaluate(self, assignment):
+        return False
+
+    def atoms(self):
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class FVar(Formula):
+    """An atom."""
+
+    name: object
+
+    def evaluate(self, assignment):
+        return bool(assignment[self.name])
+
+    def atoms(self):
+        return frozenset((self.name,))
+
+
+@dataclass(frozen=True)
+class FNot(Formula):
+    """Negation."""
+
+    operand: Formula
+
+    def evaluate(self, assignment):
+        return not self.operand.evaluate(assignment)
+
+    def atoms(self):
+        return self.operand.atoms()
+
+
+@dataclass(frozen=True)
+class FAnd(Formula):
+    """N-ary conjunction."""
+
+    parts: Tuple[Formula, ...]
+
+    def evaluate(self, assignment):
+        return all(p.evaluate(assignment) for p in self.parts)
+
+    def atoms(self):
+        out = frozenset()
+        for p in self.parts:
+            out |= p.atoms()
+        return out
+
+
+@dataclass(frozen=True)
+class FOr(Formula):
+    """N-ary disjunction."""
+
+    parts: Tuple[Formula, ...]
+
+    def evaluate(self, assignment):
+        return any(p.evaluate(assignment) for p in self.parts)
+
+    def atoms(self):
+        out = frozenset()
+        for p in self.parts:
+            out |= p.atoms()
+        return out
+
+
+def fvar(name):
+    """Atom constructor."""
+    return FVar(name)
+
+
+def fnot(operand):
+    """Simplifying negation."""
+    if isinstance(operand, FTrue):
+        return FFalse()
+    if isinstance(operand, FFalse):
+        return FTrue()
+    if isinstance(operand, FNot):
+        return operand.operand
+    return FNot(operand)
+
+
+def fand(*parts):
+    """Simplifying, flattening conjunction."""
+    flat = []
+    for p in parts:
+        if isinstance(p, FTrue):
+            continue
+        if isinstance(p, FFalse):
+            return FFalse()
+        if isinstance(p, FAnd):
+            flat.extend(p.parts)
+        else:
+            flat.append(p)
+    if not flat:
+        return FTrue()
+    if len(flat) == 1:
+        return flat[0]
+    return FAnd(tuple(flat))
+
+
+def f_or(*parts):
+    """Simplifying, flattening disjunction."""
+    flat = []
+    for p in parts:
+        if isinstance(p, FFalse):
+            continue
+        if isinstance(p, FTrue):
+            return FTrue()
+        if isinstance(p, FOr):
+            flat.extend(p.parts)
+        else:
+            flat.append(p)
+    if not flat:
+        return FFalse()
+    if len(flat) == 1:
+        return flat[0]
+    return FOr(tuple(flat))
+
+
+def fimplies(a, b):
+    """``a ⇒ b``."""
+    return f_or(fnot(a), b)

@@ -1,0 +1,120 @@
+"""A DPLL SAT solver.
+
+Classic DPLL: exhaustive unit propagation, pure-literal elimination at the
+root, and recursive splitting on the most frequent unassigned literal.
+Deliberately simple — the grounded entailment queries this library
+produces are small (hundreds of variables), and the solver is
+cross-validated against brute-force truth-table enumeration in
+``tests/solver/test_sat.py``.
+"""
+
+from collections import defaultdict
+
+from ..errors import SolverError
+
+
+class SATSolver:
+    """Decide satisfiability of a CNF given as integer-literal clauses."""
+
+    def __init__(self, clauses, num_vars):
+        self.num_vars = num_vars
+        self.clauses = []
+        for clause in clauses:
+            clause = tuple(dict.fromkeys(clause))
+            if any(-lit in clause for lit in clause):
+                continue  # tautology
+            self.clauses.append(clause)
+        self.stats = {"decisions": 0, "propagations": 0}
+
+    def solve(self, max_decisions=5_000_000):
+        """A satisfying assignment ``{var: bool}`` or ``None`` if UNSAT."""
+        self._max_decisions = max_decisions
+        result = self._search({})
+        if result is None:
+            return None
+        # complete the assignment for unconstrained variables
+        for v in range(1, self.num_vars + 1):
+            result.setdefault(v, False)
+        return result
+
+    # -- internals ----------------------------------------------------------
+
+    def _search(self, assign):
+        assign = self._propagate(assign)
+        if assign is None:
+            return None
+        lit = self._choose_literal(assign)
+        if lit is None:
+            return assign
+        self.stats["decisions"] += 1
+        if self.stats["decisions"] > self._max_decisions:
+            raise SolverError("decision budget exhausted")
+        for choice in (lit, -lit):
+            trial = dict(assign)
+            trial[abs(choice)] = choice > 0
+            result = self._search(trial)
+            if result is not None:
+                return result
+        return None
+
+    def _propagate(self, assign):
+        """Unit propagation to fixpoint; None on conflict."""
+        assign = dict(assign)
+        changed = True
+        while changed:
+            changed = False
+            for clause in self.clauses:
+                unassigned = None
+                satisfied = False
+                count = 0
+                for lit in clause:
+                    value = assign.get(abs(lit))
+                    if value is None:
+                        unassigned = lit
+                        count += 1
+                        if count > 1:
+                            break
+                    elif value == (lit > 0):
+                        satisfied = True
+                        break
+                if satisfied:
+                    continue
+                if count == 0:
+                    return None  # conflict
+                if count == 1:
+                    assign[abs(unassigned)] = unassigned > 0
+                    self.stats["propagations"] += 1
+                    changed = True
+        return assign
+
+    def _choose_literal(self, assign):
+        counts = defaultdict(int)
+        for clause in self.clauses:
+            if any(assign.get(abs(lit)) == (lit > 0) for lit in clause):
+                continue
+            for lit in clause:
+                if abs(lit) not in assign:
+                    counts[lit] += 1
+        if not counts:
+            return None
+        return max(counts, key=counts.get)
+
+
+def solve_cnf(cnf):
+    """Solve a :class:`~repro.solver.cnf.CNF`; returns assignment or None."""
+    solver = SATSolver(cnf.clauses, cnf.num_vars)
+    return solver.solve()
+
+
+def solve_formula(formula):
+    """Satisfiability of a propositional formula.
+
+    Returns an atom assignment (dict) or ``None`` when unsatisfiable.
+    """
+    from .cnf import tseitin
+
+    cnf = tseitin(formula)
+    model = solve_cnf(cnf)
+    if model is None:
+        return None
+    return cnf.decode(model)

@@ -1,0 +1,70 @@
+"""Small shared utilities (set enumeration, fresh names)."""
+
+from itertools import combinations
+
+
+def iter_subsets(universe, min_size=0, max_size=None):
+    """Yield all subsets of ``universe`` as frozensets, smallest first.
+
+    ``universe`` may be any iterable; ``max_size`` bounds the subset size
+    (defaults to ``len(universe)``).  The number of subsets is
+    ``2**len(universe)`` — callers are expected to keep universes tiny.
+    """
+    items = list(universe)
+    if max_size is None:
+        max_size = len(items)
+    for k in range(min_size, max_size + 1):
+        for combo in combinations(items, k):
+            yield frozenset(combo)
+
+
+def iter_nonempty_subsets(universe, max_size=None):
+    """Like :func:`iter_subsets` but skipping the empty set."""
+    return iter_subsets(universe, min_size=1, max_size=max_size)
+
+
+def iter_splits(states):
+    """Yield all pairs ``(S1, S2)`` with ``S1 ∪ S2 == states``.
+
+    This enumerates the ``3**n`` ways of assigning each element to the
+    left part, the right part, or both — the witness space of the ``⊗``
+    operator (Def. 6).
+    """
+    items = list(states)
+    n = len(items)
+    for mask in range(3 ** n):
+        left, right = [], []
+        m = mask
+        for item in items:
+            part = m % 3
+            m //= 3
+            if part == 0:
+                left.append(item)
+            elif part == 1:
+                right.append(item)
+            else:
+                left.append(item)
+                right.append(item)
+        yield frozenset(left), frozenset(right)
+
+
+class FreshNames:
+    """A generator of fresh names avoiding a given set."""
+
+    def __init__(self, avoid=()):
+        self._avoid = set(avoid)
+        self._counter = 0
+
+    def fresh(self, base="v"):
+        """A name based on ``base`` not seen before and not in ``avoid``."""
+        name = base
+        while name in self._avoid:
+            self._counter += 1
+            name = "%s%d" % (base, self._counter)
+        self._avoid.add(name)
+        return name
+
+
+def powerset_size(universe):
+    """``2**len(universe)`` — used for cost warnings."""
+    return 2 ** len(list(universe))

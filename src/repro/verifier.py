@@ -1,0 +1,157 @@
+"""A Hypra-style verification facade.
+
+The authors' follow-on tool (Hypra) packages Hyper Hoare Logic as a
+push-button verifier: program + hyper-assertion annotations in concrete
+syntax, entailments to an SMT solver.  :class:`Verifier` is this
+repository's analogue:
+
+- programs and assertions are parsed from concrete syntax;
+- straight-line goals go through the backward syntactic-wp engine
+  (Fig. 3 rules) with the closing entailment discharged by the SAT
+  backend;
+- loop goals take annotations (invariants) and route through the
+  Fig. 5 rules;
+- anything else falls back to the exhaustive oracle;
+- failures return a counterexample, successes a checked proof object.
+
+Example::
+
+    v = Verifier(["h", "l", "y"], lo=0, hi=1)
+    result = v.verify("forall <a>, <b>. a(l) == b(l)",
+                      "y := nonDet(); l := h xor y",
+                      "forall <a>, <b>. exists <c>. c(h) == a(h) && c(l) == b(l)")
+    assert result.verified
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .assertions.base import Assertion
+from .assertions.entail import EntailmentOracle
+from .assertions.parser import parse_assertion
+from .checker.counterexample import explain_counterexample, find_counterexample
+from .checker.universe import Universe
+from .checker.validity import check_triple
+from .errors import EntailmentError, ProofError
+from .lang.analysis import is_loop_free
+from .lang.ast import Command
+from .lang.parser import parse_command
+from .logic.judgment import ProofNode
+from .logic.outline import verify_straightline
+from .values import IntRange
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of :meth:`Verifier.verify`.
+
+    ``verified`` is the verdict; ``proof`` is a checked derivation when
+    one was constructed (straight-line path), ``method`` records which
+    engine decided, and ``counterexample`` explains failures.
+    """
+
+    verified: bool
+    method: str
+    proof: Optional[ProofNode] = None
+    counterexample: Optional[str] = None
+
+    def __bool__(self):
+        return self.verified
+
+
+class Verifier:
+    """Verify hyper-triples written in concrete syntax.
+
+    Parameters
+    ----------
+    pvars / lvars:
+        The program (and optional logical) variables of the universe.
+    lo, hi:
+        The shared integer domain bounds.
+    entailment:
+        ``"sat"`` (default — the scalable path) or ``"brute"``.
+    max_set_size:
+        Optional cap on initial-set sizes for oracle fallbacks on large
+        universes; capped verdicts are reported in ``method``.
+    """
+
+    def __init__(self, pvars, lo=0, hi=1, lvars=(), entailment="sat", max_set_size=None):
+        self.universe = Universe(pvars, IntRange(lo, hi), lvars=lvars)
+        self.oracle = EntailmentOracle(
+            self.universe.ext_states(), self.universe.domain, method=entailment
+        )
+        self.max_set_size = max_set_size
+
+    # -- parsing helpers --------------------------------------------------
+    def parse_program(self, program):
+        """Accept a command object or concrete syntax."""
+        if isinstance(program, Command):
+            return program
+        return parse_command(program)
+
+    def parse_condition(self, condition):
+        """Accept an assertion object or concrete syntax."""
+        if isinstance(condition, Assertion):
+            return condition
+        return parse_assertion(condition)
+
+    # -- verification -----------------------------------------------------
+    def verify(self, pre, program, post):
+        """Verify ``{pre} program {post}``.
+
+        Tries the syntactic backward engine first (straight-line code,
+        syntactic assertions), falling back to the exhaustive oracle.
+        """
+        command = self.parse_program(program)
+        pre = self.parse_condition(pre)
+        post = self.parse_condition(post)
+
+        if is_loop_free(command):
+            try:
+                proof = verify_straightline(pre, command, post, self.oracle)
+                return VerificationResult(True, "syntactic-wp+%s" % self.oracle.method, proof)
+            except EntailmentError:
+                witness = find_counterexample(
+                    pre, command, post, self.universe, max_size=self.max_set_size
+                )
+                return VerificationResult(
+                    False,
+                    "syntactic-wp+%s" % self.oracle.method,
+                    counterexample=explain_counterexample(witness),
+                )
+            except ProofError:
+                pass  # non-syntactic assertions or Choice — fall back
+
+        result = check_triple(
+            pre, command, post, self.universe, max_size=self.max_set_size
+        )
+        method = "oracle" if self.max_set_size is None else (
+            "oracle(≤%d)" % self.max_set_size
+        )
+        if result.valid:
+            return VerificationResult(True, method)
+        return VerificationResult(
+            False,
+            method,
+            counterexample=explain_counterexample(
+                (result.witness_pre, result.witness_post)
+            ),
+        )
+
+    def disprove(self, pre, program, post):
+        """Thm. 5: a disproof of ``{pre} program {post}`` (or None)."""
+        from .logic.disprove import disprove_triple
+
+        command = self.parse_program(program)
+        return disprove_triple(
+            self.parse_condition(pre),
+            command,
+            self.parse_condition(post),
+            self.universe,
+        )
+
+    def entails(self, weaker, stronger):
+        """Entailment between two (parsed) hyper-assertions."""
+        return self.oracle.entails(
+            self.parse_condition(weaker), self.parse_condition(stronger)
+        )

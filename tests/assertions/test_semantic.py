@@ -1,0 +1,196 @@
+"""Semantic hyper-assertions and the set operators (Defs. 3, 6, 7)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assertions.semantic import (
+    EMP,
+    FALSE_H,
+    NOT_EMP,
+    TRUE_H,
+    AtLeast,
+    AtMost,
+    BigUnion,
+    EqualsSet,
+    IndexedUnion,
+    OTimes,
+    OTimesFamily,
+    SemAssertion,
+    cardinality,
+    contains_state,
+    equals_set,
+    exists_state,
+    forall_states,
+    singleton,
+    subset_of,
+    superset_of,
+)
+from repro.semantics.state import ExtState, State
+
+PHIS = [ExtState(State({}), State({"x": i})) for i in range(4)]
+sets = st.frozensets(st.sampled_from(PHIS), max_size=4)
+
+
+def eqs(*idx):
+    return EqualsSet(frozenset(PHIS[i] for i in idx))
+
+
+class TestBasics:
+    def test_constants(self):
+        assert TRUE_H.holds(frozenset())
+        assert not FALSE_H.holds(frozenset())
+        assert EMP.holds(frozenset())
+        assert not EMP.holds({PHIS[0]})
+        assert NOT_EMP.holds({PHIS[0]})
+
+    def test_combinators(self):
+        a = exists_state(lambda p: p.prog["x"] == 0)
+        b = exists_state(lambda p: p.prog["x"] == 1)
+        s = frozenset((PHIS[0], PHIS[1]))
+        assert (a & b).holds(s)
+        assert (a | b).holds({PHIS[0]})
+        assert not (a & b).holds({PHIS[0]})
+        assert (~b).holds({PHIS[0]})
+        assert a.implies(b).holds({PHIS[2]})  # vacuous
+
+    def test_not_negate_involution(self):
+        a = exists_state(lambda p: True)
+        assert (~~a) is a
+
+    def test_membership_classes(self):
+        assert contains_state(PHIS[1]).holds({PHIS[0], PHIS[1]})
+        assert not contains_state(PHIS[2]).holds({PHIS[0]})
+        assert equals_set({PHIS[0]}).holds({PHIS[0]})
+        assert not equals_set({PHIS[0]}).holds({PHIS[0], PHIS[1]})
+        assert subset_of({PHIS[0], PHIS[1]}).holds({PHIS[0]})
+        assert not subset_of({PHIS[0]}).holds({PHIS[0], PHIS[1]})
+        assert superset_of({PHIS[0]}).holds({PHIS[0], PHIS[1]})
+        assert not superset_of({PHIS[0], PHIS[1]}).holds({PHIS[0]})
+
+    def test_quantifier_wrappers(self):
+        all_even = forall_states(lambda p: p.prog["x"] % 2 == 0)
+        assert all_even.holds({PHIS[0], PHIS[2]})
+        assert not all_even.holds({PHIS[0], PHIS[1]})
+        assert all_even.holds(frozenset())
+
+    def test_cardinality_and_singleton(self):
+        assert singleton().holds({PHIS[0]})
+        assert not singleton().holds({PHIS[0], PHIS[1]})
+        assert cardinality(lambda n: n <= 2).holds({PHIS[0], PHIS[1]})
+
+
+class TestOTimes:
+    """Def. 6: S = S1 ∪ S2 with Q1(S1) and Q2(S2), parts may overlap."""
+
+    def test_exact_split(self):
+        q = OTimes(eqs(0), eqs(1))
+        assert q.holds({PHIS[0], PHIS[1]})
+        assert not q.holds({PHIS[0]})
+        assert not q.holds({PHIS[0], PHIS[1], PHIS[2]})
+
+    def test_overlap_allowed(self):
+        q = OTimes(eqs(0, 1), eqs(1, 2))
+        assert q.holds({PHIS[0], PHIS[1], PHIS[2]})
+
+    def test_empty_parts(self):
+        q = OTimes(EMP, EMP)
+        assert q.holds(frozenset())
+        assert not q.holds({PHIS[0]})
+
+    @given(sets)
+    def test_true_true_always(self, s):
+        assert OTimes(TRUE_H, TRUE_H).holds(s)
+
+    @given(sets)
+    @settings(max_examples=40)
+    def test_sect33_spurious_disjuncts(self, s):
+        """The Sect. 3.3 / Example 1 algebra: (P0∨P2) ⊗ (P1∨P3) equals the
+        four-way disjunction including the spurious combinations."""
+        p = [eqs(i) for i in range(4)]
+        lhs = OTimes(p[0] | p[2], p[1] | p[3])
+        rhs = (
+            OTimes(p[0], p[1])
+            | OTimes(p[0], p[3])
+            | OTimes(p[2], p[1])
+            | OTimes(p[2], p[3])
+        )
+        assert lhs.holds(s) == rhs.holds(s)
+
+
+class TestOTimesFamily:
+    """Def. 7 with eventually-periodic families."""
+
+    def test_constant_family_requires_tail(self):
+        inv = eqs(0)
+        fam = OTimesFamily(lambda n: inv, stable_from=0)
+        assert fam.holds({PHIS[0]})
+        assert not fam.holds(frozenset())  # f(n) must satisfy S={φ0} — can't be ∅
+        assert not fam.holds({PHIS[0], PHIS[1]})
+
+    def test_emp_invariant_accepts_empty(self):
+        fam = OTimesFamily(lambda n: EMP, stable_from=0)
+        assert fam.holds(frozenset())
+        assert not fam.holds({PHIS[0]})
+
+    def test_prefix_plus_stable(self):
+        pins = [eqs(0), eqs(1), eqs(2)]
+        fam = OTimesFamily(lambda n: pins[min(n, 2)], stable_from=2)
+        assert fam.holds({PHIS[0], PHIS[1], PHIS[2]})
+        assert not fam.holds({PHIS[0], PHIS[1]})  # tail forces φ2
+
+    def test_periodic_family(self):
+        pins = [eqs(0), eqs(1)]
+        fam = OTimesFamily(lambda n: pins[n % 2], stable_from=0, period=2)
+        assert fam.holds({PHIS[0], PHIS[1]})
+        assert not fam.holds({PHIS[0]})  # residue 1 needs φ1
+
+    def test_big_disjunction_invariant(self):
+        inv = eqs(0) | eqs(1) | EMP
+        fam = OTimesFamily(lambda n: inv, stable_from=0)
+        assert fam.holds({PHIS[0], PHIS[1]})
+        assert fam.holds(frozenset())
+        assert not fam.holds({PHIS[2]})
+
+
+class TestBigUnion:
+    def test_empty_always(self):
+        assert BigUnion(FALSE_H).holds(frozenset())
+
+    def test_cover_by_pieces(self):
+        low_like = SemAssertion(
+            lambda S: len({p.prog["x"] % 2 for p in S}) <= 1, "parity-low"
+        )
+        assert BigUnion(low_like).holds({PHIS[0], PHIS[1], PHIS[2]})
+
+    def test_uncoverable_element(self):
+        only_zero = SemAssertion(
+            lambda S: all(p.prog["x"] == 0 for p in S) and len(S) > 0, "only-0"
+        )
+        assert BigUnion(only_zero).holds({PHIS[0]})
+        assert not BigUnion(only_zero).holds({PHIS[0], PHIS[1]})
+
+    @given(sets)
+    def test_idempotent_on_closed_assertions(self, s):
+        """⨂P ⟺ P for union-closed P that holds of ∅-covers (e.g. ⊤)."""
+        assert BigUnion(TRUE_H).holds(s)
+
+
+class TestBounds:
+    def test_at_most(self):
+        target = eqs(0, 1)
+        a = AtMost(target, PHIS)
+        assert a.holds({PHIS[0]})
+        assert a.holds({PHIS[0], PHIS[1]})
+        assert not a.holds({PHIS[2]})
+
+    def test_at_least(self):
+        target = eqs(0)
+        a = AtLeast(target)
+        assert a.holds({PHIS[0], PHIS[1]})
+        assert not a.holds({PHIS[1]})
+
+    def test_indexed_union(self):
+        fam = IndexedUnion(lambda i: eqs(i), (0, 1))
+        assert fam.holds({PHIS[0], PHIS[1]})
+        assert not fam.holds({PHIS[0]})
+        assert not fam.holds({PHIS[0], PHIS[1], PHIS[2]})

@@ -1,0 +1,196 @@
+"""Syntactic hyper-assertions: Def. 12 satisfaction, negation, structure."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EvaluationError
+from repro.assertions.syntax import (
+    HBin,
+    HLit,
+    HLog,
+    HProg,
+    HVar,
+    SAnd,
+    SBool,
+    SCmp,
+    SExistsState,
+    SExistsVal,
+    SForallState,
+    SForallVal,
+    SOr,
+    conj_s,
+    disj_s,
+    exists_s,
+    exists_v,
+    forall_s,
+    forall_v,
+    lv,
+    pred_to_hyper,
+    prog_to_hyper,
+    pv,
+    simplies,
+    state_names_used,
+    value_names_used,
+)
+from repro.assertions.printer import pretty_assertion
+from repro.lang.expr import V
+from repro.semantics.state import ExtState, State
+from repro.values import IntRange
+
+from tests.strategies import hyper_assertions
+
+D = IntRange(0, 2)
+PHIS = [ExtState(State({"t": i % 2}), State({"x": i, "y": 2 - i})) for i in range(3)]
+sets = st.frozensets(st.sampled_from(PHIS), max_size=3)
+
+
+class TestEvaluation:
+    def test_bool(self):
+        assert SBool(True).holds(frozenset(), D)
+        assert not SBool(False).holds(frozenset(), D)
+
+    def test_forall_state(self):
+        a = forall_s("p", pv("p", "x").le(2))
+        assert a.holds(frozenset(PHIS), D)
+        assert a.holds(frozenset(), D)  # vacuous
+
+    def test_exists_state(self):
+        a = exists_s("p", pv("p", "x").eq(1))
+        assert a.holds(frozenset(PHIS), D)
+        assert not a.holds(frozenset((PHIS[0],)), D)
+        assert not a.holds(frozenset(), D)
+
+    def test_nested_state_quantifiers(self):
+        a = forall_s("p", exists_s("q", pv("q", "x").ge(pv("p", "x"))))
+        assert a.holds(frozenset(PHIS), D)
+
+    def test_value_quantifiers_range_over_domain(self):
+        a = forall_v("v", exists_s("p", pv("p", "x").eq(HVar("v"))))
+        assert a.holds(frozenset(PHIS), D)  # x covers 0,1,2
+        assert not a.holds(frozenset(PHIS[:2]), D)
+
+    def test_logical_lookup(self):
+        a = exists_s("p", lv("p", "t").eq(1))
+        assert a.holds(frozenset((PHIS[1],)), D)
+        assert not a.holds(frozenset((PHIS[0],)), D)
+
+    def test_arithmetic_in_atoms(self):
+        a = forall_s("p", (pv("p", "x") + pv("p", "y")).eq(2))
+        assert a.holds(frozenset(PHIS), D)
+
+    def test_implication_sugar(self):
+        a = forall_s("p", simplies(pv("p", "x").gt(5), SBool(False)))
+        assert a.holds(frozenset(PHIS), D)
+
+    def test_unbound_state_raises(self):
+        with pytest.raises(EvaluationError):
+            pv("nope", "x").eq(0).holds(frozenset(PHIS), D)
+
+    def test_needs_domain(self):
+        with pytest.raises(EvaluationError):
+            SBool(True).holds(frozenset())
+
+    def test_conj_disj_builders(self):
+        assert conj_s().holds(frozenset(), D)
+        assert not disj_s().holds(frozenset(), D)
+
+
+class TestNegation:
+    @given(hyper_assertions(max_depth=3), sets)
+    @settings(max_examples=80, deadline=None)
+    def test_negate_is_complement(self, assertion, s):
+        assert assertion.negate().holds(s, D) == (not assertion.holds(s, D))
+
+    @given(hyper_assertions(max_depth=3))
+    @settings(max_examples=60)
+    def test_double_negation_identity(self, assertion):
+        assert assertion.negate().negate() == assertion
+
+    def test_quantifier_duality(self):
+        a = forall_s("p", pv("p", "x").eq(0))
+        assert isinstance(a.negate(), SExistsState)
+        b = exists_v("v", HVar("v").eq(0))
+        assert isinstance(b.negate(), SForallVal)
+
+
+class TestStructure:
+    def test_free_prog_vars(self):
+        a = forall_s("p", SCmp("==", pv("p", "x"), HVar("n")))
+        assert a.free_prog_vars() == {"x"}
+        assert a.free_log_vars() == frozenset()
+
+    def test_log_lookups(self):
+        a = exists_s("p", lv("p", "t").eq(pv("p", "x")))
+        assert a.free_log_vars() == {"t"}
+
+    def test_has_exists_state(self):
+        assert exists_s("p", SBool(True)).has_exists_state()
+        assert not forall_s("p", SBool(True)).has_exists_state()
+        assert forall_s("p", exists_s("q", SBool(True))).has_exists_state()
+
+    def test_forall_not_after_exists(self):
+        ok = forall_s("p", exists_s("q", SBool(True)))
+        assert ok.forall_not_after_exists()
+        bad = exists_s("p", forall_s("q", SBool(True)))
+        assert not bad.forall_not_after_exists()
+        bad2 = exists_v("v", forall_s("q", SBool(True)))
+        assert not bad2.forall_not_after_exists()
+
+    def test_names_used(self):
+        a = forall_s("p", exists_v("v", pv("p", "x").eq(HVar("v"))))
+        assert state_names_used(a) == {"p"}
+        assert value_names_used(a) == {"v"}
+
+    def test_rename_state(self):
+        a = forall_s("p", pv("p", "x").eq(0))
+        b = a.rename_state("p", "q")
+        assert b == forall_s("q", pv("q", "x").eq(0))
+
+    def test_subst_value_var_respects_binding(self):
+        body = HVar("v").eq(0)
+        a = exists_v("v", body)
+        # substituting the bound name is a no-op
+        assert a.subst_value_var("v", HLit(9)) == a
+
+    def test_syntactic_and_or_stay_syntactic(self):
+        a = forall_s("p", pv("p", "x").eq(0))
+        b = exists_s("q", pv("q", "x").eq(1))
+        assert isinstance(a & b, SAnd)
+        assert isinstance(a | b, SOr)
+
+
+class TestBridges:
+    def test_prog_to_hyper(self):
+        e = prog_to_hyper(V("x") + 1, "p")
+        assert e == HBin("+", HProg("p", "x"), HLit(1))
+
+    def test_prog_to_hyper_eval_matches(self):
+        expr = V("x") * 2 + V("y")
+        h = prog_to_hyper(expr, "p")
+        for phi in PHIS:
+            assert h.eval({"p": phi}, {}) == expr.eval(phi.prog)
+
+    def test_pred_to_hyper_eval_matches(self):
+        pred = (V("x").lt(V("y"))) | (V("x").eq(2))
+        h = pred_to_hyper(pred, "p")
+        for phi in PHIS:
+            assert h.eval(frozenset(), {"p": phi}, {}, D) == pred.eval(phi.prog)
+
+    def test_negated_pred_bridges(self):
+        pred = V("x").lt(1).negate()
+        h = pred_to_hyper(pred, "p")
+        for phi in PHIS:
+            assert h.eval(frozenset(), {"p": phi}, {}, D) == pred.eval(phi.prog)
+
+
+class TestPrinter:
+    @given(hyper_assertions(max_depth=3))
+    @settings(max_examples=40)
+    def test_pretty_never_crashes(self, assertion):
+        assert isinstance(pretty_assertion(assertion), str)
+
+    def test_paper_notation(self):
+        a = forall_s("φ", pv("φ", "x").ge(0))
+        text = pretty_assertion(a)
+        assert "∀⟨φ⟩" in text and "φ(x)" in text

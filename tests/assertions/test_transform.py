@@ -1,0 +1,112 @@
+"""The Defs. 13–15 transformations: the paper's worked examples plus
+property-based soundness against the semantics.
+
+Soundness statements (checked exhaustively / by hypothesis):
+
+- ``A_x^e[A]`` holds of ``S``  ⟺  ``A`` holds of ``S[x := e]``;
+- ``H_x[A]``  holds of ``S``  ⟺  ``A`` holds of ``S[x := any v]``;
+- ``Π_b[A]``  holds of ``S``  ⟺  ``A`` holds of ``{φ ∈ S | b(φ)}``.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assertions.syntax import (
+    HVar,
+    SExistsVal,
+    SForallVal,
+    exists_s,
+    forall_s,
+    pv,
+)
+from repro.assertions.transform import (
+    assign_transform,
+    assume_transform,
+    havoc_transform,
+)
+from repro.lang.expr import V
+from repro.semantics.state import ExtState, State
+from repro.values import IntRange
+
+from tests.strategies import conditions, hyper_assertions, safe_exprs
+
+D = IntRange(0, 2)
+PHIS = [
+    ExtState(State({}), State({"x": x, "y": y})) for x in range(3) for y in range(3)
+]
+sets = st.frozensets(st.sampled_from(PHIS), max_size=3)
+
+
+def assign_image(states, var, expr):
+    return frozenset(phi.set_pvar(var, expr.eval(phi.prog)) for phi in states)
+
+
+def havoc_image(states, var):
+    return frozenset(phi.set_pvar(var, v) for phi in states for v in D)
+
+
+def filter_image(states, cond):
+    return frozenset(phi for phi in states if cond.eval(phi.prog))
+
+
+class TestPaperExamples:
+    def test_assign_example_sect42(self):
+        """A_x^{y+z}[∃⟨φ⟩.∀⟨φ'⟩. φ(x) ≤ φ'(x)] from Sect. 4.2 (with z:=y
+        folded to keep two variables)."""
+        post = exists_s("φ", forall_s("φ'", pv("φ", "x").le(pv("φ'", "x"))))
+        pre = assign_transform(post, "x", V("y") + V("y"))
+        expected = exists_s(
+            "φ",
+            forall_s("φ'", (pv("φ", "y") + pv("φ", "y")).le(pv("φ'", "y") + pv("φ'", "y"))),
+        )
+        assert pre == expected
+
+    def test_havoc_example_sect42(self):
+        """H_x[∃⟨φ⟩.∀⟨φ'⟩. φ(x) ≤ φ'(x)] = ∃⟨φ⟩.∃v.∀⟨φ'⟩.∀v'. v ≤ v'."""
+        post = exists_s("φ", forall_s("φ'", pv("φ", "x").le(pv("φ'", "x"))))
+        pre = havoc_transform(post, "x")
+        assert isinstance(pre.body, SExistsVal)
+        assert isinstance(pre.body.body.body, SForallVal)
+        inner = pre.body.body.body.body
+        # the comparison is now between the two fresh value variables
+        assert inner.left == HVar(pre.body.var)
+        assert inner.right == HVar(pre.body.body.body.var)
+
+    def test_assume_example_sect43(self):
+        """Π_{x≥0}[∀⟨φ⟩.∃⟨φ'⟩. φ(x) ≤ φ'(x)] (Sect. 4.3 example)."""
+        post = forall_s("φ", exists_s("φ'", pv("φ", "x").le(pv("φ'", "x"))))
+        pre = assume_transform(post, V("x").ge(0))
+        # ∀⟨φ⟩. φ(x) ≥ 0 ⇒ ∃⟨φ'⟩. φ'(x) ≥ 0 ∧ φ(x) ≤ φ'(x)
+        s_bad = frozenset((PHIS[0],))  # x=0, trivially fine
+        assert pre.holds(s_bad, D)
+        # semantics: filtering then asking post
+        for s in (frozenset(PHIS[:4]), frozenset()):
+            assert pre.holds(s, D) == post.holds(filter_image(s, V("x").ge(0)), D)
+
+
+class TestSoundness:
+    @given(hyper_assertions(max_depth=3), sets, safe_exprs())
+    @settings(max_examples=80, deadline=None)
+    def test_assign_transform_is_wp(self, assertion, s, expr):
+        pre = assign_transform(assertion, "x", expr)
+        assert pre.holds(s, D) == assertion.holds(assign_image(s, "x", expr), D)
+
+    @given(hyper_assertions(max_depth=3), sets)
+    @settings(max_examples=80, deadline=None)
+    def test_havoc_transform_is_wp(self, assertion, s):
+        pre = havoc_transform(assertion, "x")
+        assert pre.holds(s, D) == assertion.holds(havoc_image(s, "x"), D)
+
+    @given(hyper_assertions(max_depth=3), sets, conditions())
+    @settings(max_examples=80, deadline=None)
+    def test_assume_transform_is_wp(self, assertion, s, cond):
+        pre = assume_transform(assertion, cond)
+        assert pre.holds(s, D) == assertion.holds(filter_image(s, cond), D)
+
+    @given(hyper_assertions(max_depth=2), sets, safe_exprs())
+    @settings(max_examples=40, deadline=None)
+    def test_transforms_compose(self, assertion, s, expr):
+        """wp of `x := e; x := nonDet()` = A∘H applied right-to-left."""
+        pre = assign_transform(havoc_transform(assertion, "x"), "x", expr)
+        image = havoc_image(assign_image(s, "x", expr), "x")
+        assert pre.holds(s, D) == assertion.holds(image, D)

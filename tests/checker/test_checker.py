@@ -1,0 +1,133 @@
+"""The oracle: universes, validity checking, counterexamples."""
+
+import pytest
+
+from repro.assertions import (
+    EMP,
+    TRUE_H,
+    box,
+    exists_s,
+    forall_s,
+    low,
+    not_emp_s,
+    pv,
+)
+from repro.checker import (
+    Universe,
+    check_terminating_triple,
+    check_triple,
+    explain_counterexample,
+    find_counterexample,
+    minimal_counterexample,
+    small_universe,
+    valid_terminating_triple,
+    valid_triple,
+)
+from repro.lang import parse_command
+from repro.lang.expr import V
+from repro.values import IntRange
+
+
+class TestUniverse:
+    def test_sizes(self):
+        uni = Universe(["x", "y"], IntRange(0, 1))
+        assert len(uni.program_states()) == 4
+        assert uni.size() == 4
+        tagged = Universe(["x"], IntRange(0, 1), lvars=["t"], lvar_domain=IntRange(1, 2))
+        assert tagged.size() == 4
+
+    def test_small_universe(self):
+        uni = small_universe(["x"], 0, 2)
+        assert uni.size() == 3
+
+    def test_restrict(self):
+        uni = small_universe(["x"], 0, 2)
+        evens = uni.restrict(lambda phi: phi.prog["x"] % 2 == 0)
+        assert len(evens) == 2
+
+    def test_states_cached(self):
+        uni = small_universe(["x"], 0, 2)
+        assert uni.ext_states() is uni.ext_states()
+
+    def test_states_total_over_declared_vars(self):
+        uni = Universe(["x", "y"], IntRange(0, 1))
+        for phi in uni.ext_states():
+            assert set(phi.prog.vars) == {"x", "y"}
+
+
+class TestValidity:
+    def test_hoare_style_triple(self, uni_x3):
+        cmd = parse_command("x := min(x + 1, 2)")
+        assert valid_triple(box(V("x").ge(0)), cmd, box(V("x").ge(1)), uni_x3)
+
+    def test_invalid_triple_with_witness(self, uni_x3):
+        cmd = parse_command("x := 0")
+        result = check_triple(not_emp_s, cmd, exists_s("p", pv("p", "x").eq(2)), uni_x3)
+        assert not result.valid
+        assert result.witness_pre is not None
+        assert result.witness_post is not None
+
+    def test_empty_set_vacuous(self, uni_x3):
+        # emp pre: only S = ∅ is tested, sem(C, ∅) = ∅
+        assert valid_triple(EMP, parse_command("x := 0"), EMP, uni_x3)
+
+    def test_max_size_restricts(self, uni_x3):
+        cmd = parse_command("skip")
+        # with sets of size ≤ 1, low(x) trivially preserved... and in general
+        assert valid_triple(low("x"), cmd, low("x"), uni_x3, max_size=1)
+
+    def test_checked_sets_counted(self, uni_x2):
+        result = check_triple(TRUE_H, parse_command("skip"), TRUE_H, uni_x2)
+        assert result.checked_sets == 4  # 2^2 subsets
+
+    def test_bool_protocol(self, uni_x2):
+        assert check_triple(TRUE_H, parse_command("skip"), TRUE_H, uni_x2)
+
+
+class TestTerminatingValidity:
+    def test_assume_breaks_termination(self, uni_x2):
+        cmd = parse_command("assume x > 0")
+        pre = box(V("x").ge(0))
+        post = TRUE_H
+        assert valid_triple(pre, cmd, post, uni_x2)
+        assert not valid_terminating_triple(pre, cmd, post, uni_x2)
+
+    def test_assignment_is_terminating(self, uni_x2):
+        cmd = parse_command("x := 1")
+        assert valid_terminating_triple(TRUE_H, cmd, box(V("x").eq(1)), uni_x2)
+
+    def test_iter_zero_unrolling_terminates(self, uni_x2):
+        cmd = parse_command("loop { x := min(x + 1, 1) }")
+        assert valid_terminating_triple(TRUE_H, cmd, TRUE_H, uni_x2)
+
+    def test_witness_reported(self, uni_x2):
+        cmd = parse_command("assume x > 0")
+        result = check_terminating_triple(TRUE_H, cmd, TRUE_H, uni_x2)
+        assert not result.valid
+
+
+class TestCounterexamples:
+    def test_find_prefers_small(self, uni_x3):
+        cmd = parse_command("x := 0")
+        witness = find_counterexample(
+            not_emp_s, cmd, exists_s("p", pv("p", "x").eq(2)), uni_x3
+        )
+        assert witness is not None
+        assert len(witness[0]) == 1
+
+    def test_minimal_shrinks(self, uni_x3):
+        cmd = parse_command("skip")
+        post = low("x")
+        witness = minimal_counterexample(TRUE_H, cmd, post, uni_x3)
+        assert witness is not None
+        assert len(witness[0]) == 2  # two disagreeing states suffice
+
+    def test_none_when_valid(self, uni_x3):
+        assert find_counterexample(EMP, parse_command("skip"), EMP, uni_x3) is None
+
+    def test_explain_renders(self, uni_x3):
+        cmd = parse_command("skip")
+        witness = find_counterexample(TRUE_H, cmd, low("x"), uni_x3)
+        text = explain_counterexample(witness)
+        assert "initial set" in text
+        assert explain_counterexample(None).startswith("no counterexample")

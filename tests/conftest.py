@@ -1,0 +1,52 @@
+"""Shared fixtures: small universes and oracles."""
+
+import pytest
+
+from repro.assertions import EntailmentOracle
+from repro.checker import Universe
+from repro.values import IntRange
+
+
+@pytest.fixture
+def uni_x2():
+    """One program variable ``x`` over {0, 1} — 2 extended states."""
+    return Universe(["x"], IntRange(0, 1))
+
+
+@pytest.fixture
+def uni_x3():
+    """One program variable ``x`` over {0, 1, 2} — 3 extended states."""
+    return Universe(["x"], IntRange(0, 2))
+
+
+@pytest.fixture
+def uni_xy2():
+    """Two program variables over {0, 1} — 4 extended states."""
+    return Universe(["x", "y"], IntRange(0, 1))
+
+
+@pytest.fixture
+def uni_hl2():
+    """Security-shaped universe: high ``h`` and low ``l`` over {0, 1}."""
+    return Universe(["h", "l"], IntRange(0, 1))
+
+
+@pytest.fixture
+def uni_tagged():
+    """``x`` over {0, 1} with a logical tag ``t`` over {1, 2}."""
+    return Universe(["x"], IntRange(0, 1), lvars=["t"], lvar_domain=IntRange(1, 2))
+
+
+def make_oracle(universe, method="brute"):
+    """An entailment oracle for the given universe."""
+    return EntailmentOracle(universe.ext_states(), universe.domain, method=method)
+
+
+@pytest.fixture
+def oracle_x2(uni_x2):
+    return make_oracle(uni_x2)
+
+
+@pytest.fixture
+def oracle_xy2(uni_xy2):
+    return make_oracle(uni_xy2)

@@ -1,0 +1,203 @@
+"""App. C: each logic's validity must agree with its HHL embedding."""
+
+from hypothesis import given, settings
+
+from repro.checker import Universe
+from repro.embeddings import (
+    check_ol,
+    check_prop8,
+    check_prop2,
+    check_prop4,
+    check_prop6,
+    check_prop9,
+    check_prop11,
+    check_prop13,
+    chl_valid,
+    fu_valid,
+    hl_hyperproperty,
+    hl_valid,
+    il_valid,
+    k_fu_valid,
+    k_il_valid,
+    k_ue_valid,
+    render_landscape,
+    verify_landscape,
+)
+from repro.hyperprops.base import semantics_of
+from repro.lang import parse_command
+from repro.values import IntRange
+
+from tests.strategies import commands
+
+UNI = Universe(["x"], IntRange(0, 1))
+TAGGED = Universe(["x"], IntRange(0, 1), lvars=["t"], lvar_domain=IntRange(1, 2))
+TAGGED2 = Universe(
+    ["x"], IntRange(0, 1), lvars=["t", "u"], lvar_domain=IntRange(1, 2)
+)
+
+PROGRAMS = [
+    parse_command(t)
+    for t in (
+        "skip",
+        "x := 0",
+        "x := 1 - x",
+        "x := nonDet()",
+        "assume x > 0",
+        "{ x := 0 } + { x := 1 }",
+        "while (x > 0) { x := x - 1 }",
+    )
+]
+
+
+class TestHL:
+    def test_prop2_biconditional_across_programs(self):
+        pre = lambda phi: phi.prog["x"] == 0  # noqa: E731
+        post = lambda phi: phi.prog["x"] <= 1  # noqa: E731
+        for cmd in PROGRAMS:
+            a, b = check_prop2(pre, cmd, post, UNI)
+            assert a == b
+
+    def test_prop2_detects_hl_failures(self):
+        pre = lambda phi: True  # noqa: E731
+        post = lambda phi: phi.prog["x"] == 0  # noqa: E731
+        cmd = parse_command("x := nonDet()")
+        a, b = check_prop2(pre, cmd, post, UNI)
+        assert a == b == False  # noqa: E712
+
+    def test_hl_valid_reference(self):
+        pre = lambda phi: True  # noqa: E731
+        post = lambda phi: phi.prog["x"] == 1  # noqa: E731
+        assert hl_valid(pre, parse_command("x := 1"), post, UNI)
+
+    def test_prop1_hyperproperty(self):
+        pre = lambda phi: True  # noqa: E731
+        post = lambda phi: phi.prog["x"] == 1  # noqa: E731
+        H = hl_hyperproperty(pre, post, UNI)
+        assert H.contains(semantics_of(parse_command("x := 1"), UNI))
+        assert not H.contains(semantics_of(parse_command("x := 0"), UNI))
+
+    @given(commands(max_depth=2))
+    @settings(max_examples=15, deadline=None)
+    def test_prop2_random_programs(self, cmd):
+        uni = Universe(["x", "y"], IntRange(0, 1))
+        pre = lambda phi: phi.prog["x"] == 0  # noqa: E731
+        post = lambda phi: phi.prog["y"] <= 1  # noqa: E731
+        a, b = check_prop2(pre, cmd, post, uni)
+        assert a == b
+
+
+class TestCHL:
+    def test_prop4_monotonicity_example(self):
+        """The App. C.1 example: CHL triple x(1)≥x(2) ⟹ y(1)≥y(2)."""
+        pre = lambda t: t[0].prog["x"] >= t[1].prog["x"]  # noqa: E731
+        post = lambda t: t[0].prog["x"] >= t[1].prog["x"]  # noqa: E731
+        for text in ("skip", "x := x", "x := min(x + 1, 1)"):
+            cmd = parse_command(text)
+            a, b = check_prop4(2, pre, cmd, post, TAGGED)
+            assert a == b == True  # noqa: E712
+
+    def test_prop4_detects_failure(self):
+        pre = lambda t: True  # noqa: E731
+        post = lambda t: t[0].prog["x"] == t[1].prog["x"]  # noqa: E731
+        cmd = parse_command("x := nonDet()")
+        a, b = check_prop4(2, pre, cmd, post, TAGGED)
+        assert a == b == False  # noqa: E712
+
+    def test_chl_valid_reference(self):
+        pre = lambda t: t[0].prog["x"] == t[1].prog["x"]  # noqa: E731
+        post = lambda t: t[0].prog["x"] == t[1].prog["x"]  # noqa: E731
+        assert chl_valid(2, pre, parse_command("x := 1 - x"), post, TAGGED)
+
+
+class TestIL:
+    def setup_method(self):
+        states = UNI.ext_states()
+        self.zero = frozenset(p for p in states if p.prog["x"] == 0)
+        self.all_states = frozenset(states)
+
+    def test_prop6_biconditional(self):
+        for cmd in PROGRAMS:
+            a, b = check_prop6(self.zero, cmd, self.zero, UNI)
+            assert a == b
+
+    def test_il_reachability(self):
+        cmd = parse_command("x := nonDet()")
+        assert il_valid(self.zero, cmd, self.all_states, UNI)
+        cmd2 = parse_command("x := 0")
+        assert not il_valid(self.zero, cmd2, self.all_states, UNI)
+
+    def test_k_il_and_prop8(self):
+        pre = lambda t: True  # noqa: E731
+        post = lambda t: all(p.prog["x"] == 0 for p in t)  # noqa: E731
+        cmd = parse_command("x := 0")
+        assert k_il_valid(1, pre, cmd, post, TAGGED2)
+        a, b = check_prop8(1, pre, cmd, post, TAGGED2)
+        assert a == b
+
+
+class TestFU:
+    def test_prop9_biconditional(self):
+        pre = lambda phi: True  # noqa: E731
+        post = lambda phi: phi.prog["x"] == 1  # noqa: E731
+        for cmd in PROGRAMS:
+            a, b = check_prop9(pre, cmd, post, UNI)
+            assert a == b
+
+    def test_fu_existential_force(self):
+        pre = lambda phi: True  # noqa: E731
+        post = lambda phi: phi.prog["x"] == 1  # noqa: E731
+        assert fu_valid(pre, parse_command("x := nonDet()"), post, UNI)
+        assert not fu_valid(pre, parse_command("x := 0"), post, UNI)
+
+    def test_ol_conjunction(self):
+        pre = lambda phi: phi.prog["x"] <= 1  # noqa: E731
+        post = lambda phi: phi.prog["x"] <= 1  # noqa: E731
+        for cmd in PROGRAMS[:5]:
+            a, b = check_ol(pre, cmd, post, UNI)
+            assert a == b
+
+    def test_k_fu_and_prop11(self):
+        pre = lambda t: t[0].prog["x"] == t[1].prog["x"]  # noqa: E731
+        post = lambda t: t[0].prog["x"] == t[1].prog["x"]  # noqa: E731
+        cmd = parse_command("x := nonDet()")
+        assert k_fu_valid(2, pre, cmd, post, TAGGED)
+        a, b = check_prop11(2, pre, cmd, post, TAGGED)
+        assert a == b
+
+
+class TestUE:
+    def test_k_ue_gni_flavour(self):
+        """∀∃ between two executions of the xor pad: any universal final
+        state is matched by an existential one with equal x."""
+        pre = lambda t: True  # noqa: E731
+        post = lambda t: t[0].prog["x"] == t[1].prog["x"]  # noqa: E731
+        cmd = parse_command("x := nonDet()")
+        assert k_ue_valid(1, 1, pre, cmd, post, TAGGED2)
+        deterministic = parse_command("x := 0")
+        assert k_ue_valid(1, 1, pre, deterministic, post, TAGGED2)
+
+    def test_k_ue_detects_failure(self):
+        pre = lambda t: True  # noqa: E731
+        post = lambda t: t[0].prog["x"] != t[1].prog["x"]  # noqa: E731
+        cmd = parse_command("x := 0")
+        assert not k_ue_valid(1, 1, pre, cmd, post, TAGGED2)
+
+    def test_prop13_biconditional(self):
+        pre = lambda t: True  # noqa: E731
+        post = lambda t: t[0].prog["x"] == t[1].prog["x"]  # noqa: E731
+        for text in ("x := 0", "x := nonDet()"):
+            cmd = parse_command(text)
+            a, b = check_prop13(1, 1, pre, cmd, post, TAGGED2)
+            assert a == b
+
+
+class TestLandscape:
+    def test_all_claimed_cells_verified(self):
+        rows, verdicts, ok = verify_landscape()
+        assert ok
+        assert len(rows) == 6
+
+    def test_render(self):
+        text = render_landscape()
+        assert "Overapproximate" in text
+        assert "✗" not in text

@@ -1,0 +1,129 @@
+"""Def. 8 hyperproperties and the Thm. 3 / Thm. 4 correspondence."""
+
+from hypothesis import given, settings
+
+from repro.assertions import TRUE_H, box, low, not_emp_s
+from repro.checker import Universe, small_universe
+from repro.hyperprops import (
+    ProgramHyperproperty,
+    existence_property,
+    hyperproperty_to_triple,
+    safety_property,
+    semantics_of,
+    triple_to_hyperproperty,
+    verify_thm3,
+    verify_thm4,
+)
+from repro.lang import parse_command
+from repro.lang.expr import V
+from repro.values import IntRange
+
+from tests.strategies import commands
+
+UNI = small_universe(["x"], 0, 1)
+
+PROGRAMS = [
+    parse_command(t)
+    for t in (
+        "skip",
+        "x := 0",
+        "x := 1 - x",
+        "x := nonDet()",
+        "assume x > 0",
+        "{ x := 0 } + { x := 1 }",
+    )
+]
+
+
+class TestDef8:
+    def test_semantics_of(self):
+        rel = semantics_of(parse_command("x := 0"), UNI)
+        assert len(rel) == 2  # two inputs, one output each
+        assert all(s2["x"] == 0 for _, s2 in rel)
+
+    def test_safety_property(self):
+        H = safety_property(lambda s, s2: s2["x"] == 0, "all-zero")
+        assert H.satisfied_by(parse_command("x := 0"), UNI)
+        assert not H.satisfied_by(parse_command("skip"), UNI)
+
+    def test_existence_property(self):
+        H = existence_property(lambda s, s2: s2["x"] == 1, "reaches-1")
+        assert H.satisfied_by(parse_command("x := nonDet()"), UNI)
+        assert not H.satisfied_by(parse_command("x := 0"), UNI)
+
+    def test_complement(self):
+        H = safety_property(lambda s, s2: s2["x"] == 0, "all-zero")
+        comp = H.complement()
+        for cmd in PROGRAMS:
+            assert H.satisfied_by(cmd, UNI) != comp.satisfied_by(cmd, UNI)
+
+    def test_determinism_as_hyperproperty(self):
+        def deterministic(rel):
+            outs = {}
+            for s, s2 in rel:
+                outs.setdefault(s, set()).add(s2)
+            return all(len(v) == 1 for v in outs.values())
+
+        H = ProgramHyperproperty(deterministic, "det")
+        assert H.satisfied_by(parse_command("x := 0"), UNI)
+        assert not H.satisfied_by(parse_command("x := nonDet()"), UNI)
+
+
+class TestThm3:
+    """C ∈ H  ⟺  |= {P} C {Q} for the constructed (P, Q)."""
+
+    def _properties(self):
+        return [
+            safety_property(lambda s, s2: s2["x"] == 0, "all-zero"),
+            existence_property(lambda s, s2: s2["x"] == 1, "reaches-1"),
+            ProgramHyperproperty(lambda rel: len(rel) <= 3, "small-relation"),
+            ProgramHyperproperty(
+                lambda rel: all(
+                    any(s == t and s2["x"] == t2["x"] for t, t2 in rel)
+                    for s, s2 in rel
+                ),
+                "trivial",
+            ),
+        ]
+
+    def test_agreement_across_programs_and_properties(self):
+        for H in self._properties():
+            for cmd in PROGRAMS:
+                in_h, triple_valid = verify_thm3(H, cmd, UNI)
+                assert in_h == triple_valid, (H.name, cmd)
+
+    @given(commands(max_depth=2))
+    @settings(max_examples=15, deadline=None)
+    def test_agreement_random_commands(self, cmd):
+        uni = small_universe(["x", "y"], 0, 1)
+        H = ProgramHyperproperty(lambda rel: len(rel) % 2 == 0, "even-size")
+        in_h, triple_valid = verify_thm3(H, cmd, uni)
+        assert in_h == triple_valid
+
+
+class TestThm4:
+    """Every hyper-triple denotes a hyperproperty."""
+
+    def test_agreement_across_triples(self):
+        triples = [
+            (TRUE_H, box(V("x").eq(0))),
+            (not_emp_s, not_emp_s),
+            (low("x"), low("x")),
+        ]
+        for pre, post in triples:
+            for cmd in PROGRAMS:
+                in_h, triple_valid = verify_thm4(pre, post, cmd, UNI)
+                assert in_h == triple_valid
+
+    def test_roundtrip_thm4_thm3(self):
+        """triple → hyperproperty → triple preserves the verdict."""
+        pre, post = low("x"), low("x")
+        H = triple_to_hyperproperty(pre, post, UNI)
+        for cmd in PROGRAMS:
+            p2, q2 = hyperproperty_to_triple(H, UNI)
+            from repro.checker import check_triple
+
+            assert (
+                check_triple(pre, cmd, post, UNI).valid
+                == check_triple(p2, cmd, q2, UNI).valid
+            )

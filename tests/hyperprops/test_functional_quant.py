@@ -1,0 +1,120 @@
+"""Functional hyperproperties and App. B quantitative information flow."""
+
+import math
+
+import pytest
+
+from repro.checker import Universe, small_universe
+from repro.hyperprops import (
+    has_minimum_direct,
+    is_deterministic,
+    is_monotonic,
+    leakage_table,
+    min_capacity_bits,
+    output_values,
+    qif_triples_hold,
+    satisfies_determinism_triple,
+    satisfies_minimum_triple,
+    satisfies_monotonicity_triple,
+    shannon_entropy_bits,
+)
+from repro.lang import parse_command
+from repro.values import IntRange
+
+from tests.paper_programs import c_l
+
+
+class TestDeterminism:
+    def test_direct_and_triple_agree(self):
+        uni = small_universe(["x"], 0, 2)
+        cases = {
+            "x := 1": True,
+            "x := x": True,
+            "x := nonDet()": False,
+            "assume x > 0": False,  # drops executions → not det-preserving
+            "if (x > 0) { x := 1 } else { x := 2 }": True,
+        }
+        for text, expected in cases.items():
+            cmd = parse_command(text)
+            assert is_deterministic(cmd, uni) == expected, text
+            assert satisfies_determinism_triple(cmd, uni) == expected, text
+
+
+class TestMonotonicity:
+    def test_direct(self):
+        uni = small_universe(["x", "y"], 0, 2)
+        assert is_monotonic(parse_command("y := x"), "x", "y", uni)
+        assert is_monotonic(parse_command("y := min(x + 1, 2)"), "x", "y", uni)
+        assert not is_monotonic(parse_command("y := 2 - x"), "x", "y", uni)
+
+    def test_triple(self):
+        uni = Universe(
+            ["x", "y"], IntRange(0, 1), lvars=["t"], lvar_domain=IntRange(1, 2)
+        )
+        assert satisfies_monotonicity_triple(parse_command("y := x"), "x", "y", uni)
+        assert not satisfies_monotonicity_triple(
+            parse_command("y := 1 - x"), "x", "y", uni
+        )
+
+
+class TestMinimum:
+    def test_direct(self):
+        uni = small_universe(["x"], 0, 2)
+        assert has_minimum_direct(parse_command("x := randInt(1, 2)"), "x", uni)
+
+    def test_triple(self):
+        uni = small_universe(["x"], 0, 2)
+        assert satisfies_minimum_triple(parse_command("x := randInt(1, 2)"), "x", uni)
+        # a command that can drop all executions has no minimal state
+        assert not satisfies_minimum_triple(parse_command("assume x > 5"), "x", uni)
+
+
+class TestQuantitative:
+    """App. B / Fig. 10: the bounded-sum loop leaks through |outputs|."""
+
+    def setup_method(self):
+        self.uni = Universe(["h", "l", "o", "i", "r"], IntRange(0, 2))
+
+    def test_output_counts_match_paper(self):
+        """For low input l = v (h ranging over the domain), o takes
+        exactly v+1 values — the App. B count."""
+        cmd = c_l()
+        for v in (0, 1, 2):
+            outs = output_values(cmd, self.uni, "o", {"l": v})
+            assert outs == frozenset(range(v + 1))
+
+    def test_output_bounded_by_h(self):
+        """The leak: observing o teaches h >= o."""
+        cmd = c_l()
+        for h in (0, 1, 2):
+            outs = output_values(cmd, self.uni, "o", {"h": h})
+            assert all(o <= h for o in outs)
+
+    def test_min_capacity(self):
+        cmd = c_l()
+        bits = min_capacity_bits(cmd, self.uni, "o", {"l": 2})
+        assert bits == pytest.approx(math.log2(3))
+        assert min_capacity_bits(cmd, self.uni, "o", {"l": 0}) == 0.0
+
+    def test_shannon_entropy_bounded_by_min_capacity(self):
+        cmd = c_l()
+        for v in (0, 1, 2):
+            fixed = {"l": v}
+            ent = shannon_entropy_bits(cmd, self.uni, "o", fixed)
+            cap = min_capacity_bits(cmd, self.uni, "o", fixed)
+            assert ent <= cap + 1e-9
+
+    def test_qif_triples(self):
+        """The App. B hyper-triples: ≤ v+1 outputs (problem 1) and
+        = v+1 outputs (problem 2), for fixed low input v."""
+        cmd = c_l()
+        at_most, exactly = qif_triples_hold(cmd, self.uni, "o", "l", "h", 1)
+        assert at_most
+        assert exactly
+
+    def test_leakage_table_shape(self):
+        rows = leakage_table(c_l(), self.uni, "o", "l", "h")
+        assert len(rows) == 3
+        # more low budget -> at least as many outputs
+        counts = [r[1] for r in rows]
+        assert counts == sorted(counts)

@@ -1,0 +1,107 @@
+"""Generic k-safety hyperproperties (Sect. 2.2's k > 2 motivation)."""
+
+from repro.checker import Universe, small_universe
+from repro.hyperprops import (
+    binop_associative,
+    find_k_safety_violation,
+    k_safety_holds,
+    relation_of,
+    relation_transitive,
+    symmetry_2safety,
+)
+from repro.lang import parse_command
+from repro.values import IntRange
+
+
+class TestGenericChecker:
+    def test_1_safety_is_plain_safety(self):
+        uni = small_universe(["x"], 0, 2)
+        cmd = parse_command("x := min(x + 1, 2)")
+        assert k_safety_holds(cmd, uni, 1, lambda e: e[1]["x"] >= 1)
+        assert not k_safety_holds(cmd, uni, 1, lambda e: e[1]["x"] == 2)
+
+    def test_2_safety_determinism(self):
+        uni = small_universe(["x"], 0, 1)
+
+        def same_in_same_out(e1, e2):
+            return e1[0] != e2[0] or e1[1] == e2[1]
+
+        assert k_safety_holds(parse_command("x := 1 - x"), uni, 2, same_in_same_out)
+        assert not k_safety_holds(
+            parse_command("x := nonDet()"), uni, 2, same_in_same_out
+        )
+
+    def test_violation_witness(self):
+        uni = small_universe(["x"], 0, 1)
+        combo = find_k_safety_violation(
+            parse_command("x := nonDet()"),
+            uni,
+            2,
+            lambda e1, e2: e1[0] != e2[0] or e1[1] == e2[1],
+        )
+        assert combo is not None
+        (i1, o1), (i2, o2) = combo
+        assert i1 == i2 and o1 != o2
+
+    def test_no_violation_when_holds(self):
+        uni = small_universe(["x"], 0, 1)
+        assert (
+            find_k_safety_violation(
+                parse_command("skip"), uni, 2, lambda e1, e2: True
+            )
+            is None
+        )
+
+
+class TestTransitivity:
+    def test_identity_relation_transitive(self):
+        uni = small_universe(["x", "y"], 0, 2)
+        assert relation_transitive(parse_command("y := x"), uni, "x", "y")
+
+    def test_constant_relation_transitive(self):
+        uni = small_universe(["x", "y"], 0, 2)
+        assert relation_transitive(parse_command("y := 1"), uni, "x", "y")
+
+    def test_successor_not_transitive(self):
+        uni = small_universe(["x", "y"], 0, 2)
+        # x -> x+1 relates 0→1 and 1→2 but not 0→2
+        assert not relation_transitive(
+            parse_command("y := min(x + 1, 2)"), uni, "x", "y"
+        )
+
+    def test_relation_of(self):
+        uni = small_universe(["x", "y"], 0, 1)
+        rel = relation_of(parse_command("y := 1 - x"), uni, "x", "y")
+        assert rel == frozenset(((0, 1), (1, 0)))
+
+
+class TestAssociativityCommutativity:
+    def test_min_is_associative(self):
+        uni = Universe(["x", "y", "o"], IntRange(0, 2))
+        assert binop_associative(parse_command("o := min(x, y)"), uni, "x", "y", "o")
+
+    def test_addition_clamped_is_associative(self):
+        uni = Universe(["x", "y", "o"], IntRange(0, 2))
+        assert binop_associative(
+            parse_command("o := min(x + y, 2)"), uni, "x", "y", "o"
+        )
+
+    def test_subtraction_not_associative(self):
+        uni = Universe(["x", "y", "o"], IntRange(0, 2))
+        assert not binop_associative(
+            parse_command("o := max(x - y, 0)"), uni, "x", "y", "o"
+        )
+
+    def test_nondeterministic_op_rejected(self):
+        uni = Universe(["x", "y", "o"], IntRange(0, 1))
+        assert not binop_associative(parse_command("o := nonDet()"), uni, "x", "y", "o")
+
+    def test_min_is_commutative(self):
+        uni = Universe(["x", "y", "o"], IntRange(0, 1))
+        assert symmetry_2safety(parse_command("o := min(x, y)"), uni, "x", "y", "o")
+
+    def test_subtraction_not_commutative(self):
+        uni = Universe(["x", "y", "o"], IntRange(0, 1))
+        assert not symmetry_2safety(
+            parse_command("o := max(x - y, 0)"), uni, "x", "y", "o"
+        )

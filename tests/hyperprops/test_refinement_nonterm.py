@@ -1,0 +1,118 @@
+"""Example 3 (refinement via product programs) and App. E.2 (recurrent
+sets / non-termination)."""
+
+from hypothesis import given, settings
+
+from repro.checker import Universe, small_universe
+from repro.hyperprops import (
+    greatest_recurrent_set,
+    has_nonterminating_execution,
+    is_recurrent_set,
+    product_program,
+    recurrence_via_triple,
+    refines_direct,
+    refines_via_hyper_triple,
+)
+from repro.lang import parse_bexpr, parse_command
+from repro.semantics.state import State
+from repro.values import IntRange
+
+from tests.strategies import loop_free_commands
+
+UNI = Universe(["x", "t"], IntRange(0, 1))
+
+
+class TestRefinement:
+    def test_deterministic_refines_nondeterministic(self):
+        abstract = parse_command("x := nonDet()")
+        concrete = parse_command("x := 0")
+        assert refines_direct(concrete, abstract, UNI)
+        assert not refines_direct(abstract, concrete, UNI)
+
+    def test_every_command_refines_itself(self):
+        cmd = parse_command("x := 1 - x")
+        assert refines_direct(cmd, cmd, UNI)
+
+    def test_product_program_shape(self):
+        c1 = parse_command("skip")
+        c2 = parse_command("x := 0")
+        product = product_program(c1, c2, "t")
+        from repro.lang import Assign, Choice, Seq
+
+        assert product == Choice(Seq(Assign("t", 1), c1), Seq(Assign("t", 2), c2))
+
+    def test_example3_agreement(self):
+        """Example 3: refinement ⟺ the product-program hyper-triple."""
+        pairs = [
+            ("x := 0", "x := nonDet()"),
+            ("x := nonDet()", "x := 0"),
+            ("x := 1 - x", "x := 1 - x"),
+            ("assume x > 0", "skip"),
+            ("x := 1", "x := 0"),
+        ]
+        for concrete_text, abstract_text in pairs:
+            concrete = parse_command(concrete_text)
+            abstract = parse_command(abstract_text)
+            assert refines_direct(concrete, abstract, UNI) == refines_via_hyper_triple(
+                concrete, abstract, UNI
+            ), (concrete_text, abstract_text)
+
+    @given(loop_free_commands(max_depth=2), loop_free_commands(max_depth=2))
+    @settings(max_examples=10, deadline=None)
+    def test_example3_agreement_random(self, concrete, abstract):
+        from repro.lang.analysis import written_vars, read_vars
+
+        if "t" in written_vars(concrete) | written_vars(abstract):
+            return  # tag must be fresh
+        if "t" in read_vars(concrete) | read_vars(abstract):
+            return
+        uni = Universe(["x", "y", "t"], IntRange(0, 1))
+        assert refines_direct(concrete, abstract, uni) == refines_via_hyper_triple(
+            concrete, abstract, uni
+        )
+
+
+class TestRecurrentSets:
+    def setup_method(self):
+        self.uni = small_universe(["x"], 0, 2)
+        self.cond = parse_bexpr("x > 0")
+
+    def test_recurrent_set_detected(self):
+        body = parse_command("x := max(x - 1, 1)")  # stuck at 1 forever
+        region = frozenset((State({"x": 1}), State({"x": 2})))
+        assert is_recurrent_set(region, self.cond, body, self.uni.domain)
+        assert has_nonterminating_execution(self.cond, body, self.uni)
+
+    def test_terminating_loop_has_empty_greatest(self):
+        body = parse_command("x := x - 1")
+        assert greatest_recurrent_set(self.cond, body, self.uni) == frozenset()
+        assert not has_nonterminating_execution(self.cond, body, self.uni)
+
+    def test_nondeterministic_escape_still_recurrent(self):
+        """x := nonDet() inside the loop: can always stay > 0."""
+        body = parse_command("x := nonDet(); assume x > 0")
+        region = greatest_recurrent_set(self.cond, body, self.uni)
+        assert region
+        assert is_recurrent_set(region, self.cond, body, self.uni.domain)
+
+    def test_guard_violating_region_rejected(self):
+        body = parse_command("skip")
+        region = frozenset((State({"x": 0}),))
+        assert not is_recurrent_set(region, self.cond, body, self.uni.domain)
+
+    def test_recurrence_via_hyper_triple(self):
+        """App. E.2: recurrence certified by the hyper-triple
+        {∃⟨φ⟩. φ∈R} assume b; C {∃⟨φ⟩. φ∈R}."""
+        body = parse_command("x := max(x - 1, 1)")
+        region = frozenset((State({"x": 1}), State({"x": 2})))
+        assert recurrence_via_triple(region, self.cond, body, self.uni)
+        bad_region = frozenset((State({"x": 1}), State({"x": 0})))
+        assert not recurrence_via_triple(bad_region, self.cond, body, self.uni)
+
+    def test_triple_agrees_with_direct(self):
+        bodies = ["x := x - 1", "x := max(x - 1, 1)", "x := nonDet()"]
+        for text in bodies:
+            body = parse_command(text)
+            region = greatest_recurrent_set(self.cond, body, self.uni)
+            if region:
+                assert recurrence_via_triple(region, self.cond, body, self.uni)

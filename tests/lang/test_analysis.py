@@ -1,0 +1,85 @@
+"""Static analyses: written/read variables, loop-freedom, sizes."""
+
+from hypothesis import given
+
+from repro.lang import (
+    Assign,
+    Assume,
+    Choice,
+    Havoc,
+    Iter,
+    Seq,
+    Skip,
+    V,
+    parse_command,
+    command_size,
+    is_loop_free,
+    read_vars,
+    subcommands,
+    written_vars,
+)
+from repro.lang.analysis import always_terminates_everywhere, has_assume
+
+from tests.strategies import commands
+
+
+class TestWrittenVars:
+    def test_atomic(self):
+        assert written_vars(Skip()) == frozenset()
+        assert written_vars(Assign("x", 1)) == {"x"}
+        assert written_vars(Havoc("y")) == {"y"}
+        assert written_vars(Assume(V("x").gt(0))) == frozenset()
+
+    def test_composite(self):
+        c = parse_command("x := 1; { y := 2 } + { z := 3 }")
+        assert written_vars(c) == {"x", "y", "z"}
+
+    def test_loop(self):
+        c = parse_command("while (x > 0) { y := y + 1; x := x - 1 }")
+        assert written_vars(c) == {"x", "y"}
+
+    @given(commands(max_depth=3))
+    def test_written_subset_of_mentioned(self, command):
+        # wr(C) only contains assignment/havoc targets
+        targets = set()
+        for sub in subcommands(command):
+            if isinstance(sub, (Assign, Havoc)):
+                targets.add(sub.var)
+        assert written_vars(command) == targets
+
+
+class TestReadVars:
+    def test_atomic(self):
+        assert read_vars(Assign("x", V("y") + 1)) == {"y"}
+        assert read_vars(Assume(V("x").lt(V("z")))) == {"x", "z"}
+        assert read_vars(Havoc("x")) == frozenset()
+
+    def test_composite(self):
+        c = parse_command("x := y; assume z > 0")
+        assert read_vars(c) == {"y", "z"}
+
+
+class TestShape:
+    def test_loop_free(self):
+        assert is_loop_free(parse_command("x := 1; y := 2"))
+        assert not is_loop_free(parse_command("loop { skip }"))
+        assert not is_loop_free(parse_command("while (x > 0) { skip }"))
+
+    def test_has_assume(self):
+        assert has_assume(parse_command("assume x > 0"))
+        assert has_assume(parse_command("if (x > 0) { skip }"))
+        assert not has_assume(parse_command("x := 1; y := nonDet()"))
+
+    def test_always_terminates(self):
+        assert always_terminates_everywhere(parse_command("x := 1; y := nonDet()"))
+        assert not always_terminates_everywhere(parse_command("assume x > 0"))
+        assert not always_terminates_everywhere(parse_command("loop { skip }"))
+
+    def test_command_size(self):
+        assert command_size(Skip()) == 1
+        assert command_size(Seq(Skip(), Skip())) == 3
+        assert command_size(Iter(Choice(Skip(), Skip()))) == 4
+
+    @given(commands(max_depth=3))
+    def test_subcommands_count_matches_size(self, command):
+        assert len(subcommands(command)) == command_size(command)

@@ -1,0 +1,111 @@
+"""Command trees, desugarings and their recognizers."""
+
+from hypothesis import given
+
+from repro.lang import (
+    Assign,
+    Assume,
+    Choice,
+    Havoc,
+    Iter,
+    Seq,
+    Skip,
+    V,
+    if_then,
+    if_then_else,
+    match_if_then_else,
+    match_while,
+    rand_int_bounded,
+    seq,
+    while_loop,
+)
+
+from tests.strategies import commands, conditions
+
+
+class TestBuilders:
+    def test_seq_empty_is_skip(self):
+        assert seq() == Skip()
+
+    def test_seq_single(self):
+        c = Assign("x", 1)
+        assert seq(c) == c
+
+    def test_seq_right_nested(self):
+        a, b, c = Skip(), Assign("x", 1), Havoc("y")
+        assert seq(a, b, c) == Seq(a, Seq(b, c))
+
+    def test_fluent_combinators(self):
+        a, b = Skip(), Assign("x", 1)
+        assert a.then(b) == Seq(a, b)
+        assert a.choice(b) == Choice(a, b)
+        assert a.star() == Iter(a)
+
+    def test_children(self):
+        a, b = Skip(), Assign("x", 1)
+        assert Seq(a, b).children() == (a, b)
+        assert Choice(a, b).children() == (a, b)
+        assert Iter(a).children() == (a,)
+        assert a.children() == ()
+
+    def test_assign_coerces_int(self):
+        from repro.lang.expr import Lit
+
+        assert Assign("x", 3).expr == Lit(3)
+
+    def test_assume_coerces_bool(self):
+        from repro.lang.expr import BLit
+
+        assert Assume(True).cond == BLit(True)
+
+
+class TestDesugaring:
+    def test_if_then_else_shape(self):
+        cond = V("x").gt(0)
+        c = if_then_else(cond, Assign("y", 1), Assign("y", 2))
+        assert c == Choice(
+            Seq(Assume(cond), Assign("y", 1)),
+            Seq(Assume(cond.negate()), Assign("y", 2)),
+        )
+
+    def test_if_then_shape(self):
+        cond = V("x").gt(0)
+        c = if_then(cond, Assign("y", 1))
+        assert c == Choice(Seq(Assume(cond), Assign("y", 1)), Assume(cond.negate()))
+
+    def test_while_shape(self):
+        cond = V("x").gt(0)
+        body = Assign("x", V("x") - 1)
+        c = while_loop(cond, body)
+        assert c == Seq(Iter(Seq(Assume(cond), body)), Assume(cond.negate()))
+
+    def test_rand_int_bounded_shape(self):
+        c = rand_int_bounded("x", 0, 9)
+        assert isinstance(c, Seq)
+        assert c.first == Havoc("x")
+        assert isinstance(c.second, Assume)
+
+
+class TestRecognizers:
+    @given(conditions(), commands(max_depth=2))
+    def test_while_roundtrip(self, cond, body):
+        assert match_while(while_loop(cond, body)) == (cond, body)
+
+    @given(conditions(), commands(max_depth=2), commands(max_depth=2))
+    def test_if_roundtrip(self, cond, then_b, else_b):
+        assert match_if_then_else(if_then_else(cond, then_b, else_b)) == (
+            cond,
+            then_b,
+            else_b,
+        )
+
+    def test_match_while_rejects_others(self):
+        assert match_while(Skip()) is None
+        assert match_while(Seq(Skip(), Skip())) is None
+        # mismatched exit guard
+        c = Seq(Iter(Seq(Assume(V("x").gt(0)), Skip())), Assume(V("x").gt(0)))
+        assert match_while(c) is None
+
+    def test_match_if_rejects_others(self):
+        assert match_if_then_else(Skip()) is None
+        assert match_if_then_else(Choice(Skip(), Skip())) is None

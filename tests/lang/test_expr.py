@@ -1,0 +1,192 @@
+"""Expression and predicate trees: evaluation, substitution, totality."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EvaluationError
+from repro.lang.expr import (
+    BAnd,
+    BinOp,
+    BLit,
+    BNot,
+    BOr,
+    Cmp,
+    FunApp,
+    Lit,
+    TupleLit,
+    UnOp,
+    V,
+    Var,
+    as_bexpr,
+    as_expr,
+    conj,
+    disj,
+    implies,
+)
+from repro.semantics.state import State
+
+from tests.strategies import conditions, safe_exprs
+
+S = State({"x": 3, "y": 5, "z": 0})
+
+
+class TestEvaluation:
+    def test_literal(self):
+        assert Lit(7).eval(S) == 7
+
+    def test_var(self):
+        assert Var("x").eval(S) == 3
+
+    def test_unbound_var_raises(self):
+        with pytest.raises(EvaluationError):
+            Var("missing").eval(S)
+
+    def test_arith(self):
+        assert (V("x") + V("y")).eval(S) == 8
+        assert (V("x") - 1).eval(S) == 2
+        assert (V("x") * V("y")).eval(S) == 15
+        assert (-V("x")).eval(S) == -3
+
+    def test_radd_rsub_rmul(self):
+        assert (1 + V("x")).eval(S) == 4
+        assert (10 - V("x")).eval(S) == 7
+        assert (2 * V("x")).eval(S) == 6
+
+    def test_division_by_zero_is_total(self):
+        assert BinOp("//", V("x"), V("z")).eval(S) == 0
+        assert BinOp("%", V("x"), V("z")).eval(S) == 0
+
+    def test_division_normal(self):
+        assert BinOp("//", Lit(7), Lit(2)).eval(S) == 3
+        assert BinOp("%", Lit(7), Lit(2)).eval(S) == 1
+
+    def test_xor(self):
+        assert BinOp("xor", Lit(5), Lit(3)).eval(S) == 6
+
+    def test_min_max(self):
+        assert BinOp("min", V("x"), V("y")).eval(S) == 3
+        assert BinOp("max", V("x"), V("y")).eval(S) == 5
+
+    def test_tuple_concat_and_index(self):
+        t = TupleLit((Lit(1), V("x")))
+        assert t.eval(S) == (1, 3)
+        cat = BinOp("++", t, TupleLit((Lit(9),)))
+        assert cat.eval(S) == (1, 3, 9)
+        assert BinOp("[]", cat, Lit(2)).eval(S) == 9
+
+    def test_out_of_range_index_is_total(self):
+        assert BinOp("[]", TupleLit(()), Lit(5)).eval(S) == 0
+
+    def test_len(self):
+        assert FunApp("len", (TupleLit((Lit(1), Lit(2))),)).eval(S) == 2
+
+    def test_abs(self):
+        assert UnOp("abs", Lit(-4)).eval(S) == 4
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(EvaluationError):
+            BinOp("**", Lit(1), Lit(2)).eval(S)
+        with pytest.raises(EvaluationError):
+            FunApp("sqrt", (Lit(4),)).eval(S)
+
+
+class TestPredicates:
+    def test_comparisons(self):
+        assert V("x").lt(V("y")).eval(S)
+        assert V("x").le(3).eval(S)
+        assert V("y").gt(4).eval(S)
+        assert V("y").ge(5).eval(S)
+        assert V("x").eq(3).eval(S)
+        assert V("x").ne(4).eval(S)
+
+    def test_connectives(self):
+        t = V("x").lt(V("y"))
+        f = V("x").gt(V("y"))
+        assert BAnd(t, t).eval(S)
+        assert not BAnd(t, f).eval(S)
+        assert BOr(f, t).eval(S)
+        assert not BOr(f, f).eval(S)
+        assert BNot(f).eval(S)
+
+    def test_implies(self):
+        assert implies(V("x").gt(10), V("y").eq(0)).eval(S)
+        assert not implies(V("x").eq(3), V("y").eq(0)).eval(S)
+
+    def test_conj_disj_empty(self):
+        assert conj().eval(S) is True
+        assert disj().eval(S) is False
+
+    def test_conj_disj_many(self):
+        assert conj(V("x").eq(3), V("y").eq(5), True).eval(S)
+        assert disj(False, V("x").eq(9), V("y").eq(5)).eval(S)
+
+
+class TestNegation:
+    @given(conditions())
+    def test_negate_is_semantic_complement(self, cond):
+        for x in range(3):
+            for y in range(3):
+                s = State({"x": x, "y": y})
+                assert cond.negate().eval(s) == (not cond.eval(s))
+
+    @given(conditions())
+    def test_double_negation_collapses(self, cond):
+        assert cond.negate().negate() == cond
+
+    def test_and_or_duality(self):
+        a, b = V("x").eq(0), V("y").eq(0)
+        assert BAnd(a, b).negate() == BOr(a.negate(), b.negate())
+        assert BOr(a, b).negate() == BAnd(a.negate(), b.negate())
+
+    def test_bool_literal_negation(self):
+        assert BLit(True).negate() == BLit(False)
+
+
+class TestSubstitution:
+    def test_var_subst(self):
+        e = V("x") + V("y")
+        out = e.subst({"x": Lit(10)})
+        assert out.eval(S) == 15
+
+    def test_subst_missing_is_identity(self):
+        e = V("x")
+        assert e.subst({"q": Lit(1)}) == e
+
+    @given(safe_exprs(), safe_exprs())
+    @settings(max_examples=50)
+    def test_subst_semantics(self, e, replacement):
+        """Substitution commutes with evaluation."""
+        substituted = e.subst({"x": replacement})
+        for x in range(3):
+            for y in range(3):
+                s = State({"x": x, "y": y})
+                s2 = State({"x": replacement.eval(s), "y": y})
+                assert substituted.eval(s) == e.eval(s2)
+
+    def test_pred_subst(self):
+        p = V("x").lt(V("y"))
+        out = p.subst({"x": V("y")})
+        assert not out.eval(S)
+
+
+class TestStructure:
+    def test_free_vars(self):
+        assert (V("x") + V("y")).free_vars() == {"x", "y"}
+        assert Lit(3).free_vars() == frozenset()
+        assert V("x").lt(2).free_vars() == {"x"}
+        assert BAnd(V("x").eq(0), V("z").eq(0)).free_vars() == {"x", "z"}
+
+    def test_structural_equality_and_hash(self):
+        assert V("x") + 1 == V("x") + 1
+        assert hash(V("x") + 1) == hash(V("x") + 1)
+        assert V("x") + 1 != V("x") + 2
+
+    def test_coercions(self):
+        assert as_expr(5) == Lit(5)
+        assert as_expr(V("x")) == V("x")
+        assert as_bexpr(True) == BLit(True)
+        with pytest.raises(TypeError):
+            as_expr("nope")
+        with pytest.raises(TypeError):
+            as_bexpr(3)

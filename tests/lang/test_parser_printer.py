@@ -1,0 +1,190 @@
+"""Concrete syntax: parsing, pretty-printing, and their round-trip."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import ParseError
+from repro.lang import (
+    Assign,
+    Assume,
+    Choice,
+    Havoc,
+    Iter,
+    Seq,
+    Skip,
+    parse_bexpr,
+    parse_command,
+    parse_expr,
+    pretty,
+)
+from repro.lang.expr import BinOp, Cmp, Lit, TupleLit, UnOp, Var
+from repro.lang.printer import pretty_bexpr, pretty_expr
+from repro.lang.sugar import if_then_else, while_loop
+
+from tests.strategies import commands
+
+
+class TestExprParsing:
+    def test_precedence(self):
+        assert parse_expr("1 + 2 * 3") == BinOp(
+            "+", Lit(1), BinOp("*", Lit(2), Lit(3))
+        )
+
+    def test_parens(self):
+        assert parse_expr("(1 + 2) * 3") == BinOp(
+            "*", BinOp("+", Lit(1), Lit(2)), Lit(3)
+        )
+
+    def test_xor_lowest(self):
+        assert parse_expr("a + b xor c") == BinOp(
+            "xor", BinOp("+", Var("a"), Var("b")), Var("c")
+        )
+
+    def test_unary_minus(self):
+        assert parse_expr("-x") == UnOp("-", Var("x"))
+
+    def test_indexing(self):
+        assert parse_expr("h[i]") == BinOp("[]", Var("h"), Var("i"))
+
+    def test_tuple_literal(self):
+        assert parse_expr("[1, x]") == TupleLit((Lit(1), Var("x")))
+        assert parse_expr("[]") == TupleLit(())
+
+    def test_functions(self):
+        assert parse_expr("len(h)").name == "len"
+        assert parse_expr("min(a, b)") == BinOp("min", Var("a"), Var("b"))
+        assert parse_expr("abs(x)") == UnOp("abs", Var("x"))
+
+    def test_concat(self):
+        assert parse_expr("l ++ [k]") == BinOp(
+            "++", Var("l"), TupleLit((Var("k"),))
+        )
+
+    def test_errors(self):
+        with pytest.raises(ParseError):
+            parse_expr("1 +")
+        with pytest.raises(ParseError):
+            parse_expr("(1")
+        with pytest.raises(ParseError):
+            parse_expr("1 2")
+
+
+class TestBExprParsing:
+    def test_chained_comparison(self):
+        b = parse_bexpr("0 <= x <= 9")
+        s = {"x": 5}
+        from repro.semantics.state import State
+
+        assert b.eval(State(s))
+        assert not b.eval(State({"x": 10}))
+
+    def test_connective_precedence(self):
+        b = parse_bexpr("x == 0 || x == 1 && y == 0")
+        from repro.lang.expr import BAnd, BOr
+
+        assert isinstance(b, BOr)
+        assert isinstance(b.right, BAnd)
+
+    def test_grouping(self):
+        b = parse_bexpr("(x == 0 || x == 1) && y == 0")
+        from repro.lang.expr import BAnd
+
+        assert isinstance(b, BAnd)
+
+    def test_negation(self):
+        b = parse_bexpr("!(x > 0)")
+        from repro.semantics.state import State
+
+        assert b.eval(State({"x": 0}))
+
+    def test_literals(self):
+        assert parse_bexpr("true").value is True
+        assert parse_bexpr("false").value is False
+
+
+class TestCommandParsing:
+    def test_atomic(self):
+        assert parse_command("skip") == Skip()
+        assert parse_command("x := 1") == Assign("x", 1)
+        assert parse_command("x := nonDet()") == Havoc("x")
+        assert isinstance(parse_command("assume x > 0"), Assume)
+
+    def test_seq_right_nested(self):
+        c = parse_command("x := 1; y := 2; z := 3")
+        assert c == Seq(Assign("x", 1), Seq(Assign("y", 2), Assign("z", 3)))
+
+    def test_trailing_semicolon(self):
+        assert parse_command("x := 1;") == Assign("x", 1)
+
+    def test_choice(self):
+        c = parse_command("{ x := 1 } + { x := 2 }")
+        assert c == Choice(Assign("x", 1), Assign("x", 2))
+
+    def test_choice_chain(self):
+        c = parse_command("{ x := 1 } + { x := 2 } + { x := 3 }")
+        assert c == Choice(Choice(Assign("x", 1), Assign("x", 2)), Assign("x", 3))
+
+    def test_loop(self):
+        assert parse_command("loop { skip }") == Iter(Skip())
+
+    def test_while_desugars(self):
+        c = parse_command("while (x > 0) { x := x - 1 }")
+        cond = parse_bexpr("x > 0")
+        assert c == while_loop(cond, parse_command("x := x - 1"))
+
+    def test_if_else_desugars(self):
+        c = parse_command("if (x > 0) { y := 1 } else { y := 2 }")
+        cond = parse_bexpr("x > 0")
+        assert c == if_then_else(cond, Assign("y", 1), Assign("y", 2))
+
+    def test_randint_desugars(self):
+        c = parse_command("x := randInt(0, 9)")
+        assert isinstance(c, Seq) and c.first == Havoc("x")
+
+    def test_comments(self):
+        c = parse_command("x := 1 # set x\n; y := 2")
+        assert c == Seq(Assign("x", 1), Assign("y", 2))
+
+    def test_errors(self):
+        with pytest.raises(ParseError):
+            parse_command("x :=")
+        with pytest.raises(ParseError):
+            parse_command("while x { skip }")
+        with pytest.raises(ParseError):
+            parse_command("x := 1 }")
+
+    def test_parse_error_reports_position(self):
+        try:
+            parse_command("x := 1;\ny := @")
+        except ParseError as e:
+            assert "line 2" in str(e)
+        else:
+            raise AssertionError("expected ParseError")
+
+
+class TestRoundTrip:
+    @given(commands(max_depth=3))
+    @settings(max_examples=150)
+    def test_parse_pretty_roundtrip(self, command):
+        assert parse_command(pretty(command)) == command
+
+    @given(commands(max_depth=3))
+    @settings(max_examples=50)
+    def test_roundtrip_without_sugar(self, command):
+        assert parse_command(pretty(command, sugar=False)) == command
+
+    def test_pretty_while_is_sugared(self):
+        text = pretty(parse_command("while (x > 0) { x := x - 1 }"))
+        assert text.startswith("while")
+
+    def test_pretty_if_is_sugared(self):
+        text = pretty(parse_command("if (x > 0) { skip } else { x := 1 }"))
+        assert text.startswith("if")
+
+    def test_pretty_expr_parens(self):
+        e = parse_expr("(1 + 2) * 3")
+        assert parse_expr(pretty_expr(e)) == e
+
+    def test_pretty_bexpr_roundtrip(self):
+        b = parse_bexpr("(x == 0 || y > 1) && !(x >= 2)")
+        assert parse_bexpr(pretty_bexpr(b)) == b

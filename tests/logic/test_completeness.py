@@ -1,0 +1,108 @@
+"""Thm. 2: the completeness construction really proves valid triples."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.assertions import (
+    EqualsSet,
+    FALSE_H,
+    TRUE_H,
+    box,
+    low,
+    not_emp_s,
+)
+from repro.checker import check_triple, small_universe
+from repro.errors import ProofError
+from repro.lang import parse_command
+from repro.lang.expr import V
+from repro.logic import prove_exact, prove_valid_triple
+from repro.semantics.extended import sem
+
+from tests.conftest import make_oracle
+from tests.strategies import commands
+
+UNI = small_universe(["x", "y"], 0, 1)
+ORACLE = make_oracle(UNI)
+
+CORE_RULES = {"Skip", "Seq", "Choice", "Cons", "Exist", "Assume", "Assign", "Havoc", "Iter"}
+
+
+class TestProveExact:
+    @given(commands(max_depth=2))
+    @settings(max_examples=25, deadline=None)
+    def test_exact_proof_is_valid_and_core_only(self, command):
+        initial = frozenset(UNI.ext_states()[:1])
+        proof = prove_exact(command, initial, UNI, ORACLE)
+        assert set(proof.rules_used()) <= CORE_RULES
+        assert check_triple(proof.pre, proof.command, proof.post, UNI).valid
+
+    def test_exact_post_pins_semantics(self):
+        cmd = parse_command("x := nonDet()")
+        initial = frozenset(UNI.ext_states()[:1])
+        proof = prove_exact(cmd, initial, UNI, ORACLE)
+        target = sem(cmd, initial, UNI.domain)
+        assert proof.post.holds(target, UNI.domain)
+        assert not proof.post.holds(frozenset(), UNI.domain)
+
+    def test_exact_handles_loops_with_cycles(self):
+        cmd = parse_command("loop { x := 1 - x }")  # layers cycle 0↔1
+        initial = frozenset(UNI.ext_states()[:1])
+        proof = prove_exact(cmd, initial, UNI, ORACLE)
+        assert check_triple(proof.pre, proof.command, proof.post, UNI).valid
+
+    def test_exact_handles_stuck_assume(self):
+        cmd = parse_command("assume x > 5")
+        initial = frozenset(UNI.ext_states())
+        proof = prove_exact(cmd, initial, UNI, ORACLE)
+        assert proof.post.holds(frozenset(), UNI.domain)
+
+
+class TestProveValid:
+    @given(commands(max_depth=2))
+    @settings(max_examples=15, deadline=None)
+    def test_random_valid_triples_are_provable(self, command):
+        """For any command, {⊤} C {sp} is valid — prove it via Thm. 2 with
+        a postcondition computed from the semantics."""
+        pre = not_emp_s
+        # weakest valid postcondition for this pre: the union of all
+        # reachable sets — approximated here by TRUE (always valid)
+        proof = prove_valid_triple(pre, command, TRUE_H, UNI)
+        assert set(proof.rules_used()) <= CORE_RULES
+        assert check_triple(proof.pre, proof.command, proof.post, UNI).valid
+
+    def test_ni_triple_provable(self):
+        cmd = parse_command("x := 1")
+        proof = prove_valid_triple(low("x"), cmd, low("x"), UNI)
+        assert check_triple(proof.pre, proof.command, proof.post, UNI).valid
+
+    def test_underapproximate_triple_provable(self):
+        from repro.assertions import exists_s, pv
+
+        cmd = parse_command("x := nonDet()")
+        post = exists_s("p", pv("p", "x").eq(1))
+        proof = prove_valid_triple(not_emp_s, cmd, post, UNI)
+        assert check_triple(proof.pre, proof.command, proof.post, UNI).valid
+
+    def test_invalid_triple_rejected(self):
+        cmd = parse_command("x := nonDet()")
+        with pytest.raises(ProofError):
+            prove_valid_triple(not_emp_s, cmd, box(V("x").eq(0)), UNI)
+
+    def test_unsat_precondition_provable(self):
+        """The vacuous branch: {⊥} C {anything}."""
+        cmd = parse_command("x := 0")
+        proof = prove_valid_triple(FALSE_H, cmd, box(V("x").eq(1)), UNI)
+        assert check_triple(proof.pre, proof.command, proof.post, UNI).valid
+
+    def test_exist_rule_is_used(self):
+        """The construction goes through Exist — the rule Example 1 shows
+        is required for completeness."""
+        cmd = parse_command("{ skip } + { x := min(x + 1, 1) }")
+        proof = prove_valid_triple(low("x"), cmd, TRUE_H, UNI)
+        assert proof.rules_used().get("Exist", 0) >= 1
+
+    def test_loop_triple_provable(self):
+        cmd = parse_command("while (x > 0) { x := x - 1 }")
+        proof = prove_valid_triple(not_emp_s, cmd, box(V("x").eq(0)), UNI)
+        assert set(proof.rules_used()) <= CORE_RULES
+        assert check_triple(proof.pre, proof.command, proof.post, UNI).valid

@@ -1,0 +1,353 @@
+"""Fig. 11 compositionality rules + Prop. 14 (App. H), including the
+paper's Example 4 (intersection rule unsoundness) and App. D.2-style
+compositions."""
+
+import pytest
+
+from repro.assertions import (
+    AtLeast,
+    AtMost,
+    BigUnion,
+    EqualsSet,
+    OTimes,
+    OTimesTagged,
+    SAnd,
+    TRUE_H,
+    box,
+    exists_s,
+    forall_s,
+    low,
+    lv,
+    not_emp_s,
+    pv,
+    simplies,
+    singleton,
+)
+from repro.assertions.derived import ForallStateFam
+from repro.checker import Universe, check_triple
+from repro.errors import ProofError, SideConditionError
+from repro.lang import parse_bexpr, parse_command
+from repro.lang.expr import V
+from repro.logic import (
+    rule_and,
+    rule_at_least,
+    rule_at_most,
+    rule_big_union,
+    rule_cons,
+    rule_empty,
+    rule_false,
+    rule_forall,
+    rule_frame_safe,
+    rule_indexed_union,
+    rule_linking,
+    rule_lupdate,
+    rule_lupdate_s,
+    rule_or,
+    rule_skip,
+    rule_specialize,
+    rule_sync_if,
+    rule_true,
+    rule_union,
+    semantic_axiom,
+)
+from repro.semantics.state import ExtState, State
+from repro.values import IntRange
+
+from tests.conftest import make_oracle
+
+
+def check_conclusion(proof, universe, max_size=None):
+    result = check_triple(proof.pre, proof.command, proof.post, universe, max_size)
+    assert result.valid, proof.rule
+    return proof
+
+
+class TestBooleanRules:
+    def test_and(self, uni_x2):
+        cmd = parse_command("x := x")
+        p1 = semantic_axiom(low("x"), cmd, low("x"), uni_x2)
+        p2 = semantic_axiom(not_emp_s, cmd, not_emp_s, uni_x2)
+        check_conclusion(rule_and(p1, p2), uni_x2)
+
+    def test_or(self, uni_x2):
+        cmd = parse_command("x := x")
+        p1 = semantic_axiom(box(V("x").eq(0)), cmd, box(V("x").eq(0)), uni_x2)
+        p2 = semantic_axiom(box(V("x").eq(1)), cmd, box(V("x").eq(1)), uni_x2)
+        check_conclusion(rule_or(p1, p2), uni_x2)
+
+    def test_forall(self, uni_x2):
+        premises = {v: rule_skip(box(V("x").eq(v))) for v in (0, 1)}
+        check_conclusion(rule_forall(premises), uni_x2)
+
+    def test_mixed_commands_rejected(self, uni_x2):
+        p1 = rule_skip(low("x"))
+        p2 = semantic_axiom(low("x"), parse_command("x := 0"), low("x"), uni_x2)
+        with pytest.raises(ProofError):
+            rule_and(p1, p2)
+
+    def test_constants(self, uni_x2):
+        cmd = parse_command("x := nonDet()")
+        check_conclusion(rule_true(low("x"), cmd), uni_x2)
+        check_conclusion(rule_false(cmd, low("x")), uni_x2)
+        check_conclusion(rule_empty(cmd), uni_x2)
+
+    def test_example4_intersection_rule_unsound(self, uni_x2):
+        """Example 4: an intersection-based analogue of And is unsound."""
+        phi1 = ExtState(State({}), State({"x": 1}))
+        phi0 = ExtState(State({}), State({"x": 0}))
+        p1 = EqualsSet(frozenset((phi1,)))
+        p2 = EqualsSet(frozenset((phi0,)))  # plays "x = 2" on a 0/1 domain
+        cmd = parse_command("x := 1")
+        # both premises valid
+        assert check_triple(p1, cmd, p1, uni_x2).valid
+        assert check_triple(p2, cmd, p1, uni_x2).valid
+        # the intersection-combined triple is invalid:
+        from repro.assertions import SemAssertion
+        from repro.util import iter_subsets
+
+        def inter(a, b):
+            def fn(states):
+                universe = uni_x2.ext_states()
+                for s1 in iter_subsets(universe):
+                    for s2 in iter_subsets(universe):
+                        if s1 & s2 == states and a.holds(s1) and b.holds(s2):
+                            return True
+                return False
+
+            return SemAssertion(fn, "intersection")
+
+        pre = inter(p1, p2)   # ≡ emp
+        post = inter(p1, p1)  # satisfiable by {φ1}
+        assert not check_triple(pre, cmd, post, uni_x2).valid
+
+
+class TestFraming:
+    def test_frame_safe(self, uni_xy2):
+        cmd = parse_command("x := 1")
+        base = semantic_axiom(TRUE_H, cmd, box(V("x").eq(1)), uni_xy2)
+        frame = low("y")
+        proof = rule_frame_safe(base, frame)
+        check_conclusion(proof, uni_xy2)
+
+    def test_frame_safe_rejects_written_vars(self, uni_xy2):
+        cmd = parse_command("x := 1")
+        base = semantic_axiom(TRUE_H, cmd, TRUE_H, uni_xy2)
+        with pytest.raises(SideConditionError):
+            rule_frame_safe(base, low("x"))
+
+    def test_frame_safe_rejects_exists(self, uni_xy2):
+        cmd = parse_command("x := 1")
+        base = semantic_axiom(TRUE_H, cmd, TRUE_H, uni_xy2)
+        with pytest.raises(SideConditionError):
+            rule_frame_safe(base, exists_s("p", pv("p", "y").eq(0)))
+
+    def test_exists_framing_unsound_without_termination(self):
+        """Why FrameSafe forbids ∃⟨_⟩: assume drops the witness."""
+        uni = Universe(["x", "y"], IntRange(0, 1))
+        cmd = parse_command("assume x > 0")
+        frame = exists_s("p", pv("p", "y").eq(0))
+        pre = TRUE_H & frame
+        post = TRUE_H & frame
+        assert not check_triple(pre, cmd, post, uni).valid
+
+
+class TestUnions:
+    def test_union(self, uni_x2):
+        cmd = parse_command("x := x")
+        p1 = semantic_axiom(box(V("x").eq(0)), cmd, box(V("x").eq(0)), uni_x2)
+        p2 = semantic_axiom(box(V("x").eq(1)), cmd, box(V("x").eq(1)), uni_x2)
+        proof = rule_union(p1, p2)
+        assert isinstance(proof.pre, OTimes)
+        check_conclusion(proof, uni_x2)
+
+    def test_indexed_union(self, uni_x2):
+        cmd = parse_command("x := x")
+        premises = {
+            v: semantic_axiom(box(V("x").eq(v)), cmd, box(V("x").eq(v)), uni_x2)
+            for v in (0, 1)
+        }
+        check_conclusion(rule_indexed_union(premises), uni_x2)
+
+    def test_big_union(self, uni_x2):
+        cmd = parse_command("x := min(x + 1, 1)")
+        base = semantic_axiom(low("x"), cmd, low("x"), uni_x2)
+        proof = rule_big_union(base)
+        assert isinstance(proof.pre, BigUnion)
+        check_conclusion(proof, uni_x2)
+
+    def test_at_most_at_least(self, uni_x2):
+        cmd = parse_command("x := x")
+        base = semantic_axiom(low("x"), cmd, low("x"), uni_x2)
+        check_conclusion(rule_at_most(base, uni_x2), uni_x2)
+        check_conclusion(rule_at_least(base), uni_x2)
+
+
+class TestSpecialize:
+    def test_specialize(self, uni_xy2):
+        cmd = parse_command("y := x")
+        base = semantic_axiom(low("x"), cmd, low("y"), uni_xy2)
+        proof = rule_specialize(base, V("x").ge(0))
+        check_conclusion(proof, uni_xy2)
+
+    def test_specialize_rejects_written_condition(self, uni_x2):
+        cmd = parse_command("x := 1")
+        base = semantic_axiom(low("x"), cmd, low("x"), uni_x2)
+        with pytest.raises(SideConditionError):
+            rule_specialize(base, V("x").gt(0))
+
+    def test_specialize_rejects_semantic(self, uni_x2):
+        base = semantic_axiom(TRUE_H, parse_command("y := 0"), TRUE_H, uni_x2)
+        with pytest.raises(ProofError):
+            rule_specialize(base, V("x").gt(0))
+
+
+class TestLinking:
+    def test_linking_skip(self, uni_x2):
+        """Link each pre-state to its (identical) post-state under skip."""
+        cmd = parse_command("skip")
+
+        def p_family(phi):
+            return EqualsSet(frozenset((phi,))) | TRUE_H
+
+        def q_family(phi):
+            return TRUE_H
+
+        def factory(phi1, phi2):
+            return semantic_axiom(p_family(phi1), cmd, q_family(phi2), uni_x2)
+
+        proof = rule_linking(p_family, q_family, factory, cmd, uni_x2)
+        assert isinstance(proof.pre, ForallStateFam)
+        check_conclusion(proof, uni_x2)
+
+    def test_linking_rejects_bad_factory(self, uni_x2):
+        cmd = parse_command("skip")
+
+        def family(phi):
+            return TRUE_H
+
+        def factory(phi1, phi2):
+            return rule_skip(not_emp_s)  # wrong pre
+
+        with pytest.raises(ProofError):
+            rule_linking(family, family, factory, cmd, uni_x2)
+
+
+class TestLogicalUpdates:
+    def test_lupdate_s(self, uni_tagged):
+        """Strengthen with a tag update ∀⟨φ⟩. φ_L(t) = x, then drop it."""
+        base_pre = low("x")
+        update = forall_s("φ", lv("φ", "t").eq(pv("φ", "x") + 1))
+        cmd = parse_command("x := x")
+        strengthened = SAnd(base_pre, update)
+        base = semantic_axiom(strengthened, cmd, low("x"), uni_tagged)
+        proof = rule_lupdate_s(base, "t")
+        assert proof.pre == base_pre
+        check_conclusion(proof, uni_tagged)
+
+    def test_lupdate_s_rejects_t_in_post(self, uni_tagged):
+        update = forall_s("φ", lv("φ", "t").eq(1))
+        post = forall_s("φ", lv("φ", "t").eq(1))
+        base = semantic_axiom(
+            SAnd(low("x"), update), parse_command("x := x"), post, uni_tagged
+        )
+        with pytest.raises(SideConditionError):
+            rule_lupdate_s(base, "t")
+
+    def test_lupdate_s_rejects_wrong_shape(self, uni_tagged):
+        base = semantic_axiom(low("x"), parse_command("x := x"), low("x"), uni_tagged)
+        with pytest.raises(ProofError):
+            rule_lupdate_s(base, "t")
+
+    def test_lupdate_semantic(self):
+        """The semantic LUpdate on a tiny tagged universe: strengthen
+        ``low(x)`` to ``low(x) ∧ all tags = 1`` (always reachable by a
+        logical update), prove there, drop the tag again."""
+        uni = Universe(["x"], IntRange(0, 1), lvars=["t"], lvar_domain=IntRange(1, 2))
+        cmd = parse_command("x := x")
+        from repro.assertions import SemAssertion
+
+        all_t1 = SemAssertion(lambda S: all(phi.log["t"] == 1 for phi in S), "all t=1")
+        p_prime = low("x") & all_t1
+        post = low("x")
+        base = semantic_axiom(p_prime, cmd, post, uni)
+        proof = rule_lupdate(low("x"), base, {"t"}, uni)
+        check_conclusion(proof, uni)
+
+    def test_lupdate_rejects_tag_sensitive_post(self):
+        uni = Universe(["x"], IntRange(0, 1), lvars=["t"], lvar_domain=IntRange(1, 2))
+        cmd = parse_command("x := x")
+        from repro.assertions import SemAssertion
+
+        p_prime = SemAssertion(lambda S: all(p.log["t"] == 1 for p in S), "all t=1")
+        post = SemAssertion(lambda S: all(p.log["t"] == 1 for p in S), "all t=1")
+        base = semantic_axiom(p_prime, cmd, post, uni)
+        with pytest.raises(SideConditionError):
+            rule_lupdate(TRUE_H, base, {"t"}, uni)
+
+
+class TestSyncIf:
+    def test_prop14(self):
+        """Prop. 14 on (x:=x*0; C; skip) + (x:=x; C; skip) with shared C."""
+        uni = Universe(["x"], IntRange(0, 1), lvars=["u"], lvar_domain=IntRange(1, 2))
+        c1 = parse_command("x := 0")
+        c2 = parse_command("x := x")
+        shared = parse_command("x := min(x + 1, 1)")
+        tail = parse_command("skip")
+        pre = box(V("x").le(1))
+        p_one = box(V("x").eq(0))
+        p_two = box(V("x").le(1))
+        r_one = box(V("x").eq(1))
+        r_two = box(V("x").le(1))
+        p1 = semantic_axiom(pre, c1, p_one, uni)
+        p2 = semantic_axiom(pre, c2, p_two, uni)
+        p3 = semantic_axiom(
+            OTimesTagged(p_one, p_two, "u"), shared, OTimesTagged(r_one, r_two, "u"), uni
+        )
+        p4 = semantic_axiom(r_one, tail, r_one, uni)
+        p5 = semantic_axiom(r_two, tail, r_two, uni)
+        proof = rule_sync_if(p1, p2, p3, p4, p5, "u")
+        check_conclusion(proof, uni)
+        assert isinstance(proof.post, OTimes)
+
+    def test_prop14_rejects_tagged_assertions(self):
+        from repro.logic import rule_false
+
+        uni = Universe(["x"], IntRange(0, 1), lvars=["u"], lvar_domain=IntRange(1, 2))
+        cmd = parse_command("skip")
+        tagged = forall_s("φ", lv("φ", "u").eq(1))
+        p1 = rule_false(cmd, tagged)
+        p2 = rule_false(cmd, tagged)
+        p3 = semantic_axiom(
+            OTimesTagged(tagged, tagged, "u"), cmd, OTimesTagged(tagged, tagged, "u"), uni
+        )
+        p4 = semantic_axiom(tagged, cmd, TRUE_H, uni)
+        p5 = semantic_axiom(tagged, cmd, TRUE_H, uni)
+        with pytest.raises(SideConditionError):
+            rule_sync_if(p1, p2, p3, p4, p5, "u")
+
+
+class TestAppD2Composition:
+    """App. D.2.1 shrunk: a command with a minimum composed with a
+    monotonic deterministic command still has a minimum."""
+
+    def test_minimality_then_monotonicity(self):
+        uni = Universe(["x"], IntRange(0, 2))
+        c1 = parse_command("x := randInt(1, 2)")  # has minimum x=1
+        c2 = parse_command("x := min(x + 1, 2)")  # monotonic, deterministic
+        from repro.assertions import has_min, not_emp_s
+
+        combined = parse_command("x := randInt(1, 2); x := min(x + 1, 2)")
+        assert check_triple(not_emp_s, combined, has_min("x"), uni).valid
+
+    def test_gni_then_ni_preserves_gni(self):
+        """App. D.2.2 shrunk: GNI ; NI is still GNI (checked semantically
+        on the composed command)."""
+        uni = Universe(["h", "l"], IntRange(0, 1))
+        gni_cmd = parse_command("y := nonDet(); l := h xor y; y := 0")
+        uni2 = Universe(["h", "l", "y"], IntRange(0, 1))
+        ni_cmd = parse_command("l := l xor 1")
+        from repro.hyperprops import satisfies_gni_triple
+
+        assert satisfies_gni_triple(gni_cmd, uni2, "l", "h")
+        composed = parse_command("y := nonDet(); l := h xor y; y := 0; l := l xor 1")
+        assert satisfies_gni_triple(composed, uni2, "l", "h")

@@ -1,0 +1,150 @@
+"""Derived classical rules (App. C readings) and WhileDesugaredTerm."""
+
+import pytest
+
+from repro.assertions import EqualsSet, box, low
+from repro.checker import (
+    Universe,
+    check_terminating_triple,
+    check_triple,
+    small_universe,
+)
+from repro.errors import ProofError
+from repro.lang import parse_bexpr, parse_command
+from repro.lang.expr import V
+from repro.logic import (
+    hl_while_body_post,
+    hl_while_body_pre,
+    rule_hl_while,
+    rule_il_while,
+    rule_while_desugared_term,
+    semantic_axiom,
+    while_desugared_term_body_post,
+    while_desugared_term_body_pre,
+)
+from repro.logic.loop_rules import while_desugared_exit_pre
+from repro.semantics.state import ExtState, State
+from repro.values import IntRange
+
+
+class TestHLWhile:
+    def test_classic_invariant_rule(self):
+        uni = small_universe(["x"], 0, 3)
+        cond = parse_bexpr("x > 0")
+        inv = parse_bexpr("x >= 0")
+        body = parse_command("x := x - 1")
+        body_proof = semantic_axiom(
+            hl_while_body_pre(inv, cond), body, hl_while_body_post(inv), uni
+        )
+        proof = rule_hl_while(inv, cond, body_proof)
+        assert check_triple(proof.pre, proof.command, proof.post, uni).valid
+        # conclusion: □(x ≥ 0) before, □(x ≥ 0 ∧ x ≤ 0) after
+        phi = ExtState(State({}), State({"x": 0}))
+        assert proof.post.holds({phi}, uni.domain)
+
+    def test_premise_shape_enforced(self):
+        uni = small_universe(["x"], 0, 1)
+        wrong = semantic_axiom(low("x"), parse_command("x := x"), low("x"), uni)
+        with pytest.raises(ProofError):
+            rule_hl_while(parse_bexpr("x >= 0"), parse_bexpr("x > 0"), wrong)
+
+
+class TestILWhile:
+    def test_reachability_survives_loop(self):
+        uni = small_universe(["x"], 0, 2)
+        cond = parse_bexpr("x > 0")
+        body = parse_command("x := x - 1")
+        target = parse_bexpr("x == 0")
+        proof = rule_il_while(target, cond, body)
+        assert check_triple(proof.pre, proof.command, proof.post, uni).valid
+        # the pre/post really witness reachability of x == 0
+        phi = ExtState(State({}), State({"x": 0}))
+        assert proof.pre.holds({phi}, uni.domain)
+        assert not proof.pre.holds(frozenset(), uni.domain)
+
+    def test_body_must_be_command(self):
+        with pytest.raises(ProofError):
+            rule_il_while(parse_bexpr("x == 0"), parse_bexpr("x > 0"), "not a command")
+
+
+class TestWhileDesugaredTerm:
+    """The Fig. 14 general terminating loop rule on the decrement loop."""
+
+    def setup_method(self):
+        self.uni = Universe(
+            ["x"], IntRange(0, 2), lvars=["tv"], lvar_domain=IntRange(0, 2)
+        )
+        self.cond = parse_bexpr("x > 0")
+        self.body = parse_command("x := x - 1")
+        self.variant = V("x")
+
+        def pin(*xs):
+            return EqualsSet(
+                frozenset(
+                    ExtState(State({"tv": t}), State({"x": x}))
+                    for x in xs
+                    for t in (0, 1, 2)
+                )
+            )
+
+        # P_n: the full tagged layers of starting set {x=2}; Q_n = filtered
+        self.p_layers = [pin(2), pin(1), pin(0), pin()]
+        self.q_layers = [pin(2), pin(1), pin(), pin()]
+
+    def test_rule_application(self):
+        uni, cond, body = self.uni, self.cond, self.body
+        p_family = lambda n: self.p_layers[min(n, 3)]  # noqa: E731
+        q_family = lambda n: self.q_layers[min(n, 3)]  # noqa: E731
+        guard_proofs = [
+            semantic_axiom(p_family(n), parse_command("assume x > 0"), q_family(n), uni)
+            for n in range(4)
+        ]
+        body_proofs = [
+            semantic_axiom(
+                while_desugared_term_body_pre(q_family, n, self.variant, "tv"),
+                body,
+                while_desugared_term_body_post(
+                    p_family, min(n + 1, 3), self.variant, "tv"
+                ),
+                uni,
+                terminating=True,
+            )
+            for n in range(4)
+        ]
+        exit_pre = while_desugared_exit_pre(p_family, 3)
+        post = box(V("x").eq(0))
+        from repro.logic import rule_assume_s, rule_cons
+        from tests.conftest import make_oracle
+
+        oracle = make_oracle(uni)
+        exit_proof = rule_cons(
+            exit_pre, post, rule_assume_s(post, cond.negate()), oracle
+        )
+        proof = rule_while_desugared_term(
+            p_family,
+            q_family,
+            guard_proofs,
+            body_proofs,
+            exit_proof,
+            cond,
+            self.variant,
+            "tv",
+            stable_from=3,
+        )
+        assert proof.triple.terminating
+        result = check_terminating_triple(proof.pre, proof.command, proof.post, self.uni)
+        assert result.valid
+
+    def test_premise_counts_enforced(self):
+        with pytest.raises(ProofError):
+            rule_while_desugared_term(
+                lambda n: self.p_layers[min(n, 3)],
+                lambda n: self.q_layers[min(n, 3)],
+                [],
+                [],
+                None,
+                self.cond,
+                self.variant,
+                "tv",
+                stable_from=3,
+            )

@@ -1,0 +1,75 @@
+"""Def. 7 (⨂ families) against the exact loop semantics (Lemma 1(7)).
+
+For any loop body and pinned initial set, the indexed family of layer
+pins ``I_n = (S = sem(C^n, V))`` — the family the completeness
+construction feeds to the Iter rule — must hold of ``sem(C*, V)`` and of
+nothing else.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assertions import EqualsSet, OTimesFamily
+from repro.lang.ast import Iter
+from repro.semantics.extended import sem
+from repro.semantics.state import ExtState, State
+from repro.values import IntRange
+
+from tests.strategies import loop_free_commands
+
+D = IntRange(0, 2)
+ALL_STATES = [
+    ExtState(State({}), State({"x": x, "y": y})) for x in range(3) for y in range(3)
+]
+initial_sets = st.frozensets(st.sampled_from(ALL_STATES), min_size=1, max_size=2)
+
+
+def layer_family(body, initial):
+    """The pinned layers with cycle detection (as in completeness)."""
+    layers = []
+    seen = {}
+    current = frozenset(initial)
+    while current not in seen:
+        seen[current] = len(layers)
+        layers.append(current)
+        current = sem(body, current, D)
+    stable_from = seen[current]
+    period = len(layers) - stable_from
+    pins = [EqualsSet(layer) for layer in layers]
+
+    def family(n):
+        if n < len(layers):
+            return pins[n]
+        return pins[stable_from + (n - stable_from) % period]
+
+    return family, stable_from, period
+
+
+class TestDef7AgainstSemantics:
+    @given(loop_free_commands(max_depth=2), initial_sets)
+    @settings(max_examples=40, deadline=None)
+    def test_family_holds_exactly_on_star_semantics(self, body, initial):
+        family, stable_from, period = layer_family(body, initial)
+        omega = OTimesFamily(family, stable_from, period)
+        star = sem(Iter(body), initial, D)
+        assert omega.holds(star, D)
+
+    @given(loop_free_commands(max_depth=2), initial_sets)
+    @settings(max_examples=25, deadline=None)
+    def test_family_rejects_strict_subsets(self, body, initial):
+        family, stable_from, period = layer_family(body, initial)
+        omega = OTimesFamily(family, stable_from, period)
+        star = sem(Iter(body), initial, D)
+        for drop in sorted(star, key=repr):
+            smaller = star - {drop}
+            assert not omega.holds(smaller, D)
+
+    @given(loop_free_commands(max_depth=2), initial_sets)
+    @settings(max_examples=25, deadline=None)
+    def test_family_rejects_strict_supersets(self, body, initial):
+        family, stable_from, period = layer_family(body, initial)
+        omega = OTimesFamily(family, stable_from, period)
+        star = sem(Iter(body), initial, D)
+        extra = [phi for phi in ALL_STATES if phi not in star]
+        if extra:
+            assert not omega.holds(star | {extra[0]}, D)

@@ -1,0 +1,139 @@
+"""Triples, proof nodes, and the premise-matching relation."""
+
+import pytest
+
+from repro.assertions import (
+    AtLeast,
+    AtMost,
+    BigUnion,
+    ContainsState,
+    EqualsSet,
+    FilterPre,
+    NotAssertion,
+    OTimes,
+    OTimesFamily,
+    OTimesTagged,
+    PartialEval,
+    SubsetOf,
+    SupersetOf,
+    TRUE_H,
+    low,
+    not_emp_s,
+)
+from repro.errors import ProofError
+from repro.lang import Skip, parse_command
+from repro.lang.expr import V
+from repro.logic import ProofNode, Triple, assertions_match
+from repro.semantics.state import ExtState, State
+
+PHI = ExtState(State({}), State({"x": 0}))
+PHI2 = ExtState(State({}), State({"x": 1}))
+
+
+class TestTriple:
+    def test_str_shows_termination_marker(self):
+        plain = Triple(TRUE_H, Skip(), TRUE_H)
+        term = Triple(TRUE_H, Skip(), TRUE_H, terminating=True)
+        assert "⊢⇓" in str(term)
+        assert "⊢⇓" not in str(plain)
+
+    def test_validation(self):
+        with pytest.raises(ProofError):
+            Triple(TRUE_H, Skip(), 42)
+
+
+class TestAssertionsMatch:
+    def test_identity_always_matches(self):
+        assert assertions_match(TRUE_H, TRUE_H)
+
+    def test_syntactic_structural(self):
+        assert assertions_match(low("x"), low("x"))
+        assert not assertions_match(low("x"), low("y"))
+
+    def test_combinators_recurse(self):
+        a = low("x") & TRUE_H
+        b = low("x") & TRUE_H
+        assert assertions_match(a, b)
+        assert assertions_match(low("x") | TRUE_H, low("x") | TRUE_H)
+        assert assertions_match(NotAssertion(low("x")), NotAssertion(low("x")))
+        assert not assertions_match(low("x") & TRUE_H, low("y") & TRUE_H)
+
+    def test_otimes(self):
+        assert assertions_match(
+            OTimes(low("x"), not_emp_s), OTimes(low("x"), not_emp_s)
+        )
+        assert not assertions_match(
+            OTimes(low("x"), not_emp_s), OTimes(not_emp_s, low("x"))
+        )
+
+    def test_otimes_family_needs_same_callable(self):
+        fam = lambda n: low("x")  # noqa: E731
+        assert assertions_match(OTimesFamily(fam, 1), OTimesFamily(fam, 1))
+        assert not assertions_match(
+            OTimesFamily(fam, 1), OTimesFamily(lambda n: low("x"), 1)
+        )
+        assert not assertions_match(OTimesFamily(fam, 1), OTimesFamily(fam, 2))
+
+    def test_set_pinning_classes(self):
+        assert assertions_match(EqualsSet({PHI}), EqualsSet({PHI}))
+        assert not assertions_match(EqualsSet({PHI}), EqualsSet({PHI2}))
+        assert assertions_match(SubsetOf({PHI}), SubsetOf({PHI}))
+        assert not assertions_match(SubsetOf({PHI}), SupersetOf({PHI}))
+        assert assertions_match(ContainsState(PHI), ContainsState(PHI))
+
+    def test_filter_pre(self):
+        cond = V("x").gt(0)
+        assert assertions_match(
+            FilterPre(low("x"), cond), FilterPre(low("x"), cond)
+        )
+        assert not assertions_match(
+            FilterPre(low("x"), cond), FilterPre(low("x"), V("x").lt(0))
+        )
+
+    def test_partial_eval(self):
+        body = low("x")
+        assert assertions_match(
+            PartialEval(body, {"p": PHI}), PartialEval(body, {"p": PHI})
+        )
+        assert not assertions_match(
+            PartialEval(body, {"p": PHI}), PartialEval(body, {"p": PHI2})
+        )
+
+    def test_bounds_and_unions(self):
+        assert assertions_match(AtLeast(low("x")), AtLeast(low("x")))
+        assert assertions_match(
+            AtMost(low("x"), (PHI,)), AtMost(low("x"), (PHI,))
+        )
+        assert assertions_match(BigUnion(low("x")), BigUnion(low("x")))
+
+    def test_tagged_otimes(self):
+        assert assertions_match(
+            OTimesTagged(low("x"), TRUE_H, "u"), OTimesTagged(low("x"), TRUE_H, "u")
+        )
+        assert not assertions_match(
+            OTimesTagged(low("x"), TRUE_H, "u"), OTimesTagged(low("x"), TRUE_H, "t")
+        )
+
+    def test_semantic_lambdas_only_by_identity(self):
+        from repro.assertions import SemAssertion
+
+        a = SemAssertion(lambda s: True, "a")
+        b = SemAssertion(lambda s: True, "b")
+        assert assertions_match(a, a)
+        assert not assertions_match(a, b)
+
+
+class TestProofNode:
+    def test_note_and_tree(self):
+        node = ProofNode("Test", Triple(TRUE_H, Skip(), TRUE_H), note="hello")
+        assert node.note == "hello"
+        assert "Test" in node.tree()
+
+    def test_nested_assumptions(self):
+        leaf = ProofNode(
+            "Leaf", Triple(TRUE_H, Skip(), TRUE_H), assumptions=("a1",)
+        )
+        root = ProofNode(
+            "Root", Triple(TRUE_H, Skip(), TRUE_H), (leaf,), assumptions=("a0",)
+        )
+        assert root.all_assumptions() == ("a0", "a1")

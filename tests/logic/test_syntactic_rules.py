@@ -1,0 +1,100 @@
+"""Fig. 3 syntactic rules: sound, and agreeing with the core rules."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.assertions import forall_s, low, pv
+from repro.checker import check_triple, small_universe
+from repro.errors import ProofError
+from repro.lang.expr import V
+from repro.logic import rule_assign_s, rule_assume_s, rule_havoc_s
+from repro.logic.core_rules import rule_assign, rule_assume, rule_havoc
+
+from tests.strategies import conditions, hyper_assertions, safe_exprs
+
+UNI = small_universe(["x", "y"], 0, 2)
+
+
+def check_sound(proof):
+    result = check_triple(proof.pre, proof.command, proof.post, UNI)
+    assert result.valid, proof.rule
+
+
+class TestSoundness:
+    @given(hyper_assertions(max_depth=3), safe_exprs())
+    @settings(max_examples=60, deadline=None)
+    def test_assign_s(self, post, expr):
+        check_sound(rule_assign_s(post, "x", expr))
+
+    @given(hyper_assertions(max_depth=3))
+    @settings(max_examples=60, deadline=None)
+    def test_havoc_s(self, post):
+        check_sound(rule_havoc_s(post, "x"))
+
+    @given(hyper_assertions(max_depth=3), conditions())
+    @settings(max_examples=60, deadline=None)
+    def test_assume_s(self, post, cond):
+        check_sound(rule_assume_s(post, cond))
+
+
+class TestAgreementWithCore:
+    """The syntactic precondition is equivalent to the core (semantic)
+    precondition — Fig. 3 rules are derived, not weaker."""
+
+    @given(hyper_assertions(max_depth=2), safe_exprs())
+    @settings(max_examples=40, deadline=None)
+    def test_assign_matches_core(self, post, expr):
+        syntactic = rule_assign_s(post, "x", expr).pre
+        semantic = rule_assign(post, "x", expr).pre
+        from repro.util import iter_subsets
+
+        for s in iter_subsets(UNI.ext_states(), max_size=2):
+            assert syntactic.holds(s, UNI.domain) == semantic.holds(s, UNI.domain)
+
+    @given(hyper_assertions(max_depth=2))
+    @settings(max_examples=40, deadline=None)
+    def test_havoc_matches_core(self, post):
+        syntactic = rule_havoc_s(post, "x").pre
+        semantic = rule_havoc(post, "x").pre
+        from repro.util import iter_subsets
+
+        for s in iter_subsets(UNI.ext_states(), max_size=2):
+            assert syntactic.holds(s, UNI.domain) == semantic.holds(s, UNI.domain)
+
+    @given(hyper_assertions(max_depth=2), conditions())
+    @settings(max_examples=40, deadline=None)
+    def test_assume_matches_core(self, post, cond):
+        syntactic = rule_assume_s(post, cond).pre
+        semantic = rule_assume(post, cond).pre
+        from repro.util import iter_subsets
+
+        for s in iter_subsets(UNI.ext_states(), max_size=2):
+            assert syntactic.holds(s, UNI.domain) == semantic.holds(s, UNI.domain)
+
+
+class TestRestrictions:
+    def test_semantic_post_rejected(self):
+        from repro.assertions import TRUE_H
+
+        with pytest.raises(ProofError):
+            rule_assign_s(TRUE_H, "x", V("y"))
+        with pytest.raises(ProofError):
+            rule_havoc_s(TRUE_H, "x")
+        with pytest.raises(ProofError):
+            rule_assume_s(TRUE_H, V("x").gt(0))
+
+    def test_termination_flags(self):
+        post = low("x")
+        assert rule_assign_s(post, "x", V("y")).triple.terminating
+        assert rule_havoc_s(post, "x").triple.terminating
+        assert not rule_assume_s(post, V("x").gt(0)).triple.terminating
+
+
+class TestFreshness:
+    def test_havoc_avoids_capture(self):
+        """H_x must not capture existing value variables."""
+        from repro.assertions import exists_v, hv
+
+        post = forall_s("p", exists_v("v", pv("p", "x").eq(hv("v"))))
+        proof = rule_havoc_s(post, "x")
+        check_sound(proof)

@@ -1,0 +1,203 @@
+"""App. E termination rules and Thm. 5 disproofs."""
+
+import pytest
+
+from repro.assertions import (
+    TRUE_H,
+    EqualsSet,
+    box,
+    exists_s,
+    forall_s,
+    low,
+    not_emp_s,
+    pv,
+)
+from repro.checker import (
+    Universe,
+    check_terminating_triple,
+    check_triple,
+    small_universe,
+)
+from repro.errors import ProofError, SideConditionError
+from repro.lang import parse_bexpr, parse_command
+from repro.lang.expr import V
+from repro.logic import (
+    Disproof,
+    disprove_triple,
+    negate_assertion,
+    rule_frame,
+    rule_while_sync_term,
+    semantic_axiom,
+    triples_exclusive,
+    while_sync_term_body_post,
+    while_sync_term_body_pre,
+)
+from repro.values import IntRange
+
+
+class TestTerminatingTriples:
+    def test_terminating_axiom(self, uni_x2):
+        cmd = parse_command("x := 1")
+        proof = semantic_axiom(TRUE_H, cmd, box(V("x").eq(1)), uni_x2, terminating=True)
+        assert proof.triple.terminating
+
+    def test_terminating_axiom_rejects_assume(self, uni_x2):
+        cmd = parse_command("assume x > 0")
+        with pytest.raises(ProofError):
+            semantic_axiom(TRUE_H, cmd, TRUE_H, uni_x2, terminating=True)
+
+    def test_rule_flags_propagate(self, uni_x2):
+        from repro.logic import rule_assign_s, rule_assume_s, rule_seq
+
+        a = rule_assign_s(low("x"), "x", V("x"))
+        assert a.triple.terminating
+        b = rule_assume_s(a.pre, V("x").ge(0))
+        assert not b.triple.terminating
+        assert not rule_seq(b, a).triple.terminating
+
+
+class TestFrame:
+    def test_frame_allows_exists(self):
+        uni = Universe(["x", "y"], IntRange(0, 1))
+        cmd = parse_command("x := 1")
+        base = semantic_axiom(TRUE_H, cmd, TRUE_H, uni, terminating=True)
+        frame = exists_s("p", pv("p", "y").eq(0))
+        proof = rule_frame(base, frame)
+        assert check_terminating_triple(proof.pre, proof.command, proof.post, uni).valid
+
+    def test_frame_requires_terminating_premise(self):
+        uni = Universe(["x", "y"], IntRange(0, 1))
+        base = semantic_axiom(TRUE_H, parse_command("x := 1"), TRUE_H, uni)
+        with pytest.raises(ProofError):
+            rule_frame(base, exists_s("p", pv("p", "y").eq(0)))
+
+    def test_frame_rejects_written_vars(self):
+        uni = Universe(["x", "y"], IntRange(0, 1))
+        base = semantic_axiom(
+            TRUE_H, parse_command("x := 1"), TRUE_H, uni, terminating=True
+        )
+        with pytest.raises(SideConditionError):
+            rule_frame(base, exists_s("p", pv("p", "x").eq(0)))
+
+
+class TestWhileSyncTerm:
+    def setup_method(self):
+        self.uni = Universe(["x"], IntRange(0, 2), lvars=["tv"], lvar_domain=IntRange(0, 2))
+        self.cond = parse_bexpr("x > 0")
+        self.body = parse_command("x := x - 1")
+        # the invariant must synchronize the variant across states
+        self.inv = low("x")
+        self.variant = V("x")
+
+    def test_rule_application(self):
+        body_pre = while_sync_term_body_pre(self.inv, self.cond, self.variant, "tv")
+        body_post = while_sync_term_body_post(self.inv, self.cond, self.variant, "tv")
+        body_proof = semantic_axiom(
+            body_pre, self.body, body_post, self.uni, terminating=True
+        )
+        proof = rule_while_sync_term(self.inv, self.cond, body_proof, self.variant, "tv")
+        assert proof.triple.terminating
+        result = check_terminating_triple(
+            proof.pre, proof.command, proof.post, self.uni
+        )
+        assert result.valid
+
+    def test_no_emp_disjunct_in_post(self):
+        """The ablation point: WhileSyncTerm's conclusion has no emp
+        disjunct, so it supports ∃⁺∀* reasoning (App. E.1)."""
+        body_pre = while_sync_term_body_pre(self.inv, self.cond, self.variant, "tv")
+        body_post = while_sync_term_body_post(self.inv, self.cond, self.variant, "tv")
+        body_proof = semantic_axiom(
+            body_pre, self.body, body_post, self.uni, terminating=True
+        )
+        proof = rule_while_sync_term(self.inv, self.cond, body_proof, self.variant, "tv")
+        # conclusion post: I ∧ □(¬b) — with a non-empty pre the loop must
+        # actually deliver states (no hiding behind ∅)
+        pre = proof.pre & not_emp_s
+        post = proof.post & not_emp_s
+        assert check_terminating_triple(pre, proof.command, post, self.uni).valid
+
+    def test_rejects_nonterminating_premise(self):
+        body_pre = while_sync_term_body_pre(self.inv, self.cond, self.variant, "tv")
+        body_post = while_sync_term_body_post(self.inv, self.cond, self.variant, "tv")
+        plain = semantic_axiom(body_pre, self.body, body_post, self.uni)
+        with pytest.raises(ProofError):
+            rule_while_sync_term(self.inv, self.cond, plain, self.variant, "tv")
+
+    def test_rejects_tag_in_invariant(self):
+        from repro.assertions import lv
+
+        bad_inv = forall_s("φa", lv("φa", "tv").eq(0))
+        body_pre = while_sync_term_body_pre(bad_inv, self.cond, self.variant, "tv")
+        body_post = while_sync_term_body_post(bad_inv, self.cond, self.variant, "tv")
+        try:
+            body_proof = semantic_axiom(
+                body_pre, self.body, body_post, self.uni, terminating=True
+            )
+        except ProofError:
+            pytest.skip("premise refuted before side condition")
+        with pytest.raises(SideConditionError):
+            rule_while_sync_term(bad_inv, self.cond, body_proof, self.variant, "tv")
+
+
+class TestThm5Disprove:
+    def test_disprove_invalid_triple(self, uni_x3):
+        cmd = parse_command("x := nonDet()")
+        pre = not_emp_s
+        post = box(V("x").ge(1))
+        disproof = disprove_triple(pre, cmd, post, uni_x3)
+        assert isinstance(disproof, Disproof)
+        # P' is satisfiable, entails P, and {P'} C {¬Q} is valid
+        assert disproof.strengthened_pre.holds(disproof.witness, uni_x3.domain)
+        assert pre.holds(disproof.witness, uni_x3.domain)
+        assert check_triple(
+            disproof.strengthened_pre, cmd, disproof.negated_post, uni_x3
+        ).valid
+
+    def test_disprove_returns_none_for_valid(self, uni_x3):
+        cmd = parse_command("x := 1")
+        assert disprove_triple(TRUE_H, cmd, box(V("x").eq(1)), uni_x3) is None
+
+    def test_disproof_with_constructed_proof(self, uni_x2):
+        cmd = parse_command("x := nonDet()")
+        disproof = disprove_triple(
+            not_emp_s, cmd, box(V("x").ge(1)), uni_x2, construct_proof=True
+        )
+        assert disproof.proof is not None
+        assert check_triple(
+            disproof.proof.pre, disproof.proof.command, disproof.proof.post, uni_x2
+        ).valid
+
+    def test_thm5_biconditional(self, uni_x2):
+        """Thm. 5: invalid ⟺ disprovable, across a family of triples."""
+        cmds = [parse_command(t) for t in ("x := 0", "x := nonDet()", "skip")]
+        posts = [box(V("x").eq(0)), low("x"), not_emp_s]
+        pres = [TRUE_H, not_emp_s, box(V("x").eq(1))]
+        for cmd in cmds:
+            for pre in pres:
+                for post in posts:
+                    invalid, disprovable = triples_exclusive(pre, cmd, post, uni_x2)
+                    assert invalid == disprovable
+
+    def test_hl_contrast(self):
+        """Sect. 3.5: classical HL cannot disprove {⊤} x := nonDet() {x≥5},
+        but HHL can — here on the shrunken domain with bound 1."""
+        uni = small_universe(["x"], 0, 1)
+        cmd = parse_command("x := nonDet()")
+        # (1) the HL-style triple does not hold:
+        hl_post = box(V("x").ge(1))
+        assert not check_triple(TRUE_H, cmd, hl_post, uni).valid
+        # (2) no satisfiable HL pre makes all posts violate x>=1 (HL can't express it):
+        #     every non-empty initial set reaches a state with x=1.
+        neg_box = box(V("x").lt(1))
+        assert not check_triple(not_emp_s, cmd, neg_box, uni).valid
+        # (3) but the hyper-triple with the negated *hyper* postcondition holds:
+        disproving_post = negate_assertion(box(V("x").ge(1)))
+        assert check_triple(not_emp_s, cmd, disproving_post, uni).valid
+
+    def test_negate_assertion_syntactic(self):
+        a = box(V("x").ge(1))
+        n = negate_assertion(a)
+        from repro.assertions import SynAssertion
+
+        assert isinstance(n, SynAssertion)

@@ -1,0 +1,139 @@
+"""The example programs of the paper, in concrete syntax.
+
+- ``C0``  (Sect. 2.1): bounded random assignment;
+- ``C1``  (Sect. 2.2): a secure deterministic program (NI holds);
+- ``C2``  (Sect. 2.2): the insecure branch on a high variable;
+- ``C3``  (Sect. 2.3): unbounded one-time pad (GNI holds, NI fails);
+- ``C4``  (Sect. 2.3 / Fig. 4): bounded pad — leaks, GNI fails;
+- ``C_fib`` (Fig. 7): Fibonacci (monotonicity via While-∀*∃*);
+- ``C_m``  (Fig. 8): the minimal-execution loop (While-∃);
+- ``C_l``  (Fig. 10): the App. B quantitative-leak loop.
+
+Domain bounds are parameters so each test picks a universe that keeps the
+reachable space tiny while preserving the paper's qualitative behaviour.
+"""
+
+from repro.lang import parse_command
+
+
+def c0(hi=3):
+    """``x := randIntBounded(0, hi)``."""
+    return parse_command("x := randInt(0, %d)" % hi)
+
+
+def c1():
+    """A secure program: the low output depends only on low input."""
+    return parse_command("if (l > 0) { l := 1 } else { l := 0 }")
+
+
+def c2():
+    """The Sect. 2.2 insecure branch: ``if (h > 0) {l := 1} else {l := 0}``."""
+    return parse_command("if (h > 0) { l := 1 } else { l := 0 }")
+
+
+def c3():
+    """The Sect. 2.3 unbounded pad: ``y := nonDet(); l := h + y``.
+
+    Over a finite domain the "unbounded" pad is modelled with xor, which
+    makes any output reachable for any secret on {0,1} — preserving the
+    paper's point that C3 satisfies GNI but not NI.
+    """
+    return parse_command("y := nonDet(); l := h xor y")
+
+
+def c3_additive():
+    """The literal ``y := nonDet(); l := h + y`` (GNI only holds on
+    domains closed under the needed differences — used to show the
+    boundary in tests)."""
+    return parse_command("y := nonDet(); l := h + y")
+
+
+def c4(bound=1):
+    """The Sect. 2.3 leaking pad: ``y := nonDet(); assume y <= bound;
+    l := h + y`` (Fig. 4 proves the GNI violation)."""
+    return parse_command("y := nonDet(); assume y <= %d; l := h + y" % bound)
+
+
+def c_fib():
+    """Fig. 7: the Fibonacci loop (monotonic in ``n``)."""
+    return parse_command(
+        """
+        a := 0;
+        b := 1;
+        i := 0;
+        while (i < n) {
+            tmp := b;
+            b := a + b;
+            a := tmp;
+            i := i + 1
+        }
+        """
+    )
+
+
+def c_m(r_hi=3):
+    """Fig. 8: the loop with a minimal execution (While-∃).
+
+    ``r`` is bounded above by ``r_hi`` to keep the state space finite
+    (the paper's loop draws ``r ≥ 2`` unboundedly)."""
+    return parse_command(
+        """
+        x := 0;
+        y := 0;
+        i := 0;
+        while (i < k) {
+            r := nonDet();
+            assume r >= 2 && r <= %d;
+            t := x;
+            x := 2 * x + r;
+            y := y + t * r;
+            i := i + 1
+        }
+        """
+        % r_hi
+    )
+
+
+def c_l():
+    """Fig. 10: the App. B loop leaking through the output count.
+
+    Note: the paper's figure prints ``max(l, h)`` as the loop bound, but
+    its claims ("o can be at most h", "at most v+1 output values for
+    l = v") hold only for ``min(l, h)`` — we implement ``min`` and record
+    the discrepancy in EXPERIMENTS.md.
+    """
+    return parse_command(
+        """
+        o := 0;
+        i := 0;
+        while (i < min(l, h)) {
+            r := nonDet();
+            assume 0 <= r <= 1;
+            o := o + r;
+            i := i + 1
+        }
+        """
+    )
+
+
+def fig6_onetimepad(maxlen=2):
+    """Fig. 6: prefix sums of a secret list, one-time-padded.
+
+    Modelled over integers instead of lists to keep the universe small:
+    ``h`` is the secret *value* consumed over ``n`` public-length rounds.
+    The faithful list version is exercised separately in the loop-rule
+    tests via tuple domains.
+    """
+    return parse_command(
+        """
+        s := 0;
+        l := 0;
+        i := 0;
+        while (i < n) {
+            s := s + h;
+            k := nonDet();
+            l := s xor k;
+            i := i + 1
+        }
+        """
+    )

@@ -1,0 +1,123 @@
+"""Big-step semantics (Fig. 9): every construct, exactly."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.lang import parse_command
+from repro.semantics.bigstep import post_states, run_deterministic
+from repro.semantics.state import State
+from repro.values import IntRange
+
+D = IntRange(0, 3)
+
+
+def outs(text, **init):
+    return post_states(parse_command(text), State(init), D)
+
+
+def xs(finals):
+    return sorted(s["x"] for s in finals)
+
+
+class TestAtomic:
+    def test_skip(self):
+        assert outs("skip", x=1) == frozenset((State({"x": 1}),))
+
+    def test_assign(self):
+        assert xs(outs("x := x + 1", x=1)) == [2]
+
+    def test_assign_can_leave_domain(self):
+        # assignments are not clamped — only havoc ranges over the domain
+        assert xs(outs("x := x + 10", x=3)) == [13]
+
+    def test_havoc_ranges_over_domain(self):
+        assert xs(outs("x := nonDet()", x=0)) == [0, 1, 2, 3]
+
+    def test_assume_keeps(self):
+        assert xs(outs("assume x > 0", x=1)) == [1]
+
+    def test_assume_stuck(self):
+        assert outs("assume x > 0", x=0) == frozenset()
+
+
+class TestComposite:
+    def test_seq(self):
+        assert xs(outs("x := x + 1; x := x * 2", x=1)) == [4]
+
+    def test_seq_propagates_stuck(self):
+        assert outs("assume x > 5; x := 0", x=1) == frozenset()
+
+    def test_choice_unions(self):
+        assert xs(outs("{ x := 1 } + { x := 2 }", x=0)) == [1, 2]
+
+    def test_choice_overlap_dedupes(self):
+        assert xs(outs("{ x := 1 } + { x := 1 }", x=0)) == [1]
+
+    def test_randint(self):
+        assert xs(outs("x := randInt(1, 2)", x=0)) == [1, 2]
+
+    def test_if_both_branches_deterministic(self):
+        assert xs(outs("if (x > 0) { x := 1 } else { x := 2 }", x=3)) == [1]
+        assert xs(outs("if (x > 0) { x := 1 } else { x := 2 }", x=0)) == [2]
+
+
+class TestIteration:
+    def test_iter_includes_zero_iterations(self):
+        finals = outs("loop { x := min(x + 1, 3) }", x=1)
+        assert xs(finals) == [1, 2, 3]
+
+    def test_while_loop_terminates(self):
+        assert xs(outs("while (x > 0) { x := x - 1 }", x=3)) == [0]
+
+    def test_while_false_guard(self):
+        assert xs(outs("while (x > 5) { x := x - 1 }", x=2)) == [2]
+
+    def test_nonterminating_loop_has_no_finals(self):
+        # while (true) { skip } — reachable set finite, but exit assume fails
+        assert outs("while (x >= 0) { skip }", x=1) == frozenset()
+
+    def test_divergent_reachable_space_raises(self):
+        cmd = parse_command("loop { x := x + 1 }")
+        with pytest.raises(EvaluationError):
+            post_states(cmd, State({"x": 0}), D, max_states=100)
+
+    def test_nested_loops(self):
+        text = """
+        y := 0;
+        while (x > 0) {
+            z := 2;
+            while (z > 0) { y := y + 1; z := z - 1 };
+            x := x - 1
+        }
+        """
+        finals = outs(text, x=2, y=0, z=0)
+        assert sorted(s["y"] for s in finals) == [4]
+
+    def test_loop_with_nondeterminism(self):
+        finals = outs("while (x > 0) { y := nonDet(); x := x - 1 }", x=1, y=0)
+        assert sorted(s["y"] for s in finals) == [0, 1, 2, 3]
+
+
+class TestRunDeterministic:
+    def test_single_final(self):
+        s = run_deterministic(parse_command("x := 2"), State({"x": 0}), D)
+        assert s["x"] == 2
+
+    def test_rejects_nondeterminism(self):
+        with pytest.raises(EvaluationError):
+            run_deterministic(parse_command("x := nonDet()"), State({"x": 0}), D)
+
+    def test_rejects_stuck(self):
+        with pytest.raises(EvaluationError):
+            run_deterministic(parse_command("assume x > 0"), State({"x": 0}), D)
+
+
+class TestFibonacci:
+    def test_fib_values(self):
+        from tests.paper_programs import c_fib
+
+        for n, expected in [(0, 0), (1, 1), (2, 1), (3, 2), (4, 3), (5, 5)]:
+            s = run_deterministic(
+                c_fib(), State({"n": n, "a": 0, "b": 0, "i": 0, "tmp": 0}), D
+            )
+            assert s["a"] == expected

@@ -1,0 +1,121 @@
+"""The extended semantics (Def. 4) and Lemma 1, property-based."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang.ast import Choice, Iter, Seq, Skip
+from repro.semantics.extended import (
+    reachable_under_iteration,
+    sem,
+    sem_iterate,
+    sem_seq_n,
+    sem_star_via_layers,
+)
+from repro.semantics.state import ExtState, State
+from repro.values import IntRange
+
+from tests.strategies import commands
+
+D = IntRange(0, 2)
+ALL_STATES = [
+    ExtState(State({"t": t}), State({"x": x, "y": y}))
+    for t in (0, 1)
+    for x in (0, 1, 2)
+    for y in (0, 1, 2)
+]
+
+state_sets = st.frozensets(st.sampled_from(ALL_STATES), max_size=4)
+
+
+class TestDef4:
+    def test_logical_parts_preserved(self):
+        from repro.lang import parse_command
+
+        cmd = parse_command("x := nonDet()")
+        phi = ExtState(State({"t": 1}), State({"x": 0, "y": 0}))
+        out = sem(cmd, {phi}, D)
+        assert out and all(p.log == phi.log for p in out)
+
+    def test_stuck_states_drop_out(self):
+        from repro.lang import parse_command
+
+        cmd = parse_command("assume x > 0")
+        keep = ExtState(State({"t": 0}), State({"x": 1, "y": 0}))
+        drop = ExtState(State({"t": 0}), State({"x": 0, "y": 0}))
+        assert sem(cmd, {keep, drop}, D) == frozenset((keep,))
+
+    def test_empty_set(self):
+        from repro.lang import parse_command
+
+        assert sem(parse_command("x := 1"), frozenset(), D) == frozenset()
+
+
+class TestLemma1:
+    @given(commands(max_depth=2), state_sets, state_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_union_distribution(self, cmd, s1, s2):
+        """Lemma 1(1): sem(C, S1 ∪ S2) = sem(C, S1) ∪ sem(C, S2)."""
+        assert sem(cmd, s1 | s2, D) == sem(cmd, s1, D) | sem(cmd, s2, D)
+
+    @given(commands(max_depth=2), state_sets, state_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_monotonicity(self, cmd, s1, s2):
+        """Lemma 1(2): S ⊆ S' ⇒ sem(C, S) ⊆ sem(C, S')."""
+        small = s1 & s2
+        assert sem(cmd, small, D) <= sem(cmd, s1, D)
+
+    @given(commands(max_depth=2))
+    @settings(max_examples=40, deadline=None)
+    def test_skip_identity(self, cmd):
+        """Lemma 1(4): sem(skip, S) = S (on an arbitrary set)."""
+        s = frozenset(ALL_STATES[:3])
+        assert sem(Skip(), s, D) == s
+
+    @given(commands(max_depth=2), commands(max_depth=2), state_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_seq_composition(self, c1, c2, s):
+        """Lemma 1(5): sem(C1;C2, S) = sem(C2, sem(C1, S))."""
+        assert sem(Seq(c1, c2), s, D) == sem(c2, sem(c1, s, D), D)
+
+    @given(commands(max_depth=2), commands(max_depth=2), state_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_choice_union(self, c1, c2, s):
+        """Lemma 1(6): sem(C1+C2, S) = sem(C1, S) ∪ sem(C2, S)."""
+        assert sem(Choice(c1, c2), s, D) == sem(c1, s, D) | sem(c2, s, D)
+
+    @given(commands(max_depth=2, allow_iter=False), state_sets)
+    @settings(max_examples=40, deadline=None)
+    def test_iter_is_union_of_powers(self, body, s):
+        """Lemma 1(7): sem(C*, S) = ⋃_n sem(C^n, S)."""
+        star = sem(Iter(body), s, D)
+        union = frozenset()
+        for n in range(6):
+            union |= sem_iterate(body, s, D, n)
+        # six unrollings may not saturate, but the layered computation must
+        assert union <= star
+        assert sem_star_via_layers(body, s, D) == star
+
+    @given(commands(max_depth=2, allow_iter=False), state_sets)
+    @settings(max_examples=40, deadline=None)
+    def test_power_as_repeated_seq(self, body, s):
+        """sem(C^n, S) agrees with the explicitly sequenced command."""
+        for n in range(3):
+            assert sem_iterate(body, s, D, n) == sem(sem_seq_n(body, n), s, D)
+
+
+class TestLayers:
+    def test_layers_start_at_initial(self):
+        from repro.lang import parse_command
+
+        body = parse_command("x := min(x + 1, 2)")
+        s = frozenset([ExtState(State({"t": 0}), State({"x": 0, "y": 0}))])
+        layers = reachable_under_iteration(body, s, D)
+        assert layers[0] == (0, s)
+
+    def test_layers_terminate_on_cycle(self):
+        from repro.lang import parse_command
+
+        body = parse_command("x := 1 - x")  # alternates 0 <-> 1
+        s = frozenset([ExtState(State({"t": 0}), State({"x": 0, "y": 0}))])
+        layers = reachable_under_iteration(body, s, D)
+        assert len(layers) <= 4

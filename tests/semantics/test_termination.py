@@ -1,0 +1,57 @@
+"""Termination queries (Def. 24 support)."""
+
+from repro.lang import parse_command
+from repro.semantics.state import ExtState, State
+from repro.semantics.termination import (
+    all_can_terminate,
+    has_terminating_execution,
+    terminating_subset,
+)
+from repro.values import IntRange
+
+D = IntRange(0, 2)
+
+
+def phi(x):
+    return ExtState(State({}), State({"x": x}))
+
+
+class TestSingleState:
+    def test_plain_command_terminates(self):
+        assert has_terminating_execution(parse_command("x := 1"), State({"x": 0}), D)
+
+    def test_failed_assume_does_not(self):
+        assert not has_terminating_execution(
+            parse_command("assume x > 0"), State({"x": 0}), D
+        )
+
+    def test_iter_always_has_zero_unrolling(self):
+        assert has_terminating_execution(
+            parse_command("loop { x := min(x + 1, 2) }"), State({"x": 0}), D
+        )
+
+    def test_while_true_never_terminates(self):
+        assert not has_terminating_execution(
+            parse_command("while (x >= 0) { skip }"), State({"x": 0}), D
+        )
+
+    def test_partial_nondeterminism_counts(self):
+        # one branch diverges, the other exits: a terminating execution exists
+        cmd = parse_command("{ while (x >= 0) { skip } } + { x := 0 }")
+        assert has_terminating_execution(cmd, State({"x": 1}), D)
+
+
+class TestSets:
+    def test_all_can_terminate(self):
+        cmd = parse_command("assume x > 0")
+        assert all_can_terminate(cmd, {phi(1), phi(2)}, D)
+        assert not all_can_terminate(cmd, {phi(0), phi(1)}, D)
+
+    def test_terminating_subset(self):
+        cmd = parse_command("assume x > 0")
+        assert terminating_subset(cmd, {phi(0), phi(1), phi(2)}, D) == frozenset(
+            (phi(1), phi(2))
+        )
+
+    def test_empty_set_trivially_ok(self):
+        assert all_can_terminate(parse_command("assume false"), frozenset(), D)

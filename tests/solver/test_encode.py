@@ -1,0 +1,94 @@
+"""The hyper-assertion grounding: SAT verdicts must equal brute force."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.assertions.entail import entails
+from repro.assertions.semantic import TRUE_H
+from repro.assertions.sugar import box, emp_s, low, not_emp_s
+from repro.lang.expr import V
+from repro.checker import Universe
+from repro.solver.encode import (
+    Unsupported,
+    entails_sat,
+    entailment_model,
+    ground_assertion,
+    satisfiable_sat,
+)
+from repro.values import IntRange
+
+from tests.strategies import hyper_assertions
+
+UNI = Universe(["x", "y"], IntRange(0, 2))
+STATES = UNI.ext_states()
+D = UNI.domain
+
+
+class TestGrounding:
+    def test_box_grounds_to_implications(self):
+        f = ground_assertion(box(V("x").eq(0)), STATES, D)
+        # satisfiable (the empty set) but not valid
+        from repro.solver.sat import solve_formula
+
+        assert solve_formula(f) is not None
+
+    def test_unsupported_semantic(self):
+        with pytest.raises(Unsupported):
+            ground_assertion(TRUE_H, STATES, D)
+
+    def test_combinator_wrappers_ground(self):
+        f = ground_assertion(low("x") & box(V("y").eq(0)), STATES, D)
+        assert f is not None
+
+    def test_negation_wrapper_grounds(self):
+        from repro.assertions.semantic import NotAssertion
+
+        f = ground_assertion(NotAssertion(emp_s), STATES, D)
+        from repro.solver.sat import solve_formula
+
+        assert solve_formula(f) is not None
+
+
+class TestEntailmentAgreement:
+    @given(hyper_assertions(max_depth=2), hyper_assertions(max_depth=2))
+    @settings(max_examples=40, deadline=None)
+    def test_sat_equals_brute(self, pre, post):
+        small = Universe(["x", "y"], IntRange(0, 1))
+        states = small.ext_states()
+        assert entails_sat(pre, post, states, small.domain) == entails(
+            pre, post, states, small.domain
+        )
+
+    def test_known_entailments(self):
+        assert entails_sat(emp_s, low("x"), STATES, D)
+        assert entails_sat(box(V("x").eq(1)), low("x"), STATES, D)
+        assert not entails_sat(not_emp_s, low("x"), STATES, D)
+
+    def test_model_is_real_counterexample(self):
+        model = entailment_model(not_emp_s, low("x"), STATES, D)
+        assert model is not None
+        assert not_emp_s.holds(model, D)
+        assert not low("x").holds(model, D)
+
+    def test_model_none_when_entailed(self):
+        assert entailment_model(emp_s, low("x"), STATES, D) is None
+
+    def test_satisfiable_sat(self):
+        assert satisfiable_sat(low("x"), STATES, D)
+        assert not satisfiable_sat(emp_s & not_emp_s, STATES, D)
+
+
+class TestScaling:
+    def test_larger_universe_entailment(self):
+        """27-state universe: 2^27 subsets — brute force is hopeless, the
+        SAT encoding answers in milliseconds."""
+        big = Universe(["x", "y", "z"], IntRange(0, 2))
+        states = big.ext_states()
+        assert len(states) == 27
+        assert entails_sat(
+            box(V("x").eq(0)) & box(V("y").eq(1)),
+            low("x") & low("y"),
+            states,
+            big.domain,
+        )
+        assert not entails_sat(low("x"), low("y"), states, big.domain)

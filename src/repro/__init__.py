@@ -1,12 +1,30 @@
 """repro — an executable reproduction of Hyper Hoare Logic (PLDI 2024).
 
-See DESIGN.md for the system inventory and README.md for a quickstart.
+See the repository's README.md for a quickstart (the batch
+:class:`~repro.api.Session` API, the ``python -m repro`` command line,
+and the tier-1 test command).  Module docstrings carry the paper
+cross-references (figure/definition numbers) for each subsystem.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from . import lang, semantics, assertions, checker  # noqa: F401
 from . import logic, solver, embeddings, hyperprops  # noqa: F401
+from . import api  # noqa: F401
 from .lang import parse_command, parse_expr, parse_bexpr, pretty  # noqa: F401
 from .checker import Universe, small_universe, check_triple, valid_triple  # noqa: F401
+from .api import (  # noqa: F401
+    Attempt,
+    Backend,
+    Budget,
+    ExhaustiveBackend,
+    LoopBackend,
+    Report,
+    SampledBackend,
+    Session,
+    SyntacticWPBackend,
+    TaskResult,
+    VerificationTask,
+    default_backends,
+)
 from .verifier import Verifier, VerificationResult  # noqa: F401

@@ -1,0 +1,173 @@
+"""Command-line verification: ``python -m repro PRE PROGRAM POST``.
+
+Verifies one hyper-triple through a :class:`repro.api.Session` backend
+chain and exits with the verdict:
+
+- ``0`` — verified,
+- ``1`` — refuted (a counterexample is printed),
+- ``2`` — undecided (every backend passed or ran out of budget),
+- ``3`` — bad input (parse error, unknown option).
+
+Example::
+
+    python -m repro \\
+        "forall <a>, <b>. a(l) == b(l)" \\
+        "y := nonDet(); l := h xor y" \\
+        "forall <a>, <b>. exists <c>. c(h) == a(h) && c(l) == b(l)"
+
+Program variables default to those read or written by the program plus
+those mentioned by the assertions; override with ``--vars``.
+"""
+
+import argparse
+import sys
+
+from .api.session import Session
+from .assertions.parser import parse_assertion
+from .assertions.syntax import SynAssertion
+from .errors import ReproError
+from .lang.analysis import read_vars, written_vars
+from .lang.parser import parse_command
+
+EXIT_VERIFIED = 0
+EXIT_REFUTED = 1
+EXIT_UNDECIDED = 2
+EXIT_BAD_INPUT = 3
+
+
+def _split_names(text):
+    return tuple(name.strip() for name in text.split(",") if name.strip())
+
+
+def _infer_vars(command, assertions):
+    """Program/logical variables mentioned by the triple."""
+    pvars = set(written_vars(command)) | set(read_vars(command))
+    lvars = set()
+    for assertion in assertions:
+        if isinstance(assertion, SynAssertion):
+            pvars |= set(assertion.free_prog_vars())
+            lvars |= set(assertion.free_log_vars())
+    return sorted(pvars), sorted(lvars)
+
+
+def _parse_budgets(entries):
+    budgets = {}
+    for entry in entries:
+        name, _, seconds = entry.partition("=")
+        if not name or not seconds:
+            raise ValueError("--budget expects NAME=SECONDS, got %r" % entry)
+        budgets[name] = float(seconds)
+    return budgets
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Verify a Hyper Hoare Logic triple {PRE} PROGRAM {POST}; "
+        "the exit code is the verdict (0 verified, 1 refuted, 2 undecided).",
+    )
+    parser.add_argument("pre", help="precondition (hyper-assertion syntax)")
+    parser.add_argument("program", help="program (command syntax)")
+    parser.add_argument("post", help="postcondition (hyper-assertion syntax)")
+    parser.add_argument(
+        "--vars",
+        help="comma-separated program variables (default: inferred from the triple)",
+    )
+    parser.add_argument(
+        "--lvars",
+        help="comma-separated logical variables (default: inferred)",
+    )
+    parser.add_argument("--lo", type=int, default=0, help="domain lower bound")
+    parser.add_argument("--hi", type=int, default=1, help="domain upper bound")
+    parser.add_argument(
+        "--entailment",
+        choices=("sat", "brute"),
+        default="sat",
+        help="entailment oracle method (default: sat)",
+    )
+    parser.add_argument(
+        "--invariant",
+        help="loop invariant annotation (routes while-programs through the "
+        "Fig. 5 loop backend)",
+    )
+    parser.add_argument(
+        "--max-set-size",
+        type=int,
+        help="cap oracle initial-set sizes (under-approximate on large universes)",
+    )
+    parser.add_argument(
+        "--budget",
+        action="append",
+        default=[],
+        metavar="NAME=SECONDS",
+        help="per-backend wall-clock budget (repeatable), e.g. exhaustive=2.5",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true", help="suppress output; exit code only"
+    )
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return EXIT_BAD_INPUT if exc.code not in (0, None) else 0
+
+    try:
+        budgets = _parse_budgets(args.budget)
+        command = parse_command(args.program)
+        assertions = [parse_assertion(args.pre), parse_assertion(args.post)]
+        if args.invariant:
+            assertions.append(parse_assertion(args.invariant))
+        inferred_pvars, inferred_lvars = _infer_vars(command, assertions)
+        pvars = _split_names(args.vars) if args.vars else inferred_pvars
+        lvars = _split_names(args.lvars) if args.lvars else inferred_lvars
+
+        session = Session(
+            pvars,
+            lo=args.lo,
+            hi=args.hi,
+            lvars=lvars,
+            entailment=args.entailment,
+            budgets=budgets,
+            max_set_size=args.max_set_size,
+        )
+        result = session.verify(
+            args.pre, args.program, args.post, invariant=args.invariant
+        )
+    except KeyError as err:
+        # A raw KeyError escaping the evaluator means an assertion names
+        # a variable outside the declared universe.
+        print(
+            "error: unknown variable %s — not among the universe variables %r "
+            "(adjust --vars/--lvars)" % (err, list(pvars) + list(lvars)),
+            file=sys.stderr,
+        )
+        return EXIT_BAD_INPUT
+    except (ReproError, ValueError) as err:
+        print("error: %s" % err, file=sys.stderr)
+        return EXIT_BAD_INPUT
+
+    if not args.quiet:
+        verdict = {True: "verified", False: "refuted", None: "undecided"}[
+            result.verdict
+        ]
+        print("%s (method: %s, %.3fs)" % (verdict, result.method, result.elapsed))
+        for attempt in result.attempts:
+            print("  %r" % (attempt,))
+        if result.counterexample:
+            print(result.counterexample)
+        for assumption in result.assumptions:
+            print("  assumed: %s" % assumption)
+
+    if result.verified:
+        return EXIT_VERIFIED
+    if result.refuted:
+        return EXIT_REFUTED
+    return EXIT_UNDECIDED
+
+
+if __name__ == "__main__":
+    sys.exit(main())

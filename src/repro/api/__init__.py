@@ -1,0 +1,52 @@
+"""The primary public surface: pluggable backends + batch sessions.
+
+This package redesigns verification around three pieces, mirroring the
+paper's own separation of the proof system (Fig. 3/5 rules), the
+semantic oracle (Def. 5) and the entailment side conditions (Def. 3):
+
+- :class:`~repro.api.backends.Backend` — the protocol every engine
+  implements, with four first-class implementations
+  (:class:`SyntacticWPBackend`, :class:`LoopBackend`,
+  :class:`ExhaustiveBackend`, :class:`SampledBackend`), each returning a
+  structured :class:`~repro.api.task.Attempt`;
+- :class:`~repro.api.session.Session` — a reusable context owning the
+  universe, parse caches and a memoizing entailment oracle, dispatching
+  tasks through a configurable backend chain with per-backend budgets;
+- :meth:`Session.verify_many` — batch verification with optional thread
+  parallelism and an aggregated :class:`~repro.api.session.Report`.
+
+The legacy :class:`repro.verifier.Verifier` facade is a thin deprecated
+shim over :class:`Session`.
+"""
+
+from .backends import (
+    Backend,
+    ExhaustiveBackend,
+    LoopBackend,
+    SampledBackend,
+    SyntacticWPBackend,
+)
+from .session import (
+    CachingOracle,
+    Report,
+    Session,
+    TaskResult,
+    default_backends,
+)
+from .task import Attempt, Budget, VerificationTask
+
+__all__ = [
+    "Attempt",
+    "Backend",
+    "Budget",
+    "CachingOracle",
+    "ExhaustiveBackend",
+    "LoopBackend",
+    "Report",
+    "SampledBackend",
+    "Session",
+    "SyntacticWPBackend",
+    "TaskResult",
+    "VerificationTask",
+    "default_backends",
+]

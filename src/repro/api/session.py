@@ -1,0 +1,446 @@
+"""Reusable verification sessions: shared universe, caches, batching.
+
+A :class:`Session` owns a :class:`~repro.checker.universe.Universe` and a
+:class:`CachingOracle`, parses programs/assertions once (memoized by
+source text), and dispatches every :class:`VerificationTask` through a
+configurable chain of :mod:`~repro.api.backends` with per-backend
+budgets.  :meth:`Session.verify_many` runs a batch — optionally on a
+thread pool — and returns a rolling :class:`Report`.
+
+The caches are what make a session cheaper than N standalone verifier
+instantiations: entailment queries repeat heavily across related triples
+(the closing ``Cons`` entailments of similar specs, ``I |= low(b)`` side
+conditions, ...) and each repeat is a dictionary hit instead of a SAT
+run or a powerset enumeration.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Tuple
+
+from ..assertions.base import Assertion
+from ..assertions.entail import EntailmentOracle
+from ..assertions.parser import parse_assertion
+from ..checker.universe import Universe
+from ..lang.ast import Command
+from ..lang.parser import parse_command
+from ..values import IntRange
+from .backends import (
+    ExhaustiveBackend,
+    LoopBackend,
+    SampledBackend,
+    SyntacticWPBackend,
+)
+from .task import Attempt, Budget, VerificationTask
+
+_MISS = object()
+
+
+class CachingOracle(EntailmentOracle):
+    """An entailment oracle that memoizes verdicts across queries.
+
+    Keys are the ``(pre, post)`` assertion pairs themselves — syntactic
+    assertions are frozen dataclasses and hash structurally, semantic
+    ones fall back to identity; unhashable operands bypass the cache.
+    The cached entry keeps the method that decided the query so repeat
+    queries still report it faithfully.  Safe under concurrent use (one
+    lock around the table; verdict computation happens outside it, so a
+    race costs at most a duplicated computation).
+    """
+
+    def __init__(self, universe, domain, method="brute", max_size=None):
+        super().__init__(universe, domain, method=method, max_size=max_size)
+        self._cache = {}
+        self._cache_lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def entails(self, pre, post):
+        key = (pre, post)
+        try:
+            hash(key)
+        except TypeError:
+            return super().entails(pre, post)
+        with self._cache_lock:
+            cached = self._cache.get(key, _MISS)
+            if cached is not _MISS:
+                self.hits += 1
+        if cached is not _MISS:
+            verdict, method = cached
+            self._record(method)
+            return verdict
+        verdict = super().entails(pre, post)
+        with self._cache_lock:
+            self._cache[key] = (verdict, self.last_method)
+            self.misses += 1
+        return verdict
+
+    def cache_info(self):
+        """``{"hits": ..., "misses": ..., "size": ...}``."""
+        with self._cache_lock:
+            return {"hits": self.hits, "misses": self.misses, "size": len(self._cache)}
+
+    def cache_clear(self):
+        with self._cache_lock:
+            self._cache.clear()
+            self.hits = 0
+            self.misses = 0
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """All attempts one task went through, plus the decisive one."""
+
+    task: VerificationTask
+    attempts: Tuple[Attempt, ...]
+
+    @property
+    def decided_by(self):
+        """The attempt that settled the task, or ``None`` if undecided."""
+        for attempt in self.attempts:
+            if attempt.decided:
+                return attempt
+        return None
+
+    @property
+    def verdict(self):
+        attempt = self.decided_by
+        return None if attempt is None else attempt.verdict
+
+    @property
+    def verified(self):
+        return self.verdict is True
+
+    @property
+    def refuted(self):
+        return self.verdict is False
+
+    @property
+    def undecided(self):
+        return self.verdict is None
+
+    @property
+    def method(self):
+        attempt = self.decided_by
+        return "undecided" if attempt is None else attempt.method
+
+    @property
+    def proof(self):
+        attempt = self.decided_by
+        return None if attempt is None else attempt.proof
+
+    @property
+    def counterexample(self):
+        attempt = self.decided_by
+        return None if attempt is None else attempt.counterexample
+
+    @property
+    def assumptions(self):
+        attempt = self.decided_by
+        return () if attempt is None else attempt.assumptions
+
+    @property
+    def elapsed(self):
+        return sum(attempt.elapsed for attempt in self.attempts)
+
+    def __bool__(self):
+        return self.verified
+
+    def __repr__(self):
+        verdict = {True: "verified", False: "refuted", None: "undecided"}[self.verdict]
+        return "TaskResult(%s via %s, %d attempts, %.3fs)" % (
+            verdict,
+            self.method,
+            len(self.attempts),
+            self.elapsed,
+        )
+
+
+@dataclass(frozen=True)
+class Report:
+    """Aggregate outcome of :meth:`Session.verify_many`."""
+
+    results: Tuple[TaskResult, ...]
+    elapsed: float = 0.0
+    entailment_cache_hits: int = 0
+    entailment_cache_misses: int = 0
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self):
+        return len(self.results)
+
+    def __getitem__(self, index):
+        return self.results[index]
+
+    @property
+    def verified(self):
+        return tuple(r for r in self.results if r.verified)
+
+    @property
+    def refuted(self):
+        return tuple(r for r in self.results if r.refuted)
+
+    @property
+    def undecided(self):
+        return tuple(r for r in self.results if r.undecided)
+
+    @property
+    def all_verified(self):
+        return all(r.verified for r in self.results)
+
+    def __bool__(self):
+        return self.all_verified
+
+    def summary(self):
+        """A multi-line human-readable batch summary."""
+        lines = [
+            "report: %d verified, %d refuted, %d undecided in %.3fs "
+            "(entailment cache: %d hits, %d misses)"
+            % (
+                len(self.verified),
+                len(self.refuted),
+                len(self.undecided),
+                self.elapsed,
+                self.entailment_cache_hits,
+                self.entailment_cache_misses,
+            )
+        ]
+        for index, result in enumerate(self.results):
+            verdict = {True: "verified", False: "refuted", None: "undecided"}[
+                result.verdict
+            ]
+            label = result.task.label or "task %d" % index
+            lines.append(
+                "  %-20s %-9s via %-22s %.3fs"
+                % (label, verdict, result.method, result.elapsed)
+            )
+        return "\n".join(lines)
+
+
+def default_backends(max_set_size=None):
+    """The standard chain: syntactic wp, annotated loops, then the oracle.
+
+    With ``max_set_size`` the closing oracle stage is the capped
+    :class:`SampledBackend` (legacy ``oracle(≤k)`` semantics) instead of
+    the exhaustive one; being the last backend, its capped pass is
+    allowed to stand as the chain's verdict (``claim_capped_pass``).
+    """
+    closing = (
+        ExhaustiveBackend()
+        if max_set_size is None
+        else SampledBackend(max_size=max_set_size, claim_capped_pass=True)
+    )
+    return (SyntacticWPBackend(max_cex_size=max_set_size), LoopBackend(), closing)
+
+
+class Session:
+    """A reusable verification context over one universe.
+
+    Parameters
+    ----------
+    pvars / lvars:
+        The program (and optional logical) variables of the universe.
+    lo, hi:
+        The shared integer domain bounds.
+    entailment:
+        ``"sat"`` (default — the scalable path) or ``"brute"``.
+    backends:
+        The backend chain tried in order for every task (default:
+        :func:`default_backends`).  Each task stops at the first decisive
+        attempt.
+    budgets:
+        Mapping of backend name to a wall-clock allowance in seconds;
+        backends poll it cooperatively and yield an inconclusive attempt
+        on expiry.
+    max_set_size:
+        Optional cap on initial-set sizes for oracle stages on large
+        universes; capped verdicts carry the cap in their method string.
+
+    Example::
+
+        s = Session(["h", "l", "y"], lo=0, hi=1)
+        report = s.verify_many([
+            ("forall <a>, <b>. a(l) == b(l)",
+             "y := nonDet(); l := h xor y",
+             "forall <a>, <b>. exists <c>. c(h) == a(h) && c(l) == b(l)"),
+        ])
+        assert report.all_verified
+    """
+
+    def __init__(
+        self,
+        pvars,
+        lo=0,
+        hi=1,
+        lvars=(),
+        entailment="sat",
+        backends=None,
+        budgets=None,
+        max_set_size=None,
+    ):
+        self.universe = Universe(pvars, IntRange(lo, hi), lvars=lvars)
+        self.oracle = CachingOracle(
+            self.universe.ext_states(), self.universe.domain, method=entailment
+        )
+        self.max_set_size = max_set_size
+        self.backends = (
+            tuple(backends) if backends is not None else default_backends(max_set_size)
+        )
+        self.budgets = dict(budgets or {})
+        self._program_cache = {}
+        self._assertion_cache = {}
+
+    # -- parsing (memoized) ------------------------------------------------
+    def parse_program(self, program):
+        """Accept a command object or concrete syntax (parsed once)."""
+        if isinstance(program, Command):
+            return program
+        command = self._program_cache.get(program)
+        if command is None:
+            command = parse_command(program)
+            self._program_cache[program] = command
+        return command
+
+    def parse_condition(self, condition):
+        """Accept an assertion object or concrete syntax (parsed once)."""
+        if isinstance(condition, Assertion):
+            return condition
+        assertion = self._assertion_cache.get(condition)
+        if assertion is None:
+            assertion = parse_assertion(condition)
+            self._assertion_cache[condition] = assertion
+        return assertion
+
+    def task(self, pre, program=None, post=None, invariant=None, label=""):
+        """Build a parsed :class:`VerificationTask`.
+
+        Accepts either the three triple components (plus keywords), an
+        existing task, or a ``(pre, program, post[, invariant])`` tuple.
+        """
+        if isinstance(pre, VerificationTask):
+            return pre
+        if program is None and post is None and isinstance(pre, (tuple, list)):
+            parts = tuple(pre)
+            if len(parts) == 4:
+                pre, program, post, invariant = parts
+            elif len(parts) == 3:
+                pre, program, post = parts
+            else:
+                raise TypeError(
+                    "a task tuple needs 3 or 4 elements, got %d" % len(parts)
+                )
+        return VerificationTask(
+            pre=self.parse_condition(pre),
+            command=self.parse_program(program),
+            post=self.parse_condition(post),
+            invariant=None if invariant is None else self.parse_condition(invariant),
+            label=label,
+        )
+
+    # -- verification ------------------------------------------------------
+    def verify(
+        self,
+        pre,
+        program=None,
+        post=None,
+        invariant=None,
+        label="",
+        backends=None,
+        budgets=None,
+    ):
+        """Verify one triple through the backend chain → :class:`TaskResult`."""
+        task = self.task(pre, program, post, invariant=invariant, label=label)
+        return self._run_task(task, backends, budgets)
+
+    def verify_many(self, tasks, max_workers=None, backends=None, budgets=None):
+        """Verify a batch of tasks → :class:`Report`.
+
+        ``tasks`` may mix :class:`VerificationTask` objects and
+        ``(pre, program, post[, invariant])`` tuples.  With
+        ``max_workers > 1`` tasks run on a thread pool; the entailment
+        cache is shared across workers, so overlapping tasks still
+        amortize.  Result order always matches input order.
+        """
+        normalized = [self.task(t) for t in tasks]
+        info = self.oracle.cache_info()
+        started = perf_counter()
+        if max_workers is not None and max_workers > 1:
+            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                results = list(
+                    pool.map(lambda t: self._run_task(t, backends, budgets), normalized)
+                )
+        else:
+            results = [self._run_task(t, backends, budgets) for t in normalized]
+        elapsed = perf_counter() - started
+        after = self.oracle.cache_info()
+        return Report(
+            tuple(results),
+            elapsed=elapsed,
+            entailment_cache_hits=after["hits"] - info["hits"],
+            entailment_cache_misses=after["misses"] - info["misses"],
+        )
+
+    def disprove(self, pre, program, post, construct_proof=False):
+        """Thm. 5: a disproof of ``{pre} program {post}`` (or ``None``).
+
+        The disproof pins a refuting initial set and (optionally, with
+        ``construct_proof=True``) materializes a core-rule derivation of
+        ``{P'} program {¬post}``.
+        """
+        from ..logic.disprove import disprove_triple
+
+        return disprove_triple(
+            self.parse_condition(pre),
+            self.parse_program(program),
+            self.parse_condition(post),
+            self.universe,
+            construct_proof=construct_proof,
+        )
+
+    def entails(self, weaker, stronger):
+        """Entailment between two hyper-assertions (memoized)."""
+        return self.oracle.entails(
+            self.parse_condition(weaker), self.parse_condition(stronger)
+        )
+
+    def cache_info(self):
+        """Cache statistics for diagnostics and benchmarks."""
+        info = self.oracle.cache_info()
+        return {
+            "entailment_hits": info["hits"],
+            "entailment_misses": info["misses"],
+            "entailment_size": info["size"],
+            "programs": len(self._program_cache),
+            "assertions": len(self._assertion_cache),
+        }
+
+    def _run_task(self, task, backends=None, budgets=None):
+        chain = self.backends if backends is None else tuple(backends)
+        allowances = self.budgets if budgets is None else dict(budgets)
+        self.oracle.reset_used()
+        attempts = []
+        for backend in chain:
+            if not backend.supports(task):
+                attempts.append(
+                    Attempt(backend.name, None, "skipped", note="outside fragment")
+                )
+                continue
+            seconds = allowances.get(backend.name)
+            budget = None if seconds is None else Budget(seconds)
+            started = perf_counter()
+            attempt = backend.attempt(task, self, budget)
+            attempt.elapsed = perf_counter() - started
+            attempts.append(attempt)
+            if attempt.decided:
+                break
+        return TaskResult(task, tuple(attempts))
+
+    def __repr__(self):
+        return "Session(%r, backends=%s)" % (
+            self.universe,
+            [backend.name for backend in self.backends],
+        )

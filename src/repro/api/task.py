@@ -1,0 +1,117 @@
+"""Units of work for the pluggable verification API.
+
+A :class:`VerificationTask` is one hyper-triple ``{pre} command {post}``
+(plus optional Fig. 5 loop annotations), fully parsed; a
+:class:`Budget` is a cooperative wall-clock allowance for one backend
+attempt; an :class:`Attempt` is what one backend reports back.
+
+Verdicts are three-valued:
+
+- ``True``  — the backend established the triple (a proof or an
+  exhaustive check over the universe);
+- ``False`` — the backend refuted it (a counterexample);
+- ``None``  — the backend cannot decide (outside its fragment, budget
+  exhausted, or the check it ran is only evidence) and the chain moves
+  on to the next backend.
+"""
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..assertions.base import Assertion
+from ..lang.ast import Command
+from ..logic.judgment import ProofNode
+
+
+@dataclass(frozen=True)
+class VerificationTask:
+    """One hyper-triple to verify, with optional loop annotations.
+
+    ``invariant`` is the WhileSync invariant consumed by
+    :class:`~repro.api.backends.LoopBackend`; straight-line and oracle
+    backends ignore it.  ``label`` is a free-form tag surfaced in
+    :meth:`~repro.api.session.Report.summary`.
+    """
+
+    pre: Assertion
+    command: Command
+    post: Assertion
+    invariant: Optional[Assertion] = None
+    label: str = ""
+
+    def describe(self):
+        head = "%s: " % self.label if self.label else ""
+        return "%s{%s} %r {%s}" % (
+            head,
+            self.pre.describe(),
+            self.command,
+            self.post.describe(),
+        )
+
+
+class Budget:
+    """A cooperative wall-clock budget for one backend attempt.
+
+    Backends poll :attr:`expired` inside their enumeration loops and bail
+    out with an inconclusive :class:`Attempt` when it trips — nothing is
+    preempted, so a single very slow step can still overrun.
+    ``Budget(None)`` never expires.
+    """
+
+    __slots__ = ("seconds", "_deadline")
+
+    def __init__(self, seconds=None):
+        self.seconds = seconds
+        self._deadline = None if seconds is None else time.monotonic() + seconds
+
+    @property
+    def expired(self):
+        return self._deadline is not None and time.monotonic() >= self._deadline
+
+    def remaining(self):
+        """Seconds left, or ``None`` for an unlimited budget."""
+        if self._deadline is None:
+            return None
+        return max(0.0, self._deadline - time.monotonic())
+
+    def __repr__(self):
+        if self.seconds is None:
+            return "Budget(unlimited)"
+        return "Budget(%.3gs, %.3gs left)" % (self.seconds, self.remaining())
+
+
+@dataclass
+class Attempt:
+    """One backend's structured report on one task.
+
+    ``verdict`` is three-valued (see the module docstring); ``method``
+    names the decision procedure actually used (e.g. ``syntactic-wp+sat``
+    records that the closing entailment really went through the SAT
+    encoding, not a silent brute-force fallback); ``assumptions`` lists
+    unchecked entailments inherited from an assuming oracle.
+    """
+
+    backend: str
+    verdict: Optional[bool]
+    method: str
+    proof: Optional[ProofNode] = None
+    counterexample: Optional[str] = None
+    elapsed: float = 0.0
+    assumptions: Tuple[str, ...] = ()
+    note: str = ""
+
+    @property
+    def decided(self):
+        return self.verdict is not None
+
+    def __repr__(self):
+        verdict = {True: "verified", False: "refuted", None: "undecided"}[self.verdict]
+        extra = " (%s)" % self.note if self.note else ""
+        return "Attempt(%s: %s via %s, %.3fs%s)" % (
+            self.backend,
+            verdict,
+            self.method,
+            self.elapsed,
+            extra,
+        )

@@ -14,20 +14,39 @@ LUpdate, ...) consume an :class:`EntailmentOracle`.  Three oracle flavors:
 - ``assume`` — record the entailment as an unchecked assumption, for
   reasoning that is schematic in the domain (every recorded assumption is
   reported on the resulting proof object).
+
+A ``sat`` oracle silently degrades to ``brute`` on assertions outside the
+groundable fragment; the method that *actually* decided each query is
+recorded on the oracle (:attr:`EntailmentOracle.last_method`,
+:meth:`EntailmentOracle.used_since`) so callers can report it faithfully.
 """
+
+import threading
 
 from ..errors import EntailmentError
 from ..util import iter_subsets
 
 
-def entails(pre, post, universe, domain, max_size=None):
+def entails(pre, post, universe, domain, max_size=None, presorted=False):
     """``pre |= post`` over all subsets of ``universe`` (up to ``max_size``)."""
-    return find_entailment_counterexample(pre, post, universe, domain, max_size) is None
+    return (
+        find_entailment_counterexample(
+            pre, post, universe, domain, max_size, presorted=presorted
+        )
+        is None
+    )
 
 
-def find_entailment_counterexample(pre, post, universe, domain, max_size=None):
-    """A set ``S`` with ``pre(S)`` and ``not post(S)``, or ``None``."""
-    states = sorted(universe, key=repr)
+def find_entailment_counterexample(
+    pre, post, universe, domain, max_size=None, presorted=False
+):
+    """A set ``S`` with ``pre(S)`` and ``not post(S)``, or ``None``.
+
+    Pass ``presorted=True`` when ``universe`` is already in canonical
+    (``repr``-sorted) order — e.g. :attr:`EntailmentOracle.universe` — to
+    skip the per-call sort.
+    """
+    states = universe if presorted else sorted(universe, key=repr)
     for subset in iter_subsets(states, max_size=max_size):
         if pre.holds(subset, domain) and not post.holds(subset, domain):
             return subset
@@ -41,9 +60,9 @@ def equivalent(a, b, universe, domain, max_size=None):
     )
 
 
-def satisfiable(assertion, universe, domain, max_size=None):
+def satisfiable(assertion, universe, domain, max_size=None, presorted=False):
     """Some subset of the universe satisfies ``assertion``."""
-    states = sorted(universe, key=repr)
+    states = universe if presorted else sorted(universe, key=repr)
     for subset in iter_subsets(states, max_size=max_size):
         if assertion.holds(subset, domain):
             return True
@@ -57,7 +76,8 @@ class EntailmentOracle:
     ----------
     universe:
         Iterable of all extended states considered (ignored by the
-        ``assume`` method).
+        ``assume`` method).  Sorted once at construction;
+        :attr:`universe` is the canonical tuple reused by every query.
     domain:
         Value domain for evaluating syntactic assertions.
     method:
@@ -74,24 +94,75 @@ class EntailmentOracle:
         self.method = method
         self.max_size = max_size
         self.assumed = []
+        # Method bookkeeping is thread-local so concurrent sessions
+        # (Session.verify_many with workers) attribute queries correctly.
+        self._tl = threading.local()
 
+    # -- method bookkeeping ------------------------------------------------
+    def _record(self, method):
+        used = getattr(self._tl, "used", None)
+        if used is None:
+            used = []
+            self._tl.used = used
+        used.append(method)
+        self._tl.last = method
+
+    @property
+    def last_method(self):
+        """The method that actually decided the most recent query on this
+        thread (``"sat"``, ``"brute"`` or ``"assume"``) — *not* the
+        configured :attr:`method`, which a ``sat`` oracle silently
+        abandons for non-groundable operands."""
+        return getattr(self._tl, "last", None)
+
+    def used_mark(self):
+        """An opaque mark for :meth:`used_since` (call before a proof)."""
+        return len(getattr(self._tl, "used", ()))
+
+    def used_since(self, mark=0):
+        """Distinct methods used since ``mark``, in first-use order."""
+        used = getattr(self._tl, "used", ())
+        return tuple(dict.fromkeys(used[mark:]))
+
+    def reset_used(self):
+        """Forget this thread's method history (keeps it bounded)."""
+        self._tl.used = []
+
+    # -- queries -----------------------------------------------------------
     def entails(self, pre, post):
         """True iff ``pre |= post``; never raises on a negative verdict."""
         if self.method == "sat":
             from ..solver.encode import entails_sat, Unsupported
 
             try:
-                return entails_sat(pre, post, self.universe, self.domain)
+                verdict = entails_sat(pre, post, self.universe, self.domain)
             except Unsupported:
                 pass  # fall back to brute force for non-syntactic operands
-        return entails(pre, post, self.universe, self.domain, self.max_size)
+            else:
+                self._record("sat")
+                return verdict
+        verdict = entails(
+            pre, post, self.universe, self.domain, self.max_size, presorted=True
+        )
+        self._record("brute")
+        return verdict
+
+    def find_counterexample(self, pre, post):
+        """A witness set refuting ``pre |= post`` (or ``None``)."""
+        return find_entailment_counterexample(
+            pre, post, self.universe, self.domain, self.max_size, presorted=True
+        )
+
+    def satisfiable(self, assertion):
+        """Some subset of the universe satisfies ``assertion``."""
+        return satisfiable(
+            assertion, self.universe, self.domain, self.max_size, presorted=True
+        )
 
     def require(self, pre, post, context=""):
         """Raise :class:`EntailmentError` unless ``pre |= post``."""
         if not self.entails(pre, post):
-            cex = find_entailment_counterexample(
-                pre, post, self.universe, self.domain, self.max_size
-            )
+            cex = self.find_counterexample(pre, post)
             raise EntailmentError(
                 "entailment failed%s: %s |=/= %s (counterexample: %d-state set)"
                 % (
@@ -122,8 +193,10 @@ class AssumingOracle(EntailmentOracle):
 
     def entails(self, pre, post):
         self.assumed.append((pre, post, ""))
+        self._record("assume")
         return True
 
     def require(self, pre, post, context=""):
         self.assumed.append((pre, post, context))
+        self._record("assume")
         return True

@@ -3,6 +3,7 @@
 from .universe import Universe, small_universe
 from .validity import (
     CheckResult,
+    candidate_initial_sets,
     check_triple,
     valid_triple,
     check_terminating_triple,
@@ -19,6 +20,7 @@ __all__ = [
     "Universe",
     "small_universe",
     "CheckResult",
+    "candidate_initial_sets",
     "check_triple",
     "valid_triple",
     "check_terminating_triple",

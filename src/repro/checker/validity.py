@@ -49,7 +49,7 @@ def check_triple(pre, command, post, universe, max_size=None, max_states=100000)
     """
     domain = universe.domain
     checked = 0
-    for subset in _candidate_sets(pre, universe, max_size):
+    for subset in candidate_initial_sets(pre, universe, max_size):
         checked += 1
         if not pre.holds(subset, domain):
             continue
@@ -59,7 +59,7 @@ def check_triple(pre, command, post, universe, max_size=None, max_states=100000)
     return CheckResult(True, checked_sets=checked)
 
 
-def _candidate_sets(pre, universe, max_size):
+def candidate_initial_sets(pre, universe, max_size=None):
     """The initial sets to enumerate.
 
     A precondition that pins the set exactly (``EqualsSet``) admits a
@@ -73,6 +73,10 @@ def _candidate_sets(pre, universe, max_size):
             return [pre.target]
         return []
     return iter_subsets(universe.ext_states(), max_size=max_size)
+
+
+#: Backward-compatible alias for the pre-1.1 private name.
+_candidate_sets = candidate_initial_sets
 
 
 def valid_triple(pre, command, post, universe, max_size=None):

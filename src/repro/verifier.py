@@ -1,18 +1,13 @@
-"""A Hypra-style verification facade.
+"""The legacy verification facade — now a thin shim over the Session API.
 
 The authors' follow-on tool (Hypra) packages Hyper Hoare Logic as a
-push-button verifier: program + hyper-assertion annotations in concrete
-syntax, entailments to an SMT solver.  :class:`Verifier` is this
-repository's analogue:
-
-- programs and assertions are parsed from concrete syntax;
-- straight-line goals go through the backward syntactic-wp engine
-  (Fig. 3 rules) with the closing entailment discharged by the SAT
-  backend;
-- loop goals take annotations (invariants) and route through the
-  Fig. 5 rules;
-- anything else falls back to the exhaustive oracle;
-- failures return a counterexample, successes a checked proof object.
+push-button verifier; :class:`Verifier` was this repository's analogue
+and is kept for backward compatibility.  New code should use
+:class:`repro.api.Session`, which adds pluggable backend chains,
+per-backend budgets, entailment memoization and batch verification —
+``Verifier`` simply wraps a single-task session and repackages each
+:class:`~repro.api.session.TaskResult` as the historical
+:class:`VerificationResult`.
 
 Example::
 
@@ -23,22 +18,12 @@ Example::
     assert result.verified
 """
 
+import warnings
 from dataclasses import dataclass
 from typing import Optional
 
-from .assertions.base import Assertion
-from .assertions.entail import EntailmentOracle
-from .assertions.parser import parse_assertion
-from .checker.counterexample import explain_counterexample, find_counterexample
-from .checker.universe import Universe
-from .checker.validity import check_triple
-from .errors import EntailmentError, ProofError
-from .lang.analysis import is_loop_free
-from .lang.ast import Command
-from .lang.parser import parse_command
+from .api.session import Session
 from .logic.judgment import ProofNode
-from .logic.outline import verify_straightline
-from .values import IntRange
 
 
 @dataclass
@@ -62,6 +47,12 @@ class VerificationResult:
 class Verifier:
     """Verify hyper-triples written in concrete syntax.
 
+    .. deprecated:: 1.1
+        Use :class:`repro.api.Session` — it exposes the same engines as
+        a configurable backend chain, caches entailments across calls,
+        and verifies batches.  ``Verifier`` remains as a compatibility
+        shim over a private session.
+
     Parameters
     ----------
     pvars / lvars:
@@ -76,82 +67,56 @@ class Verifier:
     """
 
     def __init__(self, pvars, lo=0, hi=1, lvars=(), entailment="sat", max_set_size=None):
-        self.universe = Universe(pvars, IntRange(lo, hi), lvars=lvars)
-        self.oracle = EntailmentOracle(
-            self.universe.ext_states(), self.universe.domain, method=entailment
+        warnings.warn(
+            "Verifier is deprecated; use repro.api.Session (pluggable "
+            "backends, entailment caching, batch verify_many)",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        self.session = Session(
+            pvars,
+            lo=lo,
+            hi=hi,
+            lvars=lvars,
+            entailment=entailment,
+            max_set_size=max_set_size,
+        )
+        self.universe = self.session.universe
+        self.oracle = self.session.oracle
         self.max_set_size = max_set_size
 
     # -- parsing helpers --------------------------------------------------
     def parse_program(self, program):
         """Accept a command object or concrete syntax."""
-        if isinstance(program, Command):
-            return program
-        return parse_command(program)
+        return self.session.parse_program(program)
 
     def parse_condition(self, condition):
         """Accept an assertion object or concrete syntax."""
-        if isinstance(condition, Assertion):
-            return condition
-        return parse_assertion(condition)
+        return self.session.parse_condition(condition)
 
     # -- verification -----------------------------------------------------
     def verify(self, pre, program, post):
         """Verify ``{pre} program {post}``.
 
-        Tries the syntactic backward engine first (straight-line code,
-        syntactic assertions), falling back to the exhaustive oracle.
+        Dispatches through the session's default backend chain: the
+        syntactic backward engine first (straight-line code, syntactic
+        assertions), then the semantic oracle.
         """
-        command = self.parse_program(program)
-        pre = self.parse_condition(pre)
-        post = self.parse_condition(post)
-
-        if is_loop_free(command):
-            try:
-                proof = verify_straightline(pre, command, post, self.oracle)
-                return VerificationResult(True, "syntactic-wp+%s" % self.oracle.method, proof)
-            except EntailmentError:
-                witness = find_counterexample(
-                    pre, command, post, self.universe, max_size=self.max_set_size
-                )
-                return VerificationResult(
-                    False,
-                    "syntactic-wp+%s" % self.oracle.method,
-                    counterexample=explain_counterexample(witness),
-                )
-            except ProofError:
-                pass  # non-syntactic assertions or Choice — fall back
-
-        result = check_triple(
-            pre, command, post, self.universe, max_size=self.max_set_size
-        )
-        method = "oracle" if self.max_set_size is None else (
-            "oracle(≤%d)" % self.max_set_size
-        )
-        if result.valid:
-            return VerificationResult(True, method)
+        result = self.session.verify(pre, program, post)
+        attempt = result.decided_by
+        if attempt is None:
+            return VerificationResult(False, "undecided")
         return VerificationResult(
-            False,
-            method,
-            counterexample=explain_counterexample(
-                (result.witness_pre, result.witness_post)
-            ),
+            attempt.verdict,
+            attempt.method,
+            proof=attempt.proof,
+            counterexample=attempt.counterexample,
         )
 
     def disprove(self, pre, program, post):
         """Thm. 5: a disproof of ``{pre} program {post}`` (or None)."""
-        from .logic.disprove import disprove_triple
-
-        command = self.parse_program(program)
-        return disprove_triple(
-            self.parse_condition(pre),
-            command,
-            self.parse_condition(post),
-            self.universe,
-        )
+        return self.session.disprove(pre, program, post)
 
     def entails(self, weaker, stronger):
         """Entailment between two (parsed) hyper-assertions."""
-        return self.oracle.entails(
-            self.parse_condition(weaker), self.parse_condition(stronger)
-        )
+        return self.session.entails(weaker, stronger)

@@ -1,0 +1,248 @@
+"""Backend-chain dispatch: fragments, ordering, budgets, loop annotations."""
+
+import pytest
+
+from repro.api import (
+    Attempt,
+    Budget,
+    ExhaustiveBackend,
+    LoopBackend,
+    SampledBackend,
+    Session,
+    SyntacticWPBackend,
+    VerificationTask,
+)
+
+GNI_PRE = "forall <a>, <b>. a(l) == b(l)"
+GNI_PROG = "y := nonDet(); l := h xor y"
+GNI_POST = "forall <a>, <b>. exists <c>. c(h) == a(h) && c(l) == b(l)"
+
+LOW_X = "forall <a>, <b>. a(x) == b(x)"
+LOOP_PROG = "while (x > 0) { x := x - 1 }"
+
+
+@pytest.fixture
+def security_session():
+    return Session(["h", "l", "y"], 0, 1)
+
+
+class RecordingBackend:
+    """A stub backend that logs calls and returns a fixed attempt."""
+
+    def __init__(self, name, verdict=None, supported=True):
+        self.name = name
+        self.verdict = verdict
+        self.supported = supported
+        self.calls = 0
+
+    def supports(self, task):
+        return self.supported
+
+    def attempt(self, task, session, budget=None):
+        self.calls += 1
+        return Attempt(self.name, self.verdict, self.name)
+
+
+class TestDispatch:
+    def test_straightline_decided_by_syntactic_wp(self, security_session):
+        result = security_session.verify(GNI_PRE, GNI_PROG, GNI_POST)
+        assert result.verified
+        assert result.decided_by.backend == "syntactic-wp"
+        assert result.method == "syntactic-wp+sat"
+        assert result.proof is not None
+
+    def test_backend_order_is_respected(self, security_session):
+        # Reversing the chain makes the oracle decide the same task.
+        result = security_session.verify(
+            GNI_PRE, GNI_PROG, GNI_POST,
+            backends=[ExhaustiveBackend(), SyntacticWPBackend()],
+        )
+        assert result.verified
+        assert result.decided_by.backend == "exhaustive"
+        assert result.method == "oracle"
+
+    def test_chain_stops_at_first_decisive_attempt(self, security_session):
+        first = RecordingBackend("first", verdict=True)
+        second = RecordingBackend("second", verdict=True)
+        result = security_session.verify(
+            "true", "skip", "true", backends=[first, second]
+        )
+        assert result.verified and first.calls == 1 and second.calls == 0
+
+    def test_unsupported_backend_is_skipped_not_run(self, security_session):
+        skipped = RecordingBackend("skipped", verdict=True, supported=False)
+        closer = RecordingBackend("closer", verdict=True)
+        result = security_session.verify(
+            "true", "skip", "true", backends=[skipped, closer]
+        )
+        assert skipped.calls == 0 and closer.calls == 1
+        assert [a.backend for a in result.attempts] == ["skipped", "closer"]
+        assert result.attempts[0].note == "outside fragment"
+
+    def test_inconclusive_backend_falls_through(self, security_session):
+        undecided = RecordingBackend("undecided", verdict=None)
+        result = security_session.verify(
+            "true", "skip", "true", backends=[undecided, ExhaustiveBackend()]
+        )
+        assert result.verified
+        assert undecided.calls == 1
+        assert result.decided_by.backend == "exhaustive"
+
+    def test_loop_task_skips_wp_and_uses_oracle_without_invariant(self):
+        s = Session(["x"], 0, 2)
+        result = s.verify("exists <a>. true", LOOP_PROG, "forall <a>. a(x) == 0")
+        assert result.verified
+        assert result.decided_by.backend == "exhaustive"
+
+
+class TestLoopBackend:
+    def test_annotated_while_verifies_via_fig5(self):
+        s = Session(["x"], 0, 2)
+        result = s.verify(LOW_X, LOOP_PROG, LOW_X, invariant=LOW_X)
+        assert result.verified
+        assert result.decided_by.backend == "loop"
+        assert result.method.startswith("loop-sync+")
+        assert result.proof is not None
+        assert "WhileSync" in result.proof.rules_used()
+
+    def test_bad_invariant_is_inconclusive_not_refuted(self):
+        # x == 0 is not inductive for the decrementing loop, but the
+        # triple still holds — the chain must fall through to the oracle.
+        s = Session(["x"], 0, 2)
+        result = s.verify(
+            "forall <a>, <b>. a(x) == b(x)",
+            LOOP_PROG,
+            "forall <a>, <b>. a(x) == b(x)",
+            invariant="forall <a>. a(x) == 2",
+        )
+        assert result.verified
+        assert result.decided_by.backend == "exhaustive"
+        loop_attempt = [a for a in result.attempts if a.backend == "loop"][0]
+        assert loop_attempt.verdict is None
+        assert "invariant" in loop_attempt.note
+
+    def test_straightline_task_outside_loop_fragment(self):
+        s = Session(["x"], 0, 1)
+        task = s.task("true", "x := 0", "forall <a>. a(x) == 0", invariant=LOW_X)
+        assert not LoopBackend().supports(task)
+
+
+class TestBudgets:
+    def test_exhausted_budget_yields_inconclusive_attempt(self):
+        s = Session(["x"], 0, 2)
+        result = s.verify(
+            "exists <a>. true",
+            LOOP_PROG,
+            "forall <a>. a(x) == 0",
+            backends=[ExhaustiveBackend()],
+            budgets={"exhaustive": 0.0},
+        )
+        assert result.undecided
+        assert "budget exhausted" in result.attempts[0].note
+
+    def test_chain_recovers_after_budget_exhaustion(self):
+        s = Session(["x"], 0, 2)
+        result = s.verify(
+            "exists <a>. true",
+            LOOP_PROG,
+            "forall <a>. a(x) == 0",
+            backends=[ExhaustiveBackend(), ExhaustiveBackend()],
+            budgets={"exhaustive": 0.0},
+        )
+        # Both stages share the name so both expire — still undecided...
+        assert result.undecided
+        # ...but an unbudgeted closing stage decides.
+        closer = SampledBackend(max_size=3)
+        result = s.verify(
+            "exists <a>. true",
+            LOOP_PROG,
+            "forall <a>. a(x) == 0",
+            backends=[ExhaustiveBackend(), closer],
+            budgets={"exhaustive": 0.0},
+        )
+        assert result.verified
+        assert result.method == "oracle(≤3)"
+
+    def test_session_level_budgets_apply(self):
+        s = Session(
+            ["x"], 0, 2,
+            backends=[ExhaustiveBackend()],
+            budgets={"exhaustive": 0.0},
+        )
+        result = s.verify("exists <a>. true", LOOP_PROG, "forall <a>. a(x) == 0")
+        assert result.undecided
+
+    def test_budget_object(self):
+        assert not Budget(None).expired
+        assert Budget(None).remaining() is None
+        assert Budget(0.0).expired
+        assert Budget(60.0).remaining() > 0
+
+
+class TestSampledBackend:
+    def test_capped_mode_reports_cap_in_method(self):
+        s = Session(["x"], 0, 2, max_set_size=2)
+        result = s.verify("exists <a>. true", LOOP_PROG, "forall <a>. a(x) == 0")
+        assert result.verified
+        assert result.method == "oracle(≤2)"
+
+    def test_capped_pass_mid_chain_falls_through_soundly(self):
+        # low(l) is refutable only by a 2-state set: a size-1 capped scan
+        # passes, but that pass must NOT stand as the chain's verdict —
+        # the exhaustive closer still gets to refute.
+        s = Session(["l"], 0, 1)
+        result = s.verify(
+            "true", "skip", "forall <a>, <b>. a(l) == b(l)",
+            backends=[SampledBackend(max_size=1), ExhaustiveBackend()],
+        )
+        assert result.refuted
+        assert result.decided_by.backend == "exhaustive"
+        sampled = result.attempts[0]
+        assert sampled.verdict is None
+        assert "under-approximate" in sampled.note
+
+    def test_claim_capped_pass_opts_into_legacy_underapproximation(self):
+        s = Session(["l"], 0, 1)
+        result = s.verify(
+            "true", "skip", "forall <a>, <b>. a(l) == b(l)",
+            backends=[SampledBackend(max_size=1, claim_capped_pass=True)],
+        )
+        assert result.verified  # the documented legacy unsound claim
+        assert result.method == "oracle(≤1)"
+
+    def test_cap_covering_the_universe_is_definitive(self):
+        s = Session(["l"], 0, 1)  # 2 extended states
+        result = s.verify(
+            "true", "skip", "forall <a>. a(l) == a(l)",
+            backends=[SampledBackend(max_size=2)],
+        )
+        assert result.verified
+
+    def test_random_mode_refutes_but_never_verifies(self):
+        s = Session(["x"], 0, 2)
+        backend = SampledBackend(max_size=3, samples=50, seed=7)
+        bad = s.verify(
+            "true", "x := nonDet()", "forall <a>. a(x) == 0", backends=[backend]
+        )
+        assert bad.refuted
+        assert bad.counterexample is not None
+        good = s.verify("true", "x := 0", "forall <a>. a(x) == 0", backends=[backend])
+        assert good.undecided
+        assert "evidence" in good.attempts[0].note
+
+
+class TestAttemptStructure:
+    def test_refutation_attempt_carries_counterexample(self, security_session):
+        result = security_session.verify(
+            "true", "l := h", "forall <a>, <b>. a(l) == b(l)"
+        )
+        assert result.refuted
+        attempt = result.decided_by
+        assert attempt.backend == "syntactic-wp"
+        assert "initial set" in attempt.counterexample
+        assert attempt.elapsed >= 0.0
+
+    def test_task_describe_and_labels(self, security_session):
+        task = security_session.task(GNI_PRE, GNI_PROG, GNI_POST, label="gni")
+        assert isinstance(task, VerificationTask)
+        assert task.describe().startswith("gni: ")

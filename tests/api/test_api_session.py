@@ -1,0 +1,143 @@
+"""Session state: parse caches, entailment memoization, batching, report."""
+
+import pytest
+
+from repro.api import Session, VerificationTask
+from repro.assertions.sugar import low
+
+GNI_PRE = "forall <a>, <b>. a(l) == b(l)"
+GNI_PROG = "y := nonDet(); l := h xor y"
+GNI_POST = "forall <a>, <b>. exists <c>. c(h) == a(h) && c(l) == b(l)"
+LEAK = ("true", "l := h", "forall <a>, <b>. a(l) == b(l)")
+
+BATCH = [
+    (GNI_PRE, GNI_PROG, GNI_POST),
+    LEAK,
+    (GNI_PRE, GNI_PROG, GNI_POST),  # deliberate repeat — must hit the cache
+    ("true", "l := 0", "forall <a>. a(l) == 0"),
+]
+
+
+@pytest.fixture
+def session():
+    return Session(["h", "l", "y"], 0, 1)
+
+
+class TestParseCaches:
+    def test_programs_and_assertions_parse_once(self, session):
+        a = session.parse_program(GNI_PROG)
+        b = session.parse_program(GNI_PROG)
+        assert a is b
+        p = session.parse_condition(GNI_PRE)
+        q = session.parse_condition(GNI_PRE)
+        assert p is q
+
+    def test_objects_pass_through(self, session):
+        command = session.parse_program(GNI_PROG)
+        assert session.parse_program(command) is command
+        assertion = low("l")
+        assert session.parse_condition(assertion) is assertion
+
+    def test_task_normalization(self, session):
+        task = session.task(LEAK)
+        assert isinstance(task, VerificationTask)
+        assert session.task(task) is task
+        four = session.task((GNI_PRE, GNI_PROG, GNI_POST, GNI_PRE))
+        assert four.invariant is not None
+        with pytest.raises(TypeError):
+            session.task(("just-one",))
+
+
+class TestEntailmentCache:
+    def test_repeat_verify_hits_cache(self, session):
+        session.verify(GNI_PRE, GNI_PROG, GNI_POST)
+        misses_after_first = session.cache_info()["entailment_misses"]
+        session.verify(GNI_PRE, GNI_PROG, GNI_POST)
+        info = session.cache_info()
+        assert info["entailment_misses"] == misses_after_first
+        assert info["entailment_hits"] >= 2  # both Cons entailments repeat
+
+    def test_cached_verdict_still_reports_method(self, session):
+        first = session.verify(GNI_PRE, GNI_PROG, GNI_POST)
+        second = session.verify(GNI_PRE, GNI_PROG, GNI_POST)
+        assert first.method == second.method == "syntactic-wp+sat"
+
+    def test_cache_clear(self, session):
+        session.verify(GNI_PRE, GNI_PROG, GNI_POST)
+        assert session.oracle.cache_info()["size"] > 0
+        session.oracle.cache_clear()
+        assert session.oracle.cache_info() == {"hits": 0, "misses": 0, "size": 0}
+
+    def test_session_entails_is_memoized(self, session):
+        assert session.entails("forall <a>. a(l) == 0", "forall <a>, <b>. a(l) == b(l)")
+        before = session.cache_info()["entailment_hits"]
+        assert session.entails("forall <a>. a(l) == 0", "forall <a>, <b>. a(l) == b(l)")
+        assert session.cache_info()["entailment_hits"] == before + 1
+
+
+class TestVerifyMany:
+    def test_batch_verdicts_and_order(self, session):
+        report = session.verify_many(BATCH)
+        assert [r.verified for r in report] == [True, False, True, True]
+        assert len(report) == 4
+        assert not report.all_verified
+        assert len(report.verified) == 3
+        assert len(report.refuted) == 1
+        assert report.elapsed > 0
+
+    def test_batch_shares_entailment_cache(self, session):
+        report = session.verify_many(BATCH)
+        assert report.entailment_cache_hits > 0
+        # The repeated GNI task must be decided without new misses: its
+        # two Cons entailments are already cached by the first instance.
+        assert report.results[2].verified
+        assert report.results[2].method == "syntactic-wp+sat"
+
+    def test_batch_parallel_matches_sequential(self):
+        sequential = Session(["h", "l", "y"], 0, 1).verify_many(BATCH)
+        parallel = Session(["h", "l", "y"], 0, 1).verify_many(BATCH, max_workers=4)
+        assert [r.verdict for r in sequential] == [r.verdict for r in parallel]
+        assert [r.method for r in sequential] == [r.method for r in parallel]
+
+    def test_batch_accepts_task_objects(self, session):
+        tasks = [session.task(t, label="t%d" % i) for i, t in enumerate(BATCH)]
+        report = session.verify_many(tasks)
+        assert "t1" in report.summary()
+        assert "refuted" in report.summary()
+
+    def test_report_indexing_and_bool(self, session):
+        report = session.verify_many([BATCH[0]])
+        assert report[0].verified
+        assert bool(report)
+        report = session.verify_many([LEAK])
+        assert not bool(report)
+
+
+class TestDisprove:
+    def test_disprove_both_directions(self, session):
+        disproof = session.disprove("true", "l := h", "forall <a>, <b>. a(l) == b(l)")
+        assert disproof is not None
+        assert len(disproof.witness) > 0
+        assert (
+            session.disprove("true", "l := 0", "forall <a>, <b>. a(l) == b(l)")
+            is None
+        )
+
+    def test_disprove_constructs_proof_on_demand(self):
+        s = Session(["h", "l"], 0, 1)
+        disproof = s.disprove(
+            "true", "l := h", "forall <a>, <b>. a(l) == b(l)", construct_proof=True
+        )
+        assert disproof.proof is not None
+
+
+class TestSessionConfig:
+    def test_brute_entailment_method_is_reported(self):
+        s = Session(["x"], 0, 1, entailment="brute")
+        result = s.verify("true", "x := 0", "forall <a>. a(x) == 0")
+        assert result.verified
+        assert result.method == "syntactic-wp+brute"
+
+    def test_repr_names_backends(self, session):
+        assert "syntactic-wp" in repr(session)
+        assert "exhaustive" in repr(session)

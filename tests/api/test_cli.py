@@ -1,0 +1,86 @@
+"""The ``python -m repro`` entry point: exit code == verdict."""
+
+from repro.__main__ import (
+    EXIT_BAD_INPUT,
+    EXIT_REFUTED,
+    EXIT_UNDECIDED,
+    EXIT_VERIFIED,
+    main,
+)
+
+GNI = [
+    "forall <a>, <b>. a(l) == b(l)",
+    "y := nonDet(); l := h xor y",
+    "forall <a>, <b>. exists <c>. c(h) == a(h) && c(l) == b(l)",
+]
+
+
+class TestExitCodes:
+    def test_verified(self, capsys):
+        assert main(GNI) == EXIT_VERIFIED
+        out = capsys.readouterr().out
+        assert "verified" in out and "syntactic-wp+sat" in out
+
+    def test_refuted_prints_counterexample(self, capsys):
+        code = main(["true", "l := h", "forall <a>, <b>. a(l) == b(l)"])
+        assert code == EXIT_REFUTED
+        assert "initial set" in capsys.readouterr().out
+
+    def test_undecided_on_exhausted_budget(self):
+        code = main(
+            [
+                "exists <a>. true",
+                "while (x > 0) { x := x - 1 }",
+                "forall <a>. a(x) == 0",
+                "--hi", "2",
+                "--budget", "exhaustive=0",
+                "--budget", "syntactic-wp=0",
+                "--quiet",
+            ]
+        )
+        assert code == EXIT_UNDECIDED
+
+    def test_parse_error(self, capsys):
+        assert main(["true", "l := oops(", "true"]) == EXIT_BAD_INPUT
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_budget_spec(self, capsys):
+        assert main(GNI + ["--budget", "nonsense"]) == EXIT_BAD_INPUT
+        assert "NAME=SECONDS" in capsys.readouterr().err
+
+    def test_unknown_option(self, capsys):
+        assert main(GNI + ["--no-such-flag"]) == EXIT_BAD_INPUT
+        capsys.readouterr()
+
+
+class TestOptions:
+    def test_quiet_suppresses_output(self, capsys):
+        assert main(GNI + ["--quiet"]) == EXIT_VERIFIED
+        assert capsys.readouterr().out == ""
+
+    def test_invariant_routes_through_loop_backend(self, capsys):
+        code = main(
+            [
+                "forall <a>, <b>. a(x) == b(x)",
+                "while (x > 0) { x := x - 1 }",
+                "forall <a>, <b>. a(x) == b(x)",
+                "--hi", "2",
+                "--invariant", "forall <a>, <b>. a(x) == b(x)",
+            ]
+        )
+        assert code == EXIT_VERIFIED
+        assert "loop-sync" in capsys.readouterr().out
+
+    def test_explicit_vars_and_brute(self):
+        code = main(
+            ["true", "x := 0", "forall <a>. a(x) == 0",
+             "--vars", "x,y", "--entailment", "brute", "--quiet"]
+        )
+        assert code == EXIT_VERIFIED
+
+    def test_vars_inferred_from_assertions_only(self):
+        # `skip` touches nothing; variables must come from the assertions.
+        code = main(
+            ["forall <a>. a(z) == 0", "skip", "forall <a>. a(z) == 0", "--quiet"]
+        )
+        assert code == EXIT_VERIFIED

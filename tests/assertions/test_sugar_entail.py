@@ -142,3 +142,53 @@ class TestEntailment:
         sat = EntailmentOracle(ALL, D, method="sat")
         # OTimes and friends are not groundable; oracle must still answer
         assert sat.entails(TRUE_H, TRUE_H)
+
+
+class TestMethodTracking:
+    """The oracle must report which method *actually* decided each query
+    (a sat oracle silently degrades to brute on non-groundable operands)."""
+
+    def test_sat_query_records_sat(self):
+        sat = EntailmentOracle(ALL, D, method="sat")
+        sat.entails(box(V("l").eq(0)), low("l"))
+        assert sat.last_method == "sat"
+        assert sat.used_since() == ("sat",)
+
+    def test_fallback_records_brute_not_sat(self):
+        from repro.assertions.semantic import TRUE_H
+
+        sat = EntailmentOracle(ALL, D, method="sat")
+        sat.entails(TRUE_H, TRUE_H)
+        assert sat.last_method == "brute"
+        assert sat.used_since() == ("brute",)
+
+    def test_used_since_mark_and_order(self):
+        from repro.assertions.semantic import TRUE_H
+
+        sat = EntailmentOracle(ALL, D, method="sat")
+        sat.entails(box(V("l").eq(0)), low("l"))
+        mark = sat.used_mark()
+        sat.entails(TRUE_H, TRUE_H)
+        sat.entails(not_emp_s, low("l"))
+        assert sat.used_since(mark) == ("brute", "sat")
+        assert sat.used_since() == ("sat", "brute")
+
+    def test_reset_used(self):
+        brute = EntailmentOracle(ALL, D)
+        brute.entails(emp_s, low("l"))
+        brute.reset_used()
+        assert brute.used_since() == ()
+        assert brute.used_mark() == 0
+
+    def test_assuming_oracle_records_assume(self):
+        oracle = AssumingOracle()
+        oracle.entails(not_emp_s, low("l"))
+        assert oracle.last_method == "assume"
+
+    def test_universe_sorted_once_and_reused(self):
+        oracle = EntailmentOracle(ALL, D)
+        assert oracle.universe == tuple(sorted(ALL, key=repr))
+        cex = oracle.find_counterexample(not_emp_s, low("l"))
+        assert cex is not None and not low("l").holds(cex, D)
+        assert oracle.satisfiable(low("l"))
+        assert not oracle.satisfiable(emp_s & not_emp_s)

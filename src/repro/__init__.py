@@ -12,7 +12,14 @@ from . import lang, semantics, assertions, checker  # noqa: F401
 from . import logic, solver, embeddings, hyperprops  # noqa: F401
 from . import api  # noqa: F401
 from .lang import parse_command, parse_expr, parse_bexpr, pretty  # noqa: F401
-from .checker import Universe, small_universe, check_triple, valid_triple  # noqa: F401
+from .checker import (  # noqa: F401
+    CheckerEngine,
+    ImageCache,
+    Universe,
+    check_triple,
+    small_universe,
+    valid_triple,
+)
 from .api import (  # noqa: F401
     Attempt,
     Backend,

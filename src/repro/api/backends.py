@@ -24,14 +24,12 @@ from typing import Protocol
 
 from ..assertions.syntax import SynAssertion
 from ..checker.counterexample import explain_counterexample
-from ..checker.validity import candidate_initial_sets
 from ..errors import EntailmentError, ProofError
 from ..lang.analysis import is_loop_free
 from ..lang.sugar import match_while
 from ..logic.core_rules import rule_cons
 from ..logic.loop_rules import rule_while_sync, while_sync_body_pre
 from ..logic.outline import verify_straightline
-from ..semantics.extended import sem
 from .task import Attempt
 
 
@@ -64,23 +62,25 @@ _REFUTED, _PASSED, _EXHAUSTED = "refuted", "passed", "budget-exhausted"
 def _scan_initial_sets(task, session, budget, max_size=None):
     """The one oracle enumeration every backend shares.
 
-    Walks the candidate initial sets (up to ``max_size``), polling the
-    budget between sets.  Returns ``(status, witness, checked)`` where
+    Walks the candidate initial sets (up to ``max_size``) through the
+    session's precomputed-image :class:`~repro.checker.engine.CheckerEngine`
+    — every program state is executed at most once per command, cached in
+    ``session.images`` across tasks and threads — polling the budget
+    between sets.  Returns ``(status, witness, checked)`` where
     ``status`` is ``_REFUTED`` (``witness`` is the ``(S, sem(C, S))``
     pair), ``_PASSED`` (no enumerated set refutes the triple) or
     ``_EXHAUSTED`` (budget tripped after ``checked`` sets).
     """
-    universe = session.universe
-    domain = universe.domain
     checked = 0
-    for subset in candidate_initial_sets(task.pre, universe, max_size):
+    for subset, post_set, ok in session.engine.scan(
+        task.pre, task.command, task.post, max_size=max_size
+    ):
         if _expired(budget):
             return _EXHAUSTED, None, checked
         checked += 1
-        if not task.pre.holds(subset, domain):
+        if post_set is None:  # precondition rejected the subset
             continue
-        post_set = sem(task.command, subset, domain)
-        if not task.post.holds(post_set, domain):
+        if not ok:
             return _REFUTED, (subset, post_set), checked
     return _PASSED, None, checked
 
@@ -328,7 +328,7 @@ class SampledBackend:
             subset = frozenset(rng.sample(states, min(k, len(states))))
             if not task.pre.holds(subset, domain):
                 continue
-            post_set = sem(task.command, subset, domain)
+            post_set = session.engine.sem(task.command, subset)
             if not task.post.holds(post_set, domain):
                 return Attempt(
                     self.name,

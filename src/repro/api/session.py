@@ -23,6 +23,7 @@ from typing import Tuple
 from ..assertions.base import Assertion
 from ..assertions.entail import EntailmentOracle
 from ..assertions.parser import parse_assertion
+from ..checker.engine import CheckerEngine, ImageCache
 from ..checker.universe import Universe
 from ..lang.ast import Command
 from ..lang.parser import parse_command
@@ -286,6 +287,10 @@ class Session:
         self.oracle = CachingOracle(
             self.universe.ext_states(), self.universe.domain, method=entailment
         )
+        # One image cache for the whole session: per-state executions
+        # persist across tasks in a batch and across verify_many threads.
+        self.images = ImageCache()
+        self.engine = CheckerEngine(self.universe, self.images)
         self.max_set_size = max_set_size
         self.backends = (
             tuple(backends) if backends is not None else default_backends(max_set_size)
@@ -410,10 +415,14 @@ class Session:
     def cache_info(self):
         """Cache statistics for diagnostics and benchmarks."""
         info = self.oracle.cache_info()
+        images = self.images.info()
         return {
             "entailment_hits": info["hits"],
             "entailment_misses": info["misses"],
             "entailment_size": info["size"],
+            "image_hits": images["hits"],
+            "image_misses": images["misses"],
+            "image_size": images["size"],
             "programs": len(self._program_cache),
             "assertions": len(self._assertion_cache),
         }

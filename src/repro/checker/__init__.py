@@ -1,14 +1,22 @@
 """The semantic oracle: finite universes and exhaustive triple checking."""
 
 from .universe import Universe, small_universe
-from .validity import (
+from .engine import (
+    CheckerEngine,
     CheckResult,
+    ImageCache,
     candidate_initial_sets,
+    state_prefilter,
+)
+from .validity import (
     check_triple,
     valid_triple,
     check_terminating_triple,
     valid_terminating_triple,
     sampled_check_triple,
+    naive_check_triple,
+    naive_check_terminating_triple,
+    naive_sampled_check_triple,
 )
 from .counterexample import (
     find_counterexample,
@@ -19,13 +27,19 @@ from .counterexample import (
 __all__ = [
     "Universe",
     "small_universe",
+    "CheckerEngine",
     "CheckResult",
+    "ImageCache",
     "candidate_initial_sets",
+    "state_prefilter",
     "check_triple",
     "valid_triple",
     "check_terminating_triple",
     "valid_terminating_triple",
     "sampled_check_triple",
+    "naive_check_triple",
+    "naive_check_terminating_triple",
+    "naive_sampled_check_triple",
     "find_counterexample",
     "explain_counterexample",
     "minimal_counterexample",

@@ -1,21 +1,25 @@
-"""Counterexample search and reporting for invalid hyper-triples."""
+"""Counterexample search and reporting for invalid hyper-triples.
 
-from ..semantics.extended import sem
-from ..util import iter_subsets
+The search runs on the precomputed-image
+:class:`~repro.checker.engine.CheckerEngine`: each universe state is
+executed once, and every candidate (or shrink step) is a union of cached
+images rather than a fresh ``sem`` run.
+"""
+
+from .engine import CheckerEngine
 
 
-def find_counterexample(pre, command, post, universe, max_size=None):
+def find_counterexample(pre, command, post, universe, max_size=None, engine=None):
     """A pair ``(S, sem(C, S))`` refuting the triple, or ``None``.
 
     Prefers the smallest witness (subset enumeration is by size).
     """
-    domain = universe.domain
-    for subset in iter_subsets(universe.ext_states(), max_size=max_size):
-        if pre.holds(subset, domain):
-            post_set = sem(command, subset, domain)
-            if not post.holds(post_set, domain):
-                return subset, post_set
-    return None
+    if engine is None:
+        engine = CheckerEngine(universe)
+    result = engine.check(pre, command, post, max_size=max_size)
+    if result.valid:
+        return None
+    return result.witness_pre, result.witness_post
 
 
 def explain_counterexample(witness):
@@ -34,8 +38,13 @@ def explain_counterexample(witness):
 
 def minimal_counterexample(pre, command, post, universe, max_size=None):
     """Like :func:`find_counterexample`, shrinking the witness further by
-    greedily dropping states while it still refutes the triple."""
-    found = find_counterexample(pre, command, post, universe, max_size)
+    greedily dropping states while it still refutes the triple.
+
+    Every shrink trial re-unions cached images instead of re-executing,
+    so shrinking costs ``O(|S|^2)`` unions and zero extra executions.
+    """
+    engine = CheckerEngine(universe)
+    found = find_counterexample(pre, command, post, universe, max_size, engine)
     if found is None:
         return None
     subset, _ = found
@@ -46,9 +55,9 @@ def minimal_counterexample(pre, command, post, universe, max_size=None):
         for phi in sorted(subset, key=repr):
             smaller = subset - {phi}
             if pre.holds(smaller, domain):
-                post_set = sem(command, smaller, domain)
+                post_set = engine.sem(command, smaller)
                 if not post.holds(post_set, domain):
                     subset = smaller
                     changed = True
                     break
-    return subset, sem(command, subset, domain)
+    return subset, engine.sem(command, subset)

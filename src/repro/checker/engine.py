@@ -1,0 +1,402 @@
+"""The precomputed-image checker engine behind the Def. 5 oracle.
+
+The naive oracle re-runs ``sem(C, S)`` from scratch for every candidate
+initial set ``S``: over a universe of ``n`` extended states that is
+``O(2**n)`` big-step executions, each program state re-executed up to
+``2**(n-1)`` times.  :class:`CheckerEngine` removes the re-execution:
+
+1. every extended state is executed **once** up front into a per-state
+   *image* ``image(φ) = {(φ_L, σ') | ⟨C, φ_P⟩ → σ'}``, so ``sem(C, S) =
+   ⋃_{φ∈S} image(φ)`` by Lemma 1 (union-distribution);
+2. candidate sets are decided by unioning those precomputed images,
+   built *incrementally* along the size-ordered subset enumeration (each
+   enumeration step extends a prefix union by one image);
+3. states that can never appear in a precondition-satisfying set are
+   pruned up front by a sound syntactic analysis of the precondition
+   (:func:`state_prefilter`), shrinking the ``2**n`` base;
+4. the per-state executions live in a shareable, thread-safe
+   :class:`ImageCache` keyed by ``(command, domain, prog_state)``, so a
+   :class:`~repro.api.session.Session` re-verifying related triples (or
+   a ``verify_many`` thread pool) never re-executes a program state.
+
+The overall cost drops from ``O(2**n · exec)`` to ``O(n · exec + 2**n ·
+union)``.  Enumeration order — and therefore the reported witness — is
+identical to the naive reference implementations retained in
+:mod:`repro.checker.validity`, which the cross-validation tests and
+``benchmarks/bench_checker_engine.py`` check on randomized triples.
+"""
+
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+from ..semantics.bigstep import post_states
+from ..semantics.state import ExtState
+from ..util import iter_subsets
+
+
+@dataclass
+class CheckResult:
+    """Outcome of a validity check.
+
+    ``valid`` is the verdict; when invalid, ``witness_pre`` is a set of
+    initial states satisfying the precondition whose post-set violates
+    the postcondition (and ``witness_post`` is that post-set).
+    ``checked_sets`` counts the candidate initial sets enumerated.
+    """
+
+    valid: bool
+    witness_pre: Optional[frozenset] = None
+    witness_post: Optional[frozenset] = None
+    checked_sets: int = 0
+
+    def __bool__(self):
+        return self.valid
+
+
+def candidate_initial_sets(pre, universe, max_size=None):
+    """The initial sets to enumerate.
+
+    A precondition that pins the set exactly (``EqualsSet``) admits a
+    single candidate, which keeps pinned-set checks (Thm. 3, App. B)
+    tractable over universes whose full powerset is out of reach.
+    """
+    from ..assertions.semantic import EqualsSet
+
+    if isinstance(pre, EqualsSet):
+        if max_size is None or len(pre.target) <= max_size:
+            return [pre.target]
+        return []
+    return iter_subsets(universe.ext_states(), max_size=max_size)
+
+
+class ImageCache:
+    """A thread-safe memo of single-state executions.
+
+    Keys are ``(command, domain, program_state)`` — commands and domains
+    hash structurally, so the cache is safe to share across universes,
+    tasks and :meth:`~repro.api.session.Session.verify_many` threads;
+    values are the ``frozenset`` of final program states.  Computation
+    happens outside the lock, so a race costs at most one duplicated
+    execution, never a wrong entry.
+
+    ``max_states`` is a divergence guard, not a semantic parameter, but
+    the guard stays faithful across sharing: each entry remembers the
+    tightest cap it was computed under, and a request with a *smaller*
+    cap re-executes under that cap (raising where a cold engine would)
+    instead of silently reusing a result the stricter guard might have
+    rejected.
+    """
+
+    def __init__(self):
+        self._table = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def post_image(self, command, prog, domain, max_states=100000):
+        """``{σ' | ⟨command, prog⟩ → σ'}``, computed at most once per cap."""
+        key = (command, domain, prog)
+        with self._lock:
+            entry = self._table.get(key)
+            if entry is not None and max_states >= entry[1]:
+                self.hits += 1
+                return entry[0]
+        finals = post_states(command, prog, domain, max_states)
+        with self._lock:
+            entry = self._table.get(key)
+            if entry is None or max_states < entry[1]:
+                self._table[key] = (finals, max_states)
+            self.misses += 1
+        return finals
+
+    def info(self):
+        """``{"hits": ..., "misses": ..., "size": ...}``."""
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses, "size": len(self._table)}
+
+    def clear(self):
+        with self._lock:
+            self._table.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self):
+        with self._lock:
+            return len(self._table)
+
+
+def _walk_prefilter(node, domain):
+    """Recursive worker of :func:`state_prefilter` (syntactic nodes only)."""
+    from ..assertions.syntax import SAnd, SForallState
+
+    if isinstance(node, SAnd):
+        left = _walk_prefilter(node.left, domain)
+        right = _walk_prefilter(node.right, domain)
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return lambda phi: left(phi) and right(phi)
+    if isinstance(node, SForallState):
+        body = node.body
+        if _mentions_state_binder(body):
+            return None
+        lookups = body.prog_lookups() | body.log_lookups()
+        if any(state != node.state for state, _ in lookups):
+            return None
+        if body.free_value_vars():
+            return None
+        name = node.state
+        empty = frozenset()
+
+        def keep(phi):
+            return bool(body.eval(empty, {name: phi}, {}, domain))
+
+        return keep
+    return None
+
+
+def _mentions_state_binder(node):
+    from ..assertions.syntax import (
+        SAnd,
+        SExistsState,
+        SExistsVal,
+        SForallState,
+        SForallVal,
+        SOr,
+    )
+
+    if isinstance(node, (SForallState, SExistsState)):
+        return True
+    if isinstance(node, (SAnd, SOr)):
+        return _mentions_state_binder(node.left) or _mentions_state_binder(node.right)
+    if isinstance(node, (SForallVal, SExistsVal)):
+        return _mentions_state_binder(node.body)
+    return False
+
+
+def state_prefilter(pre, domain):
+    """A sound per-state pruning predicate implied by ``pre``, or ``None``.
+
+    When the precondition (or a conjunct of it) has the shape
+    ``∀⟨φ⟩. A`` with ``A`` mentioning no other state and binding no
+    further states, a state failing ``A`` can never belong to a
+    precondition-satisfying set — so subsets containing it need not be
+    enumerated at all.  The returned predicate keeps exactly the states
+    that may still appear; ``None`` means no pruning applies.
+
+    Pruning never changes the verdict or the reported witness: the
+    skipped sets are precisely those the naive oracle would have
+    discarded via ``pre.holds``, and the enumeration order of the
+    surviving sets is preserved.
+    """
+    from ..assertions.syntax import SynAssertion
+
+    if not isinstance(pre, SynAssertion):
+        return None
+    return _walk_prefilter(pre, domain)
+
+
+def _sized_unions(states, img, k):
+    """Yield ``(frozenset(combo), ⋃ images)`` for all size-``k`` combos.
+
+    Enumeration order matches ``itertools.combinations`` (and therefore
+    :func:`~repro.util.iter_subsets` within one size class); the union is
+    extended incrementally along the recursion, one image per step.
+    ``img`` maps a state to its image — typically a lazy memoized lookup,
+    so an early refutation never executes the untouched states.
+    """
+    n = len(states)
+    if k == 0:
+        yield frozenset(), frozenset()
+        return
+    chosen = []
+
+    def rec(start, union):
+        need = k - len(chosen)
+        if need == 0:
+            yield frozenset(chosen), union
+            return
+        for i in range(start, n - need + 1):
+            phi = states[i]
+            chosen.append(phi)
+            for item in rec(i + 1, union | img(phi)):
+                yield item
+            chosen.pop()
+
+    for item in rec(0, frozenset()):
+        yield item
+
+
+class CheckerEngine:
+    """Decides hyper-triples over one universe via precomputed images.
+
+    Parameters
+    ----------
+    universe:
+        The :class:`~repro.checker.universe.Universe` quantified over.
+    cache:
+        An optional shared :class:`ImageCache`; by default the engine
+        owns a private one.  Sharing the cache (as
+        :class:`~repro.api.session.Session` does) lets images persist
+        across tasks in a batch and across ``verify_many`` threads.
+    """
+
+    def __init__(self, universe, cache=None):
+        self.universe = universe
+        self.cache = cache if cache is not None else ImageCache()
+
+    # -- images ------------------------------------------------------------
+    def image(self, command, phi, max_states=100000):
+        """``sem(C, {φ})`` — the extended-state image of one state."""
+        finals = self.cache.post_image(
+            command, phi.prog, self.universe.domain, max_states
+        )
+        return frozenset(ExtState(phi.log, sigma2) for sigma2 in finals)
+
+    def image_table(self, command, states, max_states=100000):
+        """``{φ: sem(C, {φ})}`` — one execution per distinct program state."""
+        return {phi: self.image(command, phi, max_states) for phi in states}
+
+    def sem(self, command, states, max_states=100000):
+        """``sem(C, S)`` as a union of cached per-state images."""
+        out = frozenset()
+        for phi in states:
+            out |= self.image(command, phi, max_states)
+        return out
+
+    def can_terminate(self, command, phi, max_states=100000):
+        """Whether ``φ`` has at least one terminating execution.
+
+        Free given the image: the big-step fixpoint computes the complete
+        final-state set, so "can terminate" is "image is non-empty".
+        """
+        return bool(
+            self.cache.post_image(command, phi.prog, self.universe.domain, max_states)
+        )
+
+    # -- enumeration -------------------------------------------------------
+    def scan(
+        self,
+        pre,
+        command,
+        post,
+        max_size=None,
+        max_states=100000,
+        prefilter=True,
+        pin_equals_set=True,
+    ):
+        """Lazily walk the candidate initial sets, images precomputed.
+
+        Yields ``(subset, post_set, ok)`` per candidate, in the same
+        order as :func:`candidate_initial_sets`: ``post_set`` is ``None``
+        when the precondition rejects the subset, otherwise it is
+        ``sem(C, subset)`` and ``ok`` records whether the postcondition
+        accepted it.  Images are computed lazily as the enumeration first
+        touches each state (a pre-rejected subset may therefore still
+        have executed its members — at most once each), so callers
+        polling a budget between candidates never pay more than a few new
+        executions per yield, and an early refutation leaves the rest
+        unexecuted.
+
+        ``pin_equals_set=False`` disables the ``EqualsSet``
+        single-candidate shortcut and enumerates universe subsets like
+        any other precondition — required where the pinned target may
+        contain states outside the universe (the terminating check's
+        Def. 24 quantifier only ranges over universe subsets).
+        """
+        from ..assertions.semantic import EqualsSet
+
+        domain = self.universe.domain
+        if pin_equals_set and isinstance(pre, EqualsSet):
+            if max_size is not None and len(pre.target) > max_size:
+                return
+            subset = pre.target
+            if not pre.holds(subset, domain):
+                yield subset, None, True
+                return
+            post_set = self.sem(command, subset, max_states)
+            yield subset, post_set, bool(post.holds(post_set, domain))
+            return
+        states = self.universe.ext_states()
+        if prefilter:
+            keep = state_prefilter(pre, domain)
+            if keep is not None:
+                states = tuple(phi for phi in states if keep(phi))
+        table = {}
+
+        def img(phi):
+            image = table.get(phi)
+            if image is None:
+                image = self.image(command, phi, max_states)
+                table[phi] = image
+            return image
+
+        cap = len(states) if max_size is None else min(max_size, len(states))
+        for k in range(cap + 1):
+            for subset, post_set in _sized_unions(states, img, k):
+                if not pre.holds(subset, domain):
+                    yield subset, None, True
+                    continue
+                yield subset, post_set, bool(post.holds(post_set, domain))
+
+    # -- checks ------------------------------------------------------------
+    def check(self, pre, command, post, max_size=None, max_states=100000,
+              prefilter=True):
+        """Decide ``|= {pre} command {post}`` — engine counterpart of
+        :func:`~repro.checker.validity.check_triple`."""
+        checked = 0
+        for subset, post_set, ok in self.scan(
+            pre, command, post, max_size, max_states, prefilter
+        ):
+            checked += 1
+            if not ok:
+                return CheckResult(False, subset, post_set, checked)
+        return CheckResult(True, checked_sets=checked)
+
+    def check_terminating(self, pre, command, post, max_size=None,
+                          max_states=100000, prefilter=True):
+        """Decide the terminating triple ``|=⇓ {pre} command {post}``
+        (Def. 24): the plain triple plus "every initial state can reach a
+        final state" — the latter a cache hit, since the enumeration has
+        already computed each member's image."""
+        checked = 0
+        for subset, post_set, ok in self.scan(
+            pre, command, post, max_size, max_states, prefilter,
+            pin_equals_set=False,
+        ):
+            checked += 1
+            if post_set is None:  # precondition rejected the subset
+                continue
+            if not ok:
+                return CheckResult(False, subset, post_set, checked)
+            if not all(self.can_terminate(command, phi, max_states) for phi in subset):
+                return CheckResult(False, subset, post_set, checked)
+        return CheckResult(True, checked_sets=checked)
+
+    def sampled_check(self, pre, command, post, rng, samples=200, max_set_size=4,
+                      max_states=100000):
+        """Randomized refutation search — engine counterpart of
+        :func:`~repro.checker.validity.sampled_check_triple`.
+
+        Draws the same subsets as the naive reference for the same
+        ``rng``; each sampled state is executed at most once thanks to
+        the image cache.
+        """
+        domain = self.universe.domain
+        states = list(self.universe.ext_states())
+        checked = 0
+        for _ in range(samples):
+            k = rng.randint(0, max_set_size)
+            subset = frozenset(rng.sample(states, min(k, len(states))))
+            checked += 1
+            if not pre.holds(subset, domain):
+                continue
+            post_set = self.sem(command, subset, max_states)
+            if not post.holds(post_set, domain):
+                return CheckResult(False, subset, post_set, checked)
+        return CheckResult(True, checked_sets=checked)
+
+    def __repr__(self):
+        return "CheckerEngine(%r, cache=%d images)" % (self.universe, len(self.cache))

@@ -5,9 +5,13 @@ the shared finite value domain, and enumerates every extended state over
 them.  The oracle checker quantifies hyper-triples over subsets of this
 enumeration, turning Def. 5 into a finite (if exponential) check.
 
-The number of extended states is ``|domain| ** (|pvars| + |lvars|)`` and
-validity checking enumerates its powerset — keep the declaration tiny
-(two variables over three values is already 512 subsets).
+The number of extended states is ``|domain| ** |pvars| * |lvar_domain| **
+|lvars|``; validity checking enumerates its powerset, deciding each
+subset by unioning precomputed per-state images (see
+:mod:`repro.checker.engine`) — ``O(n · exec + 2**n · union)`` for ``n``
+extended states, so the powerset, not the executions, is the budget to
+watch.  Keep the declaration tiny (two variables over three values is
+already 512 subsets).
 """
 
 from itertools import product
@@ -60,8 +64,15 @@ class Universe:
         return self._states
 
     def size(self):
-        """Number of extended states."""
-        return len(self.ext_states())
+        """Number of extended states, computed arithmetically.
+
+        ``|domain| ** |pvars| * |lvar_domain| ** |lvars|`` — this never
+        materializes the enumeration, so sizing (or repr-ing, e.g. in a
+        debugger) a huge universe stays O(1).
+        """
+        return len(self.domain) ** len(self.pvars) * len(self.lvar_domain) ** len(
+            self.lvars
+        )
 
     def restrict(self, predicate):
         """The extended states satisfying a Python predicate ``φ -> bool``."""

@@ -10,42 +10,112 @@ only be refuted with states from the universe, and "valid" means valid
 over that universe.  All soundness/unsoundness phenomena exercised by the
 paper already appear on universes of a handful of states.
 
-Def. 24 (App. E) terminating triples add "every initial state can reach a
-final state"; :func:`check_terminating_triple` checks that conjunct too.
-"""
+The checks are executed by the precomputed-image
+:class:`~repro.checker.engine.CheckerEngine`: each of the ``n`` extended
+states is run through the big-step semantics **once**, and every
+candidate set is decided by unioning the precomputed images — ``O(n ·
+exec + 2**n · union)`` instead of the naive ``O(2**n · exec)``.  The
+naive single-pass implementations are retained below
+(:func:`naive_check_triple` and friends) as the reference the engine is
+cross-validated against; they must never be used on a hot path.
 
-from dataclasses import dataclass
-from typing import Optional
+Def. 24 (App. E) terminating triples add "every initial state can reach a
+final state"; :func:`check_terminating_triple` checks that conjunct too
+(for the engine it is free: an initial state can terminate iff its
+precomputed image is non-empty).
+"""
 
 from ..semantics.extended import sem
 from ..semantics.termination import all_can_terminate
 from ..util import iter_subsets
+from .engine import CheckerEngine, CheckResult, candidate_initial_sets
+
+__all__ = [
+    "CheckResult",
+    "candidate_initial_sets",
+    "check_triple",
+    "valid_triple",
+    "check_terminating_triple",
+    "valid_terminating_triple",
+    "sampled_check_triple",
+    "naive_check_triple",
+    "naive_check_terminating_triple",
+    "naive_sampled_check_triple",
+]
 
 
-@dataclass
-class CheckResult:
-    """Outcome of a validity check.
-
-    ``valid`` is the verdict; when invalid, ``witness_pre`` is a set of
-    initial states satisfying the precondition whose post-set violates
-    the postcondition (and ``witness_post`` is that post-set).
-    """
-
-    valid: bool
-    witness_pre: Optional[frozenset] = None
-    witness_post: Optional[frozenset] = None
-    checked_sets: int = 0
-
-    def __bool__(self):
-        return self.valid
-
-
-def check_triple(pre, command, post, universe, max_size=None, max_states=100000):
+def check_triple(pre, command, post, universe, max_size=None, max_states=100000,
+                 engine=None):
     """Decide ``|= {pre} command {post}`` over ``universe``.
 
     ``max_size`` optionally caps the size of the initial sets enumerated
     (an *under*-approximation of the check: refutations stay sound, a
-    "valid" verdict only covers the enumerated sets).
+    "valid" verdict only covers the enumerated sets).  ``engine`` may
+    supply a pre-built :class:`~repro.checker.engine.CheckerEngine`
+    (e.g. one sharing a session-wide image cache); by default a fresh
+    engine over ``universe`` is used.
+    """
+    if engine is None:
+        engine = CheckerEngine(universe)
+    return engine.check(pre, command, post, max_size=max_size, max_states=max_states)
+
+
+def valid_triple(pre, command, post, universe, max_size=None, max_states=100000):
+    """Boolean form of :func:`check_triple`."""
+    return check_triple(pre, command, post, universe, max_size, max_states).valid
+
+
+def check_terminating_triple(pre, command, post, universe, max_size=None,
+                             max_states=100000, engine=None):
+    """Decide the terminating triple ``|=⇓ {pre} command {post}`` (Def. 24)."""
+    if engine is None:
+        engine = CheckerEngine(universe)
+    return engine.check_terminating(
+        pre, command, post, max_size=max_size, max_states=max_states
+    )
+
+
+def valid_terminating_triple(pre, command, post, universe, max_size=None,
+                             max_states=100000):
+    """Boolean form of :func:`check_terminating_triple`."""
+    return check_terminating_triple(
+        pre, command, post, universe, max_size, max_states
+    ).valid
+
+
+def sampled_check_triple(pre, command, post, universe, rng, samples=200,
+                         max_set_size=4, max_states=100000, engine=None):
+    """Randomized refutation search for larger universes.
+
+    Draws random subsets (of size up to ``max_set_size``); only useful to
+    *find* counterexamples — a pass is evidence, not proof.  The sampled
+    states are executed through the engine's image cache, so repeatedly
+    sampled states cost one execution total.
+    """
+    if engine is None:
+        engine = CheckerEngine(universe)
+    return engine.sampled_check(
+        pre, command, post, rng,
+        samples=samples, max_set_size=max_set_size, max_states=max_states,
+    )
+
+
+# ---------------------------------------------------------------------------
+# naive reference implementations (cross-validation only)
+# ---------------------------------------------------------------------------
+
+
+def naive_check_triple(pre, command, post, universe, max_size=None,
+                       max_states=100000):
+    """The pre-engine oracle: ``sem`` recomputed per candidate set.
+
+    Each call to :func:`~repro.semantics.extended.sem` starts a fresh
+    per-call cache, so every program state is re-executed up to
+    ``2**(n-1)`` times across the enumeration.  Kept only as the
+    reference the engine is cross-validated against: same verdict and
+    same witness always; ``checked_sets`` additionally matches when the
+    engine's precondition prefilter is disabled (with pruning the engine
+    enumerates fewer candidate sets by design).
     """
     domain = universe.domain
     checked = 0
@@ -59,33 +129,9 @@ def check_triple(pre, command, post, universe, max_size=None, max_states=100000)
     return CheckResult(True, checked_sets=checked)
 
 
-def candidate_initial_sets(pre, universe, max_size=None):
-    """The initial sets to enumerate.
-
-    A precondition that pins the set exactly (``EqualsSet``) admits a
-    single candidate, which keeps pinned-set checks (Thm. 3, App. B)
-    tractable over universes whose full powerset is out of reach.
-    """
-    from ..assertions.semantic import EqualsSet
-
-    if isinstance(pre, EqualsSet):
-        if max_size is None or len(pre.target) <= max_size:
-            return [pre.target]
-        return []
-    return iter_subsets(universe.ext_states(), max_size=max_size)
-
-
-#: Backward-compatible alias for the pre-1.1 private name.
-_candidate_sets = candidate_initial_sets
-
-
-def valid_triple(pre, command, post, universe, max_size=None):
-    """Boolean form of :func:`check_triple`."""
-    return check_triple(pre, command, post, universe, max_size).valid
-
-
-def check_terminating_triple(pre, command, post, universe, max_size=None, max_states=100000):
-    """Decide the terminating triple ``|=⇓ {pre} command {post}`` (Def. 24)."""
+def naive_check_terminating_triple(pre, command, post, universe, max_size=None,
+                                   max_states=100000):
+    """Pre-engine reference for :func:`check_terminating_triple`."""
     domain = universe.domain
     states = universe.ext_states()
     checked = 0
@@ -101,25 +147,27 @@ def check_terminating_triple(pre, command, post, universe, max_size=None, max_st
     return CheckResult(True, checked_sets=checked)
 
 
-def valid_terminating_triple(pre, command, post, universe, max_size=None):
-    """Boolean form of :func:`check_terminating_triple`."""
-    return check_terminating_triple(pre, command, post, universe, max_size).valid
+def naive_sampled_check_triple(pre, command, post, universe, rng, samples=200,
+                               max_set_size=4, max_states=100000):
+    """Pre-engine reference for :func:`sampled_check_triple`.
 
-
-def sampled_check_triple(pre, command, post, universe, rng, samples=200, max_set_size=4):
-    """Randomized refutation search for larger universes.
-
-    Draws random subsets (of size up to ``max_set_size``); only useful to
-    *find* counterexamples — a pass is evidence, not proof.
+    Consumes the ``rng`` exactly as the engine version does, so both draw
+    the same subsets for the same seed.
     """
     domain = universe.domain
     states = list(universe.ext_states())
+    checked = 0
     for _ in range(samples):
         k = rng.randint(0, max_set_size)
         subset = frozenset(rng.sample(states, min(k, len(states))))
+        checked += 1
         if not pre.holds(subset, domain):
             continue
-        post_set = sem(command, subset, domain)
+        post_set = sem(command, subset, domain, max_states)
         if not post.holds(post_set, domain):
-            return CheckResult(False, subset, post_set)
-    return CheckResult(True)
+            return CheckResult(False, subset, post_set, checked)
+    return CheckResult(True, checked_sets=checked)
+
+
+#: Backward-compatible alias for the pre-1.1 private name.
+_candidate_sets = candidate_initial_sets

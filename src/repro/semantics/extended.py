@@ -17,13 +17,23 @@ from .bigstep import post_states
 from .state import ExtState
 
 
-def sem(command, states, domain, max_states=100000):
+def sem(command, states, domain, max_states=100000, cache=None):
     """``sem(C, S)`` — extended states reachable from ``S`` (Def. 4).
 
     ``states`` is any iterable of :class:`ExtState`; the result is a
     ``frozenset`` of :class:`ExtState`.
+
+    ``cache`` optionally supplies a mutable mapping ``prog_state ->
+    frozenset(final prog states)`` shared across calls, so repeated
+    evaluations over overlapping sets execute each program state once.
+    By default the cache is per-call — callers that evaluate many sets
+    of the same universe should use a
+    :class:`~repro.checker.engine.CheckerEngine` (whose
+    :class:`~repro.checker.engine.ImageCache` also keys by command and
+    domain) rather than loop over ``sem``.
     """
-    cache = {}
+    if cache is None:
+        cache = {}
     out = set()
     for phi in states:
         key = phi.prog
@@ -42,11 +52,13 @@ def sem_iterate(command, states, domain, n, max_states=100000):
 
     ``C^0`` is ``skip`` so ``sem_iterate(C, S, d, 0) == frozenset(S)``.
     Used by the Iter rule's indexed invariants (Def. 7) and by tests of
-    Lemma 1(7).
+    Lemma 1(7).  One execution cache is shared across the ``n`` layers,
+    so overlapping layers re-execute nothing.
     """
+    cache = {}
     current = frozenset(states)
     for _ in range(n):
-        current = sem(command, current, domain, max_states)
+        current = sem(command, current, domain, max_states, cache=cache)
     return current
 
 
@@ -66,6 +78,7 @@ def reachable_under_iteration(command, states, domain, max_states=100000):
     layers = []
     seen = set()
     seen_layers = set()
+    cache = {}
     current = frozenset(states)
     n = 0
     while True:
@@ -74,7 +87,7 @@ def reachable_under_iteration(command, states, domain, max_states=100000):
         seen_layers.add(current)
         if len(seen) > max_states:
             raise RuntimeError("iteration union exceeded %d states" % max_states)
-        nxt = sem(command, current, domain, max_states)
+        nxt = sem(command, current, domain, max_states, cache=cache)
         if nxt in seen_layers and nxt <= seen:
             break
         current = nxt

@@ -1,9 +1,11 @@
 """A DPLL SAT solver.
 
 Classic DPLL: exhaustive unit propagation, pure-literal elimination at the
-root, and recursive splitting on the most frequent unassigned literal.
-Deliberately simple — the grounded entailment queries this library
-produces are small (hundreds of variables), and the solver is
+root, and splitting on the most frequent unassigned literal.  The split
+search runs on an explicit stack rather than Python recursion, so deep
+splits on hundreds of variables cannot hit the interpreter's recursion
+limit.  Deliberately simple — the grounded entailment queries this
+library produces are small (hundreds of variables), and the solver is
 cross-validated against brute-force truth-table enumeration in
 ``tests/solver/test_sat.py``.
 """
@@ -24,12 +26,16 @@ class SATSolver:
             if any(-lit in clause for lit in clause):
                 continue  # tautology
             self.clauses.append(clause)
-        self.stats = {"decisions": 0, "propagations": 0}
+        self.stats = {"decisions": 0, "propagations": 0, "pure_literals": 0}
 
     def solve(self, max_decisions=5_000_000):
         """A satisfying assignment ``{var: bool}`` or ``None`` if UNSAT."""
         self._max_decisions = max_decisions
-        result = self._search({})
+        root = self._propagate({})
+        if root is None:
+            return None
+        self._eliminate_pure_literals(root)
+        result = self._search(root)
         if result is None:
             return None
         # complete the assignment for unconstrained variables
@@ -39,22 +45,48 @@ class SATSolver:
 
     # -- internals ----------------------------------------------------------
 
+    def _eliminate_pure_literals(self, assign):
+        """Assign every pure literal (one polarity only), to fixpoint.
+
+        Setting a literal whose complement never occurs in an unsatisfied
+        clause preserves satisfiability (it can only satisfy clauses);
+        doing so may expose further pure literals, hence the loop.
+        Mutates ``assign`` in place — pure assignments can never conflict.
+        """
+        while True:
+            polarity = set()
+            for clause in self.clauses:
+                if any(assign.get(abs(l)) == (l > 0) for l in clause):
+                    continue
+                for lit in clause:
+                    if abs(lit) not in assign:
+                        polarity.add(lit)
+            pures = [lit for lit in polarity if -lit not in polarity]
+            if not pures:
+                return
+            for lit in pures:
+                assign[abs(lit)] = lit > 0
+                self.stats["pure_literals"] += 1
+
     def _search(self, assign):
-        assign = self._propagate(assign)
-        if assign is None:
-            return None
-        lit = self._choose_literal(assign)
-        if lit is None:
-            return assign
-        self.stats["decisions"] += 1
-        if self.stats["decisions"] > self._max_decisions:
-            raise SolverError("decision budget exhausted")
-        for choice in (lit, -lit):
-            trial = dict(assign)
-            trial[abs(choice)] = choice > 0
-            result = self._search(trial)
-            if result is not None:
-                return result
+        """DPLL split search on an explicit stack (no Python recursion)."""
+        stack = [assign]
+        while stack:
+            current = self._propagate(stack.pop())
+            if current is None:
+                continue
+            lit = self._choose_literal(current)
+            if lit is None:
+                return current
+            self.stats["decisions"] += 1
+            if self.stats["decisions"] > self._max_decisions:
+                raise SolverError("decision budget exhausted")
+            # pushed in reverse so the positive phase is explored first,
+            # matching the order of the old recursive search
+            for choice in (-lit, lit):
+                trial = dict(current)
+                trial[abs(choice)] = choice > 0
+                stack.append(trial)
         return None
 
     def _propagate(self, assign):

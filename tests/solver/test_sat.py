@@ -1,6 +1,7 @@
 """The SAT stack: formulas, Tseitin CNF, DPLL — cross-validated against
 brute-force truth tables."""
 
+import sys
 from itertools import product
 
 from hypothesis import given, settings
@@ -125,6 +126,57 @@ class TestSolver:
                 for i2 in range(i1 + 1, 3):
                     clauses.append((-v(i1, j), -v(i2, j)))
         assert SATSolver(clauses, 6).solve() is None
+
+    def test_pure_literal_elimination_at_root(self):
+        # every literal is positive → all pure → solved with zero splits
+        solver = SATSolver([(1, 2), (1, 3), (2, 3)], 3)
+        model = solver.solve()
+        assert model is not None
+        assert solver.stats["pure_literals"] > 0
+        assert solver.stats["decisions"] == 0
+
+    def test_pure_literal_fixpoint_cascades(self):
+        # 1 is pure; satisfying its clauses leaves -2 pure in (−2 ∨ 3)… etc.
+        solver = SATSolver([(1, 2), (1, -3), (-2, 3, 4)], 4)
+        model = solver.solve()
+        assert model is not None
+        assert solver.stats["decisions"] == 0
+
+    def test_pure_literals_preserve_unsat(self):
+        # no pure literals here; elimination must not break refutation
+        clauses = [(1, 2), (-1, 2), (1, -2), (-1, -2)]
+        assert SATSolver(clauses, 2).solve() is None
+
+    def test_deep_splits_do_not_recurse(self):
+        """Hundreds of chained decisions must not hit the recursion limit.
+
+        ``(x_i ∨ y_i) ∧ (¬x_i ∨ ¬y_i)`` per pair: no units, no pure
+        literals, so the solver has to split once per pair — the old
+        recursive search needed one Python frame per split.
+        """
+
+        def frame_depth():
+            frame, depth = sys._getframe(), 0
+            while frame is not None:
+                depth += 1
+                frame = frame.f_back
+            return depth
+
+        pairs = 200
+        clauses = []
+        for i in range(pairs):
+            x, y = 2 * i + 1, 2 * i + 2
+            clauses.append((x, y))
+            clauses.append((-x, -y))
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(frame_depth() + 60)
+        try:
+            model = SATSolver(clauses, 2 * pairs).solve()
+        finally:
+            sys.setrecursionlimit(old_limit)
+        assert model is not None
+        for i in range(pairs):
+            assert model[2 * i + 1] != model[2 * i + 2]
 
     @given(
         st.lists(

@@ -10,7 +10,7 @@ __version__ = "1.1.0"
 
 from . import lang, semantics, assertions, checker  # noqa: F401
 from . import logic, solver, embeddings, hyperprops  # noqa: F401
-from . import api  # noqa: F401
+from . import api, gen, conformance  # noqa: F401
 from .lang import parse_command, parse_expr, parse_bexpr, pretty  # noqa: F401
 from .checker import (  # noqa: F401
     CheckerEngine,

@@ -17,6 +17,14 @@ Example::
 
 Program variables default to those read or written by the program plus
 those mentioned by the assertions; override with ``--vars``.
+
+A second mode, ``python -m repro fuzz --seed S --trials N``, runs the
+differential conformance harness (:mod:`repro.conformance`) over seeded
+random triples instead: exit code ``0`` means every backend agreed on
+every trial, ``1`` means a cross-backend disagreement was found (a
+shrunk minimal reproducer is printed).  The trial log for a seed is
+byte-for-byte reproducible; add ``--shards K`` to fan the trials out
+over worker processes without changing it.
 """
 
 import argparse
@@ -108,7 +116,103 @@ def build_parser():
     return parser
 
 
+def build_fuzz_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro fuzz",
+        description="Differentially fuzz every verification backend on seeded "
+        "random triples; the exit code is the verdict (0 all backends agree, "
+        "1 disagreement found).",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="stream seed (default 0)")
+    parser.add_argument(
+        "--trials",
+        type=int,
+        help="number of trials (default 200, or 40 with --quick)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: 40 trials unless --trials is given explicitly",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        help="fan trials out over this many worker processes (default: inline)",
+    )
+    parser.add_argument(
+        "--vars",
+        default="x,y",
+        help="comma-separated program variables of the fuzz universe (default x,y)",
+    )
+    parser.add_argument("--lo", type=int, default=0, help="domain lower bound")
+    parser.add_argument(
+        "--hi",
+        type=int,
+        default=1,
+        help="domain upper bound (keep tiny: the naive reference oracle "
+        "re-executes sem per candidate set)",
+    )
+    parser.add_argument(
+        "--no-embeddings",
+        action="store_true",
+        help="skip the HL/IL embedding judgments (two oracle runs per trial)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true", help="suppress the per-trial log"
+    )
+    return parser
+
+
+def fuzz_main(argv):
+    from .conformance import run_fuzz
+    from .gen import GenConfig
+
+    parser = build_fuzz_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return EXIT_BAD_INPUT if exc.code not in (0, None) else 0
+
+    trials = args.trials if args.trials is not None else (40 if args.quick else 200)
+    try:
+        if trials < 1:
+            raise ValueError("--trials must be >= 1, got %d" % trials)
+        config = GenConfig(
+            pvars=_split_names(args.vars),
+            lo=args.lo,
+            hi=args.hi,
+            max_command_depth=2,
+            max_assertion_depth=2,
+        )
+
+        def stream(outcome):
+            if not args.quiet:
+                print(outcome.describe_line())
+
+        report = run_fuzz(
+            args.seed,
+            trials,
+            config=config,
+            shards=args.shards,
+            embeddings=not args.no_embeddings,
+            on_outcome=stream,
+        )
+    except ValueError as err:
+        print("error: %s" % err, file=sys.stderr)
+        return EXIT_BAD_INPUT
+    print(report.summary())
+    print(
+        "elapsed: %.3fs (%d shards, %.1f trials/s)"
+        % (report.elapsed, report.shards, trials / report.elapsed if report.elapsed else 0.0)
+    )
+    return EXIT_VERIFIED if report.agreed else EXIT_REFUTED
+
+
 def main(argv=None):
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "fuzz":
+        return fuzz_main(argv[1:])
     parser = build_parser()
     try:
         args = parser.parse_args(argv)

@@ -13,7 +13,9 @@ semantic oracle (Def. 5) and the entailment side conditions (Def. 3):
   universe, parse caches and a memoizing entailment oracle, dispatching
   tasks through a configurable backend chain with per-backend budgets;
 - :meth:`Session.verify_many` — batch verification with optional thread
-  parallelism and an aggregated :class:`~repro.api.session.Report`.
+  parallelism, process-parallel sharding
+  (``sharding="process"``, see :mod:`repro.api.sharding`) and an
+  aggregated :class:`~repro.api.session.Report`.
 
 The legacy :class:`repro.verifier.Verifier` facade is a thin deprecated
 shim over :class:`Session`.
@@ -33,6 +35,7 @@ from .session import (
     TaskResult,
     default_backends,
 )
+from .sharding import SessionSpec, default_shards, verify_many_sharded
 from .task import Attempt, Budget, VerificationTask
 
 __all__ = [
@@ -45,8 +48,11 @@ __all__ = [
     "Report",
     "SampledBackend",
     "Session",
+    "SessionSpec",
     "SyntacticWPBackend",
     "TaskResult",
     "VerificationTask",
     "default_backends",
+    "default_shards",
+    "verify_many_sharded",
 ]

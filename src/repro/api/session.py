@@ -17,8 +17,9 @@ run or a powerset enumeration.
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from time import perf_counter
 from typing import Tuple
+
+from . import task as _task_mod
 
 from ..assertions.base import Assertion
 from ..assertions.entail import EntailmentOracle
@@ -284,6 +285,11 @@ class Session:
         max_set_size=None,
     ):
         self.universe = Universe(pvars, IntRange(lo, hi), lvars=lvars)
+        self.entailment = entailment
+        # Process sharding rebuilds the session in each worker from its
+        # constructor arguments; a custom backend chain has no picklable
+        # recipe, so sharded batches refuse it (see api/sharding.py).
+        self.has_custom_backends = backends is not None
         self.oracle = CachingOracle(
             self.universe.ext_states(), self.universe.domain, method=entailment
         )
@@ -361,7 +367,15 @@ class Session:
         task = self.task(pre, program, post, invariant=invariant, label=label)
         return self._run_task(task, backends, budgets)
 
-    def verify_many(self, tasks, max_workers=None, backends=None, budgets=None):
+    def verify_many(
+        self,
+        tasks,
+        max_workers=None,
+        backends=None,
+        budgets=None,
+        sharding=None,
+        shards=None,
+    ):
         """Verify a batch of tasks → :class:`Report`.
 
         ``tasks`` may mix :class:`VerificationTask` objects and
@@ -369,10 +383,42 @@ class Session:
         ``max_workers > 1`` tasks run on a thread pool; the entailment
         cache is shared across workers, so overlapping tasks still
         amortize.  Result order always matches input order.
+
+        ``sharding="process"`` instead fans the batch out over ``shards``
+        worker *processes* (default: the machine's CPU count, capped at
+        4), sidestepping the GIL for CPU-bound oracle enumeration.  Tasks
+        cross the boundary as concrete-syntax text (the picklable
+        encoding of :mod:`repro.api.sharding`) and each shard rebuilds
+        this session's configuration with its own private
+        :class:`~repro.checker.engine.ImageCache`; see
+        :func:`~repro.api.sharding.verify_many_sharded` for the
+        restrictions (syntactic tasks, default-constructible backend
+        chain, proofs elided across the boundary).
         """
+        if sharding == "process":
+            from .sharding import verify_many_sharded
+
+            return verify_many_sharded(
+                self, tasks, shards=shards, backends=backends, budgets=budgets
+            )
+        if sharding not in (None, "thread"):
+            raise ValueError(
+                "unknown sharding mode %r (expected None, 'thread' or 'process')"
+                % (sharding,)
+            )
+        if sharding == "thread" and shards is not None:
+            # "thread" sharding is just the worker-pool path: honor the
+            # shard count rather than silently running sequentially
+            if max_workers is None:
+                max_workers = shards
+            elif max_workers != shards:
+                raise ValueError(
+                    "conflicting worker counts: max_workers=%r vs shards=%r"
+                    % (max_workers, shards)
+                )
         normalized = [self.task(t) for t in tasks]
         info = self.oracle.cache_info()
-        started = perf_counter()
+        started = _task_mod.clock()
         if max_workers is not None and max_workers > 1:
             with ThreadPoolExecutor(max_workers=max_workers) as pool:
                 results = list(
@@ -380,7 +426,7 @@ class Session:
                 )
         else:
             results = [self._run_task(t, backends, budgets) for t in normalized]
-        elapsed = perf_counter() - started
+        elapsed = _task_mod.clock() - started
         after = self.oracle.cache_info()
         return Report(
             tuple(results),
@@ -440,9 +486,9 @@ class Session:
                 continue
             seconds = allowances.get(backend.name)
             budget = None if seconds is None else Budget(seconds)
-            started = perf_counter()
+            started = _task_mod.clock()
             attempt = backend.attempt(task, self, budget)
-            attempt.elapsed = perf_counter() - started
+            attempt.elapsed = _task_mod.clock() - started
             attempts.append(attempt)
             if attempt.decided:
                 break

@@ -1,0 +1,248 @@
+"""Process-parallel sharded batch verification.
+
+:func:`verify_many_sharded` is the engine behind
+``Session.verify_many(..., sharding="process")``: it fans a batch out
+over worker *processes*, sidestepping the GIL for the CPU-bound oracle
+enumeration that dominates exhaustive verification.
+
+Design constraints, and how they shape the encoding:
+
+- **Tasks cross the boundary as concrete syntax.**  A
+  :class:`~repro.api.task.VerificationTask` holds AST objects; instead of
+  betting on their picklability (semantic assertions wrap arbitrary
+  Python callables), each task is encoded as the ``(pre, program, post,
+  invariant, label)`` *source texts* produced by the round-trip-tested
+  formatters.  Workers re-parse — and their sessions memoize the parse,
+  so a batch with repeated programs parses each one once per shard.
+  Tasks with non-syntactic (semantic) assertions are rejected up front
+  with a clear error.
+- **Each shard owns its caches.**  Workers rebuild the parent session's
+  configuration from a :class:`SessionSpec` via a pool initializer; every
+  worker process therefore has a private
+  :class:`~repro.checker.engine.ImageCache` and entailment cache that
+  persist across all chunks that process executes.  Nothing is shared,
+  so there is no cross-process locking on the hot path.
+- **Proofs are elided.**  Proof trees are cheap to rebuild but expensive
+  to ship; a worker attempt that carried one comes back with
+  ``proof=None`` and a note saying so (the verdict, method, witness text
+  and assumption list all survive).
+- **Custom backend chains are refused.**  There is no picklable recipe
+  for arbitrary backend objects; sharded sessions always run the
+  :func:`~repro.api.session.default_backends` chain for their
+  ``max_set_size``.
+
+Result order always matches input order (chunks are dealt round-robin
+and reassembled by index).
+"""
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..assertions.parser import format_assertion
+from ..assertions.syntax import SynAssertion
+from ..lang.printer import pretty
+from . import task as _task_mod
+from .task import Attempt
+
+#: Upper bound on the default shard count — beyond a handful of shards
+#: the per-shard image/entailment caches stop amortizing.
+DEFAULT_MAX_SHARDS = 4
+
+
+def default_shards():
+    """``min(4, cpu count)`` — the sensible default shard count."""
+    return max(1, min(DEFAULT_MAX_SHARDS, os.cpu_count() or 1))
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """A picklable recipe that rebuilds a session in a worker process."""
+
+    pvars: Tuple[str, ...]
+    lo: int
+    hi: int
+    lvars: Tuple[str, ...]
+    entailment: str
+    max_set_size: Optional[int]
+
+    @classmethod
+    def of(cls, session):
+        """The spec of an existing :class:`~repro.api.session.Session`.
+
+        Refuses sessions that cannot be faithfully rebuilt from
+        constructor arguments (custom backend chains, non-``IntRange``
+        domains).
+        """
+        if session.has_custom_backends:
+            raise ValueError(
+                "process sharding cannot ship a custom backend chain to "
+                "worker processes; use the default chain (optionally with "
+                "max_set_size) or thread-based max_workers instead"
+            )
+        domain = session.universe.domain
+        if not hasattr(domain, "lo") or not hasattr(domain, "hi"):
+            raise ValueError(
+                "process sharding requires an IntRange domain, got %r" % (domain,)
+            )
+        return cls(
+            pvars=tuple(session.universe.pvars),
+            lo=domain.lo,
+            hi=domain.hi,
+            lvars=tuple(session.universe.lvars),
+            entailment=session.entailment,
+            max_set_size=session.max_set_size,
+        )
+
+    def build(self):
+        from .session import Session
+
+        return Session(
+            self.pvars,
+            lo=self.lo,
+            hi=self.hi,
+            lvars=self.lvars,
+            entailment=self.entailment,
+            max_set_size=self.max_set_size,
+        )
+
+
+def _require_syntactic(assertion, role, task):
+    if assertion is None or isinstance(assertion, SynAssertion):
+        return
+    raise ValueError(
+        "process sharding needs syntactic assertions (they cross the "
+        "process boundary as concrete syntax); the %s of %s is %r"
+        % (role, task.describe(), type(assertion).__name__)
+    )
+
+
+def encode_task(task):
+    """``(pre, program, post, invariant, label)`` source texts."""
+    _require_syntactic(task.pre, "precondition", task)
+    _require_syntactic(task.post, "postcondition", task)
+    _require_syntactic(task.invariant, "invariant", task)
+    return (
+        format_assertion(task.pre),
+        pretty(task.command),
+        format_assertion(task.post),
+        None if task.invariant is None else format_assertion(task.invariant),
+        task.label,
+    )
+
+
+def _encode_attempt(attempt):
+    return (
+        attempt.backend,
+        attempt.verdict,
+        attempt.method,
+        attempt.proof is not None,
+        attempt.counterexample,
+        attempt.elapsed,
+        tuple(attempt.assumptions),
+        attempt.note,
+    )
+
+
+def _decode_attempt(encoded):
+    backend, verdict, method, had_proof, counterexample, elapsed, assumptions, note = (
+        encoded
+    )
+    if had_proof:
+        note = (note + "; " if note else "") + "proof elided (process shard)"
+    return Attempt(
+        backend,
+        verdict,
+        method,
+        proof=None,
+        counterexample=counterexample,
+        elapsed=elapsed,
+        assumptions=assumptions,
+        note=note,
+    )
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+
+#: The per-process session, built once by the pool initializer; every
+#: chunk this process executes shares its image and entailment caches.
+_WORKER_SESSION = None
+
+
+def _init_worker(spec):
+    global _WORKER_SESSION
+    _WORKER_SESSION = spec.build()
+
+
+def _run_chunk(chunk, budgets):
+    """Verify one chunk of encoded tasks → encoded results + cache delta."""
+    session = _WORKER_SESSION
+    before = session.oracle.cache_info()
+    out = []
+    for index, (pre, program, post, invariant, label) in chunk:
+        task = session.task(pre, program, post, invariant=invariant, label=label)
+        result = session._run_task(task, None, budgets)
+        out.append((index, tuple(_encode_attempt(a) for a in result.attempts)))
+    after = session.oracle.cache_info()
+    delta = (after["hits"] - before["hits"], after["misses"] - before["misses"])
+    return out, delta
+
+
+# ---------------------------------------------------------------------------
+# parent side
+# ---------------------------------------------------------------------------
+
+
+def verify_many_sharded(session, tasks, shards=None, backends=None, budgets=None):
+    """Run a batch over ``shards`` worker processes → a :class:`Report`.
+
+    The parent normalizes and encodes every task (so parse errors
+    surface before any process is spawned), deals them round-robin into
+    ``shards`` chunks, and reassembles worker results by index.
+    """
+    from .session import Report, TaskResult
+
+    if backends is not None:
+        raise ValueError(
+            "process sharding cannot ship per-call backend overrides; "
+            "configure the session's default chain instead"
+        )
+    spec = SessionSpec.of(session)
+    normalized = [session.task(t) for t in tasks]
+    encoded = [(i, encode_task(t)) for i, t in enumerate(normalized)]
+    if shards is None:
+        shards = default_shards()
+    if shards < 1:
+        raise ValueError("shards must be >= 1, got %d" % shards)
+    shards = min(shards, max(1, len(encoded)))
+    allowances = dict(session.budgets if budgets is None else budgets)
+
+    chunks = [encoded[k::shards] for k in range(shards)]
+    started = _task_mod.clock()
+    attempts_by_index = {}
+    hits = misses = 0
+    with ProcessPoolExecutor(
+        max_workers=shards, initializer=_init_worker, initargs=(spec,)
+    ) as pool:
+        futures = [pool.submit(_run_chunk, chunk, allowances) for chunk in chunks]
+        for future in futures:
+            rows, (chunk_hits, chunk_misses) = future.result()
+            hits += chunk_hits
+            misses += chunk_misses
+            for index, encoded_attempts in rows:
+                attempts_by_index[index] = tuple(
+                    _decode_attempt(a) for a in encoded_attempts
+                )
+    elapsed = _task_mod.clock() - started
+    results = tuple(
+        TaskResult(task, attempts_by_index[i]) for i, task in enumerate(normalized)
+    )
+    return Report(
+        results,
+        elapsed=elapsed,
+        entailment_cache_hits=hits,
+        entailment_cache_misses=misses,
+    )

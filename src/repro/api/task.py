@@ -23,6 +23,13 @@ from ..assertions.base import Assertion
 from ..lang.ast import Command
 from ..logic.judgment import ProofNode
 
+#: The one clock every API timing reads (budgets, attempt/report elapsed).
+#: ``time.monotonic`` is immune to wall-clock adjustments (NTP slews,
+#: manual clock changes), so recorded ``elapsed`` values can never go
+#: negative mid-batch; keeping a single aliased source also lets tests
+#: substitute a fake clock in one place.
+clock = time.monotonic
+
 
 @dataclass(frozen=True)
 class VerificationTask:
@@ -63,17 +70,17 @@ class Budget:
 
     def __init__(self, seconds=None):
         self.seconds = seconds
-        self._deadline = None if seconds is None else time.monotonic() + seconds
+        self._deadline = None if seconds is None else clock() + seconds
 
     @property
     def expired(self):
-        return self._deadline is not None and time.monotonic() >= self._deadline
+        return self._deadline is not None and clock() >= self._deadline
 
     def remaining(self):
         """Seconds left, or ``None`` for an unlimited budget."""
         if self._deadline is None:
             return None
-        return max(0.0, self._deadline - time.monotonic())
+        return max(0.0, self._deadline - clock())
 
     def __repr__(self):
         if self.seconds is None:

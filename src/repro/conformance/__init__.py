@@ -1,0 +1,35 @@
+"""Differential conformance: cross-backend agreement as a subsystem.
+
+The paper's verdict sources — the semantic oracle (Def. 5), the
+syntactic proof rules (Figs. 3/5) and the embedded logics (HL/IL) —
+must agree on every hyper-triple.  This package makes that agreement a
+continuously-exercised property rather than a hand-written spot check:
+
+- :class:`~repro.conformance.differential.DifferentialChecker` runs one
+  generated trial through every applicable verdict source and reports
+  :class:`~repro.conformance.differential.Disagreement`\\ s, each with a
+  greedily shrunk minimal reproducer
+  (:mod:`repro.conformance.shrink`);
+- :func:`~repro.conformance.harness.run_fuzz` drives the checker over
+  the deterministic seeded trial stream of :mod:`repro.gen`, optionally
+  sharded across worker processes, and aggregates a
+  :class:`~repro.conformance.harness.FuzzReport` whose trial log is
+  byte-for-byte reproducible by seed;
+- ``python -m repro fuzz --seed S --trials N`` is the CLI entry point
+  (exit code 0 = all verdicts agree, 1 = disagreement found).
+"""
+
+from .differential import DifferentialChecker, Disagreement, TrialOutcome
+from .harness import FuzzReport, run_fuzz
+from .shrink import shrink_command, shrink_triple, triple_size
+
+__all__ = [
+    "DifferentialChecker",
+    "Disagreement",
+    "FuzzReport",
+    "TrialOutcome",
+    "run_fuzz",
+    "shrink_command",
+    "shrink_triple",
+    "triple_size",
+]

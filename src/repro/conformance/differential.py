@@ -1,0 +1,343 @@
+"""Differential conformance checks: all verdicts must agree.
+
+The paper's central claim is agreement: the semantic oracle (Def. 5),
+the syntactic proof rules (Figs. 3/5) and the embedded logics decide the
+same hyper-triples.  A :class:`DifferentialChecker` exercises that claim
+on one generated trial at a time:
+
+``engine-vs-naive``
+    The precomputed-image :class:`~repro.checker.engine.CheckerEngine`
+    and the retained naive reference oracle must return the same verdict
+    *and the same witness* (the enumeration orders are specified to
+    match).
+``terminating-engine-vs-naive``
+    Same, for the Def. 24 terminating check.
+``sampled-engine-vs-naive``
+    Same, for the randomized refutation search (both consume an
+    identically-seeded rng, so they must draw the same subsets).
+``syntactic-vs-oracle``
+    On the straight-line fragment the Fig. 3 wp backend is exact: a
+    decided verdict (proved *or* refuted) must match the oracle.
+``chain-vs-oracle``
+    The session's full default backend chain — including the Fig. 5
+    loop backend when the trial carries an invariant annotation — must
+    settle on the oracle's verdict.  This is the soundness check for
+    the syntactic rules: a proof of a triple the oracle refutes is a
+    conformance bug, not a flaky test.
+``sampled-soundness``
+    A sampled refutation is always sound, so it must imply an oracle
+    refutation.
+``hl-embedding`` / ``il-embedding``
+    Props. 2 and 6: classical Hoare Logic validity (and Incorrectness
+    Logic validity) of derived judgments over the trial's *command* must
+    coincide with validity of their hyper-triple embeddings.
+
+Each disagreement is reported as a :class:`Disagreement` carrying a
+*shrunk minimal reproducer* (see :mod:`repro.conformance.shrink`).
+"""
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..api.session import Session
+from ..assertions.syntax import SynAssertion
+from ..checker.validity import (
+    naive_check_terminating_triple,
+    naive_check_triple,
+    naive_sampled_check_triple,
+)
+from ..embeddings.hl import check_prop2
+from ..embeddings.il import check_prop6
+from ..gen.config import FUZZ_CONFIG
+from ..gen.triples import Triple, trial_rng
+from ..lang.analysis import is_loop_free
+from .shrink import shrink_command, shrink_triple
+
+#: Seed salt for the per-trial auxiliary rng (sampled checks, embedding
+#: judgments) — separated from the generation stream so that checking a
+#: trial can never perturb what the next trial looks like.
+_AUX_SALT = 0x5EED
+
+
+def _verdict(flag):
+    return {True: "valid", False: "invalid"}[bool(flag)]
+
+
+@dataclass(frozen=True)
+class Disagreement:
+    """One cross-backend disagreement, with a shrunk reproducer."""
+
+    kind: str
+    detail: str
+    trial_seed: int
+    trial_index: int
+    reproducer: Triple
+
+    def describe(self):
+        return "%s (trial %d, seed %d): %s\nminimal reproducer:\n%s" % (
+            self.kind,
+            self.trial_index,
+            self.trial_seed,
+            self.detail,
+            self.reproducer.describe(),
+        )
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """What one trial's differential pass concluded."""
+
+    trial: object
+    oracle_valid: bool
+    checks: Tuple[str, ...]
+    disagreements: Tuple[Disagreement, ...]
+
+    @property
+    def agreed(self):
+        return not self.disagreements
+
+    def describe_line(self):
+        """The trial-log line — the single source of the byte-for-byte
+        format shared by :meth:`FuzzReport.trial_log` and the CLI stream."""
+        return "trial %04d %-7s %s" % (
+            self.trial.index,
+            "valid" if self.oracle_valid else "invalid",
+            self.trial.triple.describe_line(),
+        )
+
+
+class DifferentialChecker:
+    """Runs every applicable differential check over generated trials.
+
+    One checker owns one :class:`~repro.api.session.Session` (and thus
+    one image cache): all trials of a fuzz run share per-state
+    executions, which is what keeps thousand-trial runs cheap.
+
+    ``embeddings=False`` skips the HL/IL embedding judgments (they add
+    two extra oracle enumerations per trial).
+    """
+
+    def __init__(self, config=FUZZ_CONFIG, embeddings=True, samples=25):
+        self.config = config
+        self.session = Session(config.pvars, lo=config.lo, hi=config.hi)
+        self.universe = self.session.universe
+        self.embeddings = embeddings
+        self.samples = samples
+
+    # -- individual checks (each returns a detail string or None) --------
+    #
+    # Each check takes an optional precomputed ``oracle`` CheckResult for
+    # the triple: ``check_trial`` runs the exhaustive enumeration once and
+    # feeds it to every check, while the shrinker's candidate triples pass
+    # None and recompute (their enumerations are over cached images).
+
+    def _oracle(self, triple, oracle=None):
+        if oracle is not None:
+            return oracle
+        return self.session.engine.check(triple.pre, triple.command, triple.post)
+
+    def oracle_disagreement(self, triple, oracle=None):
+        engine = self._oracle(triple, oracle)
+        naive = naive_check_triple(
+            triple.pre, triple.command, triple.post, self.universe
+        )
+        if engine.valid != naive.valid:
+            return "engine says %s, naive oracle says %s" % (
+                _verdict(engine.valid),
+                _verdict(naive.valid),
+            )
+        if (
+            engine.witness_pre != naive.witness_pre
+            or engine.witness_post != naive.witness_post
+        ):
+            return "verdicts agree (%s) but witnesses differ: engine %r vs naive %r" % (
+                _verdict(engine.valid),
+                (engine.witness_pre, engine.witness_post),
+                (naive.witness_pre, naive.witness_post),
+            )
+        return None
+
+    def terminating_disagreement(self, triple):
+        engine = self.session.engine.check_terminating(
+            triple.pre, triple.command, triple.post
+        )
+        naive = naive_check_terminating_triple(
+            triple.pre, triple.command, triple.post, self.universe
+        )
+        if engine.valid != naive.valid:
+            return "terminating check: engine says %s, naive says %s" % (
+                _verdict(engine.valid),
+                _verdict(naive.valid),
+            )
+        if (
+            engine.witness_pre != naive.witness_pre
+            or engine.witness_post != naive.witness_post
+        ):
+            return "terminating witnesses differ: engine %r vs naive %r" % (
+                (engine.witness_pre, engine.witness_post),
+                (naive.witness_pre, naive.witness_post),
+            )
+        return None
+
+    def sampled_disagreement(self, triple, aux_seed, oracle=None):
+        engine = self.session.engine.sampled_check(
+            triple.pre,
+            triple.command,
+            triple.post,
+            random.Random(aux_seed),
+            samples=self.samples,
+        )
+        naive = naive_sampled_check_triple(
+            triple.pre,
+            triple.command,
+            triple.post,
+            self.universe,
+            random.Random(aux_seed),
+            samples=self.samples,
+        )
+        if engine.valid != naive.valid or engine.witness_pre != naive.witness_pre:
+            return "sampled check diverged: engine %r vs naive %r" % (engine, naive)
+        if not engine.valid:
+            if self._oracle(triple, oracle).valid:
+                return (
+                    "sampled search refuted a triple the exhaustive oracle "
+                    "validates (witness %r)" % (engine.witness_pre,)
+                )
+        return None
+
+    def syntactic_disagreement(self, triple, oracle=None):
+        """Fig. 3 wp verdict vs the oracle, on the supported fragment."""
+        if not is_loop_free(triple.command):
+            return None
+        if not isinstance(triple.post, SynAssertion):
+            return None
+        task = self.session.task(triple.pre, triple.command, triple.post)
+        backend = self.session.backends[0]
+        if not backend.supports(task):
+            return None
+        attempt = backend.attempt(task, self.session)
+        if attempt.verdict is None:
+            return None
+        oracle = self._oracle(triple, oracle)
+        if attempt.verdict != oracle.valid:
+            return "syntactic wp %s but the oracle says %s" % (
+                "proved the triple" if attempt.verdict else "refuted the triple",
+                _verdict(oracle.valid),
+            )
+        return None
+
+    def chain_disagreement(self, triple, oracle=None):
+        """The full default backend chain vs the oracle."""
+        result = self.session.verify(
+            triple.pre, triple.command, triple.post, invariant=triple.invariant
+        )
+        if result.verdict is None:
+            return None
+        oracle = self._oracle(triple, oracle)
+        if result.verdict != oracle.valid:
+            return "backend chain decided %s via %s but the oracle says %s" % (
+                _verdict(result.verdict),
+                result.method,
+                _verdict(oracle.valid),
+            )
+        return None
+
+    def hl_disagreement(self, triple, aux_seed):
+        """Prop. 2 on the trial's command with derived HL judgments."""
+        rng = random.Random(aux_seed ^ 0x481)
+        pre_states = frozenset(
+            phi for phi in self.universe.ext_states() if rng.random() < 0.5
+        )
+        post_states = frozenset(
+            phi for phi in self.universe.ext_states() if rng.random() < 0.5
+        )
+        hl, embedded = check_prop2(
+            lambda phi: phi in pre_states,
+            triple.command,
+            lambda phi: phi in post_states,
+            self.universe,
+        )
+        if hl != embedded:
+            return (
+                "HL validity (%s) != embedded hyper-triple validity (%s) for "
+                "P=%r Q=%r" % (_verdict(hl), _verdict(embedded), pre_states, post_states)
+            )
+        return None
+
+    def il_disagreement(self, triple, aux_seed):
+        """Prop. 6 on the trial's command with derived IL judgments."""
+        rng = random.Random(aux_seed ^ 0x1337)
+        pre_set = frozenset(
+            phi for phi in self.universe.ext_states() if rng.random() < 0.5
+        )
+        post_set = frozenset(
+            phi for phi in self.universe.ext_states() if rng.random() < 0.35
+        )
+        il, embedded = check_prop6(pre_set, triple.command, post_set, self.universe)
+        if il != embedded:
+            return "IL validity (%s) != embedded hyper-triple validity (%s) for " \
+                "pre=%r post=%r" % (_verdict(il), _verdict(embedded), pre_set, post_set)
+        return None
+
+    # -- the per-trial pass ----------------------------------------------
+    def check_trial(self, trial):
+        """Run every applicable check → a :class:`TrialOutcome`."""
+        triple = trial.triple
+        aux_seed = trial_rng(trial.seed ^ _AUX_SALT, trial.index).getrandbits(32)
+        # one exhaustive enumeration for the whole battery; the shrinker's
+        # candidate triples recompute their own (see the checks' ``oracle``
+        # parameter)
+        oracle = self.session.engine.check(triple.pre, triple.command, triple.post)
+        ran = []
+        disagreements = []
+
+        def run(kind, check, shrink):
+            ran.append(kind)
+            detail = check(triple, oracle)
+            if detail is not None:
+                disagreements.append(
+                    Disagreement(
+                        kind,
+                        detail,
+                        trial.seed,
+                        trial.index,
+                        shrink(triple, lambda t: check(t, None) is not None),
+                    )
+                )
+
+        def shrink_cmd_only(t, fails):
+            smaller = shrink_command(
+                t.command,
+                lambda c: fails(Triple(t.pre, c, t.post, t.invariant)),
+            )
+            return Triple(t.pre, smaller, t.post, t.invariant)
+
+        run("engine-vs-naive", self.oracle_disagreement, shrink_triple)
+        run(
+            "terminating-engine-vs-naive",
+            lambda t, _: self.terminating_disagreement(t),
+            shrink_triple,
+        )
+        run(
+            "sampled-engine-vs-naive",
+            lambda t, o: self.sampled_disagreement(t, aux_seed, o),
+            shrink_triple,
+        )
+        run("syntactic-vs-oracle", self.syntactic_disagreement, shrink_triple)
+        run("chain-vs-oracle", self.chain_disagreement, shrink_triple)
+        if self.embeddings:
+            # embedding judgments derive their own pre/post sets from the
+            # aux seed; only the command participates, so only it shrinks
+            run(
+                "hl-embedding",
+                lambda t, _: self.hl_disagreement(t, aux_seed),
+                shrink_cmd_only,
+            )
+            run(
+                "il-embedding",
+                lambda t, _: self.il_disagreement(t, aux_seed),
+                shrink_cmd_only,
+            )
+
+        return TrialOutcome(trial, oracle.valid, tuple(ran), tuple(disagreements))

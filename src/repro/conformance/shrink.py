@@ -1,0 +1,183 @@
+"""Greedy deterministic shrinking of failing trials.
+
+When the differential harness finds a disagreement it reports a *minimal
+reproducer*: the smallest triple (under the candidate moves below) on
+which the same check still disagrees.  Shrinking is greedy first-match
+descent — try the candidates of the current triple in a fixed order,
+commit to the first one that still fails, repeat until no candidate
+fails — so the result is deterministic for a deterministic failure
+predicate.
+
+Candidate moves:
+
+- commands: replace any subtree by ``skip``, hoist either half of a
+  ``Seq``/``Choice``, unwrap an ``Iter`` body, simplify an assignment's
+  expression to a literal;
+- assertions: replace any subtree by ``true``/``false``, hoist either
+  operand of ``∧``/``∨``, shrink under a quantifier (binders are kept —
+  dropping one could unbind lookups in the body).
+
+Every candidate is strictly smaller (node count), so descent terminates.
+The predicate is re-evaluated per candidate; with the precomputed-image
+engine behind the checks, a shrink step costs unions over cached images,
+not fresh program executions.
+"""
+
+from ..assertions.syntax import (
+    SAnd,
+    SBool,
+    SCmp,
+    SExistsState,
+    SExistsVal,
+    SForallState,
+    SForallVal,
+    SOr,
+)
+from ..lang.ast import Assign, Choice, Iter, Seq, Skip
+from ..lang.expr import Lit
+
+
+def command_candidates(command):
+    """Strictly smaller variants of ``command``, most aggressive first."""
+    if not isinstance(command, Skip):
+        yield Skip()
+    if isinstance(command, (Seq, Choice)):
+        left, right = (
+            (command.first, command.second)
+            if isinstance(command, Seq)
+            else (command.left, command.right)
+        )
+        yield left
+        yield right
+        rebuild = Seq if isinstance(command, Seq) else Choice
+        for smaller in command_candidates(left):
+            yield rebuild(smaller, right)
+        for smaller in command_candidates(right):
+            yield rebuild(left, smaller)
+    elif isinstance(command, Iter):
+        yield command.body
+        for smaller in command_candidates(command.body):
+            yield Iter(smaller)
+    elif isinstance(command, Assign) and not isinstance(command.expr, Lit):
+        yield Assign(command.var, Lit(0))
+
+
+def assertion_candidates(assertion):
+    """Strictly smaller variants of ``assertion``, most aggressive first."""
+    if not isinstance(assertion, SBool):
+        yield SBool(True)
+        yield SBool(False)
+    if isinstance(assertion, (SAnd, SOr)):
+        yield assertion.left
+        yield assertion.right
+        rebuild = SAnd if isinstance(assertion, SAnd) else SOr
+        for smaller in assertion_candidates(assertion.left):
+            yield rebuild(smaller, assertion.right)
+        for smaller in assertion_candidates(assertion.right):
+            yield rebuild(assertion.left, smaller)
+    elif isinstance(assertion, (SForallVal, SExistsVal)):
+        rebuild = type(assertion)
+        for smaller in assertion_candidates(assertion.body):
+            yield rebuild(assertion.var, smaller)
+    elif isinstance(assertion, (SForallState, SExistsState)):
+        rebuild = type(assertion)
+        for smaller in assertion_candidates(assertion.body):
+            yield rebuild(assertion.state, smaller)
+
+
+def _expr_count(expr):
+    size = 1
+    for attr in ("left", "right", "operand", "cond", "expr"):
+        child = getattr(expr, attr, None)
+        if child is not None:
+            size += _expr_count(child)
+    for child in getattr(expr, "args", ()) or ():
+        size += _expr_count(child)
+    return size
+
+
+def _node_count(obj):
+    """Node count, including expression subtrees, so every candidate move
+    (``skip`` substitution, hoisting, literal simplification) is strictly
+    decreasing — the shrinker's termination measure."""
+    if isinstance(obj, (Seq, Choice)):
+        pair = (
+            (obj.first, obj.second) if isinstance(obj, Seq) else (obj.left, obj.right)
+        )
+        return 1 + _node_count(pair[0]) + _node_count(pair[1])
+    if isinstance(obj, Iter):
+        return 1 + _node_count(obj.body)
+    if isinstance(obj, (SAnd, SOr)):
+        return 1 + _node_count(obj.left) + _node_count(obj.right)
+    if isinstance(obj, (SForallVal, SExistsVal, SForallState, SExistsState)):
+        return 1 + _node_count(obj.body)
+    if isinstance(obj, SCmp):
+        return 1 + _expr_count(obj.left) + _expr_count(obj.right)
+    if isinstance(obj, (Skip, SBool)):
+        return 1
+    if isinstance(obj, Assign):
+        return 2 + _expr_count(obj.expr)
+    cond = getattr(obj, "cond", None)  # Assume
+    if cond is not None:
+        return 1 + _expr_count(cond)
+    return 2  # Havoc, SBool-sized leaves with one operand
+
+
+def shrink_command(command, fails):
+    """The greedily minimal command with ``fails(command)`` still true.
+
+    ``fails`` must already be true of the input (the caller observed the
+    failure); the candidate order is deterministic, so equal inputs
+    shrink to equal outputs.
+    """
+    while True:
+        for candidate in command_candidates(command):
+            if fails(candidate):
+                command = candidate
+                break
+        else:
+            return command
+
+
+def shrink_triple(triple, fails):
+    """The greedily minimal :class:`~repro.gen.triples.Triple` still failing.
+
+    Components shrink in command → pre → post order, looping until a full
+    pass changes nothing.  The invariant annotation (if any) is dropped
+    first when the failure survives without it, else kept as-is.
+    """
+    from ..gen.triples import Triple
+
+    if triple.invariant is not None:
+        without = Triple(triple.pre, triple.command, triple.post)
+        if fails(without):
+            triple = without
+    while True:
+        before = triple
+        for candidate in command_candidates(triple.command):
+            trial = Triple(triple.pre, candidate, triple.post, triple.invariant)
+            if fails(trial):
+                triple = trial
+                break
+        for candidate in assertion_candidates(triple.pre):
+            trial = Triple(candidate, triple.command, triple.post, triple.invariant)
+            if fails(trial):
+                triple = trial
+                break
+        for candidate in assertion_candidates(triple.post):
+            trial = Triple(triple.pre, triple.command, candidate, triple.invariant)
+            if fails(trial):
+                triple = trial
+                break
+        if triple == before:
+            return triple
+
+
+def triple_size(triple):
+    """Node count of a triple (used by shrinker regression tests)."""
+    size = _node_count(triple.pre) + _node_count(triple.command) + _node_count(
+        triple.post
+    )
+    if triple.invariant is not None:
+        size += _node_count(triple.invariant)
+    return size

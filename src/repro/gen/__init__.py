@@ -1,0 +1,61 @@
+"""Seeded, deterministic workload generators (library-grade).
+
+This package is the in-library promotion of the test suite's Hypothesis
+strategies: the same *domain-safe* random programs, hyper-assertions and
+hyper-triples, but driven by a plain :class:`random.Random` so that
+
+- the library carries **no Hypothesis dependency at runtime** — the test
+  suite's strategies are now thin wrappers drawing a seed and delegating
+  here;
+- every artifact is **reproducible by seed**: the same ``(seed, config)``
+  pair generates the identical object, byte-for-byte under the concrete
+  printers, on every platform and Python version (only
+  :class:`random.Random` methods with stable cross-version behavior are
+  used);
+- a generated workload has a **picklable encoding** — ``(seed, index,
+  config)`` regenerates trial ``index`` without shipping AST objects
+  across a process boundary, which is what the conformance harness's
+  process-sharded fuzzing builds on.
+
+Entry points:
+
+- :func:`~repro.gen.programs.gen_command` /
+  :func:`~repro.gen.programs.gen_straightline` — domain-safe commands
+  (every assigned expression clamps back into the configured range, so
+  the reachable state space stays finite even under ``Iter``);
+- :func:`~repro.gen.assertions.gen_assertion` — closed Def. 9 syntactic
+  hyper-assertions;
+- :func:`~repro.gen.triples.gen_triple` / :func:`~repro.gen.triples.trials`
+  — whole hyper-triples and the deterministic numbered trial stream the
+  fuzz harness consumes.
+"""
+
+from .config import DEFAULT_CONFIG, GenConfig
+from .programs import (
+    clamped,
+    gen_atomic_command,
+    gen_command,
+    gen_condition,
+    gen_safe_expr,
+    gen_straightline,
+)
+from .assertions import gen_assertion, gen_atom
+from .triples import Trial, Triple, gen_triple, trial_rng, trials
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "GenConfig",
+    "Trial",
+    "Triple",
+    "clamped",
+    "gen_assertion",
+    "gen_atom",
+    "gen_atomic_command",
+    "gen_command",
+    "gen_condition",
+    "gen_safe_expr",
+    "gen_straightline",
+    "gen_triple",
+    "trial_rng",
+    "trials",
+]

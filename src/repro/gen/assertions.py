@@ -1,0 +1,85 @@
+"""Seeded generators for closed Def. 9 syntactic hyper-assertions.
+
+Generated assertions are always *closed*: every ``φ(x)`` program lookup
+and every value variable is bound by an enclosing quantifier, so the
+results can be parsed back from their concrete syntax and evaluated over
+any state set without an environment.
+"""
+
+from ..assertions.syntax import (
+    HLit,
+    HProg,
+    HVar,
+    SAnd,
+    SCmp,
+    SExistsState,
+    SExistsVal,
+    SForallState,
+    SForallVal,
+    SOr,
+)
+from .programs import CMP_OPS
+
+
+def _gen_operand(rng, config, states, values):
+    choices = ["lit"]
+    if states:
+        choices.append("prog")
+    if values:
+        choices.append("val")
+    kind = rng.choice(choices)
+    if kind == "lit":
+        return HLit(rng.randint(config.lo, config.hi))
+    if kind == "prog":
+        return HProg(rng.choice(states), rng.choice(config.pvars))
+    return HVar(rng.choice(values))
+
+
+def gen_atom(rng, config, states, values):
+    """A comparison between lookups/literals of the bound names."""
+    op = rng.choice(CMP_OPS)
+    left = _gen_operand(rng, config, states, values)
+    right = _gen_operand(rng, config, states, values)
+    return SCmp(op, left, right)
+
+
+def gen_assertion(rng, config, max_depth=None, states=(), values=()):
+    """A random closed hyper-assertion.
+
+    ``states``/``values`` are the binder names already in scope (empty at
+    the top level — the generator then forces a state binder before the
+    first atom, so the result always talks about the state set).
+    """
+    if max_depth is None:
+        max_depth = config.max_assertion_depth
+    states = tuple(states)
+    values = tuple(values)
+    if max_depth <= 0:
+        if not states and not values:
+            # force a binder so atoms have something to talk about
+            name = config.state_names[0]
+            body = gen_atom(rng, config, (name,), values)
+            quant = rng.choice((SForallState, SExistsState))
+            return quant(name, body)
+        return gen_atom(rng, config, states, values)
+    kind = rng.choice(
+        ("atom", "and", "or", "forall_s", "exists_s", "forall_v", "exists_v")
+    )
+    if kind == "atom" and (states or values):
+        return gen_atom(rng, config, states, values)
+    if kind in ("and", "or"):
+        left = gen_assertion(rng, config, max_depth - 1, states, values)
+        right = gen_assertion(rng, config, max_depth - 1, states, values)
+        return SAnd(left, right) if kind == "and" else SOr(left, right)
+    if kind in ("forall_s", "exists_s", "atom"):
+        # an "atom" with nothing in scope falls through to a state binder
+        fresh = next((n for n in config.state_names if n not in states), None)
+        if fresh is None:
+            return gen_atom(rng, config, states, values)
+        body = gen_assertion(rng, config, max_depth - 1, states + (fresh,), values)
+        return (SExistsState if kind == "exists_s" else SForallState)(fresh, body)
+    fresh = next((n for n in config.value_names if n not in values), None)
+    if fresh is None:
+        return gen_atom(rng, config, states, values)
+    body = gen_assertion(rng, config, max_depth - 1, states, values + (fresh,))
+    return (SForallVal if kind == "forall_v" else SExistsVal)(fresh, body)

@@ -1,0 +1,68 @@
+"""Generation parameters shared by every generator in :mod:`repro.gen`.
+
+A :class:`GenConfig` is a frozen, hashable, picklable value: the
+conformance harness ships ``(seed, index, config)`` tuples to worker
+processes and regenerates trials there, so nothing in a config may be a
+callable or an open resource.
+"""
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class GenConfig:
+    """Knobs for the seeded generators.
+
+    Parameters
+    ----------
+    pvars:
+        Program variable names drawn from by commands and assertions.
+    lo, hi:
+        The inclusive integer range every generated expression clamps
+        into — also the value range of generated literals.  Keeping the
+        generated workload inside ``[lo, hi]`` is what makes random
+        ``Iter`` bodies safe: the reachable state space is finite, so
+        the exact big-step fixpoint always terminates.
+    max_command_depth:
+        Recursion budget for :func:`~repro.gen.programs.gen_command`.
+    max_assertion_depth:
+        Recursion budget for :func:`~repro.gen.assertions.gen_assertion`.
+    allow_iter:
+        Whether ``loop { ... }`` may appear at all.
+    state_names, value_names:
+        The pools of binder names for state/value quantifiers; their
+        lengths bound the quantifier nesting depth per kind.
+    """
+
+    pvars: Tuple[str, ...] = ("x", "y")
+    lo: int = 0
+    hi: int = 2
+    max_command_depth: int = 3
+    max_assertion_depth: int = 3
+    allow_iter: bool = True
+    state_names: Tuple[str, ...] = ("p", "q")
+    value_names: Tuple[str, ...] = ("v", "w")
+
+    def __post_init__(self):
+        if not self.pvars:
+            raise ValueError("GenConfig needs at least one program variable")
+        if self.lo > self.hi:
+            raise ValueError("empty domain: lo=%d > hi=%d" % (self.lo, self.hi))
+        if not self.state_names:
+            raise ValueError("GenConfig needs at least one state binder name")
+
+    def with_(self, **changes):
+        """A copy with the given fields replaced (frozen-friendly)."""
+        return replace(self, **changes)
+
+
+#: The configuration the retired Hypothesis strategies hard-coded:
+#: two variables over {0, 1, 2}, depth-3 commands and assertions.
+DEFAULT_CONFIG = GenConfig()
+
+#: A deliberately small configuration for differential fuzzing: the
+#: naive reference oracle re-executes ``sem`` per candidate set, so the
+#: universe must stay tiny for cross-validation to be cheap (two
+#: variables over {0, 1} is 4 extended states / 16 initial sets).
+FUZZ_CONFIG = GenConfig(lo=0, hi=1, max_command_depth=2, max_assertion_depth=2)

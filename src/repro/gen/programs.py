@@ -1,0 +1,115 @@
+"""Seeded generators for domain-safe commands and expressions.
+
+Every generator takes an explicit :class:`random.Random` and a
+:class:`~repro.gen.config.GenConfig`; drawing order is part of the
+determinism contract (reordering draws changes what a seed generates, so
+additions must only ever *append* new kinds behind new config gates).
+
+*Domain-safe* means: every expression assigned to a variable clamps back
+into ``[config.lo, config.hi]`` via ``max(lo, min(hi, e))``, so the
+reachable state space of any generated command — including under
+``Iter`` — is a subset of the finite universe and the exact big-step
+fixpoint terminates.
+"""
+
+from ..lang.ast import Assign, Assume, Choice, Havoc, Iter, Seq, Skip
+from ..lang.expr import BinOp, Cmp, Lit, Var
+
+#: Comparison operators generated for ``assume`` conditions.
+CMP_OPS = ("==", "!=", "<", "<=", ">", ">=")
+
+
+def clamped(expr, lo, hi):
+    """Clamp ``expr`` into ``[lo, hi]``: ``max(lo, min(hi, expr))``."""
+    return BinOp("max", Lit(lo), BinOp("min", Lit(hi), expr))
+
+
+def gen_safe_expr(rng, config):
+    """An expression whose value stays inside the configured domain."""
+    kind = rng.choice(("lit", "var", "inc", "dec", "add"))
+    if kind == "lit":
+        return Lit(rng.randint(config.lo, config.hi))
+    if kind == "var":
+        return Var(rng.choice(config.pvars))
+    if kind == "inc":
+        return clamped(
+            BinOp("+", Var(rng.choice(config.pvars)), Lit(1)), config.lo, config.hi
+        )
+    if kind == "dec":
+        return clamped(
+            BinOp("-", Var(rng.choice(config.pvars)), Lit(1)), config.lo, config.hi
+        )
+    return clamped(
+        BinOp("+", Var(rng.choice(config.pvars)), Var(rng.choice(config.pvars))),
+        config.lo,
+        config.hi,
+    )
+
+
+def gen_condition(rng, config):
+    """A comparison between a variable and a literal or variable."""
+    left = Var(rng.choice(config.pvars))
+    op = rng.choice(CMP_OPS)
+    if rng.random() < 0.5:
+        right = Lit(rng.randint(config.lo, config.hi))
+    else:
+        right = Var(rng.choice(config.pvars))
+    return Cmp(op, left, right)
+
+
+def gen_atomic_command(rng, config):
+    """One of ``skip``, assignment, havoc, ``assume``."""
+    kind = rng.choice(("skip", "assign", "havoc", "assume"))
+    if kind == "skip":
+        return Skip()
+    if kind == "assign":
+        return Assign(rng.choice(config.pvars), gen_safe_expr(rng, config))
+    if kind == "havoc":
+        return Havoc(rng.choice(config.pvars))
+    return Assume(gen_condition(rng, config))
+
+
+def gen_command(rng, config, max_depth=None, allow_iter=None):
+    """A domain-safe random command.
+
+    ``max_depth``/``allow_iter`` default to the config's values;
+    ``Iter`` bodies are generated loop-free (one nesting level), matching
+    the retired Hypothesis strategy and keeping fixpoints cheap.
+    """
+    if max_depth is None:
+        max_depth = config.max_command_depth
+    if allow_iter is None:
+        allow_iter = config.allow_iter
+    if max_depth <= 0:
+        return gen_atomic_command(rng, config)
+    kinds = ["atomic", "seq", "choice"]
+    if allow_iter:
+        kinds.append("iter")
+    kind = rng.choice(kinds)
+    if kind == "atomic":
+        return gen_atomic_command(rng, config)
+    if kind == "seq":
+        return Seq(
+            gen_command(rng, config, max_depth - 1, allow_iter),
+            gen_command(rng, config, max_depth - 1, allow_iter),
+        )
+    if kind == "choice":
+        return Choice(
+            gen_command(rng, config, max_depth - 1, allow_iter),
+            gen_command(rng, config, max_depth - 1, allow_iter),
+        )
+    return Iter(gen_command(rng, config, max_depth - 1, allow_iter=False))
+
+
+def gen_loop_free(rng, config, max_depth=None):
+    """A command without ``Iter`` (for termination-sensitive workloads)."""
+    return gen_command(rng, config, max_depth=max_depth, allow_iter=False)
+
+
+def gen_straightline(rng, config, max_len=4):
+    """A right-nested ``Seq`` chain of atomics (the syntactic-wp fragment)."""
+    parts = [gen_atomic_command(rng, config) for _ in range(rng.randint(1, max_len))]
+    out = parts[-1]
+    for part in reversed(parts[:-1]):
+        out = Seq(part, out)
+    return out

@@ -1,0 +1,48 @@
+"""Round-trip property: assertion parser ↔ ASCII printer on generated input."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assertions.parser import format_assertion, parse_assertion
+from repro.assertions.printer import pretty_assertion
+from repro.gen import DEFAULT_CONFIG, GenConfig
+from repro.gen.assertions import gen_assertion
+
+from tests.strategies import hyper_assertions
+
+WIDE_CONFIG = GenConfig(pvars=("x", "y", "z"), hi=4, max_assertion_depth=4)
+
+
+class TestAssertionRoundTrip:
+    @given(hyper_assertions(max_depth=3))
+    @settings(max_examples=150)
+    def test_parse_format_roundtrip(self, assertion):
+        assert parse_assertion(format_assertion(assertion)) == assertion
+
+    @given(st.integers(0, 2 ** 64 - 1))
+    @settings(max_examples=100)
+    def test_roundtrip_on_deep_generated_assertions(self, seed):
+        assertion = gen_assertion(random.Random(seed), WIDE_CONFIG)
+        assert parse_assertion(format_assertion(assertion)) == assertion
+
+    @given(hyper_assertions(max_depth=2))
+    @settings(max_examples=50)
+    def test_format_is_deterministic(self, assertion):
+        assert format_assertion(assertion) == format_assertion(assertion)
+
+    @given(hyper_assertions(max_depth=2))
+    @settings(max_examples=50)
+    def test_unicode_printer_total_on_generated_input(self, assertion):
+        # the paper-style printer has no parser; it must still render
+        # every generated assertion without raising
+        assert pretty_assertion(assertion)
+
+    def test_generated_assertions_are_closed(self):
+        # parseability implies closedness: every lookup/variable bound
+        rng = random.Random(7)
+        for _ in range(100):
+            assertion = gen_assertion(rng, DEFAULT_CONFIG)
+            assert not assertion.free_value_vars()
+            parse_assertion(format_assertion(assertion))

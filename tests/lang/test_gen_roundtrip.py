@@ -1,0 +1,69 @@
+"""Round-trip property: program parser ↔ printer on generated input.
+
+Complements ``test_parser_printer.py`` (which drives the Hypothesis
+strategies) by exercising the library's own seeded generators — the
+exact artifacts the conformance fuzz harness feeds through the
+verification backends, including the annotated-while loop shape and the
+one-line trial rendering.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gen import DEFAULT_CONFIG, GenConfig
+from repro.gen.programs import gen_command, gen_straightline
+from repro.gen.triples import gen_triple, regenerate
+from repro.lang.analysis import is_loop_free
+from repro.lang.parser import parse_command
+from repro.lang.printer import pretty
+
+WIDE_CONFIG = GenConfig(pvars=("a", "b", "c"), hi=5, max_command_depth=4)
+
+
+class TestProgramRoundTrip:
+    @given(st.integers(0, 2 ** 64 - 1))
+    @settings(max_examples=150)
+    def test_parse_pretty_roundtrip(self, seed):
+        command = gen_command(random.Random(seed), WIDE_CONFIG)
+        assert parse_command(pretty(command)) == command
+
+    @given(st.integers(0, 2 ** 64 - 1))
+    @settings(max_examples=50)
+    def test_roundtrip_without_sugar(self, seed):
+        command = gen_command(random.Random(seed), WIDE_CONFIG)
+        assert parse_command(pretty(command, sugar=False)) == command
+
+    @given(st.integers(0, 2 ** 64 - 1))
+    @settings(max_examples=50)
+    def test_straightline_roundtrip(self, seed):
+        command = gen_straightline(random.Random(seed), DEFAULT_CONFIG)
+        assert is_loop_free(command)
+        assert parse_command(pretty(command)) == command
+
+
+class TestTripleRoundTrip:
+    @given(st.integers(0, 2 ** 32 - 1), st.integers(0, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_described_trials_reparse(self, seed, index):
+        # the fuzz log renders triples in concrete syntax; all three (or
+        # four, with an invariant) components must re-parse to equality
+        from repro.assertions.parser import parse_assertion
+
+        trial = regenerate(seed, index)
+        triple = trial.triple
+        lines = triple.describe().split("\n")
+        assert parse_assertion(lines[0][1:-1]) == triple.pre
+        body = "\n".join(lines[1:-1] if triple.invariant is None else lines[1:-2])
+        assert parse_command(body) == triple.command
+        post_line = lines[-1] if triple.invariant is None else lines[-2]
+        assert parse_assertion(post_line[1:-1]) == triple.post
+        if triple.invariant is not None:
+            assert parse_assertion(lines[-1][len("invariant "):]) == triple.invariant
+
+    @given(st.integers(0, 2 ** 32 - 1))
+    @settings(max_examples=30)
+    def test_loop_triple_command_roundtrip(self, seed):
+        triple = gen_triple(random.Random(seed), DEFAULT_CONFIG, loop_bias=1.0)
+        assert parse_command(pretty(triple.command)) == triple.command

@@ -1,92 +1,69 @@
-"""Hypothesis strategies for random programs, states and assertions.
+"""Hypothesis strategies: thin wrappers over :mod:`repro.gen`.
 
-Random commands are *domain-safe*: every expression they assign clamps
-back into the universe's integer range (via ``min``/``max``), so the
-reachable state space stays finite even under ``Iter`` and the exact
-big-step fixpoint always terminates.
+All generation logic — the domain-safe clamped expressions, the command
+grammar, the closed Def. 9 assertions — lives in the library's seeded
+generator package now.  Each strategy here just draws a 64-bit seed and
+delegates to the corresponding ``repro.gen`` generator, so Hypothesis
+keeps its role (example scheduling, replay, the failure database) while
+the test suite and the conformance fuzz harness share one generator
+implementation.  Shrinking happens at two levels: Hypothesis shrinks the
+seed, and the conformance package's :mod:`repro.conformance.shrink`
+minimizes any reproducer structurally.
 """
+
+import random
 
 from hypothesis import strategies as st
 
-from repro.lang.ast import Assign, Assume, Choice, Havoc, Iter, Seq, Skip
-from repro.lang.expr import BinOp, Cmp, Lit, Var
+from repro.gen import DEFAULT_CONFIG, clamped as _clamped  # noqa: F401
+from repro.gen.assertions import gen_atom
+from repro.gen.programs import (
+    gen_atomic_command,
+    gen_command,
+    gen_condition,
+    gen_safe_expr,
+    gen_straightline,
+)
 
-VARS = ("x", "y")
-LO, HI = 0, 2
+VARS = DEFAULT_CONFIG.pvars
+LO, HI = DEFAULT_CONFIG.lo, DEFAULT_CONFIG.hi
+STATE_NAMES = DEFAULT_CONFIG.state_names
+VALUE_NAMES = DEFAULT_CONFIG.value_names
+
+_SEEDS = st.integers(0, 2 ** 64 - 1)
 
 
 def clamped(expr):
-    """Clamp an expression into [LO, HI]."""
-    return BinOp("max", Lit(LO), BinOp("min", Lit(HI), expr))
+    """Clamp an expression into the default ``[LO, HI]`` domain."""
+    return _clamped(expr, LO, HI)
 
 
-@st.composite
-def safe_exprs(draw):
+def _delegated(generate):
+    """A strategy drawing a seed and applying a ``repro.gen`` generator."""
+    return _SEEDS.map(lambda seed: generate(random.Random(seed)))
+
+
+def safe_exprs():
     """Expressions whose value stays in the domain."""
-    kind = draw(st.sampled_from(["lit", "var", "inc", "dec", "add"]))
-    if kind == "lit":
-        return Lit(draw(st.integers(LO, HI)))
-    if kind == "var":
-        return Var(draw(st.sampled_from(VARS)))
-    if kind == "inc":
-        return clamped(BinOp("+", Var(draw(st.sampled_from(VARS))), Lit(1)))
-    if kind == "dec":
-        return clamped(BinOp("-", Var(draw(st.sampled_from(VARS))), Lit(1)))
-    return clamped(
-        BinOp(
-            "+",
-            Var(draw(st.sampled_from(VARS))),
-            Var(draw(st.sampled_from(VARS))),
+    return _delegated(lambda rng: gen_safe_expr(rng, DEFAULT_CONFIG))
+
+
+def conditions():
+    """Simple comparisons between a variable and a literal or variable."""
+    return _delegated(lambda rng: gen_condition(rng, DEFAULT_CONFIG))
+
+
+def atomic_commands():
+    return _delegated(lambda rng: gen_atomic_command(rng, DEFAULT_CONFIG))
+
+
+def commands(max_depth=3, allow_iter=True):
+    """Domain-safe random commands."""
+    return _delegated(
+        lambda rng: gen_command(
+            rng, DEFAULT_CONFIG, max_depth=max_depth, allow_iter=allow_iter
         )
     )
-
-
-@st.composite
-def conditions(draw):
-    """Simple comparisons between a variable and a literal or variable."""
-    left = Var(draw(st.sampled_from(VARS)))
-    op = draw(st.sampled_from(["==", "!=", "<", "<=", ">", ">="]))
-    if draw(st.booleans()):
-        right = Lit(draw(st.integers(LO, HI)))
-    else:
-        right = Var(draw(st.sampled_from(VARS)))
-    return Cmp(op, left, right)
-
-
-@st.composite
-def atomic_commands(draw):
-    kind = draw(st.sampled_from(["skip", "assign", "havoc", "assume"]))
-    if kind == "skip":
-        return Skip()
-    if kind == "assign":
-        return Assign(draw(st.sampled_from(VARS)), draw(safe_exprs()))
-    if kind == "havoc":
-        return Havoc(draw(st.sampled_from(VARS)))
-    return Assume(draw(conditions()))
-
-
-@st.composite
-def commands(draw, max_depth=3, allow_iter=True):
-    """Domain-safe random commands."""
-    if max_depth <= 0:
-        return draw(atomic_commands())
-    kinds = ["atomic", "seq", "choice"]
-    if allow_iter:
-        kinds.append("iter")
-    kind = draw(st.sampled_from(kinds))
-    if kind == "atomic":
-        return draw(atomic_commands())
-    if kind == "seq":
-        return Seq(
-            draw(commands(max_depth=max_depth - 1, allow_iter=allow_iter)),
-            draw(commands(max_depth=max_depth - 1, allow_iter=allow_iter)),
-        )
-    if kind == "choice":
-        return Choice(
-            draw(commands(max_depth=max_depth - 1, allow_iter=allow_iter)),
-            draw(commands(max_depth=max_depth - 1, allow_iter=allow_iter)),
-        )
-    return Iter(draw(commands(max_depth=max_depth - 1, allow_iter=False)))
 
 
 def loop_free_commands(max_depth=3):
@@ -94,92 +71,26 @@ def loop_free_commands(max_depth=3):
     return commands(max_depth=max_depth, allow_iter=False)
 
 
-@st.composite
-def straightline_commands(draw, max_len=4):
+def straightline_commands(max_len=4):
     """Seq-chains of atomic commands (for the syntactic wp engine)."""
-    parts = draw(st.lists(atomic_commands(), min_size=1, max_size=max_len))
-    out = parts[-1]
-    for p in reversed(parts[:-1]):
-        out = Seq(p, out)
-    return out
+    return _delegated(
+        lambda rng: gen_straightline(rng, DEFAULT_CONFIG, max_len=max_len)
+    )
 
 
-# ---------------------------------------------------------------------------
-# syntactic hyper-assertions
-# ---------------------------------------------------------------------------
-
-from repro.assertions.syntax import (  # noqa: E402
-    HLit,
-    HProg,
-    HVar,
-    SAnd,
-    SCmp,
-    SExistsState,
-    SExistsVal,
-    SForallState,
-    SForallVal,
-    SOr,
-)
-
-STATE_NAMES = ("p", "q")
-VALUE_NAMES = ("v", "w")
-
-
-@st.composite
-def hyper_atoms(draw, states, values):
+def hyper_atoms(states, values):
     """Comparisons between lookups/literals of the bound names."""
-
-    def operand():
-        choices = ["lit"]
-        if states:
-            choices.append("prog")
-        if values:
-            choices.append("val")
-        kind = draw(st.sampled_from(choices))
-        if kind == "lit":
-            return HLit(draw(st.integers(LO, HI)))
-        if kind == "prog":
-            return HProg(draw(st.sampled_from(states)), draw(st.sampled_from(VARS)))
-        return HVar(draw(st.sampled_from(values)))
-
-    op = draw(st.sampled_from(["==", "!=", "<", "<=", ">", ">="]))
-    return SCmp(op, operand(), operand())
+    states, values = tuple(states), tuple(values)
+    return _delegated(lambda rng: gen_atom(rng, DEFAULT_CONFIG, states, values))
 
 
-@st.composite
-def hyper_assertions(draw, max_depth=3, states=(), values=()):
+def hyper_assertions(max_depth=3, states=(), values=()):
     """Random Def. 9 assertions with all lookups bound."""
-    states = tuple(states)
-    values = tuple(values)
-    if max_depth <= 0:
-        if not states and not values:
-            # force a binder so atoms have something to talk about
-            name = STATE_NAMES[0]
-            body = draw(hyper_atoms(states=(name,), values=values))
-            quant = draw(st.sampled_from([SForallState, SExistsState]))
-            return quant(name, body)
-        return draw(hyper_atoms(states=states, values=values))
-    kind = draw(
-        st.sampled_from(["atom", "and", "or", "forall_s", "exists_s", "forall_v", "exists_v"])
-    )
-    if kind == "atom" and (states or values):
-        return draw(hyper_atoms(states=states, values=values))
-    if kind in ("and", "or"):
-        left = draw(hyper_assertions(max_depth=max_depth - 1, states=states, values=values))
-        right = draw(hyper_assertions(max_depth=max_depth - 1, states=states, values=values))
-        return SAnd(left, right) if kind == "and" else SOr(left, right)
-    if kind in ("forall_s", "exists_s"):
-        fresh = next((n for n in STATE_NAMES if n not in states), None)
-        if fresh is None:
-            return draw(hyper_atoms(states=states, values=values))
-        body = draw(
-            hyper_assertions(max_depth=max_depth - 1, states=states + (fresh,), values=values)
+    from repro.gen.assertions import gen_assertion
+
+    states, values = tuple(states), tuple(values)
+    return _delegated(
+        lambda rng: gen_assertion(
+            rng, DEFAULT_CONFIG, max_depth=max_depth, states=states, values=values
         )
-        return (SForallState if kind == "forall_s" else SExistsState)(fresh, body)
-    fresh = next((n for n in VALUE_NAMES if n not in values), None)
-    if fresh is None:
-        return draw(hyper_atoms(states=states, values=values))
-    body = draw(
-        hyper_assertions(max_depth=max_depth - 1, states=states, values=values + (fresh,))
     )
-    return (SForallVal if kind == "forall_v" else SExistsVal)(fresh, body)

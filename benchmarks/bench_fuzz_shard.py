@@ -7,7 +7,7 @@ batch of generated triples is the ideal workload for
 :class:`~repro.checker.engine.ImageCache` per shard, tasks crossing the
 process boundary as concrete syntax.
 
-This benchmark (a plain script, so CI can smoke-run it) does three
+This benchmark (a plain script, so CI can smoke-run it) does four
 things:
 
 1. **cross-validation** — the sharded run must return exactly the
@@ -17,7 +17,14 @@ things:
    arms when the machine exposes >= 4 CPUs (on fewer cores the law of
    physics wins and the measured ratio is reported without failing the
    build);
-3. **fuzz scaling** — the differential fuzz harness
+3. **proof transport overhead** — tasks and outcomes cross the process
+   boundary as :mod:`repro.codec` wire documents carrying *full proof
+   trees*; on a proof-heavy straight-line workload the sharded run with
+   full transport must stay within
+   :data:`MAX_PROOF_TRANSPORT_OVERHEAD` (1.3x) of the elided-proof
+   baseline (``transport_proofs=False``, the pre-codec behavior), and
+   its decoded proofs must compare equal to the inline run's;
+4. **fuzz scaling** — the differential fuzz harness
    (:func:`repro.conformance.run_fuzz`) is timed inline vs sharded on
    the same trial stream, and its trial logs must match byte-for-byte.
 
@@ -37,11 +44,16 @@ sys.path.insert(
 )
 
 from repro.api import Session  # noqa: E402
+from repro.api.sharding import verify_many_sharded  # noqa: E402
 from repro.conformance import run_fuzz  # noqa: E402
 from repro.gen import GenConfig, trials  # noqa: E402
 
 MIN_SCALING = 2.0
 SHARDS = 4
+
+#: Full proof transport may cost at most this factor over the
+#: elided-proof baseline on a proof-heavy workload.
+MAX_PROOF_TRANSPORT_OVERHEAD = 1.3
 
 #: 4 program variables over {0, 1}: 16 extended states, 65536 initial
 #: sets — each *valid* task is a full enumeration, which is the regime
@@ -107,6 +119,71 @@ def bench_batch(count):
         )
 
 
+#: Proof-transport workload: pure straight-line trials, so the
+#: syntactic-wp backend decides every task and (almost) every outcome
+#: document carries a full proof tree or witness.  Three variables give
+#: each task a realistic entailment/counterexample-search cost — the
+#: regime the 1.3x transport budget is about (on an empty workload the
+#: ratio would only measure codec constants).
+PROOF_PVARS = ("x", "y", "z")
+PROOF_SEED = 2
+
+
+def build_proof_batch(count):
+    config = GenConfig(pvars=PROOF_PVARS, lo=0, hi=1, max_command_depth=3)
+    return [
+        (t.triple.pre, t.triple.command, t.triple.post)
+        for t in trials(PROOF_SEED, count, config,
+                        straightline_bias=1.0, loop_bias=0.0)
+    ]
+
+
+def bench_proof_transport(count):
+    batch = build_proof_batch(count)
+    shards = min(2, os.cpu_count() or 1)
+    inline = Session(PROOF_PVARS, lo=0, hi=1).verify_many(batch)
+
+    def sharded(transport_proofs):
+        session = Session(PROOF_PVARS, lo=0, hi=1)
+        return timed(
+            lambda: verify_many_sharded(
+                session, batch, shards=shards, transport_proofs=transport_proofs
+            )
+        )
+
+    # best-of-2 per mode: pool spawn noise dominates small workloads
+    full_t, full_r = min(sharded(True), sharded(True), key=lambda tr: tr[0])
+    elided_t, elided_r = min(sharded(False), sharded(False), key=lambda tr: tr[0])
+
+    proofs = 0
+    for mine, full, bare in zip(inline, full_r, elided_r):
+        assert mine.verdict == full.verdict == bare.verdict
+        assert mine.proof == full.proof, (
+            "full transport returned a proof differing from the inline run"
+        )
+        assert mine.witness == full.witness
+        if mine.proof is not None:
+            proofs += 1
+            assert bare.proof is None, "elided baseline leaked a proof"
+    assert proofs, "proof-transport workload produced no proofs"
+
+    overhead = full_t / elided_t if elided_t else float("inf")
+    print()
+    print(
+        "proof transport: %d straight-line tasks, %d with proof trees, %d shards"
+        % (count, proofs, shards)
+    )
+    print("  wire transport, proofs elided:   %8.3fs  %6.1f tasks/s" % (elided_t, count / elided_t))
+    print("  wire transport, full proofs:     %8.3fs  %6.1f tasks/s" % (full_t, count / full_t))
+    print("  overhead (full vs elided):       %8.2fx" % overhead)
+    assert overhead <= MAX_PROOF_TRANSPORT_OVERHEAD, (
+        "full proof transport cost %.2fx over the elided baseline "
+        "(budget %.1fx)" % (overhead, MAX_PROOF_TRANSPORT_OVERHEAD)
+    )
+    print("  sharded proofs identical to inline, overhead <= %.1fx: OK"
+          % MAX_PROOF_TRANSPORT_OVERHEAD)
+
+
 def bench_fuzz(count):
     inline_t, inline_r = timed(lambda: run_fuzz(0, count))
     shard_t, shard_r = timed(lambda: run_fuzz(0, count, shards=SHARDS))
@@ -142,6 +219,7 @@ def main(argv=None):
     print("fuzz/shard benchmark (%s)" % ("quick" if args.quick else "full"))
     print("=" * 64)
     bench_batch(tasks)
+    bench_proof_transport(max(16, tasks))
     bench_fuzz(fuzz_trials)
 
 

@@ -31,7 +31,7 @@ def main():
     )
     print("  GNI of the one-time pad:    verified=%s (%s)" % (gni.verified, gni.method))
     print("  proof rules:", dict(sorted(gni.proof.rules_used().items())))
-    print("  backend chain:", [a.backend for a in gni.attempts])
+    print("  backend chain:", [o.backend for o in gni.outcomes])
 
     print("=" * 60)
     print("2. a failing spec comes back with a counterexample")

@@ -6,31 +6,37 @@ and the tier-1 test command).  Module docstrings carry the paper
 cross-references (figure/definition numbers) for each subsystem.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from . import lang, semantics, assertions, checker  # noqa: F401
 from . import logic, solver, embeddings, hyperprops  # noqa: F401
-from . import api, gen, conformance  # noqa: F401
+from . import api, gen, conformance, codec  # noqa: F401
 from .lang import parse_command, parse_expr, parse_bexpr, pretty  # noqa: F401
 from .checker import (  # noqa: F401
     CheckerEngine,
     ImageCache,
     Universe,
+    Witness,
     check_triple,
     small_universe,
     valid_triple,
 )
+from .codec import SCHEMA_VERSION, WireError, from_wire, to_wire  # noqa: F401
 from .api import (  # noqa: F401
     Attempt,
     Backend,
     Budget,
     ExhaustiveBackend,
     LoopBackend,
+    Outcome,
+    Proved,
+    Refuted,
     Report,
     SampledBackend,
     Session,
     SyntacticWPBackend,
     TaskResult,
+    Undecided,
     VerificationTask,
     default_backends,
 )

@@ -25,9 +25,17 @@ every trial, ``1`` means a cross-backend disagreement was found (a
 shrunk minimal reproducer is printed).  The trial log for a seed is
 byte-for-byte reproducible; add ``--shards K`` to fan the trials out
 over worker processes without changing it.
+
+Both modes accept ``--json``: instead of the human-readable log, stdout
+carries one :mod:`repro.codec` wire document (a ``task-result`` or a
+``fuzz-report``, stamped with ``schema_version``) that
+``repro.from_wire`` — in any process, on any machine — decodes back to
+the full result object, proof trees and witnesses included.  Exit codes
+are unchanged.
 """
 
 import argparse
+import json
 import sys
 
 from .api.session import Session
@@ -113,6 +121,13 @@ def build_parser():
     parser.add_argument(
         "-q", "--quiet", action="store_true", help="suppress output; exit code only"
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the result as a repro.codec wire document (a task-result "
+        "with schema_version) on stdout instead of the human-readable log; "
+        "exit codes are unchanged",
+    )
     return parser
 
 
@@ -160,6 +175,13 @@ def build_fuzz_parser():
     parser.add_argument(
         "-q", "--quiet", action="store_true", help="suppress the per-trial log"
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the fuzz report as a repro.codec wire document (a "
+        "fuzz-report with schema_version) on stdout instead of the trial "
+        "log and summary; exit codes are unchanged",
+    )
     return parser
 
 
@@ -186,7 +208,7 @@ def fuzz_main(argv):
         )
 
         def stream(outcome):
-            if not args.quiet:
+            if not (args.quiet or args.json):
                 print(outcome.describe_line())
 
         report = run_fuzz(
@@ -200,11 +222,14 @@ def fuzz_main(argv):
     except ValueError as err:
         print("error: %s" % err, file=sys.stderr)
         return EXIT_BAD_INPUT
-    print(report.summary())
-    print(
-        "elapsed: %.3fs (%d shards, %.1f trials/s)"
-        % (report.elapsed, report.shards, trials / report.elapsed if report.elapsed else 0.0)
-    )
+    if args.json:
+        print(json.dumps(report.to_wire(), sort_keys=True))
+    else:
+        print(report.summary())
+        print(
+            "elapsed: %.3fs (%d shards, %.1f trials/s)"
+            % (report.elapsed, report.shards, trials / report.elapsed if report.elapsed else 0.0)
+        )
     return EXIT_VERIFIED if report.agreed else EXIT_REFUTED
 
 
@@ -254,13 +279,15 @@ def main(argv=None):
         print("error: %s" % err, file=sys.stderr)
         return EXIT_BAD_INPUT
 
-    if not args.quiet:
+    if args.json:
+        print(json.dumps(result.to_wire(), sort_keys=True))
+    elif not args.quiet:
         verdict = {True: "verified", False: "refuted", None: "undecided"}[
             result.verdict
         ]
         print("%s (method: %s, %.3fs)" % (verdict, result.method, result.elapsed))
-        for attempt in result.attempts:
-            print("  %r" % (attempt,))
+        for outcome in result.outcomes:
+            print("  %r" % (outcome,))
         if result.counterexample:
             print(result.counterexample)
         for assumption in result.assumptions:

@@ -7,8 +7,11 @@ semantic oracle (Def. 5) and the entailment side conditions (Def. 3):
 - :class:`~repro.api.backends.Backend` — the protocol every engine
   implements, with four first-class implementations
   (:class:`SyntacticWPBackend`, :class:`LoopBackend`,
-  :class:`ExhaustiveBackend`, :class:`SampledBackend`), each returning a
-  structured :class:`~repro.api.task.Attempt`;
+  :class:`ExhaustiveBackend`, :class:`SampledBackend`), each returning
+  an outcome from the closed algebra of :mod:`repro.api.outcome`:
+  :class:`Proved` (with the checked proof tree), :class:`Refuted` (with
+  the concrete :class:`~repro.checker.counterexample.Witness`) or
+  :class:`Undecided` (with the reason);
 - :class:`~repro.api.session.Session` — a reusable context owning the
   universe, parse caches and a memoizing entailment oracle, dispatching
   tasks through a configurable backend chain with per-backend budgets;
@@ -17,8 +20,15 @@ semantic oracle (Def. 5) and the entailment side conditions (Def. 3):
   (``sharding="process"``, see :mod:`repro.api.sharding`) and an
   aggregated :class:`~repro.api.session.Report`.
 
+Every result object — tasks, outcomes, proofs, witnesses, task results,
+reports — serializes through :mod:`repro.codec` (``to_wire`` /
+``from_wire`` with a ``schema_version``), which is what process shards,
+persistent caches and the ``--json`` CLI speak.
+
 The legacy :class:`repro.verifier.Verifier` facade is a thin deprecated
-shim over :class:`Session`.
+shim over :class:`Session`, and the pre-algebra
+:class:`~repro.api.task.Attempt` record survives as a deprecated view
+over an outcome.
 """
 
 from .backends import (
@@ -28,6 +38,7 @@ from .backends import (
     SampledBackend,
     SyntacticWPBackend,
 )
+from .outcome import Outcome, Proved, Refuted, Undecided
 from .session import (
     CachingOracle,
     Report,
@@ -45,12 +56,16 @@ __all__ = [
     "CachingOracle",
     "ExhaustiveBackend",
     "LoopBackend",
+    "Outcome",
+    "Proved",
+    "Refuted",
     "Report",
     "SampledBackend",
     "Session",
     "SessionSpec",
     "SyntacticWPBackend",
     "TaskResult",
+    "Undecided",
     "VerificationTask",
     "default_backends",
     "default_shards",

@@ -13,24 +13,27 @@ Each backend wraps one of the repository's engines behind the small
   whose full powerset is out of reach.
 
 Backends never raise on an out-of-fragment task or a blown budget: they
-return an inconclusive :class:`~repro.api.task.Attempt` (``verdict is
-None``) and the session's chain moves on.  The ``session`` argument of
-:meth:`Backend.attempt` supplies the shared state (``session.universe``
-and ``session.oracle``).
+return an inconclusive :class:`~repro.api.outcome.Undecided` and the
+session's chain moves on.  Decisive results are
+:class:`~repro.api.outcome.Proved` (carrying the checked derivation when
+the engine builds one) or :class:`~repro.api.outcome.Refuted` (carrying
+the concrete :class:`~repro.checker.counterexample.Witness`).  The
+``session`` argument of :meth:`Backend.attempt` supplies the shared
+state (``session.universe`` and ``session.oracle``).
 """
 
 import random
 from typing import Protocol
 
 from ..assertions.syntax import SynAssertion
-from ..checker.counterexample import explain_counterexample
+from ..checker.counterexample import Witness
 from ..errors import EntailmentError, ProofError
 from ..lang.analysis import is_loop_free
 from ..lang.sugar import match_while
 from ..logic.core_rules import rule_cons
 from ..logic.loop_rules import rule_while_sync, while_sync_body_pre
 from ..logic.outline import verify_straightline
-from .task import Attempt
+from .outcome import Proved, Refuted, Undecided
 
 
 class Backend(Protocol):
@@ -38,8 +41,9 @@ class Backend(Protocol):
 
     ``supports`` is a cheap syntactic filter (wrong fragment → the chain
     skips the backend without starting its budget); ``attempt`` does the
-    actual work and must return an :class:`Attempt`, using ``verdict
-    None`` rather than raising when it cannot decide.
+    actual work and must return an :class:`~repro.api.outcome.Outcome`,
+    using :class:`~repro.api.outcome.Undecided` rather than raising when
+    it cannot decide.
     """
 
     name: str
@@ -67,9 +71,10 @@ def _scan_initial_sets(task, session, budget, max_size=None):
     — every program state is executed at most once per command, cached in
     ``session.images`` across tasks and threads — polling the budget
     between sets.  Returns ``(status, witness, checked)`` where
-    ``status`` is ``_REFUTED`` (``witness`` is the ``(S, sem(C, S))``
-    pair), ``_PASSED`` (no enumerated set refutes the triple) or
-    ``_EXHAUSTED`` (budget tripped after ``checked`` sets).
+    ``status`` is ``_REFUTED`` (``witness`` is the
+    :class:`~repro.checker.counterexample.Witness`), ``_PASSED`` (no
+    enumerated set refutes the triple) or ``_EXHAUSTED`` (budget tripped
+    after ``checked`` sets).
     """
     checked = 0
     for subset, post_set, ok in session.engine.scan(
@@ -81,7 +86,7 @@ def _scan_initial_sets(task, session, budget, max_size=None):
         if post_set is None:  # precondition rejected the subset
             continue
         if not ok:
-            return _REFUTED, (subset, post_set), checked
+            return _REFUTED, Witness(subset, post_set), checked
     return _PASSED, None, checked
 
 
@@ -117,10 +122,10 @@ class SyntacticWPBackend:
         except EntailmentError:
             return self._refute(task, session, budget, oracle, mark)
         except ProofError as err:
-            return Attempt(self.name, None, self.name, note=str(err))
+            return Undecided(self.name, self.name, reason=str(err))
         method = "%s+%s" % (self.name, _oracle_suffix(oracle, mark))
-        return Attempt(
-            self.name, True, method, proof=proof, assumptions=proof.all_assumptions()
+        return Proved(
+            self.name, method, proof=proof, assumptions=proof.all_assumptions()
         )
 
     def _refute(self, task, session, budget, oracle, mark):
@@ -129,28 +134,20 @@ class SyntacticWPBackend:
             task, session, budget, self.max_cex_size
         )
         if status is _EXHAUSTED:
-            return Attempt(
+            return Undecided(
                 self.name,
-                None,
                 method,
-                note="budget exhausted after %d sets while searching for a "
+                reason="budget exhausted after %d sets while searching for a "
                 "counterexample" % checked,
             )
         if status is _REFUTED:
-            return Attempt(
-                self.name,
-                False,
-                method,
-                counterexample=explain_counterexample(witness),
-            )
+            return Refuted(self.name, method, witness=witness)
         # The closing entailment failed but no initial set (within the cap)
         # refutes the triple — report the refutation without a witness,
         # matching the legacy facade's behavior under ``max_set_size``.
-        return Attempt(
+        return Refuted(
             self.name,
-            False,
             method,
-            counterexample=explain_counterexample(None),
             note="wp entailment failed; no counterexample within the size cap",
         )
 
@@ -163,7 +160,7 @@ class LoopBackend:
     syntactic wp, closes the loop with WhileSync, and bridges the
     annotation to the task's pre/post with Cons.  A failed entailment
     here only means the *annotation* does not work — the triple may still
-    hold — so the verdict is inconclusive, never ``False``.
+    hold — so the outcome is :class:`Undecided`, never :class:`Refuted`.
     """
 
     name = "loop"
@@ -175,12 +172,10 @@ class LoopBackend:
         guard, body = match_while(task.command)
         invariant = task.invariant
         if not isinstance(invariant, SynAssertion):
-            return Attempt(
-                self.name, None, self.name, note="invariant must be syntactic"
-            )
+            return Undecided(self.name, self.name, reason="invariant must be syntactic")
         if not is_loop_free(body):
-            return Attempt(
-                self.name, None, self.name, note="nested loops are not supported"
+            return Undecided(
+                self.name, self.name, reason="nested loops are not supported"
             )
         oracle = session.oracle
         mark = oracle.used_mark()
@@ -193,17 +188,16 @@ class LoopBackend:
                 task.pre, task.post, loop_proof, oracle, "loop annotation bridge"
             )
         except EntailmentError as err:
-            return Attempt(
+            return Undecided(
                 self.name,
-                None,
                 "%s+%s" % (self.name, _oracle_suffix(oracle, mark)),
-                note="invariant not established: %s" % err,
+                reason="invariant not established: %s" % err,
             )
         except ProofError as err:
-            return Attempt(self.name, None, self.name, note=str(err))
+            return Undecided(self.name, self.name, reason=str(err))
         method = "loop-sync+%s" % _oracle_suffix(oracle, mark)
-        return Attempt(
-            self.name, True, method, proof=proof, assumptions=proof.all_assumptions()
+        return Proved(
+            self.name, method, proof=proof, assumptions=proof.all_assumptions()
         )
 
 
@@ -212,7 +206,7 @@ class ExhaustiveBackend:
 
     Complete relative to the universe — always decides, given time.  The
     budget is polled between initial sets, so a blown budget yields an
-    inconclusive attempt rather than an unbounded stall.
+    inconclusive outcome rather than an unbounded stall.
     """
 
     name = "exhaustive"
@@ -224,21 +218,15 @@ class ExhaustiveBackend:
     def attempt(self, task, session, budget=None):
         status, witness, checked = _scan_initial_sets(task, session, budget)
         if status is _EXHAUSTED:
-            return Attempt(
+            return Undecided(
                 self.name,
-                None,
                 self.method,
-                note="budget exhausted after %d of %d initial sets"
+                reason="budget exhausted after %d of %d initial sets"
                 % (checked, 2 ** session.universe.size()),
             )
         if status is _REFUTED:
-            return Attempt(
-                self.name,
-                False,
-                self.method,
-                counterexample=explain_counterexample(witness),
-            )
-        return Attempt(self.name, True, self.method)
+            return Refuted(self.name, self.method, witness=witness)
+        return Proved(self.name, self.method)
 
 
 class SampledBackend:
@@ -251,7 +239,7 @@ class SampledBackend:
       only when the cap actually covers the universe.  A genuinely
       capped pass stays inconclusive (the chain's later backends may
       still refute the triple) unless ``claim_capped_pass=True``, which
-      reports it as verified with the cap recorded in the method string
+      reports it as proved with the cap recorded in the method string
       (``oracle(≤k)``) — the legacy facade's documented
       under-approximation, only defensible as the *last* backend of a
       chain (see :func:`~repro.api.session.default_backends`);
@@ -284,28 +272,21 @@ class SampledBackend:
             task, session, budget, self.max_size
         )
         if status is _EXHAUSTED:
-            return Attempt(
+            return Undecided(
                 self.name,
-                None,
                 method,
-                note="budget exhausted after %d initial sets" % checked,
+                reason="budget exhausted after %d initial sets" % checked,
             )
         if status is _REFUTED:
-            return Attempt(
-                self.name,
-                False,
-                method,
-                counterexample=explain_counterexample(witness),
-            )
+            return Refuted(self.name, method, witness=witness)
         # A pass is only definitive when every initial set was enumerated.
         complete = self.max_size is None or self.max_size >= session.universe.size()
         if complete or self.claim_capped_pass:
-            return Attempt(self.name, True, method)
-        return Attempt(
+            return Proved(self.name, method)
+        return Undecided(
             self.name,
-            None,
             method,
-            note="no refutation among initial sets of size ≤ %d "
+            reason="no refutation among initial sets of size ≤ %d "
             "(under-approximate pass, not a proof)" % self.max_size,
         )
 
@@ -318,11 +299,10 @@ class SampledBackend:
         cap = self.max_size if self.max_size is not None else 4
         for drawn in range(self.samples):
             if _expired(budget):
-                return Attempt(
+                return Undecided(
                     self.name,
-                    None,
                     method,
-                    note="budget exhausted after %d samples" % drawn,
+                    reason="budget exhausted after %d samples" % drawn,
                 )
             k = rng.randint(0, cap)
             subset = frozenset(rng.sample(states, min(k, len(states))))
@@ -330,16 +310,12 @@ class SampledBackend:
                 continue
             post_set = session.engine.sem(task.command, subset)
             if not task.post.holds(post_set, domain):
-                return Attempt(
-                    self.name,
-                    False,
-                    method,
-                    counterexample=explain_counterexample((subset, post_set)),
+                return Refuted(
+                    self.name, method, witness=Witness(subset, post_set)
                 )
-        return Attempt(
+        return Undecided(
             self.name,
-            None,
             method,
-            note="%d random subsets found no refutation (evidence, not proof)"
+            reason="%d random subsets found no refutation (evidence, not proof)"
             % self.samples,
         )

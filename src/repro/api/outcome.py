@@ -1,0 +1,148 @@
+"""The closed outcome algebra: ``Proved`` / ``Refuted`` / ``Undecided``.
+
+Hyper Hoare Logic's one judgment form carries both proofs and
+refutations; this module is the API-side mirror of that duality.  Every
+backend attempt produces exactly one :class:`Outcome`:
+
+- :class:`Proved` — the triple was established; carries the checked
+  :class:`~repro.logic.judgment.ProofNode` derivation when the deciding
+  engine built one (the syntactic backends) and the unchecked
+  ``assumptions`` it rests on;
+- :class:`Refuted` — the triple fails; carries the concrete
+  :class:`~repro.checker.counterexample.Witness` pair ``(S, sem(C, S))``
+  when one was found;
+- :class:`Undecided` — the backend cannot decide (outside its fragment,
+  budget exhausted, or its check is only evidence); carries the
+  ``reason`` and the chain moves on to the next backend.
+
+Outcomes are frozen, structurally comparable and serializable through
+:mod:`repro.codec` — ``from_wire(to_wire(o)) == o`` — so a process
+shard, a persistent cache or a network peer returns the *same* evidence
+an inline run produces, proof trees included.
+
+The legacy three-valued view survives as the class-level ``verdict``
+(``True`` / ``False`` / ``None``), so code that pattern-matched on
+``attempt.verdict`` keeps working against the algebra.
+"""
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from ..checker.counterexample import Witness, explain_counterexample
+from ..codec.mixin import WireCodec
+from ..logic.judgment import ProofNode
+
+__all__ = ["Outcome", "Proved", "Refuted", "Undecided"]
+
+
+@dataclass(frozen=True, repr=False)
+class Outcome(WireCodec):
+    """One backend's structured result for one task (abstract).
+
+    ``backend`` names the chain stage that produced it; ``method`` the
+    decision procedure actually used (e.g. ``syntactic-wp+sat`` records
+    that the closing entailment really went through the SAT encoding);
+    ``note`` carries free-form context (budget exhaustion, fragment
+    mismatch details, ...).
+    """
+
+    backend: str
+    method: str
+    elapsed: float = 0.0
+    note: str = ""
+
+    #: The legacy three-valued verdict view, overridden per subclass.
+    verdict = None
+    #: Uniform evidence accessors; subclasses override via fields.
+    proof = None
+    witness = None
+    assumptions = ()
+    reason = ""
+
+    @property
+    def decided(self):
+        return self.verdict is not None
+
+    @property
+    def counterexample(self):
+        """Human-readable witness text (``None`` unless refuted)."""
+        return None
+
+    def with_elapsed(self, seconds):
+        """A copy with ``elapsed`` recorded (outcomes are frozen)."""
+        return replace(self, elapsed=seconds)
+
+    def describe(self):
+        extra = " (%s)" % self.note if self.note else ""
+        return "%s(%s via %s, %.3fs%s)" % (
+            type(self).__name__,
+            self.backend,
+            self.method,
+            self.elapsed,
+            extra,
+        )
+
+    def __repr__(self):
+        return self.describe()
+
+
+@dataclass(frozen=True, repr=False)
+class Proved(Outcome):
+    """The backend established the triple.
+
+    ``proof`` is the checked derivation when the deciding engine is a
+    proof-building one (syntactic wp, annotated loops); the semantic
+    oracle proves by exhaustion and carries no tree.  ``assumptions``
+    lists unchecked entailments inherited from an assuming oracle.
+    """
+
+    proof: Optional[ProofNode] = None
+    assumptions: Tuple[str, ...] = ()
+
+    verdict = True
+
+
+@dataclass(frozen=True, repr=False)
+class Refuted(Outcome):
+    """The backend refuted the triple.
+
+    ``witness`` is the concrete refutation when the search produced one;
+    a wp-entailment refutation under a size cap may be witness-free (the
+    ``note`` says so).
+    """
+
+    witness: Optional[Witness] = None
+
+    verdict = False
+
+    @property
+    def counterexample(self):
+        return explain_counterexample(self.witness)
+
+
+@dataclass(frozen=True, repr=False)
+class Undecided(Outcome):
+    """The backend cannot decide; ``reason`` says why.
+
+    ``reason`` and the base ``note`` are kept in sync (either spelling
+    reaches both old and new readers).
+    """
+
+    reason: str = ""
+
+    verdict = None
+
+    def __post_init__(self):
+        if self.reason and not self.note:
+            object.__setattr__(self, "note", self.reason)
+        elif self.note and not self.reason:
+            object.__setattr__(self, "reason", self.note)
+
+    def describe(self):
+        extra = " (%s)" % self.reason if self.reason else ""
+        return "Undecided(%s via %s, %.3fs%s)" % (
+            self.backend,
+            self.method,
+            self.elapsed,
+            extra,
+        )

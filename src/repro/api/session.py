@@ -7,6 +7,12 @@ configurable chain of :mod:`~repro.api.backends` with per-backend
 budgets.  :meth:`Session.verify_many` runs a batch — optionally on a
 thread pool — and returns a rolling :class:`Report`.
 
+Each task's result is a :class:`TaskResult` holding the
+:class:`~repro.api.outcome.Outcome` objects (``Proved`` / ``Refuted`` /
+``Undecided``) of every chain stage; results and reports serialize
+through :mod:`repro.codec`, so a report can persist or cross a process
+boundary without losing proofs or witnesses.
+
 The caches are what make a session cheaper than N standalone verifier
 instantiations: entailment queries repeat heavily across related triples
 (the closing ``Cons`` entailments of similar specs, ``I |= low(b)`` side
@@ -26,6 +32,7 @@ from ..assertions.entail import EntailmentOracle
 from ..assertions.parser import parse_assertion
 from ..checker.engine import CheckerEngine, ImageCache
 from ..checker.universe import Universe
+from ..codec.mixin import WireCodec
 from ..lang.ast import Command
 from ..lang.parser import parse_command
 from ..values import IntRange
@@ -35,7 +42,8 @@ from .backends import (
     SampledBackend,
     SyntacticWPBackend,
 )
-from .task import Attempt, Budget, VerificationTask
+from .outcome import Outcome, Undecided
+from .task import Attempt, Budget, VerificationTask, as_outcome
 
 _MISS = object()
 
@@ -92,24 +100,32 @@ class CachingOracle(EntailmentOracle):
 
 
 @dataclass(frozen=True)
-class TaskResult:
-    """All attempts one task went through, plus the decisive one."""
+class TaskResult(WireCodec):
+    """All outcomes one task went through, plus the decisive one."""
 
     task: VerificationTask
-    attempts: Tuple[Attempt, ...]
+    outcomes: Tuple[Outcome, ...]
 
     @property
-    def decided_by(self):
-        """The attempt that settled the task, or ``None`` if undecided."""
-        for attempt in self.attempts:
-            if attempt.decided:
-                return attempt
+    def outcome(self):
+        """The outcome that settled the task, or ``None`` if undecided."""
+        for outcome in self.outcomes:
+            if outcome.decided:
+                return outcome
         return None
+
+    #: Historical name for :attr:`outcome`.
+    decided_by = outcome
+
+    @property
+    def attempts(self):
+        """Deprecated: the outcomes as legacy :class:`Attempt` views."""
+        return tuple(Attempt.of(o) for o in self.outcomes)
 
     @property
     def verdict(self):
-        attempt = self.decided_by
-        return None if attempt is None else attempt.verdict
+        outcome = self.outcome
+        return None if outcome is None else outcome.verdict
 
     @property
     def verified(self):
@@ -125,43 +141,50 @@ class TaskResult:
 
     @property
     def method(self):
-        attempt = self.decided_by
-        return "undecided" if attempt is None else attempt.method
+        outcome = self.outcome
+        return "undecided" if outcome is None else outcome.method
 
     @property
     def proof(self):
-        attempt = self.decided_by
-        return None if attempt is None else attempt.proof
+        outcome = self.outcome
+        return None if outcome is None else outcome.proof
+
+    @property
+    def witness(self):
+        """The refuting :class:`~repro.checker.counterexample.Witness`."""
+        outcome = self.outcome
+        return None if outcome is None else outcome.witness
 
     @property
     def counterexample(self):
-        attempt = self.decided_by
-        return None if attempt is None else attempt.counterexample
+        """Human-readable witness text (``None`` unless refuted)."""
+        outcome = self.outcome
+        return None if outcome is None else outcome.counterexample
 
     @property
     def assumptions(self):
-        attempt = self.decided_by
-        return () if attempt is None else attempt.assumptions
+        outcome = self.outcome
+        return () if outcome is None else outcome.assumptions
 
     @property
     def elapsed(self):
-        return sum(attempt.elapsed for attempt in self.attempts)
+        return sum(outcome.elapsed for outcome in self.outcomes)
 
     def __bool__(self):
         return self.verified
 
     def __repr__(self):
         verdict = {True: "verified", False: "refuted", None: "undecided"}[self.verdict]
-        return "TaskResult(%s via %s, %d attempts, %.3fs)" % (
+        return "TaskResult(%s via %s, %d outcomes, %.3fs)" % (
             verdict,
             self.method,
-            len(self.attempts),
+            len(self.outcomes),
             self.elapsed,
         )
 
 
 @dataclass(frozen=True)
-class Report:
+class Report(WireCodec):
     """Aggregate outcome of :meth:`Session.verify_many`."""
 
     results: Tuple[TaskResult, ...]
@@ -253,10 +276,10 @@ class Session:
     backends:
         The backend chain tried in order for every task (default:
         :func:`default_backends`).  Each task stops at the first decisive
-        attempt.
+        outcome.
     budgets:
         Mapping of backend name to a wall-clock allowance in seconds;
-        backends poll it cooperatively and yield an inconclusive attempt
+        backends poll it cooperatively and yield an inconclusive outcome
         on expiry.
     max_set_size:
         Optional cap on initial-set sizes for oracle stages on large
@@ -387,13 +410,12 @@ class Session:
         ``sharding="process"`` instead fans the batch out over ``shards``
         worker *processes* (default: the machine's CPU count, capped at
         4), sidestepping the GIL for CPU-bound oracle enumeration.  Tasks
-        cross the boundary as concrete-syntax text (the picklable
-        encoding of :mod:`repro.api.sharding`) and each shard rebuilds
-        this session's configuration with its own private
-        :class:`~repro.checker.engine.ImageCache`; see
+        and outcomes cross the boundary as :mod:`repro.codec` wire
+        documents, so a sharded report is indistinguishable from an
+        inline one — proof trees and witnesses included; see
         :func:`~repro.api.sharding.verify_many_sharded` for the
         restrictions (syntactic tasks, default-constructible backend
-        chain, proofs elided across the boundary).
+        chain).
         """
         if sharding == "process":
             from .sharding import verify_many_sharded
@@ -477,22 +499,22 @@ class Session:
         chain = self.backends if backends is None else tuple(backends)
         allowances = self.budgets if budgets is None else dict(budgets)
         self.oracle.reset_used()
-        attempts = []
+        outcomes = []
         for backend in chain:
             if not backend.supports(task):
-                attempts.append(
-                    Attempt(backend.name, None, "skipped", note="outside fragment")
+                outcomes.append(
+                    Undecided(backend.name, "skipped", reason="outside fragment")
                 )
                 continue
             seconds = allowances.get(backend.name)
             budget = None if seconds is None else Budget(seconds)
             started = _task_mod.clock()
-            attempt = backend.attempt(task, self, budget)
-            attempt.elapsed = _task_mod.clock() - started
-            attempts.append(attempt)
-            if attempt.decided:
+            outcome = as_outcome(backend.attempt(task, self, budget))
+            outcome = outcome.with_elapsed(_task_mod.clock() - started)
+            outcomes.append(outcome)
+            if outcome.decided:
                 break
-        return TaskResult(task, tuple(attempts))
+        return TaskResult(task, tuple(outcomes))
 
     def __repr__(self):
         return "Session(%r, backends=%s)" % (

@@ -5,27 +5,23 @@
 over worker *processes*, sidestepping the GIL for the CPU-bound oracle
 enumeration that dominates exhaustive verification.
 
-Design constraints, and how they shape the encoding:
+Design constraints, and how they shape the transport:
 
-- **Tasks cross the boundary as concrete syntax.**  A
-  :class:`~repro.api.task.VerificationTask` holds AST objects; instead of
-  betting on their picklability (semantic assertions wrap arbitrary
-  Python callables), each task is encoded as the ``(pre, program, post,
-  invariant, label)`` *source texts* produced by the round-trip-tested
-  formatters.  Workers re-parse — and their sessions memoize the parse,
-  so a batch with repeated programs parses each one once per shard.
-  Tasks with non-syntactic (semantic) assertions are rejected up front
-  with a clear error.
+- **Everything crosses the boundary as wire documents.**  Tasks ship to
+  workers as :mod:`repro.codec` ``task`` documents and come back as
+  ``proved`` / ``refuted`` / ``undecided`` outcome documents — the same
+  versioned encoding caches and the ``--json`` CLI speak.  A sharded
+  report is therefore indistinguishable from an inline one: proof trees
+  and counterexample witnesses round-trip intact (``from_wire(to_wire
+  (x)) == x``), not as elision notes or flattened text.  Tasks with
+  non-syntactic (semantic) assertions are rejected up front with a clear
+  error, because only syntactic assertions have a stable encoding.
 - **Each shard owns its caches.**  Workers rebuild the parent session's
   configuration from a :class:`SessionSpec` via a pool initializer; every
   worker process therefore has a private
   :class:`~repro.checker.engine.ImageCache` and entailment cache that
   persist across all chunks that process executes.  Nothing is shared,
   so there is no cross-process locking on the hot path.
-- **Proofs are elided.**  Proof trees are cheap to rebuild but expensive
-  to ship; a worker attempt that carried one comes back with
-  ``proof=None`` and a note saying so (the verdict, method, witness text
-  and assumption list all survive).
 - **Custom backend chains are refused.**  There is no picklable recipe
   for arbitrary backend objects; sharded sessions always run the
   :func:`~repro.api.session.default_backends` chain for their
@@ -37,14 +33,11 @@ and reassembled by index).
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
-from ..assertions.parser import format_assertion
-from ..assertions.syntax import SynAssertion
-from ..lang.printer import pretty
+from ..codec import WireError, from_wire, to_wire
 from . import task as _task_mod
-from .task import Attempt
 
 #: Upper bound on the default shard count — beyond a handful of shards
 #: the per-shard image/entailment caches stop amortizing.
@@ -108,59 +101,19 @@ class SessionSpec:
         )
 
 
-def _require_syntactic(assertion, role, task):
-    if assertion is None or isinstance(assertion, SynAssertion):
-        return
-    raise ValueError(
-        "process sharding needs syntactic assertions (they cross the "
-        "process boundary as concrete syntax); the %s of %s is %r"
-        % (role, task.describe(), type(assertion).__name__)
-    )
-
-
 def encode_task(task):
-    """``(pre, program, post, invariant, label)`` source texts."""
-    _require_syntactic(task.pre, "precondition", task)
-    _require_syntactic(task.post, "postcondition", task)
-    _require_syntactic(task.invariant, "invariant", task)
-    return (
-        format_assertion(task.pre),
-        pretty(task.command),
-        format_assertion(task.post),
-        None if task.invariant is None else format_assertion(task.invariant),
-        task.label,
-    )
+    """The wire document a task crosses the process boundary as.
 
-
-def _encode_attempt(attempt):
-    return (
-        attempt.backend,
-        attempt.verdict,
-        attempt.method,
-        attempt.proof is not None,
-        attempt.counterexample,
-        attempt.elapsed,
-        tuple(attempt.assumptions),
-        attempt.note,
-    )
-
-
-def _decode_attempt(encoded):
-    backend, verdict, method, had_proof, counterexample, elapsed, assumptions, note = (
-        encoded
-    )
-    if had_proof:
-        note = (note + "; " if note else "") + "proof elided (process shard)"
-    return Attempt(
-        backend,
-        verdict,
-        method,
-        proof=None,
-        counterexample=counterexample,
-        elapsed=elapsed,
-        assumptions=assumptions,
-        note=note,
-    )
+    Raises :class:`ValueError` for tasks whose assertions have no stable
+    wire encoding (semantic assertions wrapping Python callables).
+    """
+    try:
+        return to_wire(task)
+    except WireError as err:
+        raise ValueError(
+            "process sharding needs syntactic assertions (tasks cross the "
+            "process boundary as wire documents): %s" % err
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -177,15 +130,26 @@ def _init_worker(spec):
     _WORKER_SESSION = spec.build()
 
 
-def _run_chunk(chunk, budgets):
-    """Verify one chunk of encoded tasks → encoded results + cache delta."""
+def _run_chunk(chunk, budgets, transport_proofs):
+    """Verify one chunk of task documents → outcome documents + cache delta.
+
+    With ``transport_proofs=False`` proof trees are stripped before
+    encoding (the pre-codec behavior, kept as a benchmark baseline so
+    ``benchmarks/bench_fuzz_shard.py`` can bound the cost of full proof
+    transport).
+    """
     session = _WORKER_SESSION
     before = session.oracle.cache_info()
     out = []
-    for index, (pre, program, post, invariant, label) in chunk:
-        task = session.task(pre, program, post, invariant=invariant, label=label)
+    for index, document in chunk:
+        task = from_wire(document)
         result = session._run_task(task, None, budgets)
-        out.append((index, tuple(_encode_attempt(a) for a in result.attempts)))
+        encoded = []
+        for outcome in result.outcomes:
+            if not transport_proofs and outcome.proof is not None:
+                outcome = replace(outcome, proof=None)
+            encoded.append(to_wire(outcome))
+        out.append((index, encoded))
     after = session.oracle.cache_info()
     delta = (after["hits"] - before["hits"], after["misses"] - before["misses"])
     return out, delta
@@ -196,12 +160,16 @@ def _run_chunk(chunk, budgets):
 # ---------------------------------------------------------------------------
 
 
-def verify_many_sharded(session, tasks, shards=None, backends=None, budgets=None):
+def verify_many_sharded(
+    session, tasks, shards=None, backends=None, budgets=None, transport_proofs=True
+):
     """Run a batch over ``shards`` worker processes → a :class:`Report`.
 
-    The parent normalizes and encodes every task (so parse errors
-    surface before any process is spawned), deals them round-robin into
-    ``shards`` chunks, and reassembles worker results by index.
+    The parent normalizes and encodes every task (so parse and encoding
+    errors surface before any process is spawned), deals them
+    round-robin into ``shards`` chunks, and reassembles worker outcome
+    documents by index.  The decoded outcomes — proofs and witnesses
+    included — compare equal to what an inline run produces.
     """
     from .session import Report, TaskResult
 
@@ -222,23 +190,24 @@ def verify_many_sharded(session, tasks, shards=None, backends=None, budgets=None
 
     chunks = [encoded[k::shards] for k in range(shards)]
     started = _task_mod.clock()
-    attempts_by_index = {}
+    outcomes_by_index = {}
     hits = misses = 0
     with ProcessPoolExecutor(
         max_workers=shards, initializer=_init_worker, initargs=(spec,)
     ) as pool:
-        futures = [pool.submit(_run_chunk, chunk, allowances) for chunk in chunks]
+        futures = [
+            pool.submit(_run_chunk, chunk, allowances, transport_proofs)
+            for chunk in chunks
+        ]
         for future in futures:
             rows, (chunk_hits, chunk_misses) = future.result()
             hits += chunk_hits
             misses += chunk_misses
-            for index, encoded_attempts in rows:
-                attempts_by_index[index] = tuple(
-                    _decode_attempt(a) for a in encoded_attempts
-                )
+            for index, documents in rows:
+                outcomes_by_index[index] = tuple(from_wire(d) for d in documents)
     elapsed = _task_mod.clock() - started
     results = tuple(
-        TaskResult(task, attempts_by_index[i]) for i, task in enumerate(normalized)
+        TaskResult(task, outcomes_by_index[i]) for i, task in enumerate(normalized)
     )
     return Report(
         results,

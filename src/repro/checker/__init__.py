@@ -19,6 +19,7 @@ from .validity import (
     naive_sampled_check_triple,
 )
 from .counterexample import (
+    Witness,
     find_counterexample,
     explain_counterexample,
     minimal_counterexample,
@@ -40,6 +41,7 @@ __all__ = [
     "naive_check_triple",
     "naive_check_terminating_triple",
     "naive_sampled_check_triple",
+    "Witness",
     "find_counterexample",
     "explain_counterexample",
     "minimal_counterexample",

@@ -1,12 +1,63 @@
 """Counterexample search and reporting for invalid hyper-triples.
 
+A refutation of ``{P} C {Q}`` is witnessed by a concrete pair: an
+initial set ``S |= P`` whose image ``sem(C, S)`` violates ``Q``.  That
+pair is a first-class :class:`Witness` — hashable, comparable and
+serializable through :mod:`repro.codec` — so refutations survive
+process boundaries and caches instead of degrading to explanation
+strings.
+
 The search runs on the precomputed-image
 :class:`~repro.checker.engine.CheckerEngine`: each universe state is
 executed once, and every candidate (or shrink step) is a union of cached
 images rather than a fresh ``sem`` run.
 """
 
+from dataclasses import dataclass
+
+from ..codec.mixin import WireCodec
 from .engine import CheckerEngine
+
+
+@dataclass(frozen=True)
+class Witness(WireCodec):
+    """A concrete refutation ``(S, sem(C, S))`` of a hyper-triple.
+
+    ``pre_set`` is a set of :class:`~repro.semantics.state.ExtState`
+    satisfying the precondition; ``post_set`` is its image under the
+    command, violating the postcondition.  Equality is set equality, so
+    witnesses computed in different processes (or decoded from wire
+    documents) compare equal whenever they denote the same refutation.
+    """
+
+    pre_set: frozenset
+    post_set: frozenset
+
+    @classmethod
+    def of(cls, pair):
+        """Coerce a legacy ``(S, sem(C, S))`` pair (or ``None``)."""
+        if pair is None or isinstance(pair, Witness):
+            return pair
+        pre_set, post_set = pair
+        return cls(frozenset(pre_set), frozenset(post_set))
+
+    @property
+    def pair(self):
+        """The legacy ``(pre_set, post_set)`` tuple view."""
+        return (self.pre_set, self.post_set)
+
+    def describe(self):
+        """The multi-line human-readable rendering."""
+        lines = ["counterexample:", "  initial set S:"]
+        for phi in sorted(self.pre_set, key=repr):
+            lines.append("    %r" % (phi,))
+        lines.append("  sem(C, S):")
+        for phi in sorted(self.post_set, key=repr):
+            lines.append("    %r" % (phi,))
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "Witness(|S|=%d, |sem|=%d)" % (len(self.pre_set), len(self.post_set))
 
 
 def find_counterexample(pre, command, post, universe, max_size=None, engine=None):
@@ -23,17 +74,15 @@ def find_counterexample(pre, command, post, universe, max_size=None, engine=None
 
 
 def explain_counterexample(witness):
-    """A multi-line human-readable rendering of a counterexample pair."""
+    """A multi-line human-readable rendering of a counterexample.
+
+    Accepts a :class:`Witness`, a legacy ``(S, sem(C, S))`` pair, or
+    ``None``.
+    """
+    witness = Witness.of(witness)
     if witness is None:
         return "no counterexample (triple is valid over this universe)"
-    pre_set, post_set = witness
-    lines = ["counterexample:", "  initial set S:"]
-    for phi in sorted(pre_set, key=repr):
-        lines.append("    %r" % (phi,))
-    lines.append("  sem(C, S):")
-    for phi in sorted(post_set, key=repr):
-        lines.append("    %r" % (phi,))
-    return "\n".join(lines)
+    return witness.describe()
 
 
 def minimal_counterexample(pre, command, post, universe, max_size=None):

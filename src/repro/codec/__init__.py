@@ -1,0 +1,39 @@
+"""The versioned wire codec: every result is a serializable document.
+
+``to_wire(x)`` turns a verdict-carrying object — a task, a ``Proved`` /
+``Refuted`` / ``Undecided`` outcome, a proof tree, a counterexample
+witness, a task result, a batch report, a fuzz trial, a cross-backend
+disagreement, a fuzz report — into a plain JSON-safe dict stamped with
+``schema_version``; ``from_wire`` is its inverse, refusing documents
+from a different schema version.  ``from_wire(to_wire(x)) == x`` holds
+structurally for every registered type (property-tested in
+``tests/codec/``), which is what lets process shards return full
+evidence, caches persist results, and the CLI speak machine-readable
+JSON (``python -m repro ... --json``).
+
+See :mod:`repro.codec.wire` for the document format and the
+``schema_version`` stability contract, and :mod:`repro.codec.codecs`
+for the per-kind encodings.
+"""
+
+from .mixin import WireCodec
+from .wire import (
+    KIND_KEY,
+    SCHEMA_VERSION,
+    VERSION_KEY,
+    WireError,
+    from_wire,
+    register,
+    to_wire,
+)
+
+__all__ = [
+    "KIND_KEY",
+    "SCHEMA_VERSION",
+    "VERSION_KEY",
+    "WireCodec",
+    "WireError",
+    "from_wire",
+    "register",
+    "to_wire",
+]

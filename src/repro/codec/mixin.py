@@ -1,0 +1,29 @@
+"""The ``to_wire``/``from_wire`` convenience mixin.
+
+Kept import-free so every layer (checker, logic, gen, api, conformance)
+can inherit :class:`WireCodec` without creating an import cycle with the
+codec registrations (which import those layers).
+"""
+
+
+class WireCodec:
+    """Adds ``to_wire()`` / ``from_wire()`` to a registered wire type."""
+
+    def to_wire(self):
+        """This object as a version-stamped wire document."""
+        from .wire import to_wire
+
+        return to_wire(self)
+
+    @classmethod
+    def from_wire(cls, document):
+        """Decode ``document``; the result must be a ``cls`` instance."""
+        from .wire import WireError, from_wire
+
+        obj = from_wire(document)
+        if not isinstance(obj, cls):
+            raise WireError(
+                "document decodes to %s, not %s"
+                % (type(obj).__name__, cls.__name__)
+            )
+        return obj

@@ -42,6 +42,7 @@ from typing import Optional, Tuple
 
 from ..api.session import Session
 from ..assertions.syntax import SynAssertion
+from ..codec.mixin import WireCodec
 from ..checker.validity import (
     naive_check_terminating_triple,
     naive_check_triple,
@@ -65,8 +66,14 @@ def _verdict(flag):
 
 
 @dataclass(frozen=True)
-class Disagreement:
-    """One cross-backend disagreement, with a shrunk reproducer."""
+class Disagreement(WireCodec):
+    """One cross-backend disagreement, with a shrunk reproducer.
+
+    Wire-serializable (kind ``disagreement``): a disagreement found by a
+    fuzz shard crosses back to the parent — and into CI artifacts — as a
+    structured document whose ``reproducer`` decodes to the same minimal
+    triple, not as flattened text.
+    """
 
     kind: str
     detail: str
@@ -85,7 +92,7 @@ class Disagreement:
 
 
 @dataclass(frozen=True)
-class TrialOutcome:
+class TrialOutcome(WireCodec):
     """What one trial's differential pass concluded."""
 
     trial: object
@@ -216,13 +223,13 @@ class DifferentialChecker:
         backend = self.session.backends[0]
         if not backend.supports(task):
             return None
-        attempt = backend.attempt(task, self.session)
-        if attempt.verdict is None:
+        outcome = backend.attempt(task, self.session)
+        if outcome.verdict is None:
             return None
         oracle = self._oracle(triple, oracle)
-        if attempt.verdict != oracle.valid:
+        if outcome.verdict != oracle.valid:
             return "syntactic wp %s but the oracle says %s" % (
-                "proved the triple" if attempt.verdict else "refuted the triple",
+                "proved the triple" if outcome.verdict else "refuted the triple",
                 _verdict(oracle.valid),
             )
         return None

@@ -22,14 +22,21 @@ from dataclasses import dataclass
 from time import monotonic
 from typing import Tuple
 
+from ..codec.mixin import WireCodec
 from ..gen.config import FUZZ_CONFIG
 from ..gen.triples import regenerate
 from .differential import DifferentialChecker, TrialOutcome
 
 
 @dataclass(frozen=True)
-class FuzzReport:
-    """Aggregate outcome of one fuzz run."""
+class FuzzReport(WireCodec):
+    """Aggregate outcome of one fuzz run.
+
+    Wire-serializable (kind ``fuzz-report``): ``python -m repro fuzz
+    --json`` emits exactly this document, and
+    ``FuzzReport.from_wire`` rebuilds the report — trials, outcomes and
+    shrunk disagreement reproducers included.
+    """
 
     seed: int
     count: int

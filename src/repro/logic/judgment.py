@@ -42,12 +42,13 @@ from ..assertions.semantic import (
     OTimesFamily,
 )
 from ..assertions.syntax import SynAssertion
+from ..codec.mixin import WireCodec
 from ..errors import ProofError
 from ..lang.ast import Command
 
 
 @dataclass(frozen=True)
-class Triple:
+class Triple(WireCodec):
     """The judgment ``{pre} command {post}``."""
 
     pre: Assertion
@@ -69,8 +70,14 @@ class Triple:
 
 
 @dataclass(frozen=True)
-class ProofNode:
-    """One rule application with its validated premises."""
+class ProofNode(WireCodec):
+    """One rule application with its validated premises.
+
+    Proof nodes are wire-serializable (:meth:`to_wire` /
+    :meth:`from_wire` via :mod:`repro.codec`) and compare structurally,
+    so a derivation built in a worker process round-trips to the parent
+    equal to the one an inline run would have built.
+    """
 
     rule: str
     triple: Triple

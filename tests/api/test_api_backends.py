@@ -7,9 +7,12 @@ from repro.api import (
     Budget,
     ExhaustiveBackend,
     LoopBackend,
+    Proved,
+    Refuted,
     SampledBackend,
     Session,
     SyntacticWPBackend,
+    Undecided,
     VerificationTask,
 )
 
@@ -27,7 +30,7 @@ def security_session():
 
 
 class RecordingBackend:
-    """A stub backend that logs calls and returns a fixed attempt."""
+    """A stub backend that logs calls and returns a fixed outcome."""
 
     def __init__(self, name, verdict=None, supported=True):
         self.name = name
@@ -40,14 +43,18 @@ class RecordingBackend:
 
     def attempt(self, task, session, budget=None):
         self.calls += 1
-        return Attempt(self.name, self.verdict, self.name)
+        if self.verdict is True:
+            return Proved(self.name, self.name)
+        if self.verdict is False:
+            return Refuted(self.name, self.name)
+        return Undecided(self.name, self.name)
 
 
 class TestDispatch:
     def test_straightline_decided_by_syntactic_wp(self, security_session):
         result = security_session.verify(GNI_PRE, GNI_PROG, GNI_POST)
         assert result.verified
-        assert result.decided_by.backend == "syntactic-wp"
+        assert result.outcome.backend == "syntactic-wp"
         assert result.method == "syntactic-wp+sat"
         assert result.proof is not None
 
@@ -61,7 +68,7 @@ class TestDispatch:
         assert result.decided_by.backend == "exhaustive"
         assert result.method == "oracle"
 
-    def test_chain_stops_at_first_decisive_attempt(self, security_session):
+    def test_chain_stops_at_first_decisive_outcome(self, security_session):
         first = RecordingBackend("first", verdict=True)
         second = RecordingBackend("second", verdict=True)
         result = security_session.verify(
@@ -76,8 +83,9 @@ class TestDispatch:
             "true", "skip", "true", backends=[skipped, closer]
         )
         assert skipped.calls == 0 and closer.calls == 1
-        assert [a.backend for a in result.attempts] == ["skipped", "closer"]
-        assert result.attempts[0].note == "outside fragment"
+        assert [o.backend for o in result.outcomes] == ["skipped", "closer"]
+        assert isinstance(result.outcomes[0], Undecided)
+        assert result.outcomes[0].reason == "outside fragment"
 
     def test_inconclusive_backend_falls_through(self, security_session):
         undecided = RecordingBackend("undecided", verdict=None)
@@ -93,6 +101,47 @@ class TestDispatch:
         result = s.verify("exists <a>. true", LOOP_PROG, "forall <a>. a(x) == 0")
         assert result.verified
         assert result.decided_by.backend == "exhaustive"
+
+    def test_legacy_attempt_fields_read_back_verbatim(self):
+        """A legacy-constructed Attempt must not reinterpret its args:
+        the counterexample text, proof and assumptions read back exactly
+        even where the algebra has no slot for them."""
+        text = "counterexample:\n  initial set S:\n    ..."
+        with pytest.warns(DeprecationWarning):
+            attempt = Attempt(
+                "legacy",
+                False,
+                "m",
+                counterexample=text,
+                assumptions=("x |= y",),
+            )
+        assert attempt.counterexample == text
+        assert attempt.assumptions == ("x |= y",)
+        assert isinstance(attempt.outcome, Refuted)
+        assert text in attempt.outcome.note  # nothing lost at outcome level
+
+    def test_legacy_attempt_returning_backend_still_works(self, security_session):
+        """Third-party backends may still return deprecated Attempts."""
+
+        class LegacyBackend:
+            name = "legacy"
+
+            def supports(self, task):
+                return True
+
+            def attempt(self, task, session, budget=None):
+                return Attempt(self.name, True, "legacy-method")
+
+        with pytest.warns(DeprecationWarning, match="Attempt is deprecated"):
+            result = security_session.verify(
+                "true", "skip", "true", backends=[LegacyBackend()]
+            )
+        assert result.verified
+        assert isinstance(result.outcome, Proved)
+        assert result.method == "legacy-method"
+        # and the deprecated view over the outcomes still reads the same
+        view = result.attempts[0]
+        assert view.verdict is True and view.backend == "legacy"
 
 
 class TestLoopBackend:
@@ -117,9 +166,9 @@ class TestLoopBackend:
         )
         assert result.verified
         assert result.decided_by.backend == "exhaustive"
-        loop_attempt = [a for a in result.attempts if a.backend == "loop"][0]
-        assert loop_attempt.verdict is None
-        assert "invariant" in loop_attempt.note
+        loop_outcome = [o for o in result.outcomes if o.backend == "loop"][0]
+        assert isinstance(loop_outcome, Undecided)
+        assert "invariant" in loop_outcome.reason
 
     def test_straightline_task_outside_loop_fragment(self):
         s = Session(["x"], 0, 1)
@@ -128,7 +177,7 @@ class TestLoopBackend:
 
 
 class TestBudgets:
-    def test_exhausted_budget_yields_inconclusive_attempt(self):
+    def test_exhausted_budget_yields_inconclusive_outcome(self):
         s = Session(["x"], 0, 2)
         result = s.verify(
             "exists <a>. true",
@@ -138,7 +187,7 @@ class TestBudgets:
             budgets={"exhaustive": 0.0},
         )
         assert result.undecided
-        assert "budget exhausted" in result.attempts[0].note
+        assert "budget exhausted" in result.outcomes[0].reason
 
     def test_chain_recovers_after_budget_exhaustion(self):
         s = Session(["x"], 0, 2)
@@ -197,9 +246,9 @@ class TestSampledBackend:
         )
         assert result.refuted
         assert result.decided_by.backend == "exhaustive"
-        sampled = result.attempts[0]
-        assert sampled.verdict is None
-        assert "under-approximate" in sampled.note
+        sampled = result.outcomes[0]
+        assert isinstance(sampled, Undecided)
+        assert "under-approximate" in sampled.reason
 
     def test_claim_capped_pass_opts_into_legacy_underapproximation(self):
         s = Session(["l"], 0, 1)
@@ -225,22 +274,25 @@ class TestSampledBackend:
             "true", "x := nonDet()", "forall <a>. a(x) == 0", backends=[backend]
         )
         assert bad.refuted
-        assert bad.counterexample is not None
+        assert bad.witness is not None
         good = s.verify("true", "x := 0", "forall <a>. a(x) == 0", backends=[backend])
         assert good.undecided
-        assert "evidence" in good.attempts[0].note
+        assert "evidence" in good.outcomes[0].reason
 
 
-class TestAttemptStructure:
-    def test_refutation_attempt_carries_counterexample(self, security_session):
+class TestOutcomeStructure:
+    def test_refutation_carries_concrete_witness(self, security_session):
         result = security_session.verify(
             "true", "l := h", "forall <a>, <b>. a(l) == b(l)"
         )
         assert result.refuted
-        attempt = result.decided_by
-        assert attempt.backend == "syntactic-wp"
-        assert "initial set" in attempt.counterexample
-        assert attempt.elapsed >= 0.0
+        outcome = result.outcome
+        assert isinstance(outcome, Refuted)
+        assert outcome.backend == "syntactic-wp"
+        assert outcome.witness is not None
+        assert outcome.witness.pre_set and outcome.witness.post_set
+        assert "initial set" in outcome.counterexample
+        assert outcome.elapsed >= 0.0
 
     def test_task_describe_and_labels(self, security_session):
         task = security_session.task(GNI_PRE, GNI_PROG, GNI_POST, label="gni")

@@ -84,3 +84,41 @@ class TestOptions:
             ["forall <a>. a(z) == 0", "skip", "forall <a>. a(z) == 0", "--quiet"]
         )
         assert code == EXIT_VERIFIED
+
+
+class TestJsonOutput:
+    """--json: stdout is one codec wire document; exit codes unchanged."""
+
+    def _decode(self, capsys):
+        import json
+
+        from repro.codec import SCHEMA_VERSION, from_wire
+
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema_version"] == SCHEMA_VERSION
+        return from_wire(document)
+
+    def test_verify_json_verified_with_proof(self, capsys):
+        assert main(GNI + ["--json"]) == EXIT_VERIFIED
+        result = self._decode(capsys)
+        assert result.verified
+        assert result.method == "syntactic-wp+sat"
+        assert result.proof is not None
+        assert "Cons" in result.proof.rules_used()
+
+    def test_verify_json_refuted_with_witness(self, capsys):
+        code = main(["true", "l := h", "forall <a>, <b>. a(l) == b(l)", "--json"])
+        assert code == EXIT_REFUTED
+        result = self._decode(capsys)
+        assert result.refuted
+        assert result.witness is not None and result.witness.pre_set
+
+    def test_fuzz_json_roundtrips_report(self, capsys):
+        from repro.__main__ import fuzz_main
+
+        code = fuzz_main(["--seed", "0", "--trials", "3", "--no-embeddings", "--json"])
+        assert code == EXIT_VERIFIED
+        report = self._decode(capsys)
+        assert report.seed == 0 and report.count == 3
+        assert report.agreed
+        assert len(report.trial_log().splitlines()) == 3

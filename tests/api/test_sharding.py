@@ -1,13 +1,15 @@
-"""Process-sharded verify_many, the task encoding, and API timing."""
+"""Process-sharded verify_many, the wire-document transport, API timing."""
 
 import pytest
 
 from repro.api import Session, SessionSpec, default_shards, verify_many_sharded
-from repro.api.sharding import encode_task
+from repro.api.outcome import Proved, Refuted, Undecided
 from repro.api.session import Report, TaskResult
-from repro.api.task import Attempt, VerificationTask
+from repro.api.sharding import encode_task
+from repro.api.task import VerificationTask
 from repro.assertions.semantic import sem as sem_assertion
 from repro.assertions.parser import parse_assertion
+from repro.codec import from_wire, to_wire
 from repro.lang.parser import parse_command
 
 TASKS = [
@@ -41,17 +43,36 @@ class TestShardedVerifyMany:
         report = fresh_session().verify_many(TASKS[:2], sharding="process", shards=8)
         assert len(report) == 2
 
-    def test_proofs_elided_with_note(self):
-        report = fresh_session().verify_many(TASKS[:1], sharding="process", shards=1)
-        attempt = report[0].decided_by
-        assert report[0].verified
-        assert attempt.proof is None
-        assert "proof elided" in attempt.note
+    def test_sharded_proofs_equal_inline_proofs(self):
+        """The PR-3 elision workaround is gone: a process shard returns
+        Outcome objects whose proof trees compare equal to the inline
+        run's, and every object round-trips through the codec."""
+        inline = fresh_session().verify_many(TASKS)
+        sharded = fresh_session().verify_many(TASKS, sharding="process", shards=2)
+        for mine, theirs in zip(inline, sharded):
+            assert type(mine.outcome) is type(theirs.outcome)
+            assert mine.proof == theirs.proof
+            assert mine.witness == theirs.witness
+            # the whole sharded result survives another codec round-trip
+            assert from_wire(to_wire(theirs)) == theirs
+        proved = sharded[0].outcome
+        assert isinstance(proved, Proved) and proved.proof is not None
+        assert "proof elided" not in proved.note
 
-    def test_counterexample_text_survives(self):
+    def test_counterexample_witness_survives(self):
         report = fresh_session().verify_many(TASKS, sharding="process", shards=2)
         refuted = report.refuted[0]
+        assert isinstance(refuted.outcome, Refuted)
+        assert refuted.witness is not None
+        assert refuted.witness.pre_set  # concrete refuting initial set
         assert "counterexample" in refuted.counterexample
+
+    def test_transport_proofs_false_is_the_elided_baseline(self):
+        report = verify_many_sharded(
+            fresh_session(), TASKS[:1], shards=1, transport_proofs=False
+        )
+        assert report[0].verified
+        assert report[0].proof is None
 
     def test_unknown_sharding_mode_rejected(self):
         with pytest.raises(ValueError, match="unknown sharding"):
@@ -99,12 +120,13 @@ class TestShardedVerifyMany:
 
 
 class TestEncoding:
-    def test_encode_task_is_concrete_syntax(self):
+    def test_encode_task_is_a_wire_document(self):
         session = fresh_session()
         task = session.task(*TASKS[0])
-        pre, program, post, invariant, label = encode_task(task)
-        assert session.task(pre, program, post) == task
-        assert invariant is None
+        document = encode_task(task)
+        assert document["$kind"] == "task"
+        assert "schema_version" in document
+        assert from_wire(document) == task
 
     def test_session_spec_rebuilds_equivalent_session(self):
         session = Session(
@@ -134,10 +156,12 @@ class TestReportSummaryMixedVerdicts:
             label=label,
         )
         if verdict is None:
-            attempts = (Attempt("exhaustive", None, "oracle", note="budget"),)
+            outcomes = (Undecided("exhaustive", "oracle", reason="budget"),)
+        elif verdict:
+            outcomes = (Proved("exhaustive", "oracle"),)
         else:
-            attempts = (Attempt("exhaustive", verdict, "oracle"),)
-        return TaskResult(task, attempts)
+            outcomes = (Refuted("exhaustive", "oracle"),)
+        return TaskResult(task, outcomes)
 
     def test_counts_partition(self):
         report = Report(
@@ -165,7 +189,7 @@ class TestReportSummaryMixedVerdicts:
 
 
 class TestMonotonicTiming:
-    """Attempt/report timing must go through the shared monotonic clock."""
+    """Outcome/report timing must go through the shared monotonic clock."""
 
     def test_api_uses_task_clock(self, monkeypatch):
         import repro.api.task as task_mod
@@ -177,8 +201,8 @@ class TestMonotonicTiming:
         # every recorded duration is a difference of fake-clock readings:
         # integral and non-negative, proving the patched source was used
         assert result.elapsed >= 0
-        for attempt in result.attempts:
-            assert float(attempt.elapsed).is_integer()
+        for outcome in result.outcomes:
+            assert float(outcome.elapsed).is_integer()
 
     def test_budget_uses_task_clock(self, monkeypatch):
         import repro.api.task as task_mod
@@ -193,8 +217,8 @@ class TestMonotonicTiming:
         assert budget.expired
         assert budget.remaining() == 0.0
 
-    def test_task_result_elapsed_sums_attempts(self):
+    def test_task_result_elapsed_sums_outcomes(self):
         result = fresh_session().verify(*TASKS[1])
         assert result.elapsed == pytest.approx(
-            sum(a.elapsed for a in result.attempts)
+            sum(o.elapsed for o in result.outcomes)
         )

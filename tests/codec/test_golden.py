@@ -1,0 +1,186 @@
+"""Golden wire-format fixtures: the codec's cross-release contract.
+
+Each file under ``tests/codec/goldens/`` pins the exact document one
+representative object encodes to.  The CI check is this test module:
+
+- if a freshly-encoded document differs from its golden while
+  ``schema_version`` is unchanged, the wire format drifted without a
+  version bump → **fail** (bump :data:`repro.codec.SCHEMA_VERSION` and
+  regenerate);
+- if the goldens were recorded under a different ``schema_version``
+  than the library now speaks, they are stale → **fail** (regenerate).
+
+Regenerate (after bumping ``SCHEMA_VERSION`` deliberately) with::
+
+    PYTHONPATH=src python tests/codec/test_golden.py --regen
+
+Timings are zeroed before comparison (``elapsed`` is measurement, not
+format), and witness state sets encode in canonical order, so the
+builders are deterministic across runs, platforms and hash seeds.
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+if __name__ == "__main__":  # --regen mode, run as a script
+    sys.path.insert(
+        0,
+        os.path.join(
+            os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+            "src",
+        ),
+    )
+
+from repro.api import Session
+from repro.api.outcome import Undecided
+from repro.codec import SCHEMA_VERSION, from_wire, to_wire
+from repro.conformance import Disagreement, run_fuzz
+from repro.gen import GenConfig
+from repro.gen.triples import regenerate as regenerate_trial
+
+GOLDEN_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "goldens")
+
+GNI = (
+    "forall <a>, <b>. a(l) == b(l)",
+    "y := nonDet(); l := h xor y",
+    "forall <a>, <b>. exists <c>. c(h) == a(h) && c(l) == b(l)",
+)
+
+FUZZ_CONFIG = GenConfig(lo=0, hi=1, max_command_depth=2, max_assertion_depth=2)
+
+
+def _zero_elapsed(node):
+    """``elapsed`` is measurement, not wire format — zero it everywhere."""
+    if isinstance(node, dict):
+        return {
+            key: (0.0 if key == "elapsed" else _zero_elapsed(value))
+            for key, value in node.items()
+        }
+    if isinstance(node, list):
+        return [_zero_elapsed(item) for item in node]
+    return node
+
+
+def _session():
+    return Session(["h", "l", "y"], lo=0, hi=1)
+
+
+def build_task():
+    return to_wire(_session().task(*GNI, label="gni"))
+
+
+def build_proved():
+    return to_wire(_session().verify(*GNI).outcome)
+
+
+def build_refuted():
+    return to_wire(
+        _session().verify("true", "l := h", "forall <a>, <b>. a(l) == b(l)").outcome
+    )
+
+
+def build_undecided():
+    return to_wire(
+        Undecided("exhaustive", "oracle", reason="budget exhausted after 3 of 256 initial sets")
+    )
+
+
+def build_report():
+    session = _session()
+    report = session.verify_many(
+        [
+            GNI,
+            ("true", "l := h", "forall <a>, <b>. a(l) == b(l)"),
+        ]
+    )
+    return to_wire(report)
+
+
+def build_disagreement():
+    trial = regenerate_trial(0, 1, FUZZ_CONFIG)
+    return to_wire(
+        Disagreement(
+            "engine-vs-naive",
+            "engine says valid, naive oracle says invalid",
+            trial_seed=0,
+            trial_index=1,
+            reproducer=trial.triple,
+        )
+    )
+
+
+def build_fuzz_report():
+    return to_wire(run_fuzz(0, 3, config=FUZZ_CONFIG, embeddings=False))
+
+
+BUILDERS = {
+    "task": build_task,
+    "outcome-proved": build_proved,
+    "outcome-refuted": build_refuted,
+    "outcome-undecided": build_undecided,
+    "report": build_report,
+    "disagreement": build_disagreement,
+    "fuzz-report": build_fuzz_report,
+}
+
+
+def golden_path(name):
+    return os.path.join(GOLDEN_DIR, "%s.json" % name)
+
+
+def render(document):
+    return json.dumps(_zero_elapsed(document), indent=2, sort_keys=True) + "\n"
+
+
+@pytest.mark.parametrize("name", sorted(BUILDERS))
+class TestGoldens:
+    def test_document_matches_golden(self, name):
+        path = golden_path(name)
+        assert os.path.exists(path), (
+            "missing golden %s — generate it with "
+            "`PYTHONPATH=src python tests/codec/test_golden.py --regen`" % path
+        )
+        stored = json.loads(open(path).read())
+        stored_version = stored.get("schema_version")
+        if stored_version != SCHEMA_VERSION:
+            pytest.fail(
+                "golden %r was recorded under schema_version %r but the "
+                "library speaks %d; regenerate the goldens "
+                "(PYTHONPATH=src python tests/codec/test_golden.py --regen)"
+                % (name, stored_version, SCHEMA_VERSION)
+            )
+        fresh = render(BUILDERS[name]())
+        if fresh != render(stored):
+            pytest.fail(
+                "wire document %r changed while schema_version stayed at %d "
+                "— the format drifted without a version bump.  Bump "
+                "repro.codec.SCHEMA_VERSION and regenerate the goldens "
+                "(PYTHONPATH=src python tests/codec/test_golden.py --regen)"
+                % (name, SCHEMA_VERSION)
+            )
+
+    def test_golden_still_decodes(self, name):
+        stored = json.loads(open(golden_path(name)).read())
+        decoded = from_wire(stored)
+        fresh = from_wire(json.loads(render(BUILDERS[name]())))
+        assert decoded == fresh
+
+
+def regen():
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    for name, builder in sorted(BUILDERS.items()):
+        path = golden_path(name)
+        with open(path, "w") as handle:
+            handle.write(render(builder()))
+        print("wrote %s" % path)
+
+
+if __name__ == "__main__":
+    if "--regen" in sys.argv:
+        regen()
+    else:
+        print(__doc__)
+        sys.exit(2)

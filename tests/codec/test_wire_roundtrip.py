@@ -1,0 +1,192 @@
+"""Codec round-trip properties: ``from_wire(to_wire(x)) == x``.
+
+Every object class the wire format carries — tasks, outcomes, proofs,
+witnesses, task results, reports, trials, disagreements, fuzz reports —
+is exercised over the deterministic :mod:`repro.gen` trial streams, and
+every document additionally survives a real JSON ``dumps``/``loads``
+round-trip (the wire format is exactly what the ``--json`` CLI emits).
+"""
+
+import json
+
+import pytest
+
+from repro.api import Proved, Refuted, Session, Undecided
+from repro.api.task import VerificationTask
+from repro.checker.counterexample import Witness
+from repro.codec import SCHEMA_VERSION, WireError, from_wire, to_wire
+from repro.conformance import Disagreement, TrialOutcome, run_fuzz
+from repro.gen import GenConfig, trials
+from repro.gen.triples import regenerate
+
+#: The conformance harness's tiny universe: cheap exhaustive verdicts.
+CONFIG = GenConfig(lo=0, hi=1, max_command_depth=2, max_assertion_depth=2)
+
+
+def through_json(document):
+    """A wire document after a real JSON round-trip."""
+    return json.loads(json.dumps(document))
+
+
+def roundtrip(obj):
+    document = to_wire(obj)
+    assert document["schema_version"] == SCHEMA_VERSION
+    assert "$kind" in document
+    decoded = from_wire(through_json(document))
+    assert decoded == obj
+    assert type(decoded) is type(obj)
+    return decoded
+
+
+def gen_stream(seed, count, **kwargs):
+    return [t.triple for t in trials(seed, count, CONFIG, **kwargs)]
+
+
+class TestGeneratedObjects:
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    def test_gen_triples_and_trials(self, seed):
+        for trial in trials(seed, 15, CONFIG, loop_bias=0.3):
+            roundtrip(trial.triple)
+            roundtrip(trial)
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_tasks(self, seed):
+        for index, triple in enumerate(gen_stream(seed, 15, loop_bias=0.3)):
+            task = VerificationTask(
+                pre=triple.pre,
+                command=triple.command,
+                post=triple.post,
+                invariant=triple.invariant,
+                label="t%d" % index,
+            )
+            roundtrip(task)
+
+
+class TestLiveResults:
+    """Round-trip what real verification runs produce."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        session = Session(CONFIG.pvars, lo=CONFIG.lo, hi=CONFIG.hi)
+        batch = [
+            (t.pre, t.command, t.post, t.invariant)
+            for t in gen_stream(2, 25, straightline_bias=0.5, loop_bias=0.2)
+        ]
+        return session.verify_many(batch)
+
+    def test_report_and_results(self, report):
+        roundtrip(report)
+        for result in report:
+            roundtrip(result)
+
+    def test_every_outcome_class_appears_and_roundtrips(self, report):
+        seen = set()
+        for result in report:
+            for outcome in result.outcomes:
+                seen.add(type(outcome))
+                roundtrip(outcome)
+        assert {Proved, Refuted, Undecided} <= seen
+
+    def test_proofs_and_witnesses(self, report):
+        proofs = [r.proof for r in report if r.proof is not None]
+        witnesses = [r.witness for r in report if r.witness is not None]
+        assert proofs, "the generated batch should prove something syntactically"
+        assert witnesses, "the generated batch should refute something"
+        for proof in proofs:
+            decoded = roundtrip(proof)
+            assert decoded.rules_used() == proof.rules_used()
+            roundtrip(proof.triple)
+        for witness in witnesses:
+            roundtrip(witness)
+
+    def test_elapsed_floats_survive_json_exactly(self, report):
+        decoded = from_wire(through_json(to_wire(report)))
+        assert decoded.elapsed == report.elapsed
+        for mine, theirs in zip(report, decoded):
+            assert [o.elapsed for o in mine.outcomes] == [
+                o.elapsed for o in theirs.outcomes
+            ]
+
+
+class TestConformanceObjects:
+    def test_disagreement_and_trial_outcome(self):
+        trial = regenerate(5, 3, CONFIG)
+        disagreement = Disagreement(
+            "engine-vs-naive",
+            "engine says valid, naive oracle says invalid",
+            trial_seed=5,
+            trial_index=3,
+            reproducer=trial.triple,
+        )
+        roundtrip(disagreement)
+        outcome = TrialOutcome(
+            trial,
+            oracle_valid=True,
+            checks=("engine-vs-naive", "chain-vs-oracle"),
+            disagreements=(disagreement,),
+        )
+        roundtrip(outcome)
+
+    def test_live_fuzz_report(self):
+        report = run_fuzz(0, 6, config=CONFIG, embeddings=False)
+        assert report.agreed
+        decoded = roundtrip(report)
+        assert decoded.trial_log() == report.trial_log()
+        assert decoded.summary() == report.summary()
+
+
+class TestWireContract:
+    def test_wrong_schema_version_refused(self):
+        document = to_wire(Proved("exhaustive", "oracle"))
+        document["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(WireError, match="schema_version"):
+            from_wire(document)
+
+    def test_unknown_kind_refused(self):
+        with pytest.raises(WireError, match="kind"):
+            from_wire({"$kind": "no-such-kind", "schema_version": SCHEMA_VERSION})
+
+    def test_missing_kind_refused(self):
+        with pytest.raises(WireError, match="\\$kind"):
+            from_wire({"schema_version": SCHEMA_VERSION})
+
+    def test_truncated_payload_raises_wire_error_not_index_error(self):
+        with pytest.raises(WireError, match="malformed"):
+            from_wire(
+                {"$kind": "assertion", "tree": [], "schema_version": SCHEMA_VERSION}
+            )
+        with pytest.raises(WireError, match="malformed"):
+            from_wire(
+                {
+                    "$kind": "assertion",
+                    "tree": ["cmp", "=="],  # operands missing
+                    "schema_version": SCHEMA_VERSION,
+                }
+            )
+
+    def test_semantic_assertion_rejected_loudly(self):
+        from repro.assertions.semantic import sem as sem_assertion
+        from repro.lang.parser import parse_command
+
+        task = VerificationTask(
+            pre=sem_assertion(lambda S: True, "anything"),
+            command=parse_command("skip"),
+            post=sem_assertion(lambda S: True, "anything"),
+        )
+        with pytest.raises(WireError, match="syntactic"):
+            to_wire(task)
+
+    def test_witness_set_order_is_canonical(self):
+        session = Session(["l"], lo=0, hi=1)
+        result = session.verify("true", "skip", "forall <a>, <b>. a(l) == b(l)")
+        witness = result.witness
+        assert witness is not None
+        # encoding is order-canonical: two equal witnesses, one document
+        flipped = Witness(frozenset(witness.pre_set), frozenset(witness.post_set))
+        assert to_wire(witness) == to_wire(flipped)
+
+    def test_undecided_reason_note_sync(self):
+        by_reason = Undecided("exhaustive", "oracle", reason="budget exhausted")
+        by_note = Undecided("exhaustive", "oracle", note="budget exhausted")
+        assert by_reason == by_note
+        assert roundtrip(by_reason).note == "budget exhausted"

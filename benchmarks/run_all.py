@@ -1,0 +1,189 @@
+"""One entry point for the whole benchmark suite.
+
+Discovers every ``bench_*.py`` in this directory and runs each in its
+native mode:
+
+- plain scripts (those with a ``__main__`` guard — the engine, shard and
+  session benches) run as ``python bench_X.py [--quick]``;
+- pytest-benchmark modules run as ``python -m pytest bench_X.py -q``
+  (they use ``benchmark.pedantic`` with fixed rounds, so there is no
+  separate quick mode to pass).
+
+Besides the human-readable log, ``--json`` (or always, with
+``--output``) emits a machine-readable ``BENCH_results.json``::
+
+    {
+      "schema": 1,
+      "machine": {"platform": ..., "python": ..., "cpus": ...},
+      "quick": true,
+      "elapsed": 123.4,
+      "ok": true,
+      "benches": [
+        {"name": "bench_checker_engine", "mode": "script",
+         "ok": true, "elapsed": 1.23, "ratios": [16.9, 23.8, 10.2]},
+        ...
+      ]
+    }
+
+``ratios`` collects every ``<number>x`` figure printed by a bench (the
+speedup/scaling headlines), so CI artifacts track the performance
+trajectory without parsing free text.  Exit code 0 iff every bench
+passed — a failed cross-validation inside any bench (e.g. the compiled
+engine disagreeing with the interpreted one) fails the whole run.
+
+Usage::
+
+    python benchmarks/run_all.py --quick            # CI smoke
+    python benchmarks/run_all.py --json             # print the JSON too
+    python benchmarks/run_all.py --output results.json
+"""
+
+import argparse
+import json
+import os
+import platform
+import re
+import subprocess
+import sys
+import time
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(HERE)
+
+#: Matches speedup/scaling figures like ``16.9x`` in bench output.
+#: Only measurement lines count — assertion-threshold lines like
+#: ``speedup >= 10x: OK`` would otherwise pollute the trajectory data.
+_RATIO = re.compile(r"\b(\d+(?:\.\d+)?)x\b")
+_THRESHOLD_LINE = re.compile(r">=\s*\d+(?:\.\d+)?x")
+
+#: Default name of the machine-readable artifact.
+DEFAULT_OUTPUT = "BENCH_results.json"
+
+
+def discover():
+    """All bench modules, as ``(name, mode)`` sorted by name."""
+    out = []
+    for entry in sorted(os.listdir(HERE)):
+        if not entry.startswith("bench_") or not entry.endswith(".py"):
+            continue
+        path = os.path.join(HERE, entry)
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        mode = "script" if '__name__ == "__main__"' in source else "pytest"
+        out.append((entry, mode))
+    return out
+
+
+def command_for(entry, mode, quick):
+    if mode == "script":
+        cmd = [sys.executable, os.path.join(HERE, entry)]
+        if quick:
+            cmd.append("--quick")
+        return cmd
+    return [
+        sys.executable, "-m", "pytest",
+        os.path.join(HERE, entry), "-q", "-p", "no:cacheprovider",
+    ]
+
+
+def run_bench(entry, mode, quick, env, timeout):
+    started = time.perf_counter()
+    try:
+        proc = subprocess.run(
+            command_for(entry, mode, quick),
+            cwd=ROOT,
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            timeout=timeout,
+            text=True,
+        )
+        output = proc.stdout
+        ok = proc.returncode == 0
+    except subprocess.TimeoutExpired as err:
+        output = (err.stdout or "") + "\n[timed out after %ds]" % timeout
+        ok = False
+    elapsed = time.perf_counter() - started
+    ratios = [
+        float(m)
+        for line in output.splitlines()
+        if not _THRESHOLD_LINE.search(line)
+        for m in _RATIO.findall(line)
+    ]
+    return {
+        "name": entry[:-3],
+        "mode": mode,
+        "ok": ok,
+        "elapsed": round(elapsed, 3),
+        "ratios": ratios,
+        "tail": output.strip().splitlines()[-12:] if not ok else [],
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="pass --quick to script benches (CI smoke)")
+    parser.add_argument("--json", action="store_true",
+                        help="print the JSON document to stdout as well")
+    parser.add_argument("--output", default=os.path.join(ROOT, DEFAULT_OUTPUT),
+                        help="where to write the JSON artifact "
+                        "(default: repo-root BENCH_results.json)")
+    parser.add_argument("--timeout", type=int, default=900,
+                        help="per-bench timeout in seconds (default 900)")
+    parser.add_argument("--only", action="append", default=[],
+                        help="run only benches whose name contains this "
+                        "substring (repeatable)")
+    args = parser.parse_args(argv)
+
+    env = dict(os.environ)
+    src = os.path.join(ROOT, "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+
+    benches = discover()
+    if args.only:
+        benches = [
+            (entry, mode) for entry, mode in benches
+            if any(sub in entry for sub in args.only)
+        ]
+    started = time.perf_counter()
+    results = []
+    for entry, mode in benches:
+        print("== %-32s (%s)" % (entry, mode), flush=True)
+        result = run_bench(entry, mode, args.quick, env, args.timeout)
+        status = "ok" if result["ok"] else "FAIL"
+        print("   %-4s %7.2fs  ratios: %s"
+              % (status, result["elapsed"],
+                 ", ".join("%.1fx" % r for r in result["ratios"]) or "-"),
+              flush=True)
+        if not result["ok"]:
+            for line in result["tail"]:
+                print("   | %s" % line)
+        results.append(result)
+
+    document = {
+        "schema": 1,
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpus": os.cpu_count(),
+        },
+        "quick": args.quick,
+        "elapsed": round(time.perf_counter() - started, 3),
+        "ok": all(r["ok"] for r in results),
+        "benches": results,
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("\nwrote %s (%d benches, %s)"
+          % (args.output, len(results), "ok" if document["ok"] else "FAILURES"))
+    if args.json:
+        print(json.dumps(document, sort_keys=True))
+    return 0 if document["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

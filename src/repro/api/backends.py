@@ -291,12 +291,18 @@ class SampledBackend:
         )
 
     def _sampled(self, task, session, budget):
+        from ..compile import compile_assertion
+
         universe = session.universe
         domain = universe.domain
         method = "sampled(%d)" % self.samples
         rng = random.Random(self.seed)
         states = list(universe.ext_states())
         cap = self.max_size if self.max_size is not None else 4
+        # the draws are independent sets, so whole-set (compiled) holds —
+        # compiled once per task through the session's compile cache
+        pre_holds = compile_assertion(task.pre, domain, session.compiles).holds
+        post_holds = compile_assertion(task.post, domain, session.compiles).holds
         for drawn in range(self.samples):
             if _expired(budget):
                 return Undecided(
@@ -306,10 +312,10 @@ class SampledBackend:
                 )
             k = rng.randint(0, cap)
             subset = frozenset(rng.sample(states, min(k, len(states))))
-            if not task.pre.holds(subset, domain):
+            if not pre_holds(subset):
                 continue
             post_set = session.engine.sem(task.command, subset)
-            if not task.post.holds(post_set, domain):
+            if not post_holds(post_set):
                 return Refuted(
                     self.name, method, witness=Witness(subset, post_set)
                 )

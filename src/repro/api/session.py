@@ -32,6 +32,7 @@ from ..assertions.entail import EntailmentOracle
 from ..assertions.parser import parse_assertion
 from ..checker.engine import CheckerEngine, ImageCache
 from ..checker.universe import Universe
+from ..compile import CompileCache
 from ..codec.mixin import WireCodec
 from ..lang.ast import Command
 from ..lang.parser import parse_command
@@ -60,8 +61,12 @@ class CachingOracle(EntailmentOracle):
     race costs at most a duplicated computation).
     """
 
-    def __init__(self, universe, domain, method="brute", max_size=None):
-        super().__init__(universe, domain, method=method, max_size=max_size)
+    def __init__(self, universe, domain, method="brute", max_size=None,
+                 compile_cache=None):
+        super().__init__(
+            universe, domain, method=method, max_size=max_size,
+            compile_cache=compile_cache,
+        )
         self._cache = {}
         self._cache_lock = threading.Lock()
         self.hits = 0
@@ -185,12 +190,22 @@ class TaskResult(WireCodec):
 
 @dataclass(frozen=True)
 class Report(WireCodec):
-    """Aggregate outcome of :meth:`Session.verify_many`."""
+    """Aggregate outcome of :meth:`Session.verify_many`.
+
+    The ``image_cache_*`` fields are the per-batch deltas of the
+    session's :class:`~repro.checker.engine.ImageCache` counters
+    (``evictions`` stays 0 unless the session bounds the cache with
+    ``max_image_entries``); process-sharded batches aggregate the
+    workers' private caches.
+    """
 
     results: Tuple[TaskResult, ...]
     elapsed: float = 0.0
     entailment_cache_hits: int = 0
     entailment_cache_misses: int = 0
+    image_cache_hits: int = 0
+    image_cache_misses: int = 0
+    image_cache_evictions: int = 0
 
     def __iter__(self):
         return iter(self.results)
@@ -224,7 +239,8 @@ class Report(WireCodec):
         """A multi-line human-readable batch summary."""
         lines = [
             "report: %d verified, %d refuted, %d undecided in %.3fs "
-            "(entailment cache: %d hits, %d misses)"
+            "(entailment cache: %d hits, %d misses; image cache: %d hits, "
+            "%d misses, %d evictions)"
             % (
                 len(self.verified),
                 len(self.refuted),
@@ -232,6 +248,9 @@ class Report(WireCodec):
                 self.elapsed,
                 self.entailment_cache_hits,
                 self.entailment_cache_misses,
+                self.image_cache_hits,
+                self.image_cache_misses,
+                self.image_cache_evictions,
             )
         ]
         for index, result in enumerate(self.results):
@@ -284,6 +303,11 @@ class Session:
     max_set_size:
         Optional cap on initial-set sizes for oracle stages on large
         universes; capped verdicts carry the cap in their method string.
+    max_image_entries:
+        Optional LRU bound on the session's image cache (default
+        ``None``: unbounded).  Long-lived sessions enumerating many
+        distinct ``(command, state)`` pairs can cap memory; evicted
+        entries re-execute on demand, so verdicts never change.
 
     Example::
 
@@ -306,6 +330,7 @@ class Session:
         backends=None,
         budgets=None,
         max_set_size=None,
+        max_image_entries=None,
     ):
         self.universe = Universe(pvars, IntRange(lo, hi), lvars=lvars)
         self.entailment = entailment
@@ -313,13 +338,22 @@ class Session:
         # constructor arguments; a custom backend chain has no picklable
         # recipe, so sharded batches refuse it (see api/sharding.py).
         self.has_custom_backends = backends is not None
+        # One compile cache for the whole session: commands, assertions
+        # and prefilter predicates compile once and are reused by the
+        # engine, the backends and the entailment oracle.
+        self.compiles = CompileCache()
         self.oracle = CachingOracle(
-            self.universe.ext_states(), self.universe.domain, method=entailment
+            self.universe.ext_states(),
+            self.universe.domain,
+            method=entailment,
+            compile_cache=self.compiles,
         )
         # One image cache for the whole session: per-state executions
         # persist across tasks in a batch and across verify_many threads.
-        self.images = ImageCache()
-        self.engine = CheckerEngine(self.universe, self.images)
+        self.images = ImageCache(max_entries=max_image_entries)
+        self.engine = CheckerEngine(
+            self.universe, self.images, compile_cache=self.compiles
+        )
         self.max_set_size = max_set_size
         self.backends = (
             tuple(backends) if backends is not None else default_backends(max_set_size)
@@ -440,6 +474,7 @@ class Session:
                 )
         normalized = [self.task(t) for t in tasks]
         info = self.oracle.cache_info()
+        images = self.images.stats()
         started = _task_mod.clock()
         if max_workers is not None and max_workers > 1:
             with ThreadPoolExecutor(max_workers=max_workers) as pool:
@@ -450,11 +485,15 @@ class Session:
             results = [self._run_task(t, backends, budgets) for t in normalized]
         elapsed = _task_mod.clock() - started
         after = self.oracle.cache_info()
+        images_after = self.images.stats()
         return Report(
             tuple(results),
             elapsed=elapsed,
             entailment_cache_hits=after["hits"] - info["hits"],
             entailment_cache_misses=after["misses"] - info["misses"],
+            image_cache_hits=images_after["hits"] - images["hits"],
+            image_cache_misses=images_after["misses"] - images["misses"],
+            image_cache_evictions=images_after["evictions"] - images["evictions"],
         )
 
     def disprove(self, pre, program, post, construct_proof=False):
@@ -483,7 +522,8 @@ class Session:
     def cache_info(self):
         """Cache statistics for diagnostics and benchmarks."""
         info = self.oracle.cache_info()
-        images = self.images.info()
+        images = self.images.stats()
+        compiles = self.compiles.stats()
         return {
             "entailment_hits": info["hits"],
             "entailment_misses": info["misses"],
@@ -491,6 +531,11 @@ class Session:
             "image_hits": images["hits"],
             "image_misses": images["misses"],
             "image_size": images["size"],
+            "image_evictions": images["evictions"],
+            "compile_hits": compiles["hits"],
+            "compile_misses": compiles["misses"],
+            "compile_size": compiles["size"],
+            "compile_fallbacks": compiles["fallbacks"],
             "programs": len(self._program_cache),
             "assertions": len(self._assertion_cache),
         }

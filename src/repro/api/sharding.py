@@ -59,6 +59,7 @@ class SessionSpec:
     lvars: Tuple[str, ...]
     entailment: str
     max_set_size: Optional[int]
+    max_image_entries: Optional[int] = None
 
     @classmethod
     def of(cls, session):
@@ -86,6 +87,7 @@ class SessionSpec:
             lvars=tuple(session.universe.lvars),
             entailment=session.entailment,
             max_set_size=session.max_set_size,
+            max_image_entries=session.images.max_entries,
         )
 
     def build(self):
@@ -98,6 +100,7 @@ class SessionSpec:
             lvars=self.lvars,
             entailment=self.entailment,
             max_set_size=self.max_set_size,
+            max_image_entries=self.max_image_entries,
         )
 
 
@@ -140,6 +143,7 @@ def _run_chunk(chunk, budgets, transport_proofs):
     """
     session = _WORKER_SESSION
     before = session.oracle.cache_info()
+    images_before = session.images.stats()
     out = []
     for index, document in chunk:
         task = from_wire(document)
@@ -151,7 +155,14 @@ def _run_chunk(chunk, budgets, transport_proofs):
             encoded.append(to_wire(outcome))
         out.append((index, encoded))
     after = session.oracle.cache_info()
-    delta = (after["hits"] - before["hits"], after["misses"] - before["misses"])
+    images_after = session.images.stats()
+    delta = (
+        after["hits"] - before["hits"],
+        after["misses"] - before["misses"],
+        images_after["hits"] - images_before["hits"],
+        images_after["misses"] - images_before["misses"],
+        images_after["evictions"] - images_before["evictions"],
+    )
     return out, delta
 
 
@@ -192,6 +203,7 @@ def verify_many_sharded(
     started = _task_mod.clock()
     outcomes_by_index = {}
     hits = misses = 0
+    image_hits = image_misses = image_evictions = 0
     with ProcessPoolExecutor(
         max_workers=shards, initializer=_init_worker, initargs=(spec,)
     ) as pool:
@@ -200,9 +212,12 @@ def verify_many_sharded(
             for chunk in chunks
         ]
         for future in futures:
-            rows, (chunk_hits, chunk_misses) = future.result()
-            hits += chunk_hits
-            misses += chunk_misses
+            rows, chunk_delta = future.result()
+            hits += chunk_delta[0]
+            misses += chunk_delta[1]
+            image_hits += chunk_delta[2]
+            image_misses += chunk_delta[3]
+            image_evictions += chunk_delta[4]
             for index, documents in rows:
                 outcomes_by_index[index] = tuple(from_wire(d) for d in documents)
     elapsed = _task_mod.clock() - started
@@ -214,4 +229,7 @@ def verify_many_sharded(
         elapsed=elapsed,
         entailment_cache_hits=hits,
         entailment_cache_misses=misses,
+        image_cache_hits=image_hits,
+        image_cache_misses=image_misses,
+        image_cache_evictions=image_evictions,
     )

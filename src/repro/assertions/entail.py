@@ -19,6 +19,13 @@ A ``sat`` oracle silently degrades to ``brute`` on assertions outside the
 groundable fragment; the method that *actually* decided each query is
 recorded on the oracle (:attr:`EntailmentOracle.last_method`,
 :meth:`EntailmentOracle.used_since`) so callers can report it faithfully.
+
+Brute-force enumeration evaluates both assertions through the
+compile-once layer (:func:`repro.compile.compile_assertion`): each
+assertion is compiled to a whole-set closure once per query and every
+subset pays direct closure calls — same verdicts as the interpreted
+``holds``, which the property tests cross-check.  Pass
+``compile_cache=False`` to force interpreted evaluation.
 """
 
 import threading
@@ -27,28 +34,44 @@ from ..errors import EntailmentError
 from ..util import iter_subsets
 
 
-def entails(pre, post, universe, domain, max_size=None, presorted=False):
+def _holds_fn(assertion, domain, compile_cache):
+    """``S -> bool`` for one assertion: compiled unless disabled."""
+    if compile_cache is False:
+        return lambda subset: assertion.holds(subset, domain)
+    from ..compile.assertion import compile_assertion
+
+    return compile_assertion(assertion, domain, compile_cache).holds
+
+
+def entails(pre, post, universe, domain, max_size=None, presorted=False,
+            compile_cache=None):
     """``pre |= post`` over all subsets of ``universe`` (up to ``max_size``)."""
     return (
         find_entailment_counterexample(
-            pre, post, universe, domain, max_size, presorted=presorted
+            pre, post, universe, domain, max_size, presorted=presorted,
+            compile_cache=compile_cache,
         )
         is None
     )
 
 
 def find_entailment_counterexample(
-    pre, post, universe, domain, max_size=None, presorted=False
+    pre, post, universe, domain, max_size=None, presorted=False,
+    compile_cache=None,
 ):
     """A set ``S`` with ``pre(S)`` and ``not post(S)``, or ``None``.
 
     Pass ``presorted=True`` when ``universe`` is already in canonical
     (``repr``-sorted) order — e.g. :attr:`EntailmentOracle.universe` — to
-    skip the per-call sort.
+    skip the per-call sort.  ``compile_cache`` selects the compile cache
+    for the assertion closures (``None``: module-wide cache; ``False``:
+    interpreted evaluation).
     """
+    pre_holds = _holds_fn(pre, domain, compile_cache)
+    post_holds = _holds_fn(post, domain, compile_cache)
     states = universe if presorted else sorted(universe, key=repr)
     for subset in iter_subsets(states, max_size=max_size):
-        if pre.holds(subset, domain) and not post.holds(subset, domain):
+        if pre_holds(subset) and not post_holds(subset):
             return subset
     return None
 
@@ -60,11 +83,13 @@ def equivalent(a, b, universe, domain, max_size=None):
     )
 
 
-def satisfiable(assertion, universe, domain, max_size=None, presorted=False):
+def satisfiable(assertion, universe, domain, max_size=None, presorted=False,
+                compile_cache=None):
     """Some subset of the universe satisfies ``assertion``."""
+    holds = _holds_fn(assertion, domain, compile_cache)
     states = universe if presorted else sorted(universe, key=repr)
     for subset in iter_subsets(states, max_size=max_size):
-        if assertion.holds(subset, domain):
+        if holds(subset):
             return True
     return False
 
@@ -86,13 +111,19 @@ class EntailmentOracle:
         Optional cap on the subset size enumerated (keeps the cost
         polynomial when only small sets matter — unsound in general, so
         off by default).
+    compile_cache:
+        Optional shared :class:`~repro.compile.cache.CompileCache` for
+        the brute-force assertion closures (``None``: the module-wide
+        cache; a :class:`~repro.api.session.Session` passes its own).
     """
 
-    def __init__(self, universe, domain, method="brute", max_size=None):
+    def __init__(self, universe, domain, method="brute", max_size=None,
+                 compile_cache=None):
         self.universe = tuple(sorted(universe, key=repr))
         self.domain = domain
         self.method = method
         self.max_size = max_size
+        self.compile_cache = compile_cache
         self.assumed = []
         # Method bookkeeping is thread-local so concurrent sessions
         # (Session.verify_many with workers) attribute queries correctly.
@@ -142,7 +173,8 @@ class EntailmentOracle:
                 self._record("sat")
                 return verdict
         verdict = entails(
-            pre, post, self.universe, self.domain, self.max_size, presorted=True
+            pre, post, self.universe, self.domain, self.max_size, presorted=True,
+            compile_cache=self.compile_cache,
         )
         self._record("brute")
         return verdict
@@ -150,13 +182,15 @@ class EntailmentOracle:
     def find_counterexample(self, pre, post):
         """A witness set refuting ``pre |= post`` (or ``None``)."""
         return find_entailment_counterexample(
-            pre, post, self.universe, self.domain, self.max_size, presorted=True
+            pre, post, self.universe, self.domain, self.max_size, presorted=True,
+            compile_cache=self.compile_cache,
         )
 
     def satisfiable(self, assertion):
         """Some subset of the universe satisfies ``assertion``."""
         return satisfiable(
-            assertion, self.universe, self.domain, self.max_size, presorted=True
+            assertion, self.universe, self.domain, self.max_size, presorted=True,
+            compile_cache=self.compile_cache,
         )
 
     def require(self, pre, post, context=""):

@@ -107,16 +107,54 @@ class NotAssertion(Assertion):
 # constant and primitive assertions
 # ---------------------------------------------------------------------------
 
+class ForallStates(SemAssertion):
+    """``∀⟨φ⟩ ∈ S. pred(φ)`` — a per-state universal.
+
+    A dedicated class (rather than a closed-over lambda) so the compile
+    layer (:mod:`repro.compile.assertion`) can recognize the form and
+    evaluate it incrementally: one ``pred`` call per state added to the
+    candidate set instead of a full re-scan per candidate.
+    """
+
+    __slots__ = ("pred",)
+
+    def __init__(self, pred, label="∀⟨φ⟩"):
+        super().__init__(lambda S: all(pred(phi) for phi in S), label)
+        self.pred = pred
+
+
+class ExistsStates(SemAssertion):
+    """``∃⟨φ⟩ ∈ S. pred(φ)`` — a per-state existential (see
+    :class:`ForallStates` for why this is a class)."""
+
+    __slots__ = ("pred",)
+
+    def __init__(self, pred, label="∃⟨φ⟩"):
+        super().__init__(lambda S: any(pred(phi) for phi in S), label)
+        self.pred = pred
+
+
+class Cardinality(SemAssertion):
+    """A hyper-assertion about ``|S|`` alone (see :class:`ForallStates`
+    for why this is a class — ``|S|`` is trivially incremental)."""
+
+    __slots__ = ("pred",)
+
+    def __init__(self, pred, label="|S| pred"):
+        super().__init__(lambda S: pred(len(S)), label)
+        self.pred = pred
+
+
 TRUE_H = SemAssertion(lambda S: True, "⊤")
 """The trivially true hyper-assertion."""
 
 FALSE_H = SemAssertion(lambda S: False, "⊥")
 """The trivially false hyper-assertion."""
 
-EMP = SemAssertion(lambda S: len(S) == 0, "emp")
+EMP = Cardinality(lambda n: n == 0, "emp")
 """``emp`` — the set of states is empty (Sect. 4.1)."""
 
-NOT_EMP = SemAssertion(lambda S: len(S) > 0, "¬emp")
+NOT_EMP = Cardinality(lambda n: n > 0, "¬emp")
 """The set of states is non-empty (``∃⟨φ⟩. ⊤``)."""
 
 
@@ -202,17 +240,17 @@ def superset_of(target):
 
 def forall_states(pred, label="∀⟨φ⟩"):
     """``∀⟨φ⟩ ∈ S. pred(φ)`` as a semantic assertion."""
-    return SemAssertion(lambda S: all(pred(phi) for phi in S), label)
+    return ForallStates(pred, label)
 
 
 def exists_state(pred, label="∃⟨φ⟩"):
     """``∃⟨φ⟩ ∈ S. pred(φ)`` as a semantic assertion."""
-    return SemAssertion(lambda S: any(pred(phi) for phi in S), label)
+    return ExistsStates(pred, label)
 
 
 def singleton():
     """``isSingleton`` — exactly one state (App. D.2)."""
-    return SemAssertion(lambda S: len(S) == 1, "isSingleton")
+    return Cardinality(lambda n: n == 1, "isSingleton")
 
 
 def cardinality(pred, label="|S| pred"):
@@ -221,7 +259,7 @@ def cardinality(pred, label="|S| pred"):
     Example: ``cardinality(lambda n: n <= 3)``.  Set-properties like this
     are exactly what the "Set properties" row of Fig. 1 is about.
     """
-    return SemAssertion(lambda S: pred(len(S)), label)
+    return Cardinality(pred, label)
 
 
 # ---------------------------------------------------------------------------

@@ -1,36 +1,69 @@
-"""The precomputed-image checker engine behind the Def. 5 oracle.
+"""The precomputed-image, compiled-evaluation checker engine behind the
+Def. 5 oracle.
 
 The naive oracle re-runs ``sem(C, S)`` from scratch for every candidate
 initial set ``S``: over a universe of ``n`` extended states that is
 ``O(2**n)`` big-step executions, each program state re-executed up to
-``2**(n-1)`` times.  :class:`CheckerEngine` removes the re-execution:
+``2**(n-1)`` times.  :class:`CheckerEngine` removes the re-execution —
+and, since the compile-once refactor, the re-*evaluation*:
 
 1. every extended state is executed **once** up front into a per-state
    *image* ``image(φ) = {(φ_L, σ') | ⟨C, φ_P⟩ → σ'}``, so ``sem(C, S) =
-   ⋃_{φ∈S} image(φ)`` by Lemma 1 (union-distribution);
+   ⋃_{φ∈S} image(φ)`` by Lemma 1 (union-distribution); the execution
+   itself runs on a fused step function
+   (:func:`repro.compile.compile_command`) instead of a per-node tree
+   walk;
 2. candidate sets are decided by unioning those precomputed images,
    built *incrementally* along the size-ordered subset enumeration (each
    enumeration step extends a prefix union by one image);
-3. states that can never appear in a precondition-satisfying set are
+3. ``pre``/``post`` are compiled once
+   (:func:`repro.compile.compile_assertion`) into incremental
+   :class:`~repro.compile.assertion.SetEvaluator` objects whose
+   ``push``/``pop`` mirror the same enumeration steps, so each candidate
+   set is *decided* in ``O(Δ)`` — the work proportional to the one state
+   (and its image) the step added — instead of re-walking the assertion
+   over the whole set; assertion forms outside the incremental fragment
+   fall back to compiled whole-set evaluation, with the reason recorded
+   on the compiled object and the compile cache (never silently);
+4. states that can never appear in a precondition-satisfying set are
    pruned up front by a sound syntactic analysis of the precondition
    (:func:`state_prefilter`), shrinking the ``2**n`` base;
-4. the per-state executions live in a shareable, thread-safe
-   :class:`ImageCache` keyed by ``(command, domain, prog_state)``, so a
-   :class:`~repro.api.session.Session` re-verifying related triples (or
-   a ``verify_many`` thread pool) never re-executes a program state.
+5. the per-state executions live in a shareable, thread-safe
+   :class:`ImageCache` and the compiled artifacts in a
+   :class:`~repro.compile.cache.CompileCache`, both ownable by a
+   :class:`~repro.api.session.Session`, so a session re-verifying
+   related triples (or a ``verify_many`` thread pool) never re-executes
+   a program state or recompiles a tree.
 
-The overall cost drops from ``O(2**n · exec)`` to ``O(n · exec + 2**n ·
-union)``.  Enumeration order — and therefore the reported witness — is
-identical to the naive reference implementations retained in
-:mod:`repro.checker.validity`, which the cross-validation tests and
-``benchmarks/bench_checker_engine.py`` check on randomized triples.
+The overall cost drops from the naive ``O(2**n · exec · eval)`` to
+``O(n · exec + 2**n · Δ)``, where ``Δ`` is the per-step incremental
+work: one image union plus one evaluator push (``O(1)``–``O(|S|)`` body
+evaluations depending on the assertion's quantifier depth) — the
+pre-compile engine's ``O(2**n · union)`` accounting ignored assertion
+evaluation, which re-walked both assertions over every candidate set
+and dominated assertion-heavy workloads.
+
+Construct the engine with ``compiled=False`` to get the pre-compile
+behavior (interpreted ``holds`` per candidate set, interpreted big-step
+execution): enumeration order, verdicts, witnesses and ``checked_sets``
+are **identical** in both modes — only the cost differs — which the
+cross-validation tests, ``benchmarks/bench_checker_engine.py`` and the
+``compiled-vs-interpreted`` differential fuzz check enforce.  The naive
+reference implementations retained in :mod:`repro.checker.validity`
+remain fully interpreted end to end.
 """
 
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
 
-from ..semantics.bigstep import post_states
+from ..compile import (
+    compile_assertion,
+    compile_command,
+    compile_state_predicate,
+)
+from ..semantics.bigstep import post_states, post_states_interpreted
 from ..semantics.state import ExtState
 from ..util import iter_subsets
 
@@ -80,6 +113,14 @@ class ImageCache:
     happens outside the lock, so a race costs at most one duplicated
     execution, never a wrong entry.
 
+    ``max_entries`` optionally bounds the table with least-recently-used
+    eviction (default ``None``: unbounded, the historical behavior).  A
+    long-lived session enumerating many distinct ``(command, state)``
+    pairs can set it to cap memory; evicted entries simply re-execute on
+    the next request, so eviction never changes a verdict.  Eviction
+    counts appear in :meth:`stats` and, via the session, in
+    :meth:`~repro.api.session.Report.summary`.
+
     ``max_states`` is a divergence guard, not a semantic parameter, but
     the guard stays faithful across sharing: each entry remembers the
     tightest cap it was computed under, and a request with a *smaller*
@@ -88,25 +129,47 @@ class ImageCache:
     rejected.
     """
 
-    def __init__(self):
-        self._table = {}
+    def __init__(self, max_entries=None):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 or None, got %r"
+                             % (max_entries,))
+        self._table = OrderedDict()
         self._lock = threading.Lock()
+        self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
-    def post_image(self, command, prog, domain, max_states=100000):
-        """``{σ' | ⟨command, prog⟩ → σ'}``, computed at most once per cap."""
+    def post_image(self, command, prog, domain, max_states=100000,
+                   executor=None):
+        """``{σ' | ⟨command, prog⟩ → σ'}``, computed at most once per cap.
+
+        ``executor`` supplies the per-state executor (default: the
+        compiled :func:`~repro.semantics.bigstep.post_states`); cache
+        entries are executor-agnostic — both executors implement the
+        same semantics, which the conformance harness cross-checks.
+        """
         key = (command, domain, prog)
         with self._lock:
             entry = self._table.get(key)
             if entry is not None and max_states >= entry[1]:
                 self.hits += 1
+                if self.max_entries is not None:
+                    self._table.move_to_end(key)
                 return entry[0]
-        finals = post_states(command, prog, domain, max_states)
+        if executor is None:
+            executor = post_states
+        finals = executor(command, prog, domain, max_states)
         with self._lock:
             entry = self._table.get(key)
             if entry is None or max_states < entry[1]:
                 self._table[key] = (finals, max_states)
+                if (
+                    self.max_entries is not None
+                    and len(self._table) > self.max_entries
+                ):
+                    self._table.popitem(last=False)
+                    self.evictions += 1
             self.misses += 1
         return finals
 
@@ -115,24 +178,36 @@ class ImageCache:
         with self._lock:
             return {"hits": self.hits, "misses": self.misses, "size": len(self._table)}
 
+    def stats(self):
+        """:meth:`info` plus ``evictions`` and ``max_entries``."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "size": len(self._table),
+                "evictions": self.evictions,
+                "max_entries": self.max_entries,
+            }
+
     def clear(self):
         with self._lock:
             self._table.clear()
             self.hits = 0
             self.misses = 0
+            self.evictions = 0
 
     def __len__(self):
         with self._lock:
             return len(self._table)
 
 
-def _walk_prefilter(node, domain):
+def _walk_prefilter(node, domain, compile_cache):
     """Recursive worker of :func:`state_prefilter` (syntactic nodes only)."""
     from ..assertions.syntax import SAnd, SForallState
 
     if isinstance(node, SAnd):
-        left = _walk_prefilter(node.left, domain)
-        right = _walk_prefilter(node.right, domain)
+        left = _walk_prefilter(node.left, domain, compile_cache)
+        right = _walk_prefilter(node.right, domain, compile_cache)
         if left is None:
             return right
         if right is None:
@@ -148,6 +223,8 @@ def _walk_prefilter(node, domain):
         if body.free_value_vars():
             return None
         name = node.state
+        if compile_cache is not False:
+            return compile_state_predicate(body, name, domain, compile_cache)
         empty = frozenset()
 
         def keep(phi):
@@ -176,7 +253,7 @@ def _mentions_state_binder(node):
     return False
 
 
-def state_prefilter(pre, domain):
+def state_prefilter(pre, domain, compile_cache=None):
     """A sound per-state pruning predicate implied by ``pre``, or ``None``.
 
     When the precondition (or a conjunct of it) has the shape
@@ -186,16 +263,18 @@ def state_prefilter(pre, domain):
     enumerated at all.  The returned predicate keeps exactly the states
     that may still appear; ``None`` means no pruning applies.
 
-    Pruning never changes the verdict or the reported witness: the
-    skipped sets are precisely those the naive oracle would have
-    discarded via ``pre.holds``, and the enumeration order of the
-    surviving sets is preserved.
+    The per-state bodies are compiled (``compile_cache=None`` uses the
+    module-wide compile cache; pass ``False`` to force the interpreted
+    bodies — the ``compiled=False`` engine does).  Pruning never changes
+    the verdict or the reported witness: the skipped sets are precisely
+    those the naive oracle would have discarded via ``pre.holds``, and
+    the enumeration order of the surviving sets is preserved.
     """
     from ..assertions.syntax import SynAssertion
 
     if not isinstance(pre, SynAssertion):
         return None
-    return _walk_prefilter(pre, domain)
+    return _walk_prefilter(pre, domain, compile_cache)
 
 
 def _sized_unions(states, img, k):
@@ -230,7 +309,8 @@ def _sized_unions(states, img, k):
 
 
 class CheckerEngine:
-    """Decides hyper-triples over one universe via precomputed images.
+    """Decides hyper-triples over one universe via precomputed images
+    and compiled incremental assertion evaluation.
 
     Parameters
     ----------
@@ -241,17 +321,49 @@ class CheckerEngine:
         owns a private one.  Sharing the cache (as
         :class:`~repro.api.session.Session` does) lets images persist
         across tasks in a batch and across ``verify_many`` threads.
+    compile_cache:
+        An optional shared :class:`~repro.compile.cache.CompileCache`
+        for compiled commands, assertions and prefilter predicates
+        (default: the module-wide cache).
+    compiled:
+        ``True`` (default) routes evaluation through the compile-once
+        layer; ``False`` reproduces the pre-compile interpreted engine —
+        same enumeration order, verdicts, witnesses and
+        ``checked_sets``, used as a benchmark baseline and by the
+        ``compiled-vs-interpreted`` conformance check.
     """
 
-    def __init__(self, universe, cache=None):
+    def __init__(self, universe, cache=None, compile_cache=None, compiled=True):
         self.universe = universe
         self.cache = cache if cache is not None else ImageCache()
+        self.compiles = compile_cache
+        self.compiled = compiled
+        self._executors = {}
+
+    # -- compiled artifacts ------------------------------------------------
+    def _executor(self, command):
+        """The per-state executor for ``command`` in this engine's mode."""
+        if not self.compiled:
+            return post_states_interpreted
+        executor = self._executors.get(command)
+        if executor is None:
+            step = compile_command(command, self.universe.domain, self.compiles)
+
+            def executor(cmd, prog, domain, max_states, _step=step):
+                return _step(prog, max_states)
+
+            self._executors[command] = executor
+        return executor
+
+    def _compile(self, assertion):
+        return compile_assertion(assertion, self.universe.domain, self.compiles)
 
     # -- images ------------------------------------------------------------
     def image(self, command, phi, max_states=100000):
         """``sem(C, {φ})`` — the extended-state image of one state."""
         finals = self.cache.post_image(
-            command, phi.prog, self.universe.domain, max_states
+            command, phi.prog, self.universe.domain, max_states,
+            executor=self._executor(command),
         )
         return frozenset(ExtState(phi.log, sigma2) for sigma2 in finals)
 
@@ -273,7 +385,10 @@ class CheckerEngine:
         final-state set, so "can terminate" is "image is non-empty".
         """
         return bool(
-            self.cache.post_image(command, phi.prog, self.universe.domain, max_states)
+            self.cache.post_image(
+                command, phi.prog, self.universe.domain, max_states,
+                executor=self._executor(command),
+            )
         )
 
     # -- enumeration -------------------------------------------------------
@@ -300,6 +415,11 @@ class CheckerEngine:
         executions per yield, and an early refutation leaves the rest
         unexecuted.
 
+        In compiled mode the pre/post decisions ride incremental
+        evaluators pushed and popped along the recursion; in interpreted
+        mode (``compiled=False``) each candidate re-walks ``holds``.
+        The yielded triples are identical either way.
+
         ``pin_equals_set=False`` disables the ``EqualsSet``
         single-candidate shortcut and enumerates universe subsets like
         any other precondition — required where the pinned target may
@@ -309,6 +429,7 @@ class CheckerEngine:
         from ..assertions.semantic import EqualsSet
 
         domain = self.universe.domain
+        compiled = self.compiled
         if pin_equals_set and isinstance(pre, EqualsSet):
             if max_size is not None and len(pre.target) > max_size:
                 return
@@ -317,11 +438,17 @@ class CheckerEngine:
                 yield subset, None, True
                 return
             post_set = self.sem(command, subset, max_states)
-            yield subset, post_set, bool(post.holds(post_set, domain))
+            if compiled:
+                ok = bool(self._compile(post).holds(post_set))
+            else:
+                ok = bool(post.holds(post_set, domain))
+            yield subset, post_set, ok
             return
         states = self.universe.ext_states()
         if prefilter:
-            keep = state_prefilter(pre, domain)
+            keep = state_prefilter(
+                pre, domain, self.compiles if compiled else False
+            )
             if keep is not None:
                 states = tuple(phi for phi in states if keep(phi))
         table = {}
@@ -334,12 +461,76 @@ class CheckerEngine:
             return image
 
         cap = len(states) if max_size is None else min(max_size, len(states))
-        for k in range(cap + 1):
-            for subset, post_set in _sized_unions(states, img, k):
-                if not pre.holds(subset, domain):
+        if not compiled:
+            for k in range(cap + 1):
+                for subset, post_set in _sized_unions(states, img, k):
+                    if not pre.holds(subset, domain):
+                        yield subset, None, True
+                        continue
+                    yield subset, post_set, bool(post.holds(post_set, domain))
+            return
+
+        cpre = self._compile(pre)
+        cpost = self._compile(post)
+        pre_eval = cpre.evaluator()
+        post_eval = cpost.evaluator()
+        # set-constant assertions need no evaluator traffic at all
+        pre_const = cpre.constant
+        post_const = cpost.constant
+        n = len(states)
+        chosen = []
+        # Post images are pushed *lazily*: each enumeration edge parks
+        # its image on this stack, and only a leaf whose subset passed
+        # the precondition flushes the unflushed suffix into the post
+        # evaluator — pre-rejected branches (the common case) cost the
+        # post assertion nothing, mirroring the interpreter, which never
+        # evaluates ``post`` for them at all.  Flushed entries always
+        # form a prefix of the stack (ancestors flush before
+        # descendants), so one prefix-length counter suffices.
+        post_pending = []
+        flushed = [0]
+
+        def flush_post():
+            for entry in post_pending[flushed[0]:]:
+                entry[1] = post_eval.push_many(entry[0])
+            flushed[0] = len(post_pending)
+
+        def rec(start, union, k):
+            need = k - len(chosen)
+            if need == 0:
+                subset = frozenset(chosen)
+                if not pre_eval.value():
                     yield subset, None, True
-                    continue
-                yield subset, post_set, bool(post.holds(post_set, domain))
+                else:
+                    if not post_const:
+                        flush_post()
+                    yield subset, union, post_eval.value()
+                return
+            for i in range(start, n - need + 1):
+                phi = states[i]
+                image = img(phi)
+                chosen.append(phi)
+                if not pre_const:
+                    pre_eval.push_state(phi)
+                if post_const:
+                    for item in rec(i + 1, union | image, k):
+                        yield item
+                else:
+                    entry = [image, None]
+                    post_pending.append(entry)
+                    for item in rec(i + 1, union | image, k):
+                        yield item
+                    post_pending.pop()
+                    if entry[1] is not None:
+                        post_eval.pop_many(entry[1])
+                        flushed[0] = len(post_pending)
+                if not pre_const:
+                    pre_eval.pop_state(phi)
+                chosen.pop()
+
+        for k in range(cap + 1):
+            for item in rec(0, frozenset(), k):
+                yield item
 
     # -- checks ------------------------------------------------------------
     def check(self, pre, command, post, max_size=None, max_states=100000,
@@ -382,21 +573,35 @@ class CheckerEngine:
 
         Draws the same subsets as the naive reference for the same
         ``rng``; each sampled state is executed at most once thanks to
-        the image cache.
+        the image cache, and the assertions are evaluated through their
+        compiled whole-set closures (the draws are independent, so there
+        is no prefix to evaluate incrementally along).
         """
         domain = self.universe.domain
         states = list(self.universe.ext_states())
+        if self.compiled:
+            cpre = self._compile(pre)
+            cpost = self._compile(post)
+            pre_holds = cpre.holds
+            post_holds = cpost.holds
+        else:
+            pre_holds = lambda S: pre.holds(S, domain)  # noqa: E731
+            post_holds = lambda S: post.holds(S, domain)  # noqa: E731
         checked = 0
         for _ in range(samples):
             k = rng.randint(0, max_set_size)
             subset = frozenset(rng.sample(states, min(k, len(states))))
             checked += 1
-            if not pre.holds(subset, domain):
+            if not pre_holds(subset):
                 continue
             post_set = self.sem(command, subset, max_states)
-            if not post.holds(post_set, domain):
+            if not post_holds(post_set):
                 return CheckResult(False, subset, post_set, checked)
         return CheckResult(True, checked_sets=checked)
 
     def __repr__(self):
-        return "CheckerEngine(%r, cache=%d images)" % (self.universe, len(self.cache))
+        return "CheckerEngine(%r, cache=%d images, %s)" % (
+            self.universe,
+            len(self.cache),
+            "compiled" if self.compiled else "interpreted",
+        )

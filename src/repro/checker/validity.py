@@ -12,11 +12,14 @@ paper already appear on universes of a handful of states.
 
 The checks are executed by the precomputed-image
 :class:`~repro.checker.engine.CheckerEngine`: each of the ``n`` extended
-states is run through the big-step semantics **once**, and every
-candidate set is decided by unioning the precomputed images — ``O(n ·
-exec + 2**n · union)`` instead of the naive ``O(2**n · exec)``.  The
-naive single-pass implementations are retained below
-(:func:`naive_check_triple` and friends) as the reference the engine is
+states is run through the big-step semantics **once** (on a compiled
+step function), every candidate set is decided by unioning the
+precomputed images, and the pre/post assertions are compiled into
+incremental evaluators pushed along the enumeration — ``O(n · exec +
+2**n · Δ)`` instead of the naive ``O(2**n · exec · eval)``.  The naive
+single-pass implementations are retained below
+(:func:`naive_check_triple` and friends) as the fully *interpreted*
+reference the engine — and the compile layer under it — is
 cross-validated against; they must never be used on a hot path.
 
 Def. 24 (App. E) terminating triples add "every initial state can reach a
@@ -25,6 +28,7 @@ final state"; :func:`check_terminating_triple` checks that conjunct too
 precomputed image is non-empty).
 """
 
+from ..semantics.bigstep import post_states_interpreted
 from ..semantics.extended import sem
 from ..semantics.termination import all_can_terminate
 from ..util import iter_subsets
@@ -111,8 +115,11 @@ def naive_check_triple(pre, command, post, universe, max_size=None,
 
     Each call to :func:`~repro.semantics.extended.sem` starts a fresh
     per-call cache, so every program state is re-executed up to
-    ``2**(n-1)`` times across the enumeration.  Kept only as the
-    reference the engine is cross-validated against: same verdict and
+    ``2**(n-1)`` times across the enumeration — through the *interpreted*
+    big-step executor, and with *interpreted* ``holds`` per candidate
+    set: the naive references never touch the compile layer, which is
+    what makes them the cross-validation baseline for it.  Kept only as
+    the reference the engine is cross-validated against: same verdict and
     same witness always; ``checked_sets`` additionally matches when the
     engine's precondition prefilter is disabled (with pruning the engine
     enumerates fewer candidate sets by design).
@@ -123,7 +130,10 @@ def naive_check_triple(pre, command, post, universe, max_size=None,
         checked += 1
         if not pre.holds(subset, domain):
             continue
-        post_set = sem(command, subset, domain, max_states)
+        post_set = sem(
+            command, subset, domain, max_states,
+            executor=post_states_interpreted,
+        )
         if not post.holds(post_set, domain):
             return CheckResult(False, subset, post_set, checked)
     return CheckResult(True, checked_sets=checked)
@@ -139,10 +149,16 @@ def naive_check_terminating_triple(pre, command, post, universe, max_size=None,
         checked += 1
         if not pre.holds(subset, domain):
             continue
-        post_set = sem(command, subset, domain, max_states)
+        post_set = sem(
+            command, subset, domain, max_states,
+            executor=post_states_interpreted,
+        )
         if not post.holds(post_set, domain):
             return CheckResult(False, subset, post_set, checked)
-        if not all_can_terminate(command, subset, domain, max_states):
+        if not all_can_terminate(
+            command, subset, domain, max_states,
+            executor=post_states_interpreted,
+        ):
             return CheckResult(False, subset, post_set, checked)
     return CheckResult(True, checked_sets=checked)
 
@@ -163,7 +179,10 @@ def naive_sampled_check_triple(pre, command, post, universe, rng, samples=200,
         checked += 1
         if not pre.holds(subset, domain):
             continue
-        post_set = sem(command, subset, domain, max_states)
+        post_set = sem(
+            command, subset, domain, max_states,
+            executor=post_states_interpreted,
+        )
         if not post.holds(post_set, domain):
             return CheckResult(False, subset, post_set, checked)
     return CheckResult(True, checked_sets=checked)

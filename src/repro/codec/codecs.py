@@ -387,12 +387,18 @@ register(
         "elapsed": r.elapsed,
         "entailment_cache_hits": r.entailment_cache_hits,
         "entailment_cache_misses": r.entailment_cache_misses,
+        "image_cache_hits": r.image_cache_hits,
+        "image_cache_misses": r.image_cache_misses,
+        "image_cache_evictions": r.image_cache_evictions,
     },
     lambda node: Report(
         tuple(decode(x) for x in node["results"]),
         elapsed=node["elapsed"],
         entailment_cache_hits=node["entailment_cache_hits"],
         entailment_cache_misses=node["entailment_cache_misses"],
+        image_cache_hits=node["image_cache_hits"],
+        image_cache_misses=node["image_cache_misses"],
+        image_cache_evictions=node["image_cache_evictions"],
     ),
 )
 

@@ -1,0 +1,54 @@
+"""The compile-once evaluation core.
+
+Every hot path of the library evaluates the same handful of trees —
+commands, expressions, hyper-assertions — against thousands of states
+and candidate sets.  This package compiles each tree *once* into plain
+Python closures (compile-once, call-many) and, for hyper-assertions,
+into incremental push/pop evaluators, so the evaluation layers stop
+re-dispatching through ``eval`` per node per state:
+
+- :func:`compile_expr` / :func:`compile_bexpr` — program expressions
+  and predicates as ``state -> value`` closures;
+- :func:`compile_command` — whole commands fused into one step function
+  ``(prog_state, max_states) -> frozenset`` (used by
+  :func:`repro.semantics.bigstep.post_states` and the checker engine's
+  image builder);
+- :func:`compile_hexpr` — Def. 9 hyper-expressions;
+- :func:`compile_assertion` — :class:`CompiledAssertion` objects with
+  compiled whole-set ``holds`` and incremental :class:`SetEvaluator`\\ s
+  (``push/pop/value``) that decide each candidate set in ``O(Δ)`` along
+  the engine's size-ordered enumeration; non-monotone forms fall back
+  to compiled whole-set evaluation with the reason recorded;
+- :class:`CompileCache` — the thread-safe artifact memo a
+  :class:`~repro.api.session.Session` owns alongside its ``ImageCache``
+  (:func:`default_cache` is the module-wide fallback).
+
+The compiled artifacts are observationally identical to the interpreted
+``eval``/``holds`` they replace; the retained naive oracle stays fully
+interpreted and the differential fuzz harness cross-checks the two on
+every trial.
+"""
+
+from .assertion import (
+    CompiledAssertion,
+    SetEvaluator,
+    compile_assertion,
+    compile_state_predicate,
+)
+from .cache import CompileCache, default_cache
+from .command import compile_command
+from .expr import compile_bexpr, compile_expr
+from .hyper import compile_hexpr
+
+__all__ = [
+    "CompileCache",
+    "CompiledAssertion",
+    "SetEvaluator",
+    "compile_assertion",
+    "compile_bexpr",
+    "compile_command",
+    "compile_expr",
+    "compile_hexpr",
+    "compile_state_predicate",
+    "default_cache",
+]

@@ -1,0 +1,107 @@
+"""The shared memo behind the compile-once evaluation core.
+
+Compilation is cheap but not free (one tree walk per artifact), and the
+hot paths — the checker engine's ``2**n`` enumeration, entailment
+queries, fuzz trials — ask for the *same* artifacts over and over:
+commands and assertions hash structurally, so a :class:`CompileCache`
+turns every repeat compilation into a dictionary hit.
+
+A :class:`~repro.api.session.Session` owns one cache alongside its
+:class:`~repro.checker.engine.ImageCache`, so compiled artifacts persist
+across tasks in a batch and across ``verify_many`` threads.  Code
+without a session (``post_states``, module-level entailment helpers)
+falls back to the module-wide :func:`default_cache`.
+
+Keys are ``(kind, node, ...)`` tuples.  Syntactic nodes (commands,
+expressions, Def. 9 assertions) are frozen dataclasses and hash
+structurally, so equal trees share one artifact; semantic assertions
+hash by identity, which still de-duplicates the repeated queries a
+session issues against the same assertion object.  Unhashable keys
+bypass the cache entirely (the caller just compiles fresh).
+"""
+
+import threading
+
+_MISS = object()
+
+
+class CompileCache:
+    """A thread-safe memo of compiled artifacts.
+
+    Computation happens outside the lock, so a race costs at most one
+    duplicated compilation, never a wrong entry.  ``fallbacks`` counts,
+    per reason string, how many cached assertion evaluators could not be
+    made incremental — the "never silent" record of
+    :func:`~repro.compile.assertion.compile_assertion` fallbacks.
+    """
+
+    def __init__(self):
+        self._table = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.fallbacks = {}
+
+    def get_or_build(self, key, build):
+        """The artifact for ``key``, compiling via ``build()`` at most once
+        (modulo benign races).  Unhashable keys compile fresh every call."""
+        try:
+            hash(key)
+        except TypeError:
+            return build()
+        with self._lock:
+            artifact = self._table.get(key, _MISS)
+            if artifact is not _MISS:
+                self.hits += 1
+                return artifact
+        artifact = build()
+        with self._lock:
+            existing = self._table.get(key, _MISS)
+            if existing is not _MISS:
+                # lost the race: keep the first artifact so callers that
+                # already hold it stay consistent with future lookups
+                self.hits += 1
+                return existing
+            self._table[key] = artifact
+            self.misses += 1
+        return artifact
+
+    def record_fallback(self, reasons):
+        """Count each fallback reason (called once per compiled assertion)."""
+        if not reasons:
+            return
+        with self._lock:
+            for reason in reasons:
+                self.fallbacks[reason] = self.fallbacks.get(reason, 0) + 1
+
+    def stats(self):
+        """``{"hits", "misses", "size", "fallbacks"}`` (fallbacks by reason)."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "size": len(self._table),
+                "fallbacks": dict(self.fallbacks),
+            }
+
+    def clear(self):
+        with self._lock:
+            self._table.clear()
+            self.hits = 0
+            self.misses = 0
+            self.fallbacks = {}
+
+    def __len__(self):
+        with self._lock:
+            return len(self._table)
+
+    def __repr__(self):
+        return "CompileCache(%d artifacts)" % len(self)
+
+
+_DEFAULT = CompileCache()
+
+
+def default_cache():
+    """The module-wide cache used by callers without a session."""
+    return _DEFAULT

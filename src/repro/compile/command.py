@@ -1,0 +1,98 @@
+"""Fused command step functions.
+
+``compile_command(C, domain)`` lowers a whole command tree into one
+*step function* ``step(prog_state, max_states) -> frozenset`` computing
+``{σ' | ⟨C, σ⟩ → σ'}``.  The recursion mirrors the big-step interpreter
+(:func:`repro.semantics.bigstep.post_states_interpreted`) node for node
+— same fixpoint, same ``max_states`` divergence guard, same
+:class:`~repro.errors.EvaluationError` — but all command dispatch and
+expression evaluation is resolved at compile time, so executing a state
+is a chain of direct closure calls.
+
+Step functions are keyed by ``(command, domain)`` in a
+:class:`~repro.compile.cache.CompileCache`: commands and domains hash
+structurally, so every program state executed under the same command
+shares one compiled artifact.
+"""
+
+from ..errors import EvaluationError
+from ..lang.ast import Assign, Assume, Choice, Havoc, Iter, Seq, Skip
+from .cache import default_cache
+from .expr import compile_bexpr, compile_expr
+
+#: Mirrors :func:`repro.semantics.bigstep._check_cap`'s message — the
+#: compiled and interpreted executors must fail identically.
+_CAP_MESSAGE = (
+    "reachable state space exceeded %d states; the iterated body likely diverges"
+)
+
+_EMPTY = frozenset()
+
+
+def _compile(command, domain):
+    t = type(command)
+    if t is Skip:
+        return lambda sigma, cap: frozenset((sigma,))
+    if t is Assign:
+        var = command.var
+        expr = compile_expr(command.expr)
+        return lambda sigma, cap: frozenset((sigma.set(var, expr(sigma)),))
+    if t is Havoc:
+        var = command.var
+        values = tuple(domain)
+        return lambda sigma, cap: frozenset(sigma.set(var, v) for v in values)
+    if t is Assume:
+        cond = compile_bexpr(command.cond)
+        return lambda sigma, cap: frozenset((sigma,)) if cond(sigma) else _EMPTY
+    if t is Seq:
+        first = _compile(command.first, domain)
+        second = _compile(command.second, domain)
+
+        def step_seq(sigma, cap):
+            out = set()
+            for mid in first(sigma, cap):
+                out |= second(mid, cap)
+                if len(out) > cap:
+                    raise EvaluationError(_CAP_MESSAGE % cap)
+            return frozenset(out)
+
+        return step_seq
+    if t is Choice:
+        left = _compile(command.left, domain)
+        right = _compile(command.right, domain)
+        return lambda sigma, cap: left(sigma, cap) | right(sigma, cap)
+    if t is Iter:
+        body = _compile(command.body, domain)
+
+        def step_iter(sigma, cap):
+            # Least fixpoint, breadth-first — identical to the interpreter.
+            seen = {sigma}
+            frontier = [sigma]
+            while frontier:
+                nxt = []
+                for s in frontier:
+                    for s2 in body(s, cap):
+                        if s2 not in seen:
+                            seen.add(s2)
+                            nxt.append(s2)
+                if len(seen) > cap:
+                    raise EvaluationError(_CAP_MESSAGE % cap)
+                frontier = nxt
+            return frozenset(seen)
+
+        return step_iter
+    raise TypeError("not a command: %r" % (command,))
+
+
+def compile_command(command, domain, cache=None):
+    """The fused step function for ``command`` over ``domain``.
+
+    ``step(prog_state, max_states)`` returns the complete final-state
+    set.  ``cache`` defaults to the module-wide
+    :func:`~repro.compile.cache.default_cache`.
+    """
+    if cache is None:
+        cache = default_cache()
+    return cache.get_or_build(
+        ("command", command, domain), lambda: _compile(command, domain)
+    )

@@ -1,0 +1,112 @@
+"""Closure compilation of program expressions and predicates.
+
+``compile_expr``/``compile_bexpr`` turn an :class:`~repro.lang.expr.Expr`
+or :class:`~repro.lang.expr.BExpr` tree into a plain Python closure
+``state -> value`` once, so the per-state hot paths (command steps, the
+precondition prefilter) pay one function call per node instead of a
+dynamic ``eval`` dispatch plus operator-table lookup per node per state.
+
+The closures are *observationally identical* to the interpreted
+``eval``: same values, same short-circuiting of ``&&``/``||``, and the
+same :class:`~repro.errors.EvaluationError` on unbound variables or
+unknown operators — unknown-operator errors are still raised at call
+time (from a dedicated raising closure), not at compile time, exactly
+like the interpreter.
+"""
+
+from ..errors import EvaluationError
+from ..lang.expr import (
+    BAnd,
+    BINOPS,
+    BLit,
+    BNot,
+    BOr,
+    BinOp,
+    CMPS,
+    Cmp,
+    FUNS,
+    FunApp,
+    Lit,
+    TupleLit,
+    UNOPS,
+    UnOp,
+    Var,
+)
+
+
+def _raiser(message):
+    def fail(state):
+        raise EvaluationError(message)
+
+    return fail
+
+
+def compile_expr(expr):
+    """Compile an :class:`~repro.lang.expr.Expr` to ``state -> value``."""
+    t = type(expr)
+    if t is Lit:
+        value = expr.value
+        return lambda state: value
+    if t is Var:
+        name = expr.name
+
+        def read(state):
+            try:
+                return state[name]
+            except KeyError:
+                raise EvaluationError("unbound program variable %r" % name)
+
+        return read
+    if t is BinOp:
+        fn = BINOPS.get(expr.op)
+        if fn is None:
+            return _raiser("unknown binary operator %r" % expr.op)
+        left = compile_expr(expr.left)
+        right = compile_expr(expr.right)
+        return lambda state: fn(left(state), right(state))
+    if t is UnOp:
+        fn = UNOPS.get(expr.op)
+        if fn is None:
+            return _raiser("unknown unary operator %r" % expr.op)
+        operand = compile_expr(expr.operand)
+        return lambda state: fn(operand(state))
+    if t is FunApp:
+        fn = FUNS.get(expr.name)
+        if fn is None:
+            return _raiser("unknown function %r" % expr.name)
+        args = tuple(compile_expr(a) for a in expr.args)
+        if len(args) == 1:
+            only = args[0]
+            return lambda state: fn(only(state))
+        return lambda state: fn(*(a(state) for a in args))
+    if t is TupleLit:
+        items = tuple(compile_expr(i) for i in expr.items)
+        return lambda state: tuple(i(state) for i in items)
+    raise TypeError("not a program expression: %r" % (expr,))
+
+
+def compile_bexpr(pred):
+    """Compile a :class:`~repro.lang.expr.BExpr` to ``state -> bool``."""
+    t = type(pred)
+    if t is BLit:
+        value = pred.value
+        return lambda state: value
+    if t is Cmp:
+        fn = CMPS.get(pred.op)
+        if fn is None:
+            return _raiser("unknown comparison %r" % pred.op)
+        left = compile_expr(pred.left)
+        right = compile_expr(pred.right)
+        return lambda state: fn(left(state), right(state))
+    if t is BAnd:
+        left = compile_bexpr(pred.left)
+        right = compile_bexpr(pred.right)
+        return lambda state: left(state) and right(state)
+    if t is BOr:
+        left = compile_bexpr(pred.left)
+        right = compile_bexpr(pred.right)
+        return lambda state: left(state) or right(state)
+    if t is BNot:
+        operand = compile_bexpr(pred.operand)
+        return lambda state: not operand(state)
+    raise TypeError("not a program predicate: %r" % (pred,))

@@ -10,6 +10,12 @@ on one generated trial at a time:
     and the retained naive reference oracle must return the same verdict
     *and the same witness* (the enumeration orders are specified to
     match).
+``compiled-vs-interpreted``
+    The compiled engine (closure-compiled commands, incremental
+    assertion evaluators) and an interpreted engine
+    (``compiled=False``) must return the same verdict, witness *and*
+    ``checked_sets`` — the enumeration is specified to be identical, so
+    every fuzz trial guards the compile layer for free.
 ``terminating-engine-vs-naive``
     Same, for the Def. 24 terminating check.
 ``sampled-engine-vs-naive``
@@ -43,6 +49,7 @@ from typing import Optional, Tuple
 from ..api.session import Session
 from ..assertions.syntax import SynAssertion
 from ..codec.mixin import WireCodec
+from ..checker.engine import CheckerEngine, ImageCache
 from ..checker.validity import (
     naive_check_terminating_triple,
     naive_check_triple,
@@ -129,6 +136,12 @@ class DifferentialChecker:
         self.config = config
         self.session = Session(config.pvars, lo=config.lo, hi=config.hi)
         self.universe = self.session.universe
+        # the interpreted twin of the session's (compiled) engine: its
+        # own image cache, interpreted executor and interpreted holds —
+        # the compiled-vs-interpreted check runs both on every trial
+        self.interpreted_engine = CheckerEngine(
+            self.universe, ImageCache(), compiled=False
+        )
         self.embeddings = embeddings
         self.samples = samples
 
@@ -162,6 +175,42 @@ class DifferentialChecker:
                 _verdict(engine.valid),
                 (engine.witness_pre, engine.witness_post),
                 (naive.witness_pre, naive.witness_post),
+            )
+        return None
+
+    def compiled_disagreement(self, triple, oracle=None):
+        """The compiled engine vs an interpreted (``compiled=False``) one.
+
+        Stronger than verdict+witness parity: ``checked_sets`` must match
+        too, since compilation is specified not to change the enumeration.
+        """
+        compiled = self._oracle(triple, oracle)
+        interpreted = self.interpreted_engine.check(
+            triple.pre, triple.command, triple.post
+        )
+        if compiled.valid != interpreted.valid:
+            return "compiled engine says %s, interpreted engine says %s" % (
+                _verdict(compiled.valid),
+                _verdict(interpreted.valid),
+            )
+        if (
+            compiled.witness_pre != interpreted.witness_pre
+            or compiled.witness_post != interpreted.witness_post
+        ):
+            return (
+                "compiled and interpreted verdicts agree (%s) but witnesses "
+                "differ: %r vs %r"
+                % (
+                    _verdict(compiled.valid),
+                    (compiled.witness_pre, compiled.witness_post),
+                    (interpreted.witness_pre, interpreted.witness_post),
+                )
+            )
+        if compiled.checked_sets != interpreted.checked_sets:
+            return (
+                "compilation changed the enumeration: compiled checked %d "
+                "sets, interpreted checked %d"
+                % (compiled.checked_sets, interpreted.checked_sets)
             )
         return None
 
@@ -321,6 +370,7 @@ class DifferentialChecker:
             return Triple(t.pre, smaller, t.post, t.invariant)
 
         run("engine-vs-naive", self.oracle_disagreement, shrink_triple)
+        run("compiled-vs-interpreted", self.compiled_disagreement, shrink_triple)
         run(
             "terminating-engine-vs-naive",
             lambda t, _: self.terminating_disagreement(t),

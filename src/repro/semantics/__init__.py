@@ -8,7 +8,7 @@ divergent reachable sets).
 """
 
 from .state import State, ExtState, ext_state
-from .bigstep import post_states, run_deterministic
+from .bigstep import post_states, post_states_interpreted, run_deterministic
 from .extended import sem, sem_iterate, reachable_under_iteration
 from .termination import (
     has_terminating_execution,
@@ -21,6 +21,7 @@ __all__ = [
     "ExtState",
     "ext_state",
     "post_states",
+    "post_states_interpreted",
     "run_deterministic",
     "sem",
     "sem_iterate",

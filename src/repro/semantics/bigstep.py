@@ -15,8 +15,20 @@ therefore terminates exactly when the set of states reachable through the
 loop body is finite, which holds for every program in the paper (their
 loops are guarded).  A ``max_states`` cap turns genuine divergence of the
 reachable set into a loud error instead of a hang.
+
+Two executors share these semantics:
+
+- :func:`post_states` routes through the compile-once layer
+  (:func:`repro.compile.compile_command`): the command is fused into one
+  step function the first time it runs, and every subsequent state pays
+  direct closure calls instead of per-node ``eval`` dispatch;
+- :func:`post_states_interpreted` is the direct tree-walk, retained as
+  the reference the compiled executor (and the whole checker engine) is
+  cross-validated against — the ``naive_*`` oracles in
+  :mod:`repro.checker.validity` use it exclusively.
 """
 
+from ..compile.command import compile_command
 from ..errors import EvaluationError
 from ..lang.ast import Assign, Assume, Choice, Havoc, Iter, Seq, Skip
 
@@ -26,7 +38,17 @@ def post_states(command, sigma, domain, max_states=100000):
 
     Returns a ``frozenset`` of :class:`~repro.semantics.state.State`.
     An empty result means no execution terminates (e.g. a failed assume).
+    Runs on the compiled step function (cached per ``(command, domain)``
+    in the module-wide compile cache); semantics — including the
+    ``max_states`` divergence error — are identical to
+    :func:`post_states_interpreted`.
     """
+    return compile_command(command, domain)(sigma, max_states)
+
+
+def post_states_interpreted(command, sigma, domain, max_states=100000):
+    """The interpreted (tree-walking) executor — the cross-validation
+    baseline for the compiled step functions.  Never used on a hot path."""
     return _post(command, sigma, domain, max_states)
 
 

@@ -17,7 +17,7 @@ from .bigstep import post_states
 from .state import ExtState
 
 
-def sem(command, states, domain, max_states=100000, cache=None):
+def sem(command, states, domain, max_states=100000, cache=None, executor=None):
     """``sem(C, S)`` — extended states reachable from ``S`` (Def. 4).
 
     ``states`` is any iterable of :class:`ExtState`; the result is a
@@ -31,15 +31,23 @@ def sem(command, states, domain, max_states=100000, cache=None):
     :class:`~repro.checker.engine.CheckerEngine` (whose
     :class:`~repro.checker.engine.ImageCache` also keys by command and
     domain) rather than loop over ``sem``.
+
+    ``executor`` selects the per-state executor (default:
+    :func:`~repro.semantics.bigstep.post_states`, the compiled step
+    function); the naive reference oracles pass
+    :func:`~repro.semantics.bigstep.post_states_interpreted` so the
+    cross-validation baseline stays fully interpreted.
     """
     if cache is None:
         cache = {}
+    if executor is None:
+        executor = post_states
     out = set()
     for phi in states:
         key = phi.prog
         finals = cache.get(key)
         if finals is None:
-            finals = post_states(command, phi.prog, domain, max_states)
+            finals = executor(command, phi.prog, domain, max_states)
             cache[key] = finals
         log = phi.log
         for sigma2 in finals:

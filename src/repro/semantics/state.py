@@ -102,6 +102,16 @@ class ExtState:
     prog: State
 
 
+    def __hash__(self):
+        # Cached: extended states key every hot dict and frozenset in the
+        # checker engine, and the dataclass default re-hashes both
+        # components on every call.
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((self.log, self.prog))
+            object.__setattr__(self, "_hash", h)
+        return h
+
     def pvar(self, name):
         """``φ_P(x)`` — the value of program variable ``x``."""
         return self.prog[name]

@@ -13,22 +13,30 @@ states is non-empty".
 from .bigstep import post_states
 
 
-def has_terminating_execution(command, sigma, domain, max_states=100000):
+def has_terminating_execution(command, sigma, domain, max_states=100000,
+                              executor=None):
     """True iff some execution of ``command`` from ``sigma`` terminates."""
-    return bool(post_states(command, sigma, domain, max_states))
+    if executor is None:
+        executor = post_states
+    return bool(executor(command, sigma, domain, max_states))
 
 
-def all_can_terminate(command, states, domain, max_states=100000):
+def all_can_terminate(command, states, domain, max_states=100000,
+                      executor=None):
     """True iff every extended state in ``states`` can reach a final state.
 
-    This is the extra conjunct of Def. 24.
+    This is the extra conjunct of Def. 24.  ``executor`` selects the
+    per-state executor exactly as in :func:`~repro.semantics.extended.sem`
+    (the naive reference oracle passes the interpreted one).
     """
     cache = {}
     for phi in states:
         key = phi.prog
         ok = cache.get(key)
         if ok is None:
-            ok = has_terminating_execution(command, phi.prog, domain, max_states)
+            ok = has_terminating_execution(
+                command, phi.prog, domain, max_states, executor
+            )
             cache[key] = ok
         if not ok:
             return False

@@ -9,7 +9,7 @@ cross-references (figure/definition numbers) for each subsystem.
 __version__ = "1.2.0"
 
 from . import lang, semantics, assertions, checker  # noqa: F401
-from . import logic, solver, embeddings, hyperprops  # noqa: F401
+from . import logic, solver, symbolic, embeddings, hyperprops  # noqa: F401
 from . import api, gen, conformance, codec  # noqa: F401
 from .lang import parse_command, parse_expr, parse_bexpr, pretty  # noqa: F401
 from .checker import (  # noqa: F401
@@ -34,6 +34,7 @@ from .api import (  # noqa: F401
     Report,
     SampledBackend,
     Session,
+    SymbolicBackend,
     SyntacticWPBackend,
     TaskResult,
     Undecided,

@@ -173,6 +173,16 @@ def build_fuzz_parser():
         help="skip the HL/IL embedding judgments (two oracle runs per trial)",
     )
     parser.add_argument(
+        "--checks",
+        help="comma-separated check selectors, matched as substrings against "
+        "the per-trial check kinds (engine-vs-naive, compiled-vs-interpreted, "
+        "terminating-engine-vs-naive, sampled-engine-vs-naive, "
+        "syntactic-vs-oracle, chain-vs-oracle, symbolic-vs-engine, "
+        "hl-embedding, il-embedding); prefix a selector with '-' to exclude "
+        "instead, e.g. --checks symbolic or --checks=-embedding "
+        "(default: run all nine)",
+    )
+    parser.add_argument(
         "-q", "--quiet", action="store_true", help="suppress the per-trial log"
     )
     parser.add_argument(
@@ -186,7 +196,7 @@ def build_fuzz_parser():
 
 
 def fuzz_main(argv):
-    from .conformance import run_fuzz
+    from .conformance import CHECK_KINDS, run_fuzz
     from .gen import GenConfig
 
     parser = build_fuzz_parser()
@@ -196,9 +206,17 @@ def fuzz_main(argv):
         return EXIT_BAD_INPUT if exc.code not in (0, None) else 0
 
     trials = args.trials if args.trials is not None else (40 if args.quick else 200)
+    checks = _split_names(args.checks) if args.checks else None
     try:
         if trials < 1:
             raise ValueError("--trials must be >= 1, got %d" % trials)
+        for selector in checks or ():
+            needle = selector[1:] if selector.startswith("-") else selector
+            if not any(needle in kind for kind in CHECK_KINDS):
+                raise ValueError(
+                    "--checks selector %r matches no check kind (known: %s)"
+                    % (selector, ", ".join(CHECK_KINDS))
+                )
         config = GenConfig(
             pvars=_split_names(args.vars),
             lo=args.lo,
@@ -218,6 +236,7 @@ def fuzz_main(argv):
             shards=args.shards,
             embeddings=not args.no_embeddings,
             on_outcome=stream,
+            checks=checks,
         )
     except ValueError as err:
         print("error: %s" % err, file=sys.stderr)

@@ -5,9 +5,10 @@ paper's own separation of the proof system (Fig. 3/5 rules), the
 semantic oracle (Def. 5) and the entailment side conditions (Def. 3):
 
 - :class:`~repro.api.backends.Backend` — the protocol every engine
-  implements, with four first-class implementations
+  implements, with five first-class implementations
   (:class:`SyntacticWPBackend`, :class:`LoopBackend`,
-  :class:`ExhaustiveBackend`, :class:`SampledBackend`), each returning
+  :class:`SymbolicBackend`, :class:`ExhaustiveBackend`,
+  :class:`SampledBackend`), each returning
   an outcome from the closed algebra of :mod:`repro.api.outcome`:
   :class:`Proved` (with the checked proof tree), :class:`Refuted` (with
   the concrete :class:`~repro.checker.counterexample.Witness`) or
@@ -36,6 +37,7 @@ from .backends import (
     ExhaustiveBackend,
     LoopBackend,
     SampledBackend,
+    SymbolicBackend,
     SyntacticWPBackend,
 )
 from .outcome import Outcome, Proved, Refuted, Undecided
@@ -63,6 +65,7 @@ __all__ = [
     "SampledBackend",
     "Session",
     "SessionSpec",
+    "SymbolicBackend",
     "SyntacticWPBackend",
     "TaskResult",
     "Undecided",

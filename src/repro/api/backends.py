@@ -7,6 +7,9 @@ Each backend wraps one of the repository's engines behind the small
   with the closing entailment discharged by the session oracle;
 - :class:`LoopBackend` — the Fig. 5 annotated-loop rules (WhileSync) for
   ``while`` programs carrying an invariant annotation;
+- :class:`SymbolicBackend` — the one-SAT-call validity decision over
+  the groundable fragment (re-exported from
+  :mod:`repro.symbolic.backend`);
 - :class:`ExhaustiveBackend` — the Def. 5 semantic oracle, enumerating
   every initial set over the universe;
 - :class:`SampledBackend` — the capped / randomized oracle for universes
@@ -33,6 +36,7 @@ from ..lang.sugar import match_while
 from ..logic.core_rules import rule_cons
 from ..logic.loop_rules import rule_while_sync, while_sync_body_pre
 from ..logic.outline import verify_straightline
+from ..symbolic.backend import SymbolicBackend  # noqa: F401  (re-export)
 from .outcome import Proved, Refuted, Undecided
 
 

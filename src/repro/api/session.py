@@ -41,6 +41,7 @@ from .backends import (
     ExhaustiveBackend,
     LoopBackend,
     SampledBackend,
+    SymbolicBackend,
     SyntacticWPBackend,
 )
 from .outcome import Outcome, Undecided
@@ -196,7 +197,14 @@ class Report(WireCodec):
     session's :class:`~repro.checker.engine.ImageCache` counters
     (``evictions`` stays 0 unless the session bounds the cache with
     ``max_image_entries``); process-sharded batches aggregate the
-    workers' private caches.
+    workers' private caches.  ``entailment_sat_decisions`` /
+    ``entailment_brute_decisions`` are likewise per-batch deltas of the
+    oracle's per-method counters (:meth:`EntailmentOracle.method_counts`)
+    — how many entailment queries the SAT encoding actually decided
+    versus how many fell back to brute-force enumeration.  Per-backend
+    decision counts are derived from the results themselves
+    (:meth:`decided_by_backend`), so they need no extra wire fields and
+    aggregate correctly across process shards.
     """
 
     results: Tuple[TaskResult, ...]
@@ -206,6 +214,8 @@ class Report(WireCodec):
     image_cache_hits: int = 0
     image_cache_misses: int = 0
     image_cache_evictions: int = 0
+    entailment_sat_decisions: int = 0
+    entailment_brute_decisions: int = 0
 
     def __iter__(self):
         return iter(self.results)
@@ -235,8 +245,27 @@ class Report(WireCodec):
     def __bool__(self):
         return self.all_verified
 
+    def decided_by_backend(self):
+        """``{backend name: decided tasks}`` for this batch.
+
+        Counts each task once, under the backend whose outcome settled
+        it; undecided tasks appear under ``"undecided"``.  Derived from
+        :attr:`results`, so sharded and inline reports agree by
+        construction.
+        """
+        counts = {}
+        for result in self.results:
+            outcome = result.outcome
+            name = "undecided" if outcome is None else outcome.backend
+            counts[name] = counts.get(name, 0) + 1
+        return counts
+
     def summary(self):
         """A multi-line human-readable batch summary."""
+        decided = ", ".join(
+            "%s: %d" % (name, count)
+            for name, count in sorted(self.decided_by_backend().items())
+        )
         lines = [
             "report: %d verified, %d refuted, %d undecided in %.3fs "
             "(entailment cache: %d hits, %d misses; image cache: %d hits, "
@@ -251,7 +280,13 @@ class Report(WireCodec):
                 self.image_cache_hits,
                 self.image_cache_misses,
                 self.image_cache_evictions,
-            )
+            ),
+            "  decided by: %s; entailments: %d sat, %d brute"
+            % (
+                decided or "nothing",
+                self.entailment_sat_decisions,
+                self.entailment_brute_decisions,
+            ),
         ]
         for index, result in enumerate(self.results):
             verdict = {True: "verified", False: "refuted", None: "undecided"}[
@@ -266,19 +301,31 @@ class Report(WireCodec):
 
 
 def default_backends(max_set_size=None):
-    """The standard chain: syntactic wp, annotated loops, then the oracle.
+    """The standard chain: wp, annotated loops, symbolic, then the oracle.
 
-    With ``max_set_size`` the closing oracle stage is the capped
+    The :class:`SymbolicBackend` sits right before the closing oracle:
+    on its fragment it decides with one SAT call (no ``2**n`` term), and
+    out-of-fragment tasks fall through with a recorded reason.  With
+    ``max_set_size`` the closing oracle stage is the capped
     :class:`SampledBackend` (legacy ``oracle(≤k)`` semantics) instead of
     the exhaustive one; being the last backend, its capped pass is
-    allowed to stand as the chain's verdict (``claim_capped_pass``).
+    allowed to stand as the chain's verdict (``claim_capped_pass``) —
+    and the symbolic stage is omitted so the chain's verdicts keep the
+    documented ``oracle(≤k)`` under-approximation semantics instead of
+    silently upgrading to exact ones.
     """
-    closing = (
-        ExhaustiveBackend()
-        if max_set_size is None
-        else SampledBackend(max_size=max_set_size, claim_capped_pass=True)
+    if max_set_size is None:
+        return (
+            SyntacticWPBackend(),
+            LoopBackend(),
+            SymbolicBackend(),
+            ExhaustiveBackend(),
+        )
+    return (
+        SyntacticWPBackend(max_cex_size=max_set_size),
+        LoopBackend(),
+        SampledBackend(max_size=max_set_size, claim_capped_pass=True),
     )
-    return (SyntacticWPBackend(max_cex_size=max_set_size), LoopBackend(), closing)
 
 
 class Session:
@@ -475,6 +522,7 @@ class Session:
         normalized = [self.task(t) for t in tasks]
         info = self.oracle.cache_info()
         images = self.images.stats()
+        methods = self.oracle.method_counts()
         started = _task_mod.clock()
         if max_workers is not None and max_workers > 1:
             with ThreadPoolExecutor(max_workers=max_workers) as pool:
@@ -486,6 +534,7 @@ class Session:
         elapsed = _task_mod.clock() - started
         after = self.oracle.cache_info()
         images_after = self.images.stats()
+        methods_after = self.oracle.method_counts()
         return Report(
             tuple(results),
             elapsed=elapsed,
@@ -494,6 +543,10 @@ class Session:
             image_cache_hits=images_after["hits"] - images["hits"],
             image_cache_misses=images_after["misses"] - images["misses"],
             image_cache_evictions=images_after["evictions"] - images["evictions"],
+            entailment_sat_decisions=methods_after.get("sat", 0)
+            - methods.get("sat", 0),
+            entailment_brute_decisions=methods_after.get("brute", 0)
+            - methods.get("brute", 0),
         )
 
     def disprove(self, pre, program, post, construct_proof=False):

@@ -144,6 +144,7 @@ def _run_chunk(chunk, budgets, transport_proofs):
     session = _WORKER_SESSION
     before = session.oracle.cache_info()
     images_before = session.images.stats()
+    methods_before = session.oracle.method_counts()
     out = []
     for index, document in chunk:
         task = from_wire(document)
@@ -156,12 +157,15 @@ def _run_chunk(chunk, budgets, transport_proofs):
         out.append((index, encoded))
     after = session.oracle.cache_info()
     images_after = session.images.stats()
+    methods_after = session.oracle.method_counts()
     delta = (
         after["hits"] - before["hits"],
         after["misses"] - before["misses"],
         images_after["hits"] - images_before["hits"],
         images_after["misses"] - images_before["misses"],
         images_after["evictions"] - images_before["evictions"],
+        methods_after.get("sat", 0) - methods_before.get("sat", 0),
+        methods_after.get("brute", 0) - methods_before.get("brute", 0),
     )
     return out, delta
 
@@ -204,6 +208,7 @@ def verify_many_sharded(
     outcomes_by_index = {}
     hits = misses = 0
     image_hits = image_misses = image_evictions = 0
+    sat_decisions = brute_decisions = 0
     with ProcessPoolExecutor(
         max_workers=shards, initializer=_init_worker, initargs=(spec,)
     ) as pool:
@@ -218,6 +223,8 @@ def verify_many_sharded(
             image_hits += chunk_delta[2]
             image_misses += chunk_delta[3]
             image_evictions += chunk_delta[4]
+            sat_decisions += chunk_delta[5]
+            brute_decisions += chunk_delta[6]
             for index, documents in rows:
                 outcomes_by_index[index] = tuple(from_wire(d) for d in documents)
     elapsed = _task_mod.clock() - started
@@ -232,4 +239,6 @@ def verify_many_sharded(
         image_cache_hits=image_hits,
         image_cache_misses=image_misses,
         image_cache_evictions=image_evictions,
+        entailment_sat_decisions=sat_decisions,
+        entailment_brute_decisions=brute_decisions,
     )

@@ -128,6 +128,11 @@ class EntailmentOracle:
         # Method bookkeeping is thread-local so concurrent sessions
         # (Session.verify_many with workers) attribute queries correctly.
         self._tl = threading.local()
+        # Cumulative per-method decision counts are cross-thread (one
+        # lock-guarded table) so a batch report can aggregate them; see
+        # :meth:`method_counts`.
+        self._counts = {}
+        self._counts_lock = threading.Lock()
 
     # -- method bookkeeping ------------------------------------------------
     def _record(self, method):
@@ -137,6 +142,23 @@ class EntailmentOracle:
             self._tl.used = used
         used.append(method)
         self._tl.last = method
+        with self._counts_lock:
+            self._counts[method] = self._counts.get(method, 0) + 1
+
+    def method_counts(self):
+        """Cumulative queries decided per method, across all threads.
+
+        Keys are the methods that actually decided queries (``"sat"``,
+        ``"brute"``, ``"assume"``); a memoizing oracle counts cache hits
+        under the method that originally decided the entry, so the totals
+        reflect *usage*, not recomputation.  Snapshot before and after a
+        batch and subtract to attribute counts to it
+        (:meth:`~repro.api.session.Session.verify_many` does exactly
+        that for :attr:`Report.entailment_sat_decisions` /
+        ``entailment_brute_decisions``).
+        """
+        with self._counts_lock:
+            return dict(self._counts)
 
     @property
     def last_method(self):

@@ -390,6 +390,8 @@ register(
         "image_cache_hits": r.image_cache_hits,
         "image_cache_misses": r.image_cache_misses,
         "image_cache_evictions": r.image_cache_evictions,
+        "entailment_sat_decisions": r.entailment_sat_decisions,
+        "entailment_brute_decisions": r.entailment_brute_decisions,
     },
     lambda node: Report(
         tuple(decode(x) for x in node["results"]),
@@ -399,6 +401,8 @@ register(
         image_cache_hits=node["image_cache_hits"],
         image_cache_misses=node["image_cache_misses"],
         image_cache_evictions=node["image_cache_evictions"],
+        entailment_sat_decisions=node["entailment_sat_decisions"],
+        entailment_brute_decisions=node["entailment_brute_decisions"],
     ),
 )
 

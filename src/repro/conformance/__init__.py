@@ -19,11 +19,12 @@ continuously-exercised property rather than a hand-written spot check:
   (exit code 0 = all verdicts agree, 1 = disagreement found).
 """
 
-from .differential import DifferentialChecker, Disagreement, TrialOutcome
+from .differential import CHECK_KINDS, DifferentialChecker, Disagreement, TrialOutcome
 from .harness import FuzzReport, run_fuzz
 from .shrink import shrink_command, shrink_triple, triple_size
 
 __all__ = [
+    "CHECK_KINDS",
     "DifferentialChecker",
     "Disagreement",
     "FuzzReport",

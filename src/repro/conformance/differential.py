@@ -33,6 +33,16 @@ on one generated trial at a time:
 ``sampled-soundness``
     A sampled refutation is always sound, so it must imply an oracle
     refutation.
+``symbolic-vs-engine``
+    The one-SAT-call :class:`~repro.symbolic.SymbolicBackend` vs the
+    enumerating engine: a decided symbolic verdict must match the
+    oracle's, a symbolic refutation must carry an *independently valid*
+    witness (the SAT model's set need not be the engine's size-ordered
+    first one, so the witness is re-validated semantically: the pre-set
+    satisfies the precondition, its concrete ``sem`` equals the carried
+    post-set, and the post-set violates the postcondition), and an
+    undecided outcome must record a fragment reason — silent
+    fallthrough is itself a disagreement.
 ``hl-embedding`` / ``il-embedding``
     Props. 2 and 6: classical Hoare Logic validity (and Incorrectness
     Logic validity) of derived judgments over the trial's *command* must
@@ -40,6 +50,8 @@ on one generated trial at a time:
 
 Each disagreement is reported as a :class:`Disagreement` carrying a
 *shrunk minimal reproducer* (see :mod:`repro.conformance.shrink`).
+``DifferentialChecker(checks=...)`` narrows the battery to a subset of
+the check kinds (``python -m repro fuzz --checks`` exposes it).
 """
 
 import random
@@ -66,6 +78,20 @@ from .shrink import shrink_command, shrink_triple
 #: judgments) — separated from the generation stream so that checking a
 #: trial can never perturb what the next trial looks like.
 _AUX_SALT = 0x5EED
+
+#: Every differential check kind, in battery order.  ``--checks``
+#: selectors are matched (by substring) against these names.
+CHECK_KINDS = (
+    "engine-vs-naive",
+    "compiled-vs-interpreted",
+    "terminating-engine-vs-naive",
+    "sampled-engine-vs-naive",
+    "syntactic-vs-oracle",
+    "chain-vs-oracle",
+    "symbolic-vs-engine",
+    "hl-embedding",
+    "il-embedding",
+)
 
 
 def _verdict(flag):
@@ -130,9 +156,15 @@ class DifferentialChecker:
 
     ``embeddings=False`` skips the HL/IL embedding judgments (they add
     two extra oracle enumerations per trial).
+
+    ``checks`` optionally narrows the battery: an iterable of selector
+    strings matched as substrings against :data:`CHECK_KINDS` (so
+    ``["symbolic"]`` selects ``symbolic-vs-engine``); a leading ``-``
+    excludes instead (``["-embedding"]`` runs everything but the HL/IL
+    judgments).  ``None`` (default) runs every applicable check.
     """
 
-    def __init__(self, config=FUZZ_CONFIG, embeddings=True, samples=25):
+    def __init__(self, config=FUZZ_CONFIG, embeddings=True, samples=25, checks=None):
         self.config = config
         self.session = Session(config.pvars, lo=config.lo, hi=config.hi)
         self.universe = self.session.universe
@@ -144,6 +176,26 @@ class DifferentialChecker:
         )
         self.embeddings = embeddings
         self.samples = samples
+        self.checks = None if checks is None else tuple(checks)
+        self._includes = tuple(
+            c for c in self.checks or () if not c.startswith("-")
+        )
+        self._excludes = tuple(
+            c[1:] for c in self.checks or () if c.startswith("-") and len(c) > 1
+        )
+        # the symbolic cross-validation runs its own backend instance so
+        # the check stays meaningful under any session chain configuration
+        from ..symbolic import SymbolicBackend
+
+        self._symbolic = SymbolicBackend()
+
+    def check_enabled(self, kind):
+        """Whether the ``checks`` filter selects this check kind."""
+        if any(sel in kind for sel in self._excludes):
+            return False
+        if self._includes:
+            return any(sel in kind for sel in self._includes)
+        return True
 
     # -- individual checks (each returns a detail string or None) --------
     #
@@ -299,6 +351,52 @@ class DifferentialChecker:
             )
         return None
 
+    def symbolic_disagreement(self, triple, oracle=None):
+        """The one-SAT-call symbolic backend vs the enumerating engine.
+
+        Three obligations: a decided verdict matches the oracle; a
+        refutation's witness is independently valid (pre-set satisfies
+        the precondition, concrete ``sem`` reproduces the carried
+        post-set, post-set violates the postcondition — the SAT model's
+        set is *not* required to equal the engine's size-ordered first
+        witness); and an undecided outcome records a reason (a silent
+        fallthrough is a conformance bug in its own right).
+        """
+        task = self.session.task(triple.pre, triple.command, triple.post)
+        outcome = self._symbolic.attempt(task, self.session)
+        if outcome.verdict is None:
+            if not getattr(outcome, "reason", ""):
+                return "symbolic backend undecided without a recorded reason"
+            return None
+        oracle = self._oracle(triple, oracle)
+        if outcome.verdict != oracle.valid:
+            return "symbolic backend decided %s but the oracle says %s" % (
+                _verdict(outcome.verdict),
+                _verdict(oracle.valid),
+            )
+        if not outcome.verdict:
+            witness = outcome.witness
+            domain = self.universe.domain
+            if witness is None:
+                return "symbolic refutation carried no witness"
+            if not triple.pre.holds(witness.pre_set, domain):
+                return (
+                    "symbolic witness pre-set does not satisfy the "
+                    "precondition: %r" % (witness.pre_set,)
+                )
+            concrete = self.session.engine.sem(triple.command, witness.pre_set)
+            if concrete != witness.post_set:
+                return (
+                    "symbolic witness post-set is not sem(C, S): carried %r, "
+                    "concrete %r" % (witness.post_set, concrete)
+                )
+            if triple.post.holds(witness.post_set, domain):
+                return (
+                    "symbolic witness post-set satisfies the postcondition "
+                    "(not a refutation): %r" % (witness.post_set,)
+                )
+        return None
+
     def hl_disagreement(self, triple, aux_seed):
         """Prop. 2 on the trial's command with derived HL judgments."""
         rng = random.Random(aux_seed ^ 0x481)
@@ -349,6 +447,8 @@ class DifferentialChecker:
         disagreements = []
 
         def run(kind, check, shrink):
+            if not self.check_enabled(kind):
+                return
             ran.append(kind)
             detail = check(triple, oracle)
             if detail is not None:
@@ -383,6 +483,7 @@ class DifferentialChecker:
         )
         run("syntactic-vs-oracle", self.syntactic_disagreement, shrink_triple)
         run("chain-vs-oracle", self.chain_disagreement, shrink_triple)
+        run("symbolic-vs-engine", self.symbolic_disagreement, shrink_triple)
         if self.embeddings:
             # embedding judgments derive their own pre/post sets from the
             # aux seed; only the command participates, so only it shrinks

@@ -91,10 +91,10 @@ _WORKER_CHECKER = None
 _WORKER_PARAMS = None
 
 
-def _init_fuzz_worker(config, embeddings, samples):
+def _init_fuzz_worker(config, embeddings, samples, checks):
     global _WORKER_CHECKER, _WORKER_PARAMS
     _WORKER_CHECKER = DifferentialChecker(
-        config, embeddings=embeddings, samples=samples
+        config, embeddings=embeddings, samples=samples, checks=checks
     )
     _WORKER_PARAMS = (config,)
 
@@ -130,6 +130,7 @@ def run_fuzz(
     straightline_bias=0.4,
     loop_bias=0.15,
     on_outcome=None,
+    checks=None,
 ):
     """Differentially check ``count`` seeded trials → :class:`FuzzReport`.
 
@@ -137,13 +138,19 @@ def run_fuzz(
     is an optional callback invoked with each :class:`TrialOutcome` in
     index order (the CLI uses it to stream the trial log); under
     sharding it runs in the parent, after all workers finish.
+    ``checks`` is the :class:`DifferentialChecker` selector tuple
+    (substring include / ``-``-prefixed exclude against the check
+    kinds); it ships to shard workers with the other checker parameters.
     """
+    checks = None if checks is None else tuple(checks)
     started = monotonic()
     if shards is not None and shards < 1:
         raise ValueError("shards must be >= 1, got %d" % shards)
     effective = 1 if shards is None else min(shards, max(1, count))
     if effective <= 1:
-        checker = DifferentialChecker(config, embeddings=embeddings, samples=samples)
+        checker = DifferentialChecker(
+            config, embeddings=embeddings, samples=samples, checks=checks
+        )
         outcomes = []
         for index in range(count):
             trial = regenerate(seed, index, config, straightline_bias, loop_bias)
@@ -157,7 +164,7 @@ def run_fuzz(
         with ProcessPoolExecutor(
             max_workers=effective,
             initializer=_init_fuzz_worker,
-            initargs=(config, embeddings, samples),
+            initargs=(config, embeddings, samples, checks),
         ) as pool:
             futures = [
                 pool.submit(_run_fuzz_chunk, seed, chunk, straightline_bias, loop_bias)

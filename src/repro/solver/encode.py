@@ -38,25 +38,34 @@ def _membership_atom(state):
     return ("member", state)
 
 
-def ground_assertion(assertion, universe, domain, sigma_env=None, delta_env=None):
+def ground_assertion(
+    assertion, universe, domain, sigma_env=None, delta_env=None, atom=_membership_atom
+):
     """Ground ``assertion`` to a propositional formula over membership atoms.
 
     ``universe`` is the tuple of all extended states; the resulting
-    formula's atoms are ``("member", φ)`` pairs.
+    formula's atoms are ``atom(φ)`` pairs — ``("member", φ)`` by default.
+    The symbolic validity encoder passes distinct ``atom`` constructors to
+    keep the precondition's selector namespace and the postcondition's
+    post-state namespace apart within one query.
     """
     sigma_env = dict(sigma_env or {})
     delta_env = dict(delta_env or {})
-    return _ground(assertion, tuple(universe), domain, sigma_env, delta_env)
+    return _ground(assertion, tuple(universe), domain, sigma_env, delta_env, atom)
 
 
-def _ground(node, universe, domain, sigma_env, delta_env):
+def _ground(node, universe, domain, sigma_env, delta_env, atom=_membership_atom):
     # semantic combinator wrappers around syntactic parts remain groundable
     if isinstance(node, AndAssertion):
-        return fand(*(_ground(p, universe, domain, sigma_env, delta_env) for p in node.parts))
+        return fand(
+            *(_ground(p, universe, domain, sigma_env, delta_env, atom) for p in node.parts)
+        )
     if isinstance(node, OrAssertion):
-        return f_or(*(_ground(p, universe, domain, sigma_env, delta_env) for p in node.parts))
+        return f_or(
+            *(_ground(p, universe, domain, sigma_env, delta_env, atom) for p in node.parts)
+        )
     if isinstance(node, NotAssertion):
-        return fnot(_ground(node.operand, universe, domain, sigma_env, delta_env))
+        return fnot(_ground(node.operand, universe, domain, sigma_env, delta_env, atom))
     if not isinstance(node, SynAssertion):
         raise Unsupported("cannot ground %r" % (node,))
 
@@ -66,43 +75,43 @@ def _ground(node, universe, domain, sigma_env, delta_env):
         return FTrue() if node.eval(frozenset(), sigma_env, delta_env, domain) else FFalse()
     if isinstance(node, SAnd):
         return fand(
-            _ground(node.left, universe, domain, sigma_env, delta_env),
-            _ground(node.right, universe, domain, sigma_env, delta_env),
+            _ground(node.left, universe, domain, sigma_env, delta_env, atom),
+            _ground(node.right, universe, domain, sigma_env, delta_env, atom),
         )
     if isinstance(node, SOr):
         return f_or(
-            _ground(node.left, universe, domain, sigma_env, delta_env),
-            _ground(node.right, universe, domain, sigma_env, delta_env),
+            _ground(node.left, universe, domain, sigma_env, delta_env, atom),
+            _ground(node.right, universe, domain, sigma_env, delta_env, atom),
         )
     if isinstance(node, SForallVal):
         parts = []
         for v in domain:
             d2 = dict(delta_env)
             d2[node.var] = v
-            parts.append(_ground(node.body, universe, domain, sigma_env, d2))
+            parts.append(_ground(node.body, universe, domain, sigma_env, d2, atom))
         return fand(*parts)
     if isinstance(node, SExistsVal):
         parts = []
         for v in domain:
             d2 = dict(delta_env)
             d2[node.var] = v
-            parts.append(_ground(node.body, universe, domain, sigma_env, d2))
+            parts.append(_ground(node.body, universe, domain, sigma_env, d2, atom))
         return f_or(*parts)
     if isinstance(node, SForallState):
         parts = []
         for u in universe:
             s2 = dict(sigma_env)
             s2[node.state] = u
-            body = _ground(node.body, universe, domain, s2, delta_env)
-            parts.append(f_or(fnot(fvar(_membership_atom(u))), body))
+            body = _ground(node.body, universe, domain, s2, delta_env, atom)
+            parts.append(f_or(fnot(fvar(atom(u))), body))
         return fand(*parts)
     if isinstance(node, SExistsState):
         parts = []
         for u in universe:
             s2 = dict(sigma_env)
             s2[node.state] = u
-            body = _ground(node.body, universe, domain, s2, delta_env)
-            parts.append(fand(fvar(_membership_atom(u)), body))
+            body = _ground(node.body, universe, domain, s2, delta_env, atom)
+            parts.append(fand(fvar(atom(u)), body))
         return f_or(*parts)
     raise Unsupported("cannot ground %r" % (node,))
 

@@ -2,10 +2,20 @@
 
 Classic DPLL: exhaustive unit propagation, pure-literal elimination at the
 root, and splitting on the most frequent unassigned literal.  The split
-search runs on an explicit stack rather than Python recursion, so deep
+search runs on an explicit trail rather than Python recursion, so deep
 splits on hundreds of variables cannot hit the interpreter's recursion
-limit.  Deliberately simple — the grounded entailment queries this
-library produces are small (hundreds of variables), and the solver is
+limit.
+
+Unit propagation uses **two watched literals** (``propagation="watched"``,
+the default): each clause watches two of its literals, and only the
+clauses watching a literal that just became false are visited — instead
+of rescanning every clause to fixpoint after each assignment.  The
+symbolic validity encodings (:mod:`repro.symbolic.encode`) are much
+larger than the grounded entailment queries this solver was first built
+for, and rescan propagation is quadratic on exactly their shape: long
+implication chains over thousands of link clauses.  The historical
+rescan propagation survives behind ``propagation="rescan"`` as the
+baseline ``benchmarks/bench_solver.py`` measures against; both modes are
 cross-validated against brute-force truth-table enumeration in
 ``tests/solver/test_sat.py``.
 """
@@ -16,10 +26,20 @@ from ..errors import SolverError
 
 
 class SATSolver:
-    """Decide satisfiability of a CNF given as integer-literal clauses."""
+    """Decide satisfiability of a CNF given as integer-literal clauses.
 
-    def __init__(self, clauses, num_vars):
+    ``propagation`` selects the unit-propagation implementation:
+    ``"watched"`` (two watched literals, default) or ``"rescan"`` (the
+    historical full-clause rescan to fixpoint).  Verdicts, models and
+    the ``stats`` keys (``decisions`` / ``propagations`` /
+    ``pure_literals``) mean the same thing in both modes.
+    """
+
+    def __init__(self, clauses, num_vars, propagation="watched"):
+        if propagation not in ("watched", "rescan"):
+            raise SolverError("unknown propagation mode %r" % (propagation,))
         self.num_vars = num_vars
+        self.propagation = propagation
         self.clauses = []
         for clause in clauses:
             clause = tuple(dict.fromkeys(clause))
@@ -31,11 +51,10 @@ class SATSolver:
     def solve(self, max_decisions=5_000_000):
         """A satisfying assignment ``{var: bool}`` or ``None`` if UNSAT."""
         self._max_decisions = max_decisions
-        root = self._propagate({})
-        if root is None:
-            return None
-        self._eliminate_pure_literals(root)
-        result = self._search(root)
+        if self.propagation == "watched":
+            result = self._solve_watched()
+        else:
+            result = self._solve_rescan()
         if result is None:
             return None
         # complete the assignment for unconstrained variables
@@ -43,7 +62,154 @@ class SATSolver:
             result.setdefault(v, False)
         return result
 
-    # -- internals ----------------------------------------------------------
+    # -- two-watched-literal mode -------------------------------------------
+
+    def _solve_watched(self):
+        """Trail-based DPLL with two-watched-literal propagation.
+
+        The trail records assignment order; decisions push a level mark,
+        a conflict backtracks chronologically to the deepest unflipped
+        decision and retries its complement.  Watch lists are keyed by
+        literal and hold the (mutable) clauses watching it; the watched
+        pair always sits at clause positions 0 and 1.
+        """
+        assign = {}
+        trail = []
+        watch = defaultdict(list)
+        for clause in self.clauses:
+            if not clause:
+                return None  # empty clause: UNSAT outright
+            if len(clause) >= 2:
+                mutable = list(clause)
+                watch[mutable[0]].append(mutable)
+                watch[mutable[1]].append(mutable)
+        # root level: unit clauses seed the propagation queue
+        todo = []
+        for clause in self.clauses:
+            if len(clause) == 1:
+                lit = clause[0]
+                value = assign.get(abs(lit))
+                if value is None:
+                    self._record_assign(lit, assign, trail)
+                    self.stats["propagations"] += 1
+                    todo.append(lit)
+                elif value != (lit > 0):
+                    return None
+        if not self._propagate_watched(todo, assign, trail, watch):
+            return None
+        self._eliminate_pure_literals_watched(assign, trail, watch)
+        levels = []  # (trail mark, decided literal, flipped?)
+        while True:
+            lit = self._choose_literal(assign)
+            if lit is None:
+                return dict(assign)
+            self.stats["decisions"] += 1
+            if self.stats["decisions"] > self._max_decisions:
+                raise SolverError("decision budget exhausted")
+            levels.append((len(trail), lit, False))
+            self._record_assign(lit, assign, trail)
+            while not self._propagate_watched(
+                [levels[-1][1]], assign, trail, watch
+            ):
+                while levels:
+                    mark, decided, flipped = levels.pop()
+                    while len(trail) > mark:
+                        del assign[trail.pop()]
+                    if not flipped:
+                        levels.append((mark, -decided, True))
+                        self._record_assign(-decided, assign, trail)
+                        break
+                else:
+                    return None  # both phases of every decision failed
+
+    @staticmethod
+    def _record_assign(lit, assign, trail):
+        assign[abs(lit)] = lit > 0
+        trail.append(abs(lit))
+
+    def _propagate_watched(self, todo, assign, trail, watch):
+        """Process the watch lists of every newly-true literal in ``todo``.
+
+        Returns ``False`` on conflict.  Implied assignments are appended
+        to ``assign``/``trail`` (and to the queue, transitively).
+        """
+        todo = list(todo)
+        index = 0
+        while index < len(todo):
+            false_lit = -todo[index]
+            index += 1
+            watchers = watch[false_lit]
+            i = 0
+            while i < len(watchers):
+                clause = watchers[i]
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                other = clause[0]
+                value = assign.get(abs(other))
+                if value is not None and value == (other > 0):
+                    i += 1  # clause already satisfied by its other watch
+                    continue
+                for k in range(2, len(clause)):
+                    candidate = clause[k]
+                    seen = assign.get(abs(candidate))
+                    if seen is None or seen == (candidate > 0):
+                        # migrate the watch to a non-false literal
+                        clause[1], clause[k] = clause[k], clause[1]
+                        watch[candidate].append(clause)
+                        watchers[i] = watchers[-1]
+                        watchers.pop()
+                        break
+                else:
+                    if value is None:
+                        # every other literal is false: ``other`` is unit
+                        self._record_assign(other, assign, trail)
+                        self.stats["propagations"] += 1
+                        todo.append(other)
+                        i += 1
+                    else:
+                        return False  # all literals false: conflict
+        return True
+
+    def _eliminate_pure_literals_watched(self, assign, trail, watch):
+        """Root pure-literal elimination, watched-mode flavor.
+
+        Same fixpoint as the rescan mode's
+        :meth:`_eliminate_pure_literals`; each pure assignment is fed
+        through the watched propagation so the watch invariants stay
+        intact (pure literals only satisfy clauses, so this can neither
+        imply units nor conflict).
+        """
+        while True:
+            pures = self._pure_literals(assign)
+            if not pures:
+                return
+            todo = []
+            for lit in pures:
+                if abs(lit) not in assign:
+                    self._record_assign(lit, assign, trail)
+                    self.stats["pure_literals"] += 1
+                    todo.append(lit)
+            self._propagate_watched(todo, assign, trail, watch)
+
+    def _pure_literals(self, assign):
+        """Literals occurring in one polarity only among unsatisfied clauses."""
+        polarity = set()
+        for clause in self.clauses:
+            if any(assign.get(abs(l)) == (l > 0) for l in clause):
+                continue
+            for lit in clause:
+                if abs(lit) not in assign:
+                    polarity.add(lit)
+        return [lit for lit in polarity if -lit not in polarity]
+
+    # -- rescan mode (historical baseline) -----------------------------------
+
+    def _solve_rescan(self):
+        root = self._propagate({})
+        if root is None:
+            return None
+        self._eliminate_pure_literals(root)
+        return self._search(root)
 
     def _eliminate_pure_literals(self, assign):
         """Assign every pure literal (one polarity only), to fixpoint.
@@ -54,14 +220,7 @@ class SATSolver:
         Mutates ``assign`` in place — pure assignments can never conflict.
         """
         while True:
-            polarity = set()
-            for clause in self.clauses:
-                if any(assign.get(abs(l)) == (l > 0) for l in clause):
-                    continue
-                for lit in clause:
-                    if abs(lit) not in assign:
-                        polarity.add(lit)
-            pures = [lit for lit in polarity if -lit not in polarity]
+            pures = self._pure_literals(assign)
             if not pures:
                 return
             for lit in pures:
@@ -90,7 +249,7 @@ class SATSolver:
         return None
 
     def _propagate(self, assign):
-        """Unit propagation to fixpoint; None on conflict."""
+        """Unit propagation to fixpoint by full clause rescan; None on conflict."""
         assign = dict(assign)
         changed = True
         while changed:
@@ -118,6 +277,8 @@ class SATSolver:
                     self.stats["propagations"] += 1
                     changed = True
         return assign
+
+    # -- shared ---------------------------------------------------------------
 
     def _choose_literal(self, assign):
         counts = defaultdict(int)

@@ -1,0 +1,78 @@
+"""Which hyper-assertions the symbolic validity encoder covers.
+
+The one-SAT-call validity query grounds both sides of the triple
+propositionally: the precondition over selector atoms, the postcondition
+over post-membership atoms.  The fragment that grounds *and* stays exact
+under that encoding is exactly the compile layer's incremental fragment
+(see :mod:`repro.compile.assertion`): closed Def. 9 syntactic assertions
+whose state quantifiers form one same-polarity block, plus semantic
+``And``/``Or``/``Not`` wrappers around such parts.  Everything else —
+alternating quantifier blocks (GNI's ``∀∀∃``), opaque semantic lambdas,
+set combinators — yields a recorded reason, never a silent fallthrough:
+the :class:`~repro.symbolic.backend.SymbolicBackend` turns the reasons
+into one loud :class:`~repro.api.outcome.Undecided`.
+
+The reasons reuse the PR 5 fallback-taxonomy vocabulary verbatim where
+the compile layer already names the obstruction
+(:attr:`CompiledAssertion.fallback_reasons`); forms the compile layer
+handles with bespoke incremental kernels but the grounding cannot reach
+(semantic predicates, set comparisons, indexed families) get their own
+entries in the same style.
+"""
+
+from ..assertions.semantic import (
+    FALSE_H,
+    TRUE_H,
+    AndAssertion,
+    NotAssertion,
+    OrAssertion,
+    SemAssertion,
+)
+from ..assertions.syntax import SynAssertion
+from ..compile import compile_assertion
+
+__all__ = ["fragment_reasons", "in_fragment"]
+
+
+def fragment_reasons(assertion, domain, compile_cache=None):
+    """Why ``assertion`` is outside the symbolic fragment.
+
+    Returns a tuple of human-readable reasons, ``()`` when the assertion
+    is fully groundable.  Reasons are deduplicated in first-occurrence
+    order, matching how the compile cache aggregates fallbacks.
+    """
+    reasons = []
+    _classify(assertion, domain, compile_cache, reasons)
+    return tuple(dict.fromkeys(reasons))
+
+
+def in_fragment(assertion, domain, compile_cache=None):
+    """Whether the symbolic encoder can ground ``assertion`` exactly."""
+    return not fragment_reasons(assertion, domain, compile_cache)
+
+
+def _classify(node, domain, cache, reasons):
+    if isinstance(node, (AndAssertion, OrAssertion)):
+        for part in node.parts:
+            _classify(part, domain, cache, reasons)
+        return
+    if isinstance(node, NotAssertion):
+        _classify(node.operand, domain, cache, reasons)
+        return
+    if isinstance(node, SynAssertion):
+        # The compile layer already classifies Def. 9 syntax: its
+        # incremental (monotone, same-polarity) fragment is exactly what
+        # the selector/post-atom grounding encodes without loss, and its
+        # fallback reasons are the established vocabulary for the rest.
+        reasons.extend(compile_assertion(node, domain, cache).fallback_reasons)
+        return
+    if node is TRUE_H or node is FALSE_H:
+        reasons.append(
+            "constant semantic predicate %r has no syntactic grounding"
+            % node.label
+        )
+        return
+    if isinstance(node, SemAssertion):
+        reasons.append("opaque semantic predicate %r" % node.label)
+        return
+    reasons.append("non-groundable combinator %s" % type(node).__name__)

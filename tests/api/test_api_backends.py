@@ -96,11 +96,28 @@ class TestDispatch:
         assert undecided.calls == 1
         assert result.decided_by.backend == "exhaustive"
 
-    def test_loop_task_skips_wp_and_uses_oracle_without_invariant(self):
+    def test_loop_task_skips_wp_and_is_decided_symbolically(self):
+        # no invariant: wp skips the loop, the loop backend punts, and
+        # the symbolic stage decides (loop images come from the same
+        # big-step fixpoint every other backend uses)
         s = Session(["x"], 0, 2)
         result = s.verify("exists <a>. true", LOOP_PROG, "forall <a>. a(x) == 0")
         assert result.verified
+        assert result.decided_by.backend == "symbolic"
+
+    def test_loop_task_with_alternating_post_falls_back_to_oracle(self):
+        # an alternating-quantifier post is outside the symbolic
+        # fragment, so the chain still closes with the exhaustive oracle
+        s = Session(["x"], 0, 2)
+        result = s.verify(
+            "exists <a>. true",
+            LOOP_PROG,
+            "forall <a>, <b>. exists <c>. c(x) == a(x) && c(x) == b(x)",
+        )
+        assert result.verified
         assert result.decided_by.backend == "exhaustive"
+        symbolic = [o for o in result.outcomes if o.backend == "symbolic"][0]
+        assert "outside symbolic fragment" in symbolic.reason
 
     def test_legacy_attempt_fields_read_back_verbatim(self):
         """A legacy-constructed Attempt must not reinterpret its args:
@@ -156,7 +173,8 @@ class TestLoopBackend:
 
     def test_bad_invariant_is_inconclusive_not_refuted(self):
         # x == 0 is not inductive for the decrementing loop, but the
-        # triple still holds — the chain must fall through to the oracle.
+        # triple still holds — the chain must fall through past the loop
+        # backend (here to the symbolic stage, which decides exactly).
         s = Session(["x"], 0, 2)
         result = s.verify(
             "forall <a>, <b>. a(x) == b(x)",
@@ -165,7 +183,7 @@ class TestLoopBackend:
             invariant="forall <a>. a(x) == 2",
         )
         assert result.verified
-        assert result.decided_by.backend == "exhaustive"
+        assert result.decided_by.backend == "symbolic"
         loop_outcome = [o for o in result.outcomes if o.backend == "loop"][0]
         assert isinstance(loop_outcome, Undecided)
         assert "invariant" in loop_outcome.reason

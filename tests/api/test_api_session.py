@@ -113,6 +113,63 @@ class TestVerifyMany:
         assert not bool(report)
 
 
+class TestReportObservability:
+    """Per-backend and per-entailment-method decision counts."""
+
+    def test_decided_by_backend_counts_every_task_once(self, session):
+        report = session.verify_many(BATCH)
+        counts = report.decided_by_backend()
+        assert sum(counts.values()) == len(BATCH)
+        assert all(count > 0 for count in counts.values())
+        assert counts.get("syntactic-wp", 0) >= 3  # the three wp-decided tasks
+
+    def test_undecided_tasks_counted_under_undecided(self, session):
+        # a loop without invariant skips wp/loop; zero budgets make the
+        # symbolic and exhaustive stages bail out inconclusively
+        report = session.verify_many(
+            [("true", "while (y > 0) { y := y - 1 }", "forall <a>. a(y) == 0")],
+            budgets={"symbolic": 0.0, "exhaustive": 0.0},
+        )
+        assert report.decided_by_backend() == {"undecided": 1}
+        symbolic = [
+            o for o in report[0].outcomes if o.backend == "symbolic"
+        ]
+        assert symbolic and "budget exhausted" in symbolic[0].reason
+
+    def test_summary_names_deciding_backends_and_methods(self, session):
+        report = session.verify_many(BATCH)
+        summary = report.summary()
+        assert "decided by:" in summary
+        assert "syntactic-wp" in summary
+        assert "entailments:" in summary
+
+    def test_entailment_method_counts_are_batch_deltas(self):
+        s = Session(["h", "l", "y"], 0, 1)
+        first = s.verify_many(BATCH)
+        assert first.entailment_sat_decisions > 0
+        # a repeat batch is answered from the entailment cache: cache
+        # hits count under the original deciding method, so the deltas
+        # stay attributed to this batch
+        second = s.verify_many(BATCH)
+        assert second.entailment_sat_decisions >= 0
+        assert s.oracle.method_counts().get("sat", 0) >= first.entailment_sat_decisions
+
+    def test_brute_oracle_reports_brute_decisions(self):
+        s = Session(["x"], 0, 1, entailment="brute")
+        report = s.verify_many([("true", "x := 0", "forall <a>. a(x) == 0")])
+        assert report.entailment_brute_decisions > 0
+        assert report.entailment_sat_decisions == 0
+
+    def test_report_counts_round_trip_on_the_wire(self, session):
+        from repro.codec import from_wire
+
+        report = session.verify_many(BATCH)
+        decoded = from_wire(report.to_wire())
+        assert decoded.entailment_sat_decisions == report.entailment_sat_decisions
+        assert decoded.entailment_brute_decisions == report.entailment_brute_decisions
+        assert decoded.decided_by_backend() == report.decided_by_backend()
+
+
 class TestDisprove:
     def test_disprove_both_directions(self, session):
         disproof = session.disprove("true", "l := h", "forall <a>, <b>. a(l) == b(l)")

@@ -35,6 +35,7 @@ class TestExitCodes:
                 "--hi", "2",
                 "--budget", "exhaustive=0",
                 "--budget", "syntactic-wp=0",
+                "--budget", "symbolic=0",
                 "--quiet",
             ]
         )

@@ -273,3 +273,47 @@ class TestFuzzCLI:
             if line.startswith("trial ")
         ]
         assert "\n".join(streamed) == run_fuzz(2, 4).trial_log()
+
+
+class TestCheckFilter:
+    def test_every_trial_runs_all_nine_checks_by_default(self):
+        from repro.conformance import CHECK_KINDS
+
+        report = run_fuzz(0, 6)
+        assert all(o.checks == CHECK_KINDS for o in report.outcomes)
+
+    def test_include_selector_narrows_battery(self):
+        report = run_fuzz(0, 6, checks=("symbolic",))
+        assert all(o.checks == ("symbolic-vs-engine",) for o in report.outcomes)
+
+    def test_exclude_selector_drops_matches(self):
+        report = run_fuzz(0, 6, checks=("-embedding",))
+        for outcome in report.outcomes:
+            assert "hl-embedding" not in outcome.checks
+            assert "il-embedding" not in outcome.checks
+            assert "engine-vs-naive" in outcome.checks
+
+    def test_exclude_wins_over_include(self):
+        checker = DifferentialChecker(
+            FUZZ_CONFIG, checks=("engine", "-naive")
+        )
+        assert not checker.check_enabled("engine-vs-naive")
+        assert not checker.check_enabled("chain-vs-oracle")
+
+    def test_filter_survives_sharding(self):
+        inline = run_fuzz(5, 12, checks=("symbolic",))
+        sharded = run_fuzz(5, 12, shards=3, checks=("symbolic",))
+        assert inline.trial_log() == sharded.trial_log()
+        assert all(o.checks == ("symbolic-vs-engine",) for o in sharded.outcomes)
+
+    def test_cli_checks_flag(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["fuzz", "--trials", "4", "-q", "--checks", "symbolic"]) == 0
+        assert "4 differential checks" in capsys.readouterr().out
+
+    def test_cli_rejects_unknown_selector(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["fuzz", "--trials", "2", "--checks", "bogus"]) == 3
+        assert "matches no check kind" in capsys.readouterr().err

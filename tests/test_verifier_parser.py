@@ -123,12 +123,24 @@ class TestVerifier:
         assert v.verify("true", "x := 0", "forall <a>. a(x) == 0")
         assert not v.verify("true", "x := nonDet()", "forall <a>. a(x) == 0")
 
-    def test_loop_falls_back_to_oracle(self):
+    def test_loop_without_invariant_is_decided_symbolically(self):
         v = Verifier(["x"], 0, 2)
         result = v.verify(
             "exists <a>. true",
             "while (x > 0) { x := x - 1 }",
             "forall <a>. a(x) == 0",
+        )
+        assert result.verified
+        assert result.method == "sat-validity"
+
+    def test_loop_falls_back_to_oracle(self):
+        # an alternating-quantifier post is outside the symbolic
+        # fragment, so this one still reaches the enumerating oracle
+        v = Verifier(["x"], 0, 2)
+        result = v.verify(
+            "exists <a>. true",
+            "while (x > 0) { x := x - 1 }",
+            "forall <a>, <b>. exists <c>. c(x) == a(x) && c(x) == b(x)",
         )
         assert result.verified
         assert result.method.startswith("oracle")

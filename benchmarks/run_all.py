@@ -31,11 +31,19 @@ trajectory without parsing free text.  Exit code 0 iff every bench
 passed — a failed cross-validation inside any bench (e.g. the compiled
 engine disagreeing with the interpreted one) fails the whole run.
 
+``--compare BASELINE.json`` additionally diffs the fresh wall times
+against a previously committed artifact: every *ratio-bearing* bench
+(one that printed at least one ``<number>x`` figure — the perf-path
+benches) whose fresh elapsed exceeds ``2x`` its baseline elapsed is a
+regression and fails the run.  Benches absent from the baseline are
+reported but never fail (new benches land before their baseline does).
+
 Usage::
 
     python benchmarks/run_all.py --quick            # CI smoke
     python benchmarks/run_all.py --json             # print the JSON too
     python benchmarks/run_all.py --output results.json
+    python benchmarks/run_all.py --quick --compare BENCH_results.json
 """
 
 import argparse
@@ -58,6 +66,56 @@ _THRESHOLD_LINE = re.compile(r">=\s*\d+(?:\.\d+)?x")
 
 #: Default name of the machine-readable artifact.
 DEFAULT_OUTPUT = "BENCH_results.json"
+
+#: ``--compare`` fails when a ratio-bearing bench's fresh wall time
+#: exceeds this multiple of its baseline wall time.
+REGRESSION_FACTOR = 2.0
+
+
+def compare_results(document, baseline):
+    """Diff fresh wall times against a baseline document.
+
+    Returns ``(lines, regressions)``: human-readable diff lines for
+    every fresh bench, and the names of ratio-bearing benches whose
+    elapsed regressed by more than :data:`REGRESSION_FACTOR`.  Only
+    benches that printed ratio figures participate in the gate — the
+    pytest-benchmark modules carry their own timing discipline, and a
+    bench new to this run has no baseline to regress from.
+    """
+    by_name = {b["name"]: b for b in baseline.get("benches", [])}
+    lines = []
+    regressions = []
+    if baseline.get("quick") != document.get("quick"):
+        lines.append(
+            "  note: comparing %s run against %s baseline — wall times are "
+            "not like-for-like"
+            % (
+                "quick" if document.get("quick") else "full",
+                "quick" if baseline.get("quick") else "full",
+            )
+        )
+    for bench in document["benches"]:
+        name = bench["name"]
+        base = by_name.get(name)
+        if base is None:
+            lines.append("  %-32s %7.2fs  (new bench, no baseline)" %
+                         (name, bench["elapsed"]))
+            continue
+        factor = (
+            bench["elapsed"] / base["elapsed"] if base["elapsed"] else float("inf")
+        )
+        gated = bool(bench["ratios"])
+        verdict = "ok"
+        if gated and factor > REGRESSION_FACTOR:
+            verdict = "REGRESSION (> %.0fx)" % REGRESSION_FACTOR
+            regressions.append(name)
+        elif not gated:
+            verdict = "informational"
+        lines.append(
+            "  %-32s %7.2fs vs %7.2fs  %5.2fx  %s"
+            % (name, bench["elapsed"], base["elapsed"], factor, verdict)
+        )
+    return lines, regressions
 
 
 def discover():
@@ -134,7 +192,24 @@ def main(argv=None):
     parser.add_argument("--only", action="append", default=[],
                         help="run only benches whose name contains this "
                         "substring (repeatable)")
+    parser.add_argument("--compare", metavar="BASELINE.json",
+                        help="diff fresh wall times against this committed "
+                        "artifact; a ratio-bearing bench slower than %.0fx "
+                        "its baseline fails the run" % REGRESSION_FACTOR)
     args = parser.parse_args(argv)
+
+    baseline = None
+    if args.compare:
+        # load before running: --output may point at the same file
+        try:
+            with open(args.compare, "r", encoding="utf-8") as handle:
+                baseline = json.load(handle)
+        except FileNotFoundError:
+            print(
+                "compare baseline %s not found; running ungated "
+                "(commit a full-mode run to arm the regression gate)"
+                % args.compare
+            )
 
     env = dict(os.environ)
     src = os.path.join(ROOT, "src")
@@ -182,7 +257,15 @@ def main(argv=None):
           % (args.output, len(results), "ok" if document["ok"] else "FAILURES"))
     if args.json:
         print(json.dumps(document, sort_keys=True))
-    return 0 if document["ok"] else 1
+    regressions = []
+    if baseline is not None:
+        lines, regressions = compare_results(document, baseline)
+        print("\ncompare vs %s:" % args.compare)
+        for line in lines:
+            print(line)
+        if regressions:
+            print("wall-time regressions: %s" % ", ".join(regressions))
+    return 0 if document["ok"] and not regressions else 1
 
 
 if __name__ == "__main__":

@@ -176,11 +176,17 @@ def build_fuzz_parser():
         "--checks",
         help="comma-separated check selectors, matched as substrings against "
         "the per-trial check kinds (engine-vs-naive, compiled-vs-interpreted, "
-        "terminating-engine-vs-naive, sampled-engine-vs-naive, "
-        "syntactic-vs-oracle, chain-vs-oracle, symbolic-vs-engine, "
-        "hl-embedding, il-embedding); prefix a selector with '-' to exclude "
-        "instead, e.g. --checks symbolic or --checks=-embedding "
-        "(default: run all nine)",
+        "bitset-vs-frozenset, terminating-engine-vs-naive, "
+        "sampled-engine-vs-naive, syntactic-vs-oracle, chain-vs-oracle, "
+        "symbolic-vs-engine, hl-embedding, il-embedding); prefix a selector "
+        "with '-' to exclude instead, e.g. --checks bitset or "
+        "--checks=-embedding; --checks list prints the known kinds and "
+        "exits (default: run all ten)",
+    )
+    parser.add_argument(
+        "--list-checks",
+        action="store_true",
+        help="print the known check kinds, one per line, and exit 0",
     )
     parser.add_argument(
         "-q", "--quiet", action="store_true", help="suppress the per-trial log"
@@ -206,6 +212,10 @@ def fuzz_main(argv):
         return EXIT_BAD_INPUT if exc.code not in (0, None) else 0
 
     trials = args.trials if args.trials is not None else (40 if args.quick else 200)
+    if args.list_checks or args.checks == "list":
+        for kind in CHECK_KINDS:
+            print(kind)
+        return 0
     checks = _split_names(args.checks) if args.checks else None
     try:
         if trials < 1:

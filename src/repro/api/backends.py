@@ -80,8 +80,25 @@ def _scan_initial_sets(task, session, budget, max_size=None):
     enumerated set refutes the triple) or ``_EXHAUSTED`` (budget tripped
     after ``checked`` sets).
     """
+    engine = session.engine
     checked = 0
-    for subset, post_set, ok in session.engine.scan(
+    if engine.bitset:
+        # walk raw id-bitmasks and decode only the refuting candidate —
+        # accepted sets never leave machine-word form
+        universe = session.universe
+        for chosen, acc, ok in engine.scan_masks(
+            task.pre, task.command, task.post, max_size=max_size
+        ):
+            if _expired(budget):
+                return _EXHAUSTED, None, checked
+            checked += 1
+            if acc is None:  # precondition rejected the subset
+                continue
+            if not ok:
+                witness = Witness(universe.states_of(chosen), universe.states_of(acc))
+                return _REFUTED, witness, checked
+        return _PASSED, None, checked
+    for subset, post_set, ok in engine.scan(
         task.pre, task.command, task.post, max_size=max_size
     ):
         if _expired(budget):

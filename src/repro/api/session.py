@@ -196,8 +196,11 @@ class Report(WireCodec):
     The ``image_cache_*`` fields are the per-batch deltas of the
     session's :class:`~repro.checker.engine.ImageCache` counters
     (``evictions`` stays 0 unless the session bounds the cache with
-    ``max_image_entries``); process-sharded batches aggregate the
-    workers' private caches.  ``entailment_sat_decisions`` /
+    ``max_image_entries``); ``image_mask_*`` are the same deltas for the
+    cache's bitset *mask tier* — the per-universe id-bitmask images the
+    bitset engine enumerates with (a mask hit never touches the
+    frozenset tier, a mask miss computes through it); process-sharded
+    batches aggregate the workers' private caches.  ``entailment_sat_decisions`` /
     ``entailment_brute_decisions`` are likewise per-batch deltas of the
     oracle's per-method counters (:meth:`EntailmentOracle.method_counts`)
     — how many entailment queries the SAT encoding actually decided
@@ -216,6 +219,8 @@ class Report(WireCodec):
     image_cache_evictions: int = 0
     entailment_sat_decisions: int = 0
     entailment_brute_decisions: int = 0
+    image_mask_hits: int = 0
+    image_mask_misses: int = 0
 
     def __iter__(self):
         return iter(self.results)
@@ -269,7 +274,7 @@ class Report(WireCodec):
         lines = [
             "report: %d verified, %d refuted, %d undecided in %.3fs "
             "(entailment cache: %d hits, %d misses; image cache: %d hits, "
-            "%d misses, %d evictions)"
+            "%d misses, %d evictions; mask tier: %d hits, %d misses)"
             % (
                 len(self.verified),
                 len(self.refuted),
@@ -280,6 +285,8 @@ class Report(WireCodec):
                 self.image_cache_hits,
                 self.image_cache_misses,
                 self.image_cache_evictions,
+                self.image_mask_hits,
+                self.image_mask_misses,
             ),
             "  decided by: %s; entailments: %d sat, %d brute"
             % (
@@ -543,6 +550,8 @@ class Session:
             image_cache_hits=images_after["hits"] - images["hits"],
             image_cache_misses=images_after["misses"] - images["misses"],
             image_cache_evictions=images_after["evictions"] - images["evictions"],
+            image_mask_hits=images_after["mask_hits"] - images["mask_hits"],
+            image_mask_misses=images_after["mask_misses"] - images["mask_misses"],
             entailment_sat_decisions=methods_after.get("sat", 0)
             - methods.get("sat", 0),
             entailment_brute_decisions=methods_after.get("brute", 0)
@@ -585,6 +594,9 @@ class Session:
             "image_misses": images["misses"],
             "image_size": images["size"],
             "image_evictions": images["evictions"],
+            "image_mask_hits": images["mask_hits"],
+            "image_mask_misses": images["mask_misses"],
+            "image_mask_size": images["mask_size"],
             "compile_hits": compiles["hits"],
             "compile_misses": compiles["misses"],
             "compile_size": compiles["size"],

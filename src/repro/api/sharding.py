@@ -166,6 +166,8 @@ def _run_chunk(chunk, budgets, transport_proofs):
         images_after["evictions"] - images_before["evictions"],
         methods_after.get("sat", 0) - methods_before.get("sat", 0),
         methods_after.get("brute", 0) - methods_before.get("brute", 0),
+        images_after["mask_hits"] - images_before["mask_hits"],
+        images_after["mask_misses"] - images_before["mask_misses"],
     )
     return out, delta
 
@@ -209,6 +211,7 @@ def verify_many_sharded(
     hits = misses = 0
     image_hits = image_misses = image_evictions = 0
     sat_decisions = brute_decisions = 0
+    mask_hits = mask_misses = 0
     with ProcessPoolExecutor(
         max_workers=shards, initializer=_init_worker, initargs=(spec,)
     ) as pool:
@@ -225,6 +228,8 @@ def verify_many_sharded(
             image_evictions += chunk_delta[4]
             sat_decisions += chunk_delta[5]
             brute_decisions += chunk_delta[6]
+            mask_hits += chunk_delta[7]
+            mask_misses += chunk_delta[8]
             for index, documents in rows:
                 outcomes_by_index[index] = tuple(from_wire(d) for d in documents)
     elapsed = _task_mod.clock() - started
@@ -241,4 +246,6 @@ def verify_many_sharded(
         image_cache_evictions=image_evictions,
         entailment_sat_decisions=sat_decisions,
         entailment_brute_decisions=brute_decisions,
+        image_mask_hits=mask_hits,
+        image_mask_misses=mask_misses,
     )

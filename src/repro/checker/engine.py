@@ -43,6 +43,22 @@ pre-compile engine's ``O(2**n · union)`` accounting ignored assertion
 evaluation, which re-walked both assertions over every candidate set
 and dominated assertion-heavy workloads.
 
+Since the bitset core (default ``bitset=True``), ``Δ`` is not merely
+``O(1)`` set operations but **machine-word operations on Python ints**:
+every extended state is interned to a dense id
+(:meth:`~repro.checker.universe.Universe.index_of`), candidate sets and
+image unions are int bitmasks, and each enumeration step is ``mask |
+bit`` / ``acc | image_mask`` — no per-element hashing, no frozenset
+allocation, no rehash of state tuples.  For universes up to the word
+size the whole per-step Δ fits in a handful of CPU instructions; beyond
+that it scales with ``n/64`` words, still orders of magnitude below a
+frozenset union.  :meth:`CheckerEngine.scan_masks` is the mask-native
+enumeration; public results (:class:`CheckResult` witnesses) decode
+masks back to frozensets only at the boundary, so the API and the
+enumeration order are byte-identical to the frozenset engine
+(``bitset=False``), which survives as benchmark baseline and as the
+``bitset-vs-frozenset`` differential-fuzz foil.
+
 Construct the engine with ``compiled=False`` to get the pre-compile
 behavior (interpreted ``holds`` per candidate set, interpreted big-step
 execution): enumeration order, verdicts, witnesses and ``checked_sets``
@@ -63,9 +79,12 @@ from ..compile import (
     compile_command,
     compile_state_predicate,
 )
+from ..compile.assertion import mask_prefix_fn
 from ..semantics.bigstep import post_states, post_states_interpreted
 from ..semantics.state import ExtState
 from ..util import iter_subsets
+
+_MISSING = object()
 
 
 @dataclass
@@ -134,11 +153,14 @@ class ImageCache:
             raise ValueError("max_entries must be >= 1 or None, got %r"
                              % (max_entries,))
         self._table = OrderedDict()
+        self._masks = {}
         self._lock = threading.Lock()
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.mask_hits = 0
+        self.mask_misses = 0
 
     def post_image(self, command, prog, domain, max_states=100000,
                    executor=None):
@@ -173,13 +195,43 @@ class ImageCache:
             self.misses += 1
         return finals
 
+    def post_image_mask(self, command, phi, universe, max_states=100000,
+                        executor=None):
+        """``sem(C, {φ})`` as an id bitmask over ``universe``'s interner.
+
+        The *mask tier*: stored next to the frozenset entries, keyed
+        additionally by the universe (masks only mean something relative
+        to one interner — the frozenset tier stays universe-agnostic and
+        shared).  A mask miss computes through :meth:`post_image`, so the
+        base tier still deduplicates the execution itself; the mask tier
+        then amortizes the id encoding.  Masks are ints, so the tier is
+        not LRU-bounded — it costs a few machine words per entry.
+        """
+        key = (universe, command, phi)
+        with self._lock:
+            entry = self._masks.get(key)
+            if entry is not None and max_states >= entry[1]:
+                self.mask_hits += 1
+                return entry[0]
+        finals = self.post_image(
+            command, phi.prog, universe.domain, max_states, executor=executor
+        )
+        log = phi.log
+        mask = universe.mask_of(ExtState(log, sigma2) for sigma2 in finals)
+        with self._lock:
+            entry = self._masks.get(key)
+            if entry is None or max_states < entry[1]:
+                self._masks[key] = (mask, max_states)
+            self.mask_misses += 1
+        return mask
+
     def info(self):
         """``{"hits": ..., "misses": ..., "size": ...}``."""
         with self._lock:
             return {"hits": self.hits, "misses": self.misses, "size": len(self._table)}
 
     def stats(self):
-        """:meth:`info` plus ``evictions`` and ``max_entries``."""
+        """:meth:`info` plus evictions, the cap and the mask tier."""
         with self._lock:
             return {
                 "hits": self.hits,
@@ -187,14 +239,20 @@ class ImageCache:
                 "size": len(self._table),
                 "evictions": self.evictions,
                 "max_entries": self.max_entries,
+                "mask_hits": self.mask_hits,
+                "mask_misses": self.mask_misses,
+                "mask_size": len(self._masks),
             }
 
     def clear(self):
         with self._lock:
             self._table.clear()
+            self._masks.clear()
             self.hits = 0
             self.misses = 0
             self.evictions = 0
+            self.mask_hits = 0
+            self.mask_misses = 0
 
     def __len__(self):
         with self._lock:
@@ -277,6 +335,27 @@ def state_prefilter(pre, domain, compile_cache=None):
     return _walk_prefilter(pre, domain, compile_cache)
 
 
+def state_prefilter_mask(pre, universe, compile_cache=None):
+    """:func:`state_prefilter` as an id bitmask over ``universe``.
+
+    Bit ``i`` is set iff ``ext_states()[i]`` may still appear in a
+    precondition-satisfying set; ``None`` means no pruning applies.  The
+    bitset engine intersects candidate enumeration with this mask — the
+    surviving ids keep their ascending order, so the enumeration order
+    matches the frozenset engine's filtered-tuple walk exactly.
+    """
+    keep = state_prefilter(pre, universe.domain, compile_cache)
+    if keep is None:
+        return None
+    mask = 0
+    bit = 1
+    for phi in universe.ext_states():
+        if keep(phi):
+            mask |= bit
+        bit <<= 1
+    return mask
+
+
 def _sized_unions(states, img, k):
     """Yield ``(frozenset(combo), ⋃ images)`` for all size-``k`` combos.
 
@@ -331,14 +410,26 @@ class CheckerEngine:
         same enumeration order, verdicts, witnesses and
         ``checked_sets``, used as a benchmark baseline and by the
         ``compiled-vs-interpreted`` conformance check.
+    bitset:
+        ``True`` (default) runs the compiled enumeration on the interned
+        bitset core — candidate sets and image unions are int masks, the
+        per-step Δ a machine-word op (see :meth:`scan_masks`).
+        ``False`` is the escape hatch to the frozenset recursion: same
+        enumeration order, verdicts, witnesses and ``checked_sets``,
+        used as a benchmark baseline and by the ``bitset-vs-frozenset``
+        conformance check.  Ignored (no bitset core) in interpreted
+        mode.
     """
 
-    def __init__(self, universe, cache=None, compile_cache=None, compiled=True):
+    def __init__(self, universe, cache=None, compile_cache=None, compiled=True,
+                 bitset=True):
         self.universe = universe
         self.cache = cache if cache is not None else ImageCache()
         self.compiles = compile_cache
         self.compiled = compiled
+        self.bitset = bool(bitset) and bool(compiled)
         self._executors = {}
+        self._mask_fns = {}
 
     # -- compiled artifacts ------------------------------------------------
     def _executor(self, command):
@@ -358,6 +449,16 @@ class CheckerEngine:
     def _compile(self, assertion):
         return compile_assertion(assertion, self.universe.domain, self.compiles)
 
+    def _mask_fn(self, compiled):
+        """The prefix-chain mask evaluator for a non-incremental
+        compiled assertion, or ``None`` (memoized per engine — the
+        per-id projection cache inside must persist across scans)."""
+        fn = self._mask_fns.get(compiled, _MISSING)
+        if fn is _MISSING:
+            fn = mask_prefix_fn(compiled, self.universe)
+            self._mask_fns[compiled] = fn
+        return fn
+
     # -- images ------------------------------------------------------------
     def image(self, command, phi, max_states=100000):
         """``sem(C, {φ})`` — the extended-state image of one state."""
@@ -366,6 +467,13 @@ class CheckerEngine:
             executor=self._executor(command),
         )
         return frozenset(ExtState(phi.log, sigma2) for sigma2 in finals)
+
+    def image_mask(self, command, phi, max_states=100000):
+        """``sem(C, {φ})`` as an id bitmask over this engine's universe."""
+        return self.cache.post_image_mask(
+            command, phi, self.universe, max_states,
+            executor=self._executor(command),
+        )
 
     def image_table(self, command, states, max_states=100000):
         """``{φ: sem(C, {φ})}`` — one execution per distinct program state."""
@@ -392,6 +500,172 @@ class CheckerEngine:
         )
 
     # -- enumeration -------------------------------------------------------
+    def scan_masks(
+        self,
+        pre,
+        command,
+        post,
+        max_size=None,
+        max_states=100000,
+        prefilter=True,
+        pin_equals_set=True,
+    ):
+        """The bitset enumeration core: :meth:`scan` over int masks.
+
+        Yields ``(subset_mask, post_mask, ok)`` — the same candidates,
+        in the same size-ordered enumeration order, with the same
+        verdicts as :meth:`scan`, but every set is an id bitmask over
+        the universe's interner: extending a candidate is ``mask |
+        bit``, extending its post-set is ``acc | image_mask``, and the
+        post evaluator receives only the genuinely new states
+        (``image & ~acc`` — distinct by construction, so even fallback-
+        free *and* fallback-carrying post assertions skip the multiset
+        bookkeeping).  Assertions outside the incremental fragment whose
+        shape is a pure quantifier prefix (GNI and friends) are decided
+        per candidate by a mask-native whole-set evaluator with per-id
+        projection caches; only shapes with no mask specialization
+        decode at the boundary.
+
+        Requires the compiled bitset engine (``compiled=True`` and
+        ``bitset=True``); callers wanting frozensets use :meth:`scan`,
+        which decodes each yield.
+        """
+        from ..assertions.semantic import EqualsSet
+
+        if not self.bitset:
+            raise ValueError("scan_masks requires a compiled bitset engine")
+        universe = self.universe
+        domain = universe.domain
+        mask_of = universe.mask_of
+        if pin_equals_set and isinstance(pre, EqualsSet):
+            if max_size is not None and len(pre.target) > max_size:
+                return
+            subset = pre.target
+            if not pre.holds(subset, domain):
+                yield mask_of(subset), None, True
+                return
+            post_set = self.sem(command, subset, max_states)
+            ok = bool(self._compile(post).holds(post_set))
+            yield mask_of(subset), mask_of(post_set), ok
+            return
+        states = universe.ext_states()
+        state_of = universe.state_of
+        ids = range(len(states))
+        if prefilter:
+            kmask = state_prefilter_mask(pre, universe, self.compiles)
+            if kmask is not None:
+                ids = [i for i in ids if (kmask >> i) & 1]
+        ids = list(ids)
+        n = len(ids)
+        cap = n if max_size is None else min(max_size, n)
+
+        cpre = self._compile(pre)
+        cpost = self._compile(post)
+        imask = {}
+
+        def img(i):
+            m = imask.get(i)
+            if m is None:
+                m = self.image_mask(command, states[i], max_states)
+                imask[i] = m
+            return m
+
+        # pre: constant -> one lazy evaluation; incremental -> evaluator
+        # pushes along the recursion; prefix-chain fallback -> mask-
+        # native whole-set per candidate; otherwise -> evaluator whose
+        # fallback kernels read the distinct set (delta pushes keep it
+        # exact).
+        pre_eval = pre_fn = None
+        if not cpre.constant:
+            if cpre.incremental:
+                pre_eval = cpre.evaluator()
+            else:
+                pre_fn = self._mask_fn(cpre)
+                if pre_fn is None:
+                    pre_eval = cpre.evaluator()
+        post_eval = post_fn = None
+        if not cpost.constant:
+            if cpost.incremental:
+                post_eval = cpost.evaluator()
+            else:
+                post_fn = self._mask_fn(cpost)
+                if post_fn is None:
+                    post_eval = cpost.evaluator()
+        const = {}
+
+        def const_value(which, compiled):
+            value = const.get(which)
+            if value is None:
+                value = bool(compiled.holds(frozenset()))
+                const[which] = value
+            return value
+
+        # Lazy post flush, as in the frozenset recursion: each edge
+        # parks its *new-states* mask; only a pre-passing leaf pushes
+        # the unflushed suffix.  Flushed entries form a stack prefix.
+        pend = []
+        flushed = [0]
+
+        def flush_post():
+            for entry in pend[flushed[0]:]:
+                new = entry[0]
+                while new:
+                    low = new & -new
+                    post_eval.push_state(state_of(low.bit_length() - 1))
+                    new ^= low
+                entry[1] = True
+            flushed[0] = len(pend)
+
+        def rec(start, chosen, acc, need):
+            if need == 0:
+                if cpre.constant:
+                    ok_pre = const_value("pre", cpre)
+                elif pre_eval is not None:
+                    ok_pre = pre_eval.value()
+                else:
+                    ok_pre = pre_fn(chosen)
+                if not ok_pre:
+                    yield chosen, None, True
+                    return
+                if cpost.constant:
+                    ok = const_value("post", cpost)
+                elif post_fn is not None:
+                    ok = bool(post_fn(acc))
+                else:
+                    flush_post()
+                    ok = post_eval.value()
+                yield chosen, acc, ok
+                return
+            for idx in range(start, n - need + 1):
+                i = ids[idx]
+                image = img(i)
+                if pre_eval is not None:
+                    pre_eval.push_state(states[i])
+                if post_eval is not None:
+                    entry = [image & ~acc, False]
+                    pend.append(entry)
+                    for item in rec(idx + 1, chosen | (1 << i), acc | image,
+                                    need - 1):
+                        yield item
+                    pend.pop()
+                    if entry[1]:
+                        new = entry[0]
+                        while new:
+                            top = new.bit_length() - 1
+                            post_eval.pop_state(state_of(top))
+                            new ^= 1 << top
+                        flushed[0] = len(pend)
+                else:
+                    for item in rec(idx + 1, chosen | (1 << i), acc | image,
+                                    need - 1):
+                        yield item
+                if pre_eval is not None:
+                    pre_eval.pop_state(states[i])
+
+        for k in range(cap + 1):
+            for item in rec(0, 0, 0, k):
+                yield item
+
     def scan(
         self,
         pre,
@@ -425,8 +699,26 @@ class CheckerEngine:
         any other precondition — required where the pinned target may
         contain states outside the universe (the terminating check's
         Def. 24 quantifier only ranges over universe subsets).
+
+        On a bitset engine this is a decoding wrapper over
+        :meth:`scan_masks` — identical triples, paid per yield; bulk
+        consumers that only need verdicts (``check``, the exhaustive
+        backend) walk the masks directly and decode refutations only.
         """
         from ..assertions.semantic import EqualsSet
+
+        if self.bitset:
+            states_of = self.universe.states_of
+            for chosen, acc, ok in self.scan_masks(
+                pre, command, post, max_size, max_states, prefilter,
+                pin_equals_set,
+            ):
+                yield (
+                    states_of(chosen),
+                    None if acc is None else states_of(acc),
+                    ok,
+                )
+            return
 
         domain = self.universe.domain
         compiled = self.compiled
@@ -538,6 +830,17 @@ class CheckerEngine:
         """Decide ``|= {pre} command {post}`` — engine counterpart of
         :func:`~repro.checker.validity.check_triple`."""
         checked = 0
+        if self.bitset:
+            for chosen, acc, ok in self.scan_masks(
+                pre, command, post, max_size, max_states, prefilter
+            ):
+                checked += 1
+                if not ok:
+                    states_of = self.universe.states_of
+                    return CheckResult(
+                        False, states_of(chosen), states_of(acc), checked
+                    )
+            return CheckResult(True, checked_sets=checked)
         for subset, post_set, ok in self.scan(
             pre, command, post, max_size, max_states, prefilter
         ):
@@ -553,6 +856,41 @@ class CheckerEngine:
         final state" — the latter a cache hit, since the enumeration has
         already computed each member's image."""
         checked = 0
+        if self.bitset:
+            states = self.universe.ext_states()
+            states_of = self.universe.states_of
+            term = {}
+
+            def all_terminate(chosen):
+                # can_terminate(φ) is "image(φ) non-empty", i.e. a
+                # non-zero image mask — no decode needed
+                m = chosen
+                while m:
+                    low = m & -m
+                    i = low.bit_length() - 1
+                    m ^= low
+                    t = term.get(i)
+                    if t is None:
+                        t = bool(
+                            self.image_mask(command, states[i], max_states)
+                        )
+                        term[i] = t
+                    if not t:
+                        return False
+                return True
+
+            for chosen, acc, ok in self.scan_masks(
+                pre, command, post, max_size, max_states, prefilter,
+                pin_equals_set=False,
+            ):
+                checked += 1
+                if acc is None:  # precondition rejected the subset
+                    continue
+                if not ok or not all_terminate(chosen):
+                    return CheckResult(
+                        False, states_of(chosen), states_of(acc), checked
+                    )
+            return CheckResult(True, checked_sets=checked)
         for subset, post_set, ok in self.scan(
             pre, command, post, max_size, max_states, prefilter,
             pin_equals_set=False,
@@ -600,8 +938,14 @@ class CheckerEngine:
         return CheckResult(True, checked_sets=checked)
 
     def __repr__(self):
+        if not self.compiled:
+            mode = "interpreted"
+        elif self.bitset:
+            mode = "compiled+bitset"
+        else:
+            mode = "compiled"
         return "CheckerEngine(%r, cache=%d images, %s)" % (
             self.universe,
             len(self.cache),
-            "compiled" if self.compiled else "interpreted",
+            mode,
         )

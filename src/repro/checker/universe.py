@@ -12,8 +12,18 @@ subset by unioning precomputed per-state images (see
 extended states, so the powerset, not the executions, is the budget to
 watch.  Keep the declaration tiny (two variables over three values is
 already 512 subsets).
+
+Each universe also *interns* its extended states to dense integer ids
+(``ext_states()[i]`` has id ``i``), letting the engine and the symbolic
+encoder represent sets of states as int bitmasks (see
+:mod:`repro.checker.bitset`) and key per-state tables by id instead of
+rehashing :class:`~repro.semantics.state.ExtState` objects.  The table
+is growable: program arithmetic can step outside the declared grid, so
+image states beyond ``ext_states()`` are appended fresh ids on first
+sight (thread-safely — sessions share universes across worker threads).
 """
 
+import threading
 from itertools import product
 
 from ..semantics.state import ExtState, State
@@ -40,6 +50,9 @@ class Universe:
         self.domain = domain
         self.lvar_domain = lvar_domain if lvar_domain is not None else domain
         self._states = None
+        self._ids = None  # state -> dense id (ext_states order, growable)
+        self._by_id = None  # id -> state (list, parallel to _ids)
+        self._intern_lock = threading.Lock()
 
     def program_states(self):
         """All program states (tuple ordered deterministically)."""
@@ -62,6 +75,66 @@ class Universe:
             logs = self.logical_states()
             self._states = tuple(ExtState(l, p) for l in logs for p in progs)
         return self._states
+
+    # -- interning ---------------------------------------------------------
+    def _intern(self):
+        with self._intern_lock:
+            if self._ids is None:
+                states = self.ext_states()
+                self._by_id = list(states)
+                self._ids = {phi: i for i, phi in enumerate(states)}
+        return self._ids
+
+    def index_of(self, phi):
+        """The dense id of ``phi`` — O(1); states outside the declared
+        grid (image states of grid-escaping programs) are appended fresh
+        ids on first sight."""
+        ids = self._ids
+        if ids is None:
+            ids = self._intern()
+        i = ids.get(phi)
+        if i is not None:
+            return i
+        with self._intern_lock:
+            i = ids.get(phi)
+            if i is None:
+                i = len(self._by_id)
+                self._by_id.append(phi)
+                ids[phi] = i
+        return i
+
+    def state_of(self, i):
+        """The extended state with dense id ``i`` — O(1)."""
+        if self._ids is None:
+            self._intern()
+        return self._by_id[i]
+
+    def interned(self):
+        """The number of ids assigned so far (``>= size()`` once images
+        escaping the grid have been interned)."""
+        if self._ids is None:
+            self._intern()
+        return len(self._by_id)
+
+    def mask_of(self, states):
+        """Encode an iterable of extended states as an id bitmask."""
+        index_of = self.index_of
+        mask = 0
+        for phi in states:
+            mask |= 1 << index_of(phi)
+        return mask
+
+    def states_of(self, mask):
+        """Decode an id bitmask back to a ``frozenset`` of states."""
+        if self._ids is None:
+            self._intern()
+        by_id = self._by_id
+        out = []
+        while mask:
+            low = mask & -mask
+            out.append(by_id[low.bit_length() - 1])
+            mask ^= low
+        return frozenset(out)
 
     def size(self):
         """Number of extended states, computed arithmetically.

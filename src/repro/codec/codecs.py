@@ -392,6 +392,8 @@ register(
         "image_cache_evictions": r.image_cache_evictions,
         "entailment_sat_decisions": r.entailment_sat_decisions,
         "entailment_brute_decisions": r.entailment_brute_decisions,
+        "image_mask_hits": r.image_mask_hits,
+        "image_mask_misses": r.image_mask_misses,
     },
     lambda node: Report(
         tuple(decode(x) for x in node["results"]),
@@ -403,6 +405,8 @@ register(
         image_cache_evictions=node["image_cache_evictions"],
         entailment_sat_decisions=node["entailment_sat_decisions"],
         entailment_brute_decisions=node["entailment_brute_decisions"],
+        image_mask_hits=node["image_mask_hits"],
+        image_mask_misses=node["image_mask_misses"],
     ),
 )
 

@@ -33,7 +33,9 @@ from .assertion import (
     CompiledAssertion,
     SetEvaluator,
     compile_assertion,
+    compile_mask_fn,
     compile_state_predicate,
+    mask_prefix_fn,
 )
 from .cache import CompileCache, default_cache
 from .command import compile_command
@@ -49,6 +51,8 @@ __all__ = [
     "compile_command",
     "compile_expr",
     "compile_hexpr",
+    "compile_mask_fn",
     "compile_state_predicate",
     "default_cache",
+    "mask_prefix_fn",
 ]

@@ -1182,6 +1182,152 @@ def compile_assertion(assertion, domain, cache=None):
     return cache.get_or_build(("assertion", assertion, domain), build)
 
 
+def _peel_state_prefix(node):
+    """``([(polarity, name), ...], body)`` for a pure state-quantifier
+    chain (alternation allowed), or ``None`` when the assertion is not a
+    chain of state quantifiers over a state-quantifier-free body."""
+    prefix = []
+    while True:
+        t = type(node)
+        if t is SForallState:
+            prefix.append((_FORALL, node.state))
+        elif t is SExistsState:
+            prefix.append((_EXISTS, node.state))
+        else:
+            break
+        node = node.body
+    if not prefix or _has_state_quant(node):
+        return None
+    if not isinstance(node, (SBool, SCmp, SAnd, SOr, SForallVal,
+                             SExistsVal)):
+        return None
+    return prefix, node
+
+
+class _MaskWhole:
+    """Whole-set evaluation of a state-quantifier-prefix assertion over
+    an id bitmask.
+
+    This is the mask counterpart of the interpreter's nested-loop
+    ``holds``: the quantifier prefix (alternation allowed — GNI's
+    ``∀∀∃``, its violation's ``∃∃∀``) runs as nested loops over
+    *prepared items*, the body is one generated code object
+    (:class:`_BodyGen`) over item tuples, and each state's projections
+    are computed **once per interned id for the lifetime of the
+    universe** — across every candidate set the enumeration asks about —
+    instead of re-walking the expression tree per tuple per candidate.
+    Truth is iteration-order independent, so bit-scan id order replaces
+    frozenset hash order without changing any verdict.
+    """
+
+    __slots__ = ("pols", "body", "prepare", "universe", "items")
+
+    def __init__(self, pols, body, prepare, universe):
+        self.pols = pols
+        self.body = body
+        self.prepare = prepare
+        self.universe = universe
+        self.items = []  # id -> prepared item, grown lazily
+
+    def _pool(self, mask):
+        items = self.items
+        state_of = self.universe.state_of
+        prepare = self.prepare
+        out = []
+        while mask:
+            low = mask & -mask
+            i = low.bit_length() - 1
+            mask ^= low
+            if i >= len(items):
+                items.extend([None] * (i + 1 - len(items)))
+            item = items[i]
+            if item is None:
+                item = prepare(state_of(i))
+                items[i] = item
+            out.append(item)
+        return out
+
+    def __call__(self, mask):
+        pool = self._pool(mask)
+        pols = self.pols
+        body = self.body
+        depth = len(pols)
+        ts = [None] * depth
+
+        def rec(k):
+            if k == depth:
+                return bool(body(ts))
+            want = pols[k] == _EXISTS
+            nxt = k + 1
+            for item in pool:
+                ts[k] = item
+                if rec(nxt) == want:
+                    return want
+            return not want
+
+        return rec(0)
+
+
+def mask_prefix_fn(compiled, universe):
+    """The :class:`_MaskWhole` evaluator for ``compiled`` over
+    ``universe``'s interner, or ``None`` when the assertion is not a
+    pure state-quantifier chain.
+
+    The applicable shapes are exactly the alternating-prefix forms that
+    force the whole-set fallback in the first place (GNI's ``∀∀∃``, its
+    violation's ``∃∃∀``) — the engine calls this per candidate set
+    instead of running any evaluator traffic for the assertion.
+    """
+    assertion = compiled.assertion
+    domain = compiled.domain
+    if not isinstance(assertion, SynAssertion):
+        return None
+    peeled = _peel_state_prefix(assertion)
+    if peeled is None:
+        return None
+    prefix, body_node = peeled
+    names = [name for _, name in prefix]
+    if len(set(names)) != len(names):
+        return None
+    pols = tuple(q for q, _ in prefix)
+    values = tuple(domain) if domain is not None else ()
+    slots = {name: i for i, name in enumerate(names)}
+    projections = _Projections()
+    fast = _BodyGen(values, slots, projections, {}).compile(body_node)
+    if projections.exprs:
+        safe = _BodyGen(
+            values, slots, _Projections(), {}, hoist=False
+        ).compile(body_node)
+
+        def body_fn(ts, _fast=fast, _safe=safe):
+            try:
+                return _fast(ts)
+            except IndexError:
+                return _safe(ts)
+
+    else:
+        body_fn = fast
+    return _MaskWhole(pols, body_fn, projections.prepare_fn(), universe)
+
+
+def compile_mask_fn(compiled, universe):
+    """``mask -> bool`` whole-set evaluation of ``compiled`` over
+    interned-id bitmasks of ``universe``.
+
+    A pure state-quantifier prefix (the alternating forms that *cause*
+    the fallback) evaluates natively over the mask through
+    :func:`mask_prefix_fn`; any other shape decodes the mask at the
+    boundary and reuses the compiled whole-set closure — never faster,
+    never different.
+    """
+    fn = mask_prefix_fn(compiled, universe)
+    if fn is not None:
+        return fn
+    whole = compiled.holds
+    states_of = universe.states_of
+    return lambda mask: whole(states_of(mask))
+
+
 def compile_state_predicate(body, state_name, domain, cache=None):
     """``φ -> bool`` for a state-quantifier-free Def. 9 body with one
     bound state — the engine's precondition prefilter compiles its

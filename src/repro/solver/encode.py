@@ -11,6 +11,17 @@ grounds as:
 
 ``P |= Q`` then reduces to UNSAT of ``⟦P⟧ ∧ ¬⟦Q⟧`` — the same shape of
 reduction the Hypra verifier performs with Z3, here with our own DPLL.
+
+The grounding pass is compile-once per query: each distinct comparison
+leaf is lowered to a closure (:func:`repro.compile.hyper.compile_hexpr`)
+the first time it is seen, the per-state atom literals are built once
+up front, and quantifier instantiation mutates a single binding
+environment (set/restore) instead of copying a dict per instantiation —
+the ``U^depth × |D|^vals`` leaf evaluations are then plain closure
+calls.  The solver-facing entry points additionally key their atoms by
+the state's *interned id* (its position in the universe tuple), so the
+formula, CNF and DPLL layers hash machine ints instead of whole
+extended states.
 """
 
 from ..assertions.base import Assertion
@@ -26,8 +37,11 @@ from ..assertions.syntax import (
     SOr,
     SynAssertion,
 )
+from ..compile.hyper import compile_cmp, compile_hexpr
 from .formula import FFalse, FTrue, f_or, fand, fnot, fvar
 from .sat import solve_formula
+
+_MISSING = object()
 
 
 class Unsupported(Exception):
@@ -36,6 +50,15 @@ class Unsupported(Exception):
 
 def _membership_atom(state):
     return ("member", state)
+
+
+def _interned_atom(universe):
+    """Membership atoms keyed by interned id — ``("m", i)`` for the
+    ``i``-th state of ``universe`` — so every downstream dictionary
+    (formula dedup, CNF mapping, DPLL assignments and watch lists)
+    hashes a small int instead of a whole extended state."""
+    index = {u: ("m", i) for i, u in enumerate(universe)}
+    return index.__getitem__
 
 
 def ground_assertion(
@@ -49,106 +72,151 @@ def ground_assertion(
     keep the precondition's selector namespace and the postcondition's
     post-state namespace apart within one query.
     """
-    sigma_env = dict(sigma_env or {})
-    delta_env = dict(delta_env or {})
-    return _ground(assertion, tuple(universe), domain, sigma_env, delta_env, atom)
+    grounder = _Grounder(tuple(universe), domain, atom)
+    return grounder.ground(assertion, dict(sigma_env or {}), dict(delta_env or {}))
 
 
-def _ground(node, universe, domain, sigma_env, delta_env, atom=_membership_atom):
-    # semantic combinator wrappers around syntactic parts remain groundable
-    if isinstance(node, AndAssertion):
-        return fand(
-            *(_ground(p, universe, domain, sigma_env, delta_env, atom) for p in node.parts)
-        )
-    if isinstance(node, OrAssertion):
-        return f_or(
-            *(_ground(p, universe, domain, sigma_env, delta_env, atom) for p in node.parts)
-        )
-    if isinstance(node, NotAssertion):
-        return fnot(_ground(node.operand, universe, domain, sigma_env, delta_env, atom))
-    if not isinstance(node, SynAssertion):
+class _Grounder:
+    """One grounding pass over one universe/atom namespace.
+
+    Holds the prebuilt positive/negative atom literals (one pair per
+    state id) and the memo of compiled comparison closures; the
+    recursion threads two *mutable* binding environments, restoring
+    each binding on exit instead of copying the dict per instantiation.
+    """
+
+    __slots__ = ("universe", "domain", "pos", "neg", "_cmps")
+
+    def __init__(self, universe, domain, atom):
+        self.universe = universe
+        self.domain = domain
+        self.pos = tuple(fvar(atom(u)) for u in universe)
+        self.neg = tuple(fnot(v) for v in self.pos)
+        self._cmps = {}
+
+    def _cmp_fn(self, node):
+        # keyed by node identity: the assertion tree outlives the pass,
+        # so ids are stable for its duration
+        fn = self._cmps.get(id(node))
+        if fn is None:
+            op = compile_cmp(node.op)
+            left = compile_hexpr(node.left)
+            right = compile_hexpr(node.right)
+
+            def fn(sigma, delta, op=op, left=left, right=right):
+                return op(left(sigma, delta), right(sigma, delta))
+
+            self._cmps[id(node)] = fn
+        return fn
+
+    def ground(self, node, sigma, delta):
+        # semantic combinator wrappers around syntactic parts remain groundable
+        if isinstance(node, AndAssertion):
+            return fand(*(self.ground(p, sigma, delta) for p in node.parts))
+        if isinstance(node, OrAssertion):
+            return f_or(*(self.ground(p, sigma, delta) for p in node.parts))
+        if isinstance(node, NotAssertion):
+            return fnot(self.ground(node.operand, sigma, delta))
+        if not isinstance(node, SynAssertion):
+            raise Unsupported("cannot ground %r" % (node,))
+
+        if isinstance(node, SBool):
+            return FTrue() if node.value else FFalse()
+        if isinstance(node, SCmp):
+            return FTrue() if self._cmp_fn(node)(sigma, delta) else FFalse()
+        if isinstance(node, SAnd):
+            left = self.ground(node.left, sigma, delta)
+            if isinstance(left, FFalse):  # mirror `and` short-circuit
+                return left
+            return fand(left, self.ground(node.right, sigma, delta))
+        if isinstance(node, SOr):
+            left = self.ground(node.left, sigma, delta)
+            if isinstance(left, FTrue):  # mirror `or` short-circuit
+                return left
+            return f_or(left, self.ground(node.right, sigma, delta))
+        if isinstance(node, (SForallVal, SExistsVal)):
+            name = node.var
+            body = node.body
+            universal = isinstance(node, SForallVal)
+            absorbing = FFalse if universal else FTrue
+            old = delta.get(name, _MISSING)
+            parts = []
+            for v in self.domain:
+                delta[name] = v
+                part = self.ground(body, sigma, delta)
+                if isinstance(part, absorbing):  # decided: skip the rest
+                    parts = [part]
+                    break
+                parts.append(part)
+            if old is _MISSING:
+                delta.pop(name, None)  # empty domain: never bound
+            else:
+                delta[name] = old
+            return fand(*parts) if universal else f_or(*parts)
+        if isinstance(node, (SForallState, SExistsState)):
+            name = node.state
+            body = node.body
+            old = sigma.get(name, _MISSING)
+            parts = []
+            if isinstance(node, SForallState):
+                lits, combine, inner = self.neg, fand, f_or
+            else:
+                lits, combine, inner = self.pos, f_or, fand
+            for i, u in enumerate(self.universe):
+                sigma[name] = u
+                parts.append(inner(lits[i], self.ground(body, sigma, delta)))
+            if old is _MISSING:
+                sigma.pop(name, None)  # empty universe: never bound
+            else:
+                sigma[name] = old
+            return combine(*parts)
         raise Unsupported("cannot ground %r" % (node,))
 
-    if isinstance(node, SBool):
-        return FTrue() if node.value else FFalse()
-    if isinstance(node, SCmp):
-        return FTrue() if node.eval(frozenset(), sigma_env, delta_env, domain) else FFalse()
-    if isinstance(node, SAnd):
-        return fand(
-            _ground(node.left, universe, domain, sigma_env, delta_env, atom),
-            _ground(node.right, universe, domain, sigma_env, delta_env, atom),
-        )
-    if isinstance(node, SOr):
-        return f_or(
-            _ground(node.left, universe, domain, sigma_env, delta_env, atom),
-            _ground(node.right, universe, domain, sigma_env, delta_env, atom),
-        )
-    if isinstance(node, SForallVal):
-        parts = []
-        for v in domain:
-            d2 = dict(delta_env)
-            d2[node.var] = v
-            parts.append(_ground(node.body, universe, domain, sigma_env, d2, atom))
-        return fand(*parts)
-    if isinstance(node, SExistsVal):
-        parts = []
-        for v in domain:
-            d2 = dict(delta_env)
-            d2[node.var] = v
-            parts.append(_ground(node.body, universe, domain, sigma_env, d2, atom))
-        return f_or(*parts)
-    if isinstance(node, SForallState):
-        parts = []
-        for u in universe:
-            s2 = dict(sigma_env)
-            s2[node.state] = u
-            body = _ground(node.body, universe, domain, s2, delta_env, atom)
-            parts.append(f_or(fnot(fvar(atom(u))), body))
-        return fand(*parts)
-    if isinstance(node, SExistsState):
-        parts = []
-        for u in universe:
-            s2 = dict(sigma_env)
-            s2[node.state] = u
-            body = _ground(node.body, universe, domain, s2, delta_env, atom)
-            parts.append(fand(fvar(atom(u)), body))
-        return f_or(*parts)
-    raise Unsupported("cannot ground %r" % (node,))
 
-
-def entails_sat(pre, post, universe, domain):
+def entails_sat(pre, post, universe, domain, atom=None):
     """Decide ``pre |= post`` over subsets of ``universe`` via SAT.
 
     Encodes ``⟦pre⟧ ∧ ¬⟦post⟧`` and reports entailment iff it is UNSAT.
     Raises :class:`Unsupported` when either side cannot be grounded.
+    With ``atom=None`` the membership atoms are keyed by interned state
+    id (they never leave this function).
     """
     if not isinstance(pre, Assertion) or not isinstance(post, Assertion):
         raise Unsupported("operands must be assertions")
     universe = tuple(universe)
+    if atom is None:
+        atom = _interned_atom(universe)
     query = fand(
-        ground_assertion(pre, universe, domain),
-        fnot(ground_assertion(post, universe, domain)),
+        ground_assertion(pre, universe, domain, atom=atom),
+        fnot(ground_assertion(post, universe, domain, atom=atom)),
     )
     return solve_formula(query) is None
 
 
-def entailment_model(pre, post, universe, domain):
+def entailment_model(pre, post, universe, domain, atom=None):
     """A counterexample set ``S`` with ``pre(S) ∧ ¬post(S)`` via SAT.
 
     Returns a frozenset of extended states, or ``None`` when entailed.
     """
     universe = tuple(universe)
+    if atom is None:
+        atom = _interned_atom(universe)
     query = fand(
-        ground_assertion(pre, universe, domain),
-        fnot(ground_assertion(post, universe, domain)),
+        ground_assertion(pre, universe, domain, atom=atom),
+        fnot(ground_assertion(post, universe, domain, atom=atom)),
     )
     model = solve_formula(query)
     if model is None:
         return None
-    return frozenset(u for u in universe if model.get(_membership_atom(u), False))
+    return frozenset(u for u in universe if model.get(atom(u), False))
 
 
-def satisfiable_sat(assertion, universe, domain):
+def satisfiable_sat(assertion, universe, domain, atom=None):
     """Whether some subset of ``universe`` satisfies ``assertion`` (SAT)."""
     universe = tuple(universe)
-    return solve_formula(ground_assertion(assertion, universe, domain)) is not None
+    if atom is None:
+        atom = _interned_atom(universe)
+    return (
+        solve_formula(ground_assertion(assertion, universe, domain, atom=atom))
+        is not None
+    )

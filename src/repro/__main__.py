@@ -18,6 +18,12 @@ Example::
 Program variables default to those read or written by the program plus
 those mentioned by the assertions; override with ``--vars``.
 
+A third mode, ``python -m repro serve``, runs the persistent
+verification service (:mod:`repro.serve`): a long-lived daemon that
+accepts task wire documents over a socket, dispatches verification to a
+worker pool, and answers already-seen tasks from a content-addressed
+on-disk result store without re-verifying.
+
 A second mode, ``python -m repro fuzz --seed S --trials N``, runs the
 differential conformance harness (:mod:`repro.conformance`) over seeded
 random triples instead: exit code ``0`` means every backend agreed on
@@ -39,10 +45,9 @@ import json
 import sys
 
 from .api.session import Session
+from .api.task import infer_variables as _infer_vars
 from .assertions.parser import parse_assertion
-from .assertions.syntax import SynAssertion
 from .errors import ReproError
-from .lang.analysis import read_vars, written_vars
 from .lang.parser import parse_command
 
 EXIT_VERIFIED = 0
@@ -53,17 +58,6 @@ EXIT_BAD_INPUT = 3
 
 def _split_names(text):
     return tuple(name.strip() for name in text.split(",") if name.strip())
-
-
-def _infer_vars(command, assertions):
-    """Program/logical variables mentioned by the triple."""
-    pvars = set(written_vars(command)) | set(read_vars(command))
-    lvars = set()
-    for assertion in assertions:
-        if isinstance(assertion, SynAssertion):
-            pvars |= set(assertion.free_prog_vars())
-            lvars |= set(assertion.free_log_vars())
-    return sorted(pvars), sorted(lvars)
 
 
 def _parse_budgets(entries):
@@ -178,10 +172,10 @@ def build_fuzz_parser():
         "the per-trial check kinds (engine-vs-naive, compiled-vs-interpreted, "
         "bitset-vs-frozenset, terminating-engine-vs-naive, "
         "sampled-engine-vs-naive, syntactic-vs-oracle, chain-vs-oracle, "
-        "symbolic-vs-engine, hl-embedding, il-embedding); prefix a selector "
-        "with '-' to exclude instead, e.g. --checks bitset or "
-        "--checks=-embedding; --checks list prints the known kinds and "
-        "exits (default: run all ten)",
+        "symbolic-vs-engine, hl-embedding, il-embedding, store-vs-inline); "
+        "prefix a selector with '-' to exclude instead, e.g. --checks bitset "
+        "or --checks=-embedding; --checks list prints the known kinds and "
+        "exits (default: run all eleven)",
     )
     parser.add_argument(
         "--list-checks",
@@ -267,12 +261,22 @@ def main(argv=None):
         argv = sys.argv[1:]
     if argv and argv[0] == "fuzz":
         return fuzz_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from .serve.cli import serve_main
+
+        return serve_main(argv[1:])
     parser = build_parser()
     try:
         args = parser.parse_args(argv)
     except SystemExit as exc:
         return EXIT_BAD_INPUT if exc.code not in (0, None) else 0
 
+    # Bound before the try body: the KeyError handler below reports the
+    # universe variables, and a KeyError escaping *before* inference
+    # (e.g. out of a parser) must not turn into a NameError that masks
+    # the real problem.
+    pvars = ()
+    lvars = ()
     try:
         budgets = _parse_budgets(args.budget)
         command = parse_command(args.program)

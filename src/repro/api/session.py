@@ -508,6 +508,17 @@ class Session:
         if sharding == "process":
             from .sharding import verify_many_sharded
 
+            if max_workers is not None:
+                # mirror the thread path: a caller-supplied worker count
+                # is honored as the shard count, and a conflicting pair
+                # is an error — never silently ignored
+                if shards is None:
+                    shards = max_workers
+                elif max_workers != shards:
+                    raise ValueError(
+                        "conflicting worker counts: max_workers=%r vs shards=%r"
+                        % (max_workers, shards)
+                    )
             return verify_many_sharded(
                 self, tasks, shards=shards, backends=backends, budgets=budgets
             )

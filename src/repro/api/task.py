@@ -30,6 +30,25 @@ from ..lang.ast import Command
 clock = time.monotonic
 
 
+def infer_variables(command, assertions):
+    """The program/logical variables a triple mentions, sorted.
+
+    The default universe of the CLI and of the verification service:
+    everything the program reads or writes plus everything the (syntactic)
+    assertions look up.  Returns ``(pvars, lvars)``.
+    """
+    from ..assertions.syntax import SynAssertion
+    from ..lang.analysis import read_vars, written_vars
+
+    pvars = set(written_vars(command)) | set(read_vars(command))
+    lvars = set()
+    for assertion in assertions:
+        if isinstance(assertion, SynAssertion):
+            pvars |= set(assertion.free_prog_vars())
+            lvars |= set(assertion.free_log_vars())
+    return sorted(pvars), sorted(lvars)
+
+
 @dataclass(frozen=True)
 class VerificationTask(WireCodec):
     """One hyper-triple to verify, with optional loop annotations.

@@ -178,8 +178,17 @@ class EntailmentOracle:
         return tuple(dict.fromkeys(used[mark:]))
 
     def reset_used(self):
-        """Forget this thread's method history (keeps it bounded)."""
+        """Forget this thread's per-task method tracking.
+
+        Clears both the history list (keeps it bounded across a
+        long-lived session) *and* :attr:`last_method` — a task that
+        makes no entailment queries must never inherit the previous
+        task's attribution.  The tracking is thread-local, so a
+        ``verify_many`` worker pool resets only its own task's state;
+        the cumulative :meth:`method_counts` table is untouched.
+        """
         self._tl.used = []
+        self._tl.last = None
 
     # -- queries -----------------------------------------------------------
     def entails(self, pre, post):

@@ -136,7 +136,11 @@ class ImageCache:
     eviction (default ``None``: unbounded, the historical behavior).  A
     long-lived session enumerating many distinct ``(command, state)``
     pairs can set it to cap memory; evicted entries simply re-execute on
-    the next request, so eviction never changes a verdict.  Eviction
+    the next request, so eviction never changes a verdict.  Evicting a
+    base entry also drops the *mask-tier* entries derived from it —
+    each mask entry holds strong references to its universe, command and
+    state, so a mask tier outliving the base tier would be a real leak
+    in a long-lived process (the daemon's failure mode).  Eviction
     counts appear in :meth:`stats` and, via the session, in
     :meth:`~repro.api.session.Report.summary`.
 
@@ -154,6 +158,11 @@ class ImageCache:
                              % (max_entries,))
         self._table = OrderedDict()
         self._masks = {}
+        # base key -> the mask-tier keys derived from it, so evicting a
+        # base entry drops its masks too (the mask tier would otherwise
+        # grow without bound in a long-lived session — each entry pins
+        # its universe, command and state alive)
+        self._mask_keys = {}
         self._lock = threading.Lock()
         self.max_entries = max_entries
         self.hits = 0
@@ -161,6 +170,7 @@ class ImageCache:
         self.evictions = 0
         self.mask_hits = 0
         self.mask_misses = 0
+        self.mask_evictions = 0
 
     def post_image(self, command, prog, domain, max_states=100000,
                    executor=None):
@@ -190,10 +200,17 @@ class ImageCache:
                     self.max_entries is not None
                     and len(self._table) > self.max_entries
                 ):
-                    self._table.popitem(last=False)
+                    evicted_key, _ = self._table.popitem(last=False)
                     self.evictions += 1
+                    self._evict_masks_of(evicted_key)
             self.misses += 1
         return finals
+
+    def _evict_masks_of(self, base_key):
+        """Drop the mask-tier entries derived from ``base_key`` (lock held)."""
+        for mask_key in self._mask_keys.pop(base_key, ()):
+            if self._masks.pop(mask_key, None) is not None:
+                self.mask_evictions += 1
 
     def post_image_mask(self, command, phi, universe, max_states=100000,
                         executor=None):
@@ -204,8 +221,10 @@ class ImageCache:
         to one interner — the frozenset tier stays universe-agnostic and
         shared).  A mask miss computes through :meth:`post_image`, so the
         base tier still deduplicates the execution itself; the mask tier
-        then amortizes the id encoding.  Masks are ints, so the tier is
-        not LRU-bounded — it costs a few machine words per entry.
+        then amortizes the id encoding.  The tier has no independent LRU
+        order: it is bounded *through* the base tier — each mask entry is
+        linked to the base entry it derives from and is dropped when that
+        entry is evicted, so ``max_entries`` bounds both tiers together.
         """
         key = (universe, command, phi)
         with self._lock:
@@ -222,6 +241,9 @@ class ImageCache:
             entry = self._masks.get(key)
             if entry is None or max_states < entry[1]:
                 self._masks[key] = (mask, max_states)
+                self._mask_keys.setdefault(
+                    (command, universe.domain, phi.prog), set()
+                ).add(key)
             self.mask_misses += 1
         return mask
 
@@ -242,17 +264,20 @@ class ImageCache:
                 "mask_hits": self.mask_hits,
                 "mask_misses": self.mask_misses,
                 "mask_size": len(self._masks),
+                "mask_evictions": self.mask_evictions,
             }
 
     def clear(self):
         with self._lock:
             self._table.clear()
             self._masks.clear()
+            self._mask_keys.clear()
             self.hits = 0
             self.misses = 0
             self.evictions = 0
             self.mask_hits = 0
             self.mask_misses = 0
+            self.mask_evictions = 0
 
     def __len__(self):
         with self._lock:

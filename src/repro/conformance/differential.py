@@ -53,6 +53,13 @@ on one generated trial at a time:
     Props. 2 and 6: classical Hoare Logic validity (and Incorrectness
     Logic validity) of derived judgments over the trial's *command* must
     coincide with validity of their hyper-triple embeddings.
+``store-vs-inline``
+    The verification service's content-addressed result store
+    (:mod:`repro.serve.store`) must be invisible: writing the chain's
+    result document to a store and reading it back must decode to an
+    object *equal* to the inline result — proof trees, witnesses and
+    elapsed floats included — and the content key must be stable across
+    re-encodings of the same task.
 
 Each disagreement is reported as a :class:`Disagreement` carrying a
 *shrunk minimal reproducer* (see :mod:`repro.conformance.shrink`).
@@ -98,6 +105,7 @@ CHECK_KINDS = (
     "symbolic-vs-engine",
     "hl-embedding",
     "il-embedding",
+    "store-vs-inline",
 )
 
 
@@ -204,6 +212,11 @@ class DifferentialChecker:
         from ..symbolic import SymbolicBackend
 
         self._symbolic = SymbolicBackend()
+        # the store-vs-inline check's scratch ResultStore, built on first
+        # use (the TemporaryDirectory handle keeps it alive and cleans up
+        # with the checker)
+        self._store = None
+        self._store_dir = None
 
     def check_enabled(self, kind):
         """Whether the ``checks`` filter selects this check kind."""
@@ -486,6 +499,56 @@ class DifferentialChecker:
                 "pre=%r post=%r" % (_verdict(il), _verdict(embedded), pre_set, post_set)
         return None
 
+    def _result_store(self):
+        if self._store is None:
+            import tempfile
+
+            from ..serve.store import ResultStore
+
+            self._store_dir = tempfile.TemporaryDirectory(
+                prefix="repro-fuzz-store-"
+            )
+            self._store = ResultStore(self._store_dir.name)
+        return self._store
+
+    def store_disagreement(self, triple, oracle=None):
+        """A result-store round trip must be indistinguishable from inline.
+
+        Runs the session's backend chain once, writes the result document
+        to a scratch :class:`~repro.serve.store.ResultStore` under its
+        content key, reads it back, and requires the decoded object to
+        *equal* the inline result — this is the conformance guard behind
+        the daemon's claim that a store hit is the same answer as the
+        verification it skipped.
+        """
+        from ..codec import from_wire, to_wire
+        from ..serve.protocol import task_key
+
+        task = self.session.task(
+            triple.pre, triple.command, triple.post, invariant=triple.invariant
+        )
+        result = self.session._run_task(task, None, {})
+        document = to_wire(task)
+        context = {"lo": self.config.lo, "hi": self.config.hi}
+        key = task_key(document, context)
+        if task_key(to_wire(task), dict(context)) != key:
+            return "task content key is unstable across re-encodings"
+        store = self._result_store()
+        store.put(key, to_wire(result), task_document=document)
+        record = store.get(key)
+        if record is None:
+            return (
+                "freshly stored result read back as a miss (key %s…)"
+                % key[:12]
+            )
+        decoded = from_wire(record["result"])
+        if decoded != result:
+            return "store round trip changed the result: %r became %r" % (
+                result,
+                decoded,
+            )
+        return None
+
     # -- the per-trial pass ----------------------------------------------
     def check_trial(self, trial):
         """Run every applicable check → a :class:`TrialOutcome`."""
@@ -550,5 +613,6 @@ class DifferentialChecker:
                 lambda t, _: self.il_disagreement(t, aux_seed),
                 shrink_cmd_only,
             )
+        run("store-vs-inline", self.store_disagreement, shrink_triple)
 
         return TrialOutcome(trial, oracle.valid, tuple(ran), tuple(disagreements))

@@ -1,0 +1,48 @@
+"""The persistent verification service (``python -m repro serve``).
+
+Every cache the library builds — the :class:`~repro.checker.engine.
+ImageCache`, the :class:`~repro.compile.cache.CompileCache`, the
+entailment memo — dies with its process, so one-shot CLI invocations pay
+full cold-start per triple.  This package keeps them alive:
+
+- :mod:`~repro.serve.server` — a long-lived asyncio server accepting
+  :mod:`repro.codec` wire-format task documents over a socket and
+  dispatching CPU-bound verification to a worker pool;
+- :mod:`~repro.serve.store` — a content-addressed on-disk result store:
+  an already-seen task is an O(1) lookup returning the stored
+  ``Proved``/``Refuted``/``Undecided`` document without touching a
+  backend;
+- :mod:`~repro.serve.worker` — the worker-side execution path, rebuilt
+  from the same picklable :class:`~repro.api.sharding.SessionSpec`
+  recipe process sharding uses;
+- :mod:`~repro.serve.protocol` — the newline-delimited JSON envelope,
+  the content hash (:func:`~repro.serve.protocol.task_key`) and the
+  typed error documents;
+- :mod:`~repro.serve.client` — a small blocking client (also the CI
+  smoke and load-generator transport).
+"""
+
+from .client import ServeClient, decode_result
+from .protocol import (
+    ERROR_KIND,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    error_document,
+    task_key,
+)
+from .server import BackgroundServer, ServeConfig, VerificationServer
+from .store import ResultStore
+
+__all__ = [
+    "ERROR_KIND",
+    "PROTOCOL_VERSION",
+    "BackgroundServer",
+    "ProtocolError",
+    "ResultStore",
+    "ServeClient",
+    "ServeConfig",
+    "VerificationServer",
+    "decode_result",
+    "error_document",
+    "task_key",
+]

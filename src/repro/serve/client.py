@@ -1,0 +1,157 @@
+"""A small blocking client for the verification service.
+
+One :class:`ServeClient` wraps one socket connection and speaks the
+newline-delimited envelope protocol.  It is deliberately synchronous —
+the daemon is the concurrent party; callers that want parallelism open
+one client per thread (the CI smoke, the test suite and
+``benchmarks/bench_serve.py`` all do exactly that).
+
+Two calling conventions:
+
+- :meth:`ServeClient.verify` parses assertion/program *text* locally and
+  ships the resulting task document — the ergonomic path;
+- :meth:`ServeClient.verify_task` ships a ready-made
+  :class:`~repro.api.task.VerificationTask` (or an already-encoded wire
+  document) — the path ``repro.gen`` streams and replayed corpora use.
+
+A failure response raises :class:`ServeRequestError` carrying the typed
+error document's ``code``; transport-level surprises (connection drop,
+non-JSON response) raise :class:`~repro.serve.protocol.ProtocolError`.
+"""
+
+import json
+import socket
+
+from ..api.task import VerificationTask
+from ..codec import from_wire, to_wire
+from .protocol import ERROR_KIND, ProtocolError
+from .server import DEFAULT_PORT
+
+
+class ServeRequestError(ProtocolError):
+    """The server answered with a typed error document."""
+
+    def __init__(self, error):
+        if not isinstance(error, dict) or error.get("$kind") != ERROR_KIND:
+            error = {
+                "$kind": ERROR_KIND,
+                "code": "internal",
+                "message": "malformed error document: %r" % (error,),
+            }
+        super().__init__(error.get("code", "internal"),
+                         error.get("message", ""))
+        self.document = error
+
+
+def decode_result(response):
+    """The decoded ``TaskResult`` inside one successful verify response."""
+    return from_wire(response["result"])
+
+
+class ServeClient:
+    """One blocking connection to a running verification daemon."""
+
+    def __init__(self, host="127.0.0.1", port=DEFAULT_PORT, timeout=None):
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("r", encoding="utf-8")
+        self._writer = self._sock.makefile("w", encoding="utf-8")
+        self._next_id = 0
+
+    # -- transport -------------------------------------------------------
+    def request(self, envelope):
+        """Send one envelope, return the (raw) response envelope.
+
+        Fills in ``id`` when the caller did not; raises
+        :class:`ServeRequestError` on ``ok: false`` responses.
+        """
+        if "id" not in envelope:
+            self._next_id += 1
+            envelope = dict(envelope, id=self._next_id)
+        self._writer.write(json.dumps(envelope) + "\n")
+        self._writer.flush()
+        line = self._reader.readline()
+        if not line:
+            raise ProtocolError(
+                "internal", "server closed the connection mid-request"
+            )
+        try:
+            response = json.loads(line)
+        except ValueError as err:
+            raise ProtocolError(
+                "internal", "server sent a non-JSON response: %s" % err
+            )
+        if not isinstance(response, dict):
+            raise ProtocolError(
+                "internal",
+                "server response must be a JSON object, got %s"
+                % type(response).__name__,
+            )
+        if not response.get("ok"):
+            raise ServeRequestError(response.get("error"))
+        return response
+
+    def close(self):
+        for closer in (self._writer, self._reader, self._sock):
+            try:
+                closer.close()
+            except OSError:
+                pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    # -- ops -------------------------------------------------------------
+    def ping(self):
+        return self.request({"op": "ping"})
+
+    def stats(self):
+        return self.request({"op": "stats"})["stats"]
+
+    def shutdown(self):
+        """Ask the daemon to drain and exit (the response is the ack)."""
+        return self.request({"op": "shutdown"})
+
+    def verify_task(self, task, budgets=None, timeout=None):
+        """Verify a task (or a ready wire document); returns the envelope.
+
+        The envelope carries ``cached`` (store hit?), ``key`` (the
+        content address), ``elapsed`` and the ``result`` document; pass
+        the envelope to :func:`decode_result` for the decoded
+        ``TaskResult``.
+        """
+        if isinstance(task, VerificationTask):
+            document = to_wire(task)
+        elif isinstance(task, dict):
+            document = task
+        else:
+            raise TypeError(
+                "task must be a VerificationTask or a wire document, got %r"
+                % type(task).__name__
+            )
+        envelope = {"op": "verify", "task": document}
+        if budgets:
+            envelope["budgets"] = budgets
+        if timeout is not None:
+            envelope["timeout"] = timeout
+        return self.request(envelope)
+
+    def verify(self, pre, program, post, invariant=None, label="",
+               budgets=None, timeout=None):
+        """Parse triple text locally and verify it on the daemon."""
+        from ..assertions.parser import parse_assertion
+        from ..lang.parser import parse_command
+
+        task = VerificationTask(
+            pre=parse_assertion(pre),
+            command=parse_command(program),
+            post=parse_assertion(post),
+            invariant=None if invariant is None else parse_assertion(invariant),
+            label=label,
+        )
+        return self.verify_task(task, budgets=budgets, timeout=timeout)

@@ -1,0 +1,176 @@
+"""The wire protocol of the verification service.
+
+Transport: newline-delimited JSON over a stream socket.  Each request
+line is an *envelope* — a JSON object around a :mod:`repro.codec`
+document — and each response line is an envelope echoing the request
+``id``:
+
+Request::
+
+    {"id": 7, "op": "verify", "task": {"$kind": "task", ...,
+     "schema_version": N}, "budgets": {"exhaustive": 2.5},
+     "timeout": 10.0}
+
+Response (success)::
+
+    {"id": 7, "ok": true, "op": "verify", "proto": 1, "cached": false,
+     "elapsed": 0.013, "result": {"$kind": "task-result", ...}}
+
+Response (failure)::
+
+    {"id": 7, "ok": false, "op": "verify", "proto": 1,
+     "error": {"$kind": "serve-error", "code": "malformed-document",
+               "message": "..."}}
+
+The ``task`` and ``result`` payloads are ordinary codec documents — the
+same ``schema_version``'d encoding the ``--json`` CLI prints and process
+sharding ships — so the service adds *no new object encodings*, only the
+envelope.  Errors are **typed documents** (kind :data:`ERROR_KIND`) with
+a closed ``code`` taxonomy (:data:`ERROR_CODES`), never bare strings.
+
+Other ops: ``ping`` (liveness), ``stats`` (store/request counters),
+``shutdown`` (graceful drain; the daemon exits 0).
+
+Content addressing
+------------------
+:func:`task_key` hashes the *canonical* JSON serialization (sorted keys,
+minimal separators) of the task document together with the server's
+semantic context — domain bounds, entailment method, oracle caps and the
+request budgets — because two textually identical triples verified under
+different domains or budgets are different queries.  The key is stable
+across processes, machines and dict orderings, which is what lets the
+on-disk store outlive any one daemon.
+"""
+
+import hashlib
+import json
+
+from ..errors import ReproError
+
+#: Version of the *envelope* protocol (independent of the codec's
+#: ``schema_version``, which governs the embedded documents).
+PROTOCOL_VERSION = 1
+
+#: The ``$kind`` of a typed error document.
+ERROR_KIND = "serve-error"
+
+#: The closed error taxonomy.
+ERROR_CODES = (
+    "malformed-json",      # the line is not JSON
+    "malformed-envelope",  # JSON, but not a usable request envelope
+    "malformed-document",  # envelope ok, embedded codec document is not
+    "unsupported-op",      # unknown ``op``
+    "timeout",             # per-request wall-clock limit tripped
+    "shutting-down",       # server is draining; request not accepted
+    "internal",            # unexpected server-side failure
+)
+
+
+class ProtocolError(ReproError):
+    """A request that cannot be served, carrying its error taxonomy code."""
+
+    def __init__(self, code, message):
+        if code not in ERROR_CODES:
+            raise ValueError("unknown serve error code %r" % (code,))
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+    def to_document(self):
+        return error_document(self.code, self.message)
+
+
+def error_document(code, message):
+    """The typed error document for one failure."""
+    if code not in ERROR_CODES:
+        raise ValueError("unknown serve error code %r" % (code,))
+    return {"$kind": ERROR_KIND, "code": code, "message": str(message)}
+
+
+def canonical_json(obj):
+    """Deterministic JSON text: sorted keys, minimal separators."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def task_key(document, context=None):
+    """The content address of one task document under one context.
+
+    ``document`` is the codec ``task`` wire document; ``context`` is any
+    JSON-safe mapping of semantic parameters the verdict depends on
+    beyond the document itself (domain bounds, entailment method,
+    budgets, ...).  Equal ``(document, context)`` pairs hash equal
+    regardless of dict insertion order; any semantic difference changes
+    the key.
+    """
+    payload = canonical_json({"context": context or {}, "task": document})
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def ok_response(request_id, op, **fields):
+    """A success envelope."""
+    response = {"id": request_id, "ok": True, "op": op,
+                "proto": PROTOCOL_VERSION}
+    response.update(fields)
+    return response
+
+
+def error_response(request_id, op, error):
+    """A failure envelope around a typed error document."""
+    if isinstance(error, ProtocolError):
+        error = error.to_document()
+    return {
+        "id": request_id,
+        "ok": False,
+        "op": op,
+        "proto": PROTOCOL_VERSION,
+        "error": error,
+    }
+
+
+def parse_request(line):
+    """One request line → the envelope dict.
+
+    Raises :class:`ProtocolError` (``malformed-json`` /
+    ``malformed-envelope``) instead of letting :mod:`json` or type
+    errors escape, so the server can always answer with a typed
+    document.
+    """
+    try:
+        envelope = json.loads(line)
+    except ValueError as err:
+        raise ProtocolError("malformed-json", "request is not JSON: %s" % err)
+    if not isinstance(envelope, dict):
+        raise ProtocolError(
+            "malformed-envelope",
+            "request envelope must be a JSON object, got %s"
+            % type(envelope).__name__,
+        )
+    op = envelope.get("op", "verify")
+    if not isinstance(op, str):
+        raise ProtocolError(
+            "malformed-envelope", "op must be a string, got %r" % (op,)
+        )
+    return envelope
+
+
+def parse_budgets(envelope):
+    """The validated per-backend budget mapping of a request (or ``{}``)."""
+    budgets = envelope.get("budgets")
+    if budgets is None:
+        return {}
+    if not isinstance(budgets, dict):
+        raise ProtocolError(
+            "malformed-envelope",
+            "budgets must map backend names to seconds, got %r" % (budgets,),
+        )
+    out = {}
+    for name, seconds in budgets.items():
+        if not isinstance(name, str) or isinstance(seconds, bool) or \
+                not isinstance(seconds, (int, float)):
+            raise ProtocolError(
+                "malformed-envelope",
+                "budgets must map backend names to seconds, got %r: %r"
+                % (name, seconds),
+            )
+        out[name] = float(seconds)
+    return out

@@ -1,0 +1,479 @@
+"""The long-lived asyncio verification server.
+
+One :class:`VerificationServer` owns:
+
+- an asyncio TCP server speaking the newline-delimited envelope protocol
+  (:mod:`repro.serve.protocol`);
+- a worker pool — processes by default (CPU-bound enumeration sidesteps
+  the GIL, exactly like ``verify_many(sharding="process")``), threads on
+  request (``executor="thread"``, the cheap option for tests and tiny
+  deployments);
+- a content-addressed :class:`~repro.serve.store.ResultStore`: a task
+  document seen before is answered from disk in O(1) without touching a
+  worker, a backend or an oracle.
+
+Request lifecycle: parse envelope → decode the embedded codec document
+(malformed documents are rejected *here*, before any pool dispatch, with
+a typed error document) → store lookup → on miss, dispatch
+:func:`~repro.serve.worker.run_task_document` to the pool under the
+per-request timeout → store the result → respond.  The store key folds
+in the server's semantic context (domain bounds, entailment method,
+oracle caps) and the request budgets, so a budget-limited ``Undecided``
+can never masquerade as the answer to an unlimited query.  Store misses
+are *single-flight*: concurrent requests for the same key share one
+worker job and one store write instead of racing duplicates.
+
+Shutdown is graceful: the listener closes first, open connections get to
+finish their in-flight request, the worker pool drains, and only then
+does :meth:`VerificationServer.wait_stopped` return.  A tripped
+per-request *timeout* answers that client immediately, but cannot
+preempt the worker — the job runs to completion (bounded by any budgets
+it carries) and its result is stored, so the retry is a store hit.
+"""
+
+import asyncio
+import json
+import signal
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Optional
+
+from ..api.sharding import default_shards
+from ..api.task import VerificationTask, clock
+from ..codec import WireError, from_wire
+from ..codec.wire import SCHEMA_VERSION
+from .protocol import (
+    ProtocolError,
+    error_document,
+    error_response,
+    ok_response,
+    parse_budgets,
+    parse_request,
+    task_key,
+)
+from .store import ResultStore
+from .worker import run_task_document, spec_for_task
+
+#: Default TCP port (chosen to be unremarkable and unprivileged).
+DEFAULT_PORT = 7341
+
+
+@dataclass
+class ServeConfig:
+    """Everything a daemon instance is parameterized by.
+
+    ``lo``/``hi``/``entailment``/``max_set_size`` fix the semantic
+    context tasks are verified under (variables are inferred per task,
+    like the one-shot CLI); they participate in the store key, so
+    daemons with different contexts can safely share one store
+    directory.  ``max_image_entries`` bounds each worker session's
+    image+mask cache — the in-memory tier — while ``store_ttl`` /
+    ``max_store_entries`` govern the on-disk result tier (defaults:
+    keep results forever, unbounded).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = DEFAULT_PORT
+    store_path: str = ".repro_store"
+    workers: Optional[int] = None
+    executor: str = "process"
+    timeout: Optional[float] = 60.0
+    lo: int = 0
+    hi: int = 1
+    entailment: str = "sat"
+    max_set_size: Optional[int] = None
+    max_image_entries: Optional[int] = 4096
+    store_ttl: Optional[float] = None
+    max_store_entries: Optional[int] = None
+    quiet: bool = field(default=False)
+
+    def __post_init__(self):
+        if self.executor not in ("process", "thread"):
+            raise ValueError(
+                "executor must be 'process' or 'thread', got %r"
+                % (self.executor,)
+            )
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(
+                "timeout must be > 0 seconds or None, got %r" % (self.timeout,)
+            )
+
+
+class VerificationServer:
+    """The asyncio server behind ``python -m repro serve``."""
+
+    def __init__(self, config=None, store=None):
+        self.config = config or ServeConfig()
+        self.store = store or ResultStore(
+            self.config.store_path,
+            ttl=self.config.store_ttl,
+            max_entries=self.config.max_store_entries,
+        )
+        self.address = None
+        self.started_at = None
+        self.requests = 0
+        self.store_hits = 0
+        self.verified = 0
+        self.errors = {}
+        self._server = None
+        self._executor = None
+        self._inflight = {}
+        self.coalesced = 0
+        self._connections = set()
+        self._draining = False
+        self._stopped = None
+        self._shutdown_started = False
+
+    # -- lifecycle -------------------------------------------------------
+    def _make_executor(self):
+        workers = self.config.workers
+        if workers is None:
+            workers = default_shards()
+        if workers < 1:
+            raise ValueError("workers must be >= 1, got %r" % (workers,))
+        if self.config.executor == "thread":
+            return ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-serve"
+            )
+        return ProcessPoolExecutor(max_workers=workers)
+
+    async def start(self):
+        """Bind the listener and spin up the worker pool."""
+        self._stopped = asyncio.Event()
+        self._executor = self._make_executor()
+        self._server = await asyncio.start_server(
+            self._handle, self.config.host, self.config.port
+        )
+        self.address = self._server.sockets[0].getsockname()[:2]
+        self.started_at = clock()
+        return self.address
+
+    async def wait_stopped(self):
+        """Block until a graceful shutdown completes."""
+        await self._stopped.wait()
+
+    async def shutdown(self):
+        """Stop accepting, drain connections and workers, then stop."""
+        if self._shutdown_started:
+            return
+        self._shutdown_started = True
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # let open connections finish the request they are writing
+        for _ in range(200):
+            if not self._connections:
+                break
+            await asyncio.sleep(0.025)
+        for writer in list(self._connections):
+            writer.close()
+        if self._executor is not None:
+            # drain in-flight worker jobs, drop queued ones
+            await asyncio.get_event_loop().run_in_executor(
+                None, partial(self._executor.shutdown, True, cancel_futures=True)
+            )
+        self._stopped.set()
+
+    # -- per-connection loop ---------------------------------------------
+    async def _handle(self, reader, writer):
+        self._connections.add(writer)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                response = await self._respond(line)
+                writer.write(
+                    (json.dumps(response, sort_keys=True) + "\n").encode("utf-8")
+                )
+                await writer.drain()
+                if response.get("op") == "shutdown" and response.get("ok"):
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _respond(self, line):
+        request_id = None
+        op = "?"
+        try:
+            envelope = parse_request(line)
+            request_id = envelope.get("id")
+            op = envelope.get("op", "verify")
+            self.requests += 1
+            if self._draining:
+                raise ProtocolError(
+                    "shutting-down", "server is draining; try another instance"
+                )
+            if op == "ping":
+                return ok_response(request_id, "ping")
+            if op == "stats":
+                return ok_response(request_id, "stats", stats=self.stats())
+            if op == "shutdown":
+                asyncio.get_event_loop().create_task(self.shutdown())
+                return ok_response(request_id, "shutdown")
+            if op == "verify":
+                return await self._verify(request_id, envelope)
+            raise ProtocolError("unsupported-op", "unknown op %r" % (op,))
+        except ProtocolError as err:
+            self.errors[err.code] = self.errors.get(err.code, 0) + 1
+            return error_response(request_id, op, err)
+        except Exception as err:  # never kill the connection loop
+            self.errors["internal"] = self.errors.get("internal", 0) + 1
+            return error_response(
+                request_id,
+                op,
+                error_document(
+                    "internal", "%s: %s" % (type(err).__name__, err)
+                ),
+            )
+
+    # -- the verify op ----------------------------------------------------
+    def _context(self, budgets):
+        """The semantic context folded into every store key."""
+        config = self.config
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "lo": config.lo,
+            "hi": config.hi,
+            "entailment": config.entailment,
+            "max_set_size": config.max_set_size,
+            "budgets": budgets,
+        }
+
+    def _request_timeout(self, envelope):
+        timeout = self.config.timeout
+        requested = envelope.get("timeout")
+        if requested is None:
+            return timeout
+        if isinstance(requested, bool) or not isinstance(
+            requested, (int, float)
+        ) or requested <= 0:
+            raise ProtocolError(
+                "malformed-envelope",
+                "timeout must be a positive number of seconds, got %r"
+                % (requested,),
+            )
+        requested = float(requested)
+        return requested if timeout is None else min(timeout, requested)
+
+    async def _verify(self, request_id, envelope):
+        document = envelope.get("task")
+        if not isinstance(document, dict):
+            raise ProtocolError(
+                "malformed-envelope",
+                "verify requests need a 'task' wire document (a JSON object)",
+            )
+        budgets = parse_budgets(envelope)
+        timeout = self._request_timeout(envelope)
+        # reject malformed documents before touching the store or a worker
+        try:
+            task = from_wire(document)
+        except WireError as err:
+            raise ProtocolError("malformed-document", str(err))
+        if not isinstance(task, VerificationTask):
+            raise ProtocolError(
+                "malformed-document",
+                "expected a task document, decoded a %s"
+                % type(task).__name__,
+            )
+        key = task_key(document, self._context(budgets))
+        record = self.store.get(key)
+        if record is not None:
+            self.store_hits += 1
+            return ok_response(
+                request_id,
+                "verify",
+                cached=True,
+                key=key,
+                elapsed=0.0,
+                result=record["result"],
+            )
+        started = clock()
+        # single-flight: concurrent requests for the same key share one
+        # worker job (and one store write) instead of racing duplicates
+        pending = self._inflight.get(key)
+        if pending is None:
+            pending = asyncio.ensure_future(
+                self._run_and_store(key, task, document, budgets)
+            )
+            self._inflight[key] = pending
+            pending.add_done_callback(
+                lambda _: self._inflight.pop(key, None)
+            )
+        else:
+            self.coalesced += 1
+        try:
+            # shield: one waiter timing out must not cancel the shared job
+            result_document = await asyncio.wait_for(
+                asyncio.shield(pending), timeout
+            )
+        except asyncio.TimeoutError:
+            raise ProtocolError(
+                "timeout",
+                "verification exceeded the %.3gs request timeout (the "
+                "worker job runs to completion — bounded by the request "
+                "budgets — and its result is stored for next time)" % timeout,
+            )
+        elapsed = clock() - started
+        return ok_response(
+            request_id,
+            "verify",
+            cached=False,
+            key=key,
+            elapsed=elapsed,
+            result=result_document,
+        )
+
+    async def _run_and_store(self, key, task, document, budgets):
+        """The shared per-key job: pool dispatch + the store write."""
+        config = self.config
+        spec = spec_for_task(
+            task,
+            lo=config.lo,
+            hi=config.hi,
+            entailment=config.entailment,
+            max_set_size=config.max_set_size,
+            max_image_entries=config.max_image_entries,
+        )
+        result_document = await asyncio.get_event_loop().run_in_executor(
+            self._executor,
+            partial(run_task_document, spec, document, budgets),
+        )
+        self.verified += 1
+        self.store.put(key, result_document, task_document=document)
+        return result_document
+
+    def stats(self):
+        return {
+            "uptime": 0.0 if self.started_at is None else clock() - self.started_at,
+            "requests": self.requests,
+            "store_hits": self.store_hits,
+            "verified": self.verified,
+            "coalesced": self.coalesced,
+            "errors": dict(self.errors),
+            "store": self.store.stats(),
+            "workers": self.config.workers or default_shards(),
+            "executor": self.config.executor,
+        }
+
+
+async def _serve(config, on_ready=None):
+    server = VerificationServer(config)
+    await server.start()
+    host, port = server.address
+    if not config.quiet:
+        print(
+            "repro serve: listening on %s:%d (store: %s, %d %s workers, "
+            "timeout %s)"
+            % (
+                host,
+                port,
+                server.store.root,
+                config.workers or default_shards(),
+                config.executor,
+                "none" if config.timeout is None else "%.3gs" % config.timeout,
+            ),
+            flush=True,
+        )
+    if on_ready is not None:
+        on_ready(server)
+    loop = asyncio.get_event_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(
+                signum, lambda: asyncio.ensure_future(server.shutdown())
+            )
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
+    await server.wait_stopped()
+    if not config.quiet:
+        print("repro serve: stopped cleanly", flush=True)
+
+
+def run(config):
+    """Run the daemon until SIGINT/SIGTERM or a ``shutdown`` op (blocking)."""
+    asyncio.run(_serve(config))
+    return 0
+
+
+class BackgroundServer:
+    """A daemon running on a background thread of *this* process.
+
+    The embedding surface tests, benchmarks and notebooks use::
+
+        with BackgroundServer(ServeConfig(port=0, executor="thread")) as bg:
+            client = ServeClient(*bg.address)
+            ...
+
+    ``port=0`` binds an ephemeral port; :attr:`address` is the actual
+    ``(host, port)``.  Exiting the context performs the same graceful
+    shutdown as a signal would.
+    """
+
+    def __init__(self, config):
+        self.config = config
+        self.server = None
+        self._loop = None
+        self._thread = None
+        self._ready = threading.Event()
+        self._error = None
+
+    @property
+    def address(self):
+        return self.server.address
+
+    def start(self, timeout=10.0):
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-bg", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("background server failed to start in time")
+        if self._error is not None:
+            raise self._error
+        return self
+
+    def _run(self):
+        try:
+            asyncio.run(self._amain())
+        except BaseException as err:  # surfaced to the starting thread
+            self._error = err
+            self._ready.set()
+
+    async def _amain(self):
+        self._loop = asyncio.get_event_loop()
+        self.server = VerificationServer(self.config)
+        await self.server.start()
+        self._ready.set()
+        await self.server.wait_stopped()
+
+    def stop(self, timeout=30.0):
+        if self._thread is None or not self._thread.is_alive():
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.shutdown(), self._loop
+        )
+        try:
+            future.result(timeout)
+        finally:
+            self._thread.join(timeout)
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *exc):
+        self.stop()
+        return False

@@ -53,6 +53,29 @@ class TestExitCodes:
         assert main(GNI + ["--no-such-flag"]) == EXIT_BAD_INPUT
         capsys.readouterr()
 
+    def test_unknown_variable_reports_universe(self, capsys):
+        # the assertion names z but --vars pins the universe to x only
+        code = main(
+            ["forall <a>. a(z) == 0", "x := 0", "true", "--vars", "x", "--quiet"]
+        )
+        assert code == EXIT_BAD_INPUT
+        err = capsys.readouterr().err
+        assert "unknown variable" in err and "'x'" in err
+
+    def test_keyerror_before_inference_exits_3(self, capsys, monkeypatch):
+        """A KeyError escaping *before* variable inference must exit 3
+        with the real error — pre-fix the handler itself crashed with a
+        NameError on the unbound ``pvars``/``lvars``."""
+        import repro.__main__ as cli
+
+        def boom(_source):
+            raise KeyError("boom")
+
+        monkeypatch.setattr(cli, "parse_command", boom)
+        assert main(["true", "skip", "true", "--quiet"]) == EXIT_BAD_INPUT
+        err = capsys.readouterr().err
+        assert "error:" in err and "boom" in err
+
 
 class TestOptions:
     def test_quiet_suppresses_output(self, capsys):

@@ -1,0 +1,36 @@
+"""Shared fixtures for the verification-service tests.
+
+Servers run on a background thread of this process with a thread-pool
+executor — cheap to start, and in-process monkeypatching still reaches
+the worker path.  Every server gets its own ephemeral port and its own
+``tmp_path`` store directory.
+"""
+
+import pytest
+
+from repro.serve import BackgroundServer, ServeClient, ServeConfig
+
+
+@pytest.fixture
+def store_path(tmp_path):
+    return str(tmp_path / "store")
+
+
+@pytest.fixture
+def server(store_path):
+    config = ServeConfig(
+        port=0,
+        executor="thread",
+        workers=2,
+        store_path=store_path,
+        quiet=True,
+        timeout=30.0,
+    )
+    with BackgroundServer(config) as background:
+        yield background
+
+
+@pytest.fixture
+def client(server):
+    with ServeClient(*server.address) as connected:
+        yield connected

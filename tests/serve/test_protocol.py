@@ -1,0 +1,120 @@
+"""The envelope protocol: content keys, request parsing, typed errors."""
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    ERROR_CODES,
+    ERROR_KIND,
+    ProtocolError,
+    canonical_json,
+    error_document,
+    error_response,
+    ok_response,
+    parse_budgets,
+    parse_request,
+    task_key,
+)
+
+DOC = {"$kind": "task", "pre": ["top"], "post": ["top"], "schema_version": 4}
+
+
+class TestTaskKey:
+    def test_stable_across_dict_order(self):
+        shuffled = dict(reversed(list(DOC.items())))
+        assert task_key(DOC) == task_key(shuffled)
+
+    def test_context_changes_key(self):
+        assert task_key(DOC, {"lo": 0, "hi": 1}) != task_key(DOC, {"lo": 0, "hi": 2})
+        assert task_key(DOC, {"lo": 0, "hi": 1}) != task_key(DOC)
+
+    def test_budgets_in_context_change_key(self):
+        base = {"lo": 0, "hi": 1, "budgets": {}}
+        limited = {"lo": 0, "hi": 1, "budgets": {"exhaustive": 0.5}}
+        assert task_key(DOC, base) != task_key(DOC, limited)
+
+    def test_document_changes_key(self):
+        other = dict(DOC, post=["bot"])
+        assert task_key(DOC) != task_key(other)
+
+    def test_key_is_hex_sha256(self):
+        key = task_key(DOC)
+        assert len(key) == 64
+        int(key, 16)
+
+    def test_canonical_json_sorts_and_minimizes(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+
+class TestParseRequest:
+    def test_round_trip(self):
+        envelope = parse_request(json.dumps({"id": 3, "op": "ping"}))
+        assert envelope == {"id": 3, "op": "ping"}
+
+    def test_not_json_is_malformed_json(self):
+        with pytest.raises(ProtocolError) as info:
+            parse_request("not json at all")
+        assert info.value.code == "malformed-json"
+
+    def test_non_object_is_malformed_envelope(self):
+        with pytest.raises(ProtocolError) as info:
+            parse_request("[1, 2, 3]")
+        assert info.value.code == "malformed-envelope"
+
+    def test_non_string_op_is_malformed_envelope(self):
+        with pytest.raises(ProtocolError) as info:
+            parse_request(json.dumps({"op": 7}))
+        assert info.value.code == "malformed-envelope"
+
+
+class TestParseBudgets:
+    def test_missing_is_empty(self):
+        assert parse_budgets({}) == {}
+
+    def test_valid_budgets_coerce_to_float(self):
+        budgets = parse_budgets({"budgets": {"exhaustive": 2, "loop": 0.5}})
+        assert budgets == {"exhaustive": 2.0, "loop": 0.5}
+
+    @pytest.mark.parametrize(
+        "bad", [[1], "2.5", {"exhaustive": "fast"}, {"exhaustive": True}, {3: 1.0}]
+    )
+    def test_invalid_budgets_rejected(self, bad):
+        with pytest.raises(ProtocolError) as info:
+            parse_budgets({"budgets": bad})
+        assert info.value.code == "malformed-envelope"
+
+
+class TestTypedErrors:
+    def test_error_document_shape(self):
+        document = error_document("timeout", "too slow")
+        assert document == {
+            "$kind": ERROR_KIND,
+            "code": "timeout",
+            "message": "too slow",
+        }
+
+    def test_unknown_code_refused(self):
+        with pytest.raises(ValueError):
+            error_document("no-such-code", "nope")
+        with pytest.raises(ValueError):
+            ProtocolError("no-such-code", "nope")
+
+    def test_taxonomy_is_closed_and_complete(self):
+        assert set(ERROR_CODES) == {
+            "malformed-json",
+            "malformed-envelope",
+            "malformed-document",
+            "unsupported-op",
+            "timeout",
+            "shutting-down",
+            "internal",
+        }
+
+    def test_response_envelopes(self):
+        ok = ok_response(9, "verify", cached=True)
+        assert ok["ok"] is True and ok["id"] == 9 and ok["cached"] is True
+        err = error_response(9, "verify", ProtocolError("timeout", "slow"))
+        assert err["ok"] is False
+        assert err["error"]["code"] == "timeout"
+        assert err["error"]["$kind"] == ERROR_KIND

@@ -1,0 +1,183 @@
+"""The content-addressed on-disk result store: round trips, TTL, LRU."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.codec.wire import SCHEMA_VERSION, VERSION_KEY
+from repro.serve.store import ResultStore
+
+
+def result_doc(tag="r"):
+    return {"$kind": "task-result", VERSION_KEY: SCHEMA_VERSION, "tag": tag}
+
+
+class TestRoundTrip:
+    def test_put_get(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.put("ab" * 32, result_doc(), task_document={"$kind": "task"})
+        record = store.get("ab" * 32)
+        assert record["result"] == result_doc()
+        assert record["task"] == {"$kind": "task"}
+        assert record["key"] == "ab" * 32
+        assert store.hits == 1 and store.puts == 1
+
+    def test_miss(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        assert store.get("cd" * 32) is None
+        assert store.misses == 1
+
+    def test_persists_across_instances(self, tmp_path):
+        ResultStore(str(tmp_path)).put("ab" * 32, result_doc())
+        reopened = ResultStore(str(tmp_path))
+        assert len(reopened) == 1
+        assert reopened.get("ab" * 32)["result"] == result_doc()
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        for i in range(5):
+            store.put(("%02d" % i) * 32, result_doc(str(i)))
+        leftovers = [
+            name
+            for _, _, names in os.walk(str(tmp_path))
+            for name in names
+            if name.startswith(".tmp-")
+        ]
+        assert leftovers == []
+
+    def test_contains_and_repr(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.put("ab" * 32, result_doc())
+        assert ("ab" * 32) in store
+        assert ("cd" * 32) not in store
+        assert "1 records" in repr(store)
+
+
+class TestValidation:
+    def test_corrupt_file_is_a_miss_and_dropped(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        key = "ab" * 32
+        store.put(key, result_doc())
+        path = store._path_for(key)
+        with open(path, "w") as handle:
+            handle.write("{torn")
+        assert store.get(key) is None
+        assert store.corrupt_drops == 1
+        assert not os.path.exists(path)
+
+    def test_wrong_schema_version_is_a_miss(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        key = "ab" * 32
+        stale = dict(result_doc())
+        stale[VERSION_KEY] = SCHEMA_VERSION + 1
+        store.put(key, stale)
+        assert store.get(key) is None
+        assert store.corrupt_drops == 1
+        assert key not in store
+
+    def test_non_record_json_is_a_miss(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        key = "ab" * 32
+        store.put(key, result_doc())
+        with open(store._path_for(key), "w") as handle:
+            json.dump(["not", "a", "record"], handle)
+        assert store.get(key) is None
+
+
+class TestTTL:
+    def test_expired_record_is_a_miss_and_dropped(self, tmp_path):
+        store = ResultStore(str(tmp_path), ttl=0.05)
+        key = "ab" * 32
+        store.put(key, result_doc())
+        assert store.get(key) is not None
+        time.sleep(0.1)
+        assert store.get(key) is None
+        assert store.expirations == 1
+        assert len(store) == 0
+
+    def test_none_ttl_keeps_forever(self, tmp_path):
+        store = ResultStore(str(tmp_path), ttl=None)
+        key = "ab" * 32
+        store.put(key, result_doc())
+        # backdate the record far into the past
+        path = store._path_for(key)
+        with open(path) as handle:
+            record = json.load(handle)
+        record["stored_at"] = 0
+        with open(path, "w") as handle:
+            json.dump(record, handle)
+        assert store.get(key) is not None
+
+    def test_negative_ttl_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultStore(str(tmp_path), ttl=-1)
+
+
+class TestLRU:
+    def keys(self, n):
+        return [("%02d" % i) * 32 for i in range(n)]
+
+    def test_eviction_beyond_max_entries(self, tmp_path):
+        store = ResultStore(str(tmp_path), max_entries=3)
+        keys = self.keys(5)
+        for i, key in enumerate(keys):
+            store.put(key, result_doc(str(i)))
+        assert len(store) == 3
+        assert store.evictions == 2
+        assert store.get(keys[0]) is None and store.get(keys[1]) is None
+        assert store.get(keys[4])["result"] == result_doc("4")
+        # evicted files are gone from disk too
+        assert not os.path.exists(store._path_for(keys[0]))
+
+    def test_get_refreshes_recency(self, tmp_path):
+        store = ResultStore(str(tmp_path), max_entries=2)
+        a, b, c = self.keys(3)
+        store.put(a, result_doc("a"))
+        store.put(b, result_doc("b"))
+        assert store.get(a) is not None  # a is now most recent
+        store.put(c, result_doc("c"))  # evicts b, not a
+        assert store.get(a) is not None
+        assert store.get(b) is None
+
+    def test_recency_survives_restart(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        a, b, c = self.keys(3)
+        store.put(a, result_doc("a"))
+        store.put(b, result_doc("b"))
+        # make a clearly fresher than b (mtime granularity)
+        now = time.time()
+        os.utime(store._path_for(a), (now + 5, now + 5))
+        reopened = ResultStore(str(tmp_path), max_entries=2)
+        reopened.put(c, result_doc("c"))
+        # b — stalest by restored mtime order — is the one evicted
+        assert reopened.get(b) is None
+        assert reopened.get(a) is not None
+        assert reopened.get(c) is not None
+
+    def test_zero_max_entries_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultStore(str(tmp_path), max_entries=0)
+
+
+class TestStatsAndClear:
+    def test_stats_counters(self, tmp_path):
+        store = ResultStore(str(tmp_path), max_entries=8, ttl=60.0)
+        store.put("ab" * 32, result_doc())
+        store.get("ab" * 32)
+        store.get("cd" * 32)
+        stats = store.stats()
+        assert stats["size"] == 1
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["puts"] == 1
+        assert stats["ttl"] == 60.0
+        assert stats["max_entries"] == 8
+
+    def test_clear(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.put("ab" * 32, result_doc())
+        store.clear()
+        assert len(store) == 0
+        assert store.get("ab" * 32) is None

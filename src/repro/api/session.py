@@ -34,6 +34,15 @@ from ..checker.engine import CheckerEngine, ImageCache
 from ..checker.universe import Universe
 from ..compile import CompileCache
 from ..codec.mixin import WireCodec
+from ..deps.fingerprint import (
+    Fingerprint,
+    FingerprintError,
+    fingerprint,
+    subtree_fingerprints,
+    task_dependencies,
+    task_fingerprint,
+)
+from ..deps.graph import DependencyGraph
 from ..lang.ast import Command
 from ..lang.parser import parse_command
 from ..values import IntRange
@@ -53,28 +62,40 @@ _MISS = object()
 class CachingOracle(EntailmentOracle):
     """An entailment oracle that memoizes verdicts across queries.
 
-    Keys are the ``(pre, post)`` assertion pairs themselves — syntactic
-    assertions are frozen dataclasses and hash structurally, semantic
-    ones fall back to identity; unhashable operands bypass the cache.
-    The cached entry keeps the method that decided the query so repeat
-    queries still report it faithfully.  Safe under concurrent use (one
-    lock around the table; verdict computation happens outside it, so a
-    race costs at most a duplicated computation).
+    Keys are the fingerprint pairs of the ``(pre, post)`` assertions
+    (:func:`~repro.deps.fingerprint.fingerprint`), so equal queries
+    share a verdict no matter how their trees were built; semantic
+    assertions fall back to the objects themselves (identity hashing),
+    and unhashable operands bypass the cache.  With a ``deps``
+    :class:`~repro.deps.graph.DependencyGraph`, every memoized verdict
+    records the assertion-subtree fingerprints it depends on (an
+    ``("entail", key)`` artifact), so editing a subtree invalidates
+    exactly the verdicts that mention it.  The cached entry keeps the
+    method that decided the query so repeat queries still report it
+    faithfully.  Safe under concurrent use (one lock around the table;
+    verdict computation happens outside it, so a race costs at most a
+    duplicated computation).
     """
 
     def __init__(self, universe, domain, method="brute", max_size=None,
-                 compile_cache=None):
+                 compile_cache=None, deps=None):
         super().__init__(
             universe, domain, method=method, max_size=max_size,
             compile_cache=compile_cache,
         )
         self._cache = {}
         self._cache_lock = threading.Lock()
+        self._deps = deps
         self.hits = 0
         self.misses = 0
 
     def entails(self, pre, post):
-        key = (pre, post)
+        try:
+            key = (fingerprint(pre), fingerprint(post))
+            dep_fps = subtree_fingerprints(pre) | subtree_fingerprints(post)
+        except FingerprintError:
+            key = (pre, post)
+            dep_fps = None
         try:
             hash(key)
         except TypeError:
@@ -91,7 +112,15 @@ class CachingOracle(EntailmentOracle):
         with self._cache_lock:
             self._cache[key] = (verdict, self.last_method)
             self.misses += 1
+        if self._deps is not None and dep_fps is not None:
+            self._deps.record(("entail", key), dep_fps)
         return verdict
+
+    def drop(self, key):
+        """Remove one memoized verdict by its cache key — the form
+        ``("entail", key)`` dependency artifacts carry."""
+        with self._cache_lock:
+            self._cache.pop(key, None)
 
     def cache_info(self):
         """``{"hits": ..., "misses": ..., "size": ...}``."""
@@ -103,6 +132,9 @@ class CachingOracle(EntailmentOracle):
             self._cache.clear()
             self.hits = 0
             self.misses = 0
+        if self._deps is not None:
+            # a cleared memo must leave no stale dependency edges behind
+            self._deps.forget_kind("entail")
 
 
 @dataclass(frozen=True)
@@ -208,6 +240,16 @@ class Report(WireCodec):
     decision counts are derived from the results themselves
     (:meth:`decided_by_backend`), so they need no extra wire fields and
     aggregate correctly across process shards.
+
+    The incremental counters (``fingerprint_*`` / ``cone_*`` /
+    ``artifacts_reused``) come from the :mod:`repro.deps` subsystem:
+    ``fingerprint_hits`` counts whole stored task outcomes reused by
+    structural fingerprint in :meth:`Session.reverify`;
+    ``cone_invalidations`` counts cached artifacts dropped because a
+    declared edit's dependency cone touched them; ``artifacts_reused``
+    counts the underlying per-subtree artifacts (compiled closures,
+    image-table rows, entailment verdicts) that were cache hits during
+    the batch — the subtree-level reuse an edited task still enjoys.
     """
 
     results: Tuple[TaskResult, ...]
@@ -221,6 +263,9 @@ class Report(WireCodec):
     entailment_brute_decisions: int = 0
     image_mask_hits: int = 0
     image_mask_misses: int = 0
+    fingerprint_hits: int = 0
+    cone_invalidations: int = 0
+    artifacts_reused: int = 0
 
     def __iter__(self):
         return iter(self.results)
@@ -293,6 +338,13 @@ class Report(WireCodec):
                 decided or "nothing",
                 self.entailment_sat_decisions,
                 self.entailment_brute_decisions,
+            ),
+            "  incremental: %d fingerprint hits, %d cone invalidations, "
+            "%d artifacts reused"
+            % (
+                self.fingerprint_hits,
+                self.cone_invalidations,
+                self.artifacts_reused,
             ),
         ]
         for index, result in enumerate(self.results):
@@ -392,19 +444,24 @@ class Session:
         # constructor arguments; a custom backend chain has no picklable
         # recipe, so sharded batches refuse it (see api/sharding.py).
         self.has_custom_backends = backends is not None
+        # One dependency graph for the whole session: every cache below
+        # records which subtree fingerprints its artifacts derive from,
+        # so reverify can invalidate exactly the cone above an edit.
+        self.deps = DependencyGraph()
         # One compile cache for the whole session: commands, assertions
         # and prefilter predicates compile once and are reused by the
         # engine, the backends and the entailment oracle.
-        self.compiles = CompileCache()
+        self.compiles = CompileCache(deps=self.deps)
         self.oracle = CachingOracle(
             self.universe.ext_states(),
             self.universe.domain,
             method=entailment,
             compile_cache=self.compiles,
+            deps=self.deps,
         )
         # One image cache for the whole session: per-state executions
         # persist across tasks in a batch and across verify_many threads.
-        self.images = ImageCache(max_entries=max_image_entries)
+        self.images = ImageCache(max_entries=max_image_entries, deps=self.deps)
         self.engine = CheckerEngine(
             self.universe, self.images, compile_cache=self.compiles
         )
@@ -415,6 +472,13 @@ class Session:
         self.budgets = dict(budgets or {})
         self._program_cache = {}
         self._assertion_cache = {}
+        # The result ledger: task fingerprint -> TaskResult, the
+        # whole-outcome tier reverify reuses.  Guarded by the GIL plus
+        # benign-race semantics (equal fingerprints imply equal content,
+        # so a race stores an equivalent result).
+        self._ledger = {}
+        self._fingerprint_hits = 0
+        self._cone_invalidations = 0
 
     # -- parsing (memoized) ------------------------------------------------
     def parse_program(self, program):
@@ -538,23 +602,62 @@ class Session:
                     % (max_workers, shards)
                 )
         normalized = [self.task(t) for t in tasks]
+        return self._run_batch(normalized, max_workers, backends, budgets)
+
+    def _run_batch(
+        self,
+        normalized,
+        max_workers=None,
+        backends=None,
+        budgets=None,
+        fingerprint_hits=0,
+        cone_invalidations=0,
+        reused=(),
+    ):
+        """Run the non-reused tasks of a normalized batch → :class:`Report`.
+
+        ``reused`` maps input index → ledger'd :class:`TaskResult` for
+        tasks :meth:`reverify` already settled by fingerprint; everything
+        else runs through the chain.  The cache-counter deltas bracket
+        only the fresh work, so ``artifacts_reused`` measures the
+        subtree-level reuse the re-run tasks actually enjoyed.
+        """
+        reused = dict(reused)
+        pending = [
+            (i, t) for i, t in enumerate(normalized) if i not in reused
+        ]
         info = self.oracle.cache_info()
         images = self.images.stats()
+        compiles = self.compiles.stats()
         methods = self.oracle.method_counts()
         started = _task_mod.clock()
         if max_workers is not None and max_workers > 1:
             with ThreadPoolExecutor(max_workers=max_workers) as pool:
-                results = list(
-                    pool.map(lambda t: self._run_task(t, backends, budgets), normalized)
+                fresh = list(
+                    pool.map(
+                        lambda it: self._run_task(it[1], backends, budgets), pending
+                    )
                 )
         else:
-            results = [self._run_task(t, backends, budgets) for t in normalized]
+            fresh = [self._run_task(t, backends, budgets) for _, t in pending]
         elapsed = _task_mod.clock() - started
+        results = dict(reused)
+        for (index, _), result in zip(pending, fresh):
+            results[index] = result
         after = self.oracle.cache_info()
         images_after = self.images.stats()
+        compiles_after = self.compiles.stats()
         methods_after = self.oracle.method_counts()
+        # subtree-level reuse: compiled closures, image rows and
+        # entailment verdicts served from cache during this batch (the
+        # mask tier shadows the image tier, so it is not double-counted)
+        artifacts_reused = (
+            (after["hits"] - info["hits"])
+            + (images_after["hits"] - images["hits"])
+            + (compiles_after["hits"] - compiles["hits"])
+        )
         return Report(
-            tuple(results),
+            tuple(results[i] for i in range(len(normalized))),
             elapsed=elapsed,
             entailment_cache_hits=after["hits"] - info["hits"],
             entailment_cache_misses=after["misses"] - info["misses"],
@@ -567,7 +670,152 @@ class Session:
             - methods.get("sat", 0),
             entailment_brute_decisions=methods_after.get("brute", 0)
             - methods.get("brute", 0),
+            fingerprint_hits=fingerprint_hits,
+            cone_invalidations=cone_invalidations,
+            artifacts_reused=artifacts_reused,
         )
+
+    # -- incremental re-verification ---------------------------------------
+    def _dependency_context(self, chain, allowances):
+        """The session configuration a task verdict depends on — folded
+        into every ledger fingerprint so a config change can never be
+        mistaken for an unchanged task."""
+        universe = self.universe
+        return {
+            "domain": universe.domain,
+            "lvar_domain": universe.lvar_domain,
+            "pvars": universe.pvars,
+            "lvars": universe.lvars,
+            "entailment": self.entailment,
+            "max_set_size": self.max_set_size,
+            "backends": tuple(backend.name for backend in chain),
+            "budgets": {str(k): float(v) for k, v in allowances.items()},
+        }
+
+    def _ledger_fingerprint(self, task, backends, budgets):
+        """The content address of one task under the effective config,
+        or ``None`` when the task has no stable encoding (semantic
+        assertions) and must always re-run."""
+        chain = self.backends if backends is None else tuple(backends)
+        allowances = self.budgets if budgets is None else dict(budgets)
+        try:
+            return task_fingerprint(task, self._dependency_context(chain, allowances))
+        except FingerprintError:
+            return None
+
+    def _remember(self, task, result, backends, budgets):
+        """Ledger a finished task outcome under its fingerprint and
+        record its dependency cone (no-op for semantic tasks)."""
+        fp = self._ledger_fingerprint(task, backends, budgets)
+        if fp is None:
+            return
+        self._ledger[fp] = result
+        self.deps.record(("result", fp), task_dependencies(task))
+
+    def invalidate(self, changed):
+        """Drop every cached artifact in the dependency cone of
+        ``changed`` → the number of artifacts dropped.
+
+        ``changed`` is an iterable of edited subtrees (pre-edit AST
+        nodes, assertions, whole tasks) and/or raw
+        :class:`~repro.deps.fingerprint.Fingerprint` values.  Each item
+        names the *smallest replaced subtree*: only its own fingerprint
+        is invalidated, and the cone is every artifact whose tree
+        contains that exact subtree (dependency sets list all composite
+        subtrees, so containment is one reverse-index lookup).  Inner
+        nodes of the replaced subtree are deliberately left alone —
+        shared leaves like a variable reference live on in *other*
+        trees, and invalidating them would wrongly drop the whole
+        suite.  Dropped artifacts are dispatched back to their owning
+        caches — ledger'd results, entailment verdicts, image rows,
+        compiled closures — so the session behaves as if that cone had
+        never been computed.
+        """
+        fps = set()
+        for item in changed:
+            if isinstance(item, str):
+                # raw fingerprints (Fingerprint is a str subclass)
+                fps.add(Fingerprint(item))
+                continue
+            try:
+                fps.add(fingerprint(item))
+            except FingerprintError:
+                continue  # semantic subtrees were never ledger'd
+        doomed = self.deps.invalidate(fps)
+        for artifact in doomed:
+            kind, key = artifact
+            if kind == "result":
+                self._ledger.pop(key, None)
+            elif kind == "entail":
+                self.oracle.drop(key)
+            elif kind == "image":
+                self.images.drop(key)
+            elif kind == "compile":
+                self.compiles.drop(key)
+        self._cone_invalidations += len(doomed)
+        return len(doomed)
+
+    def reverify(
+        self,
+        tasks,
+        changed=None,
+        max_workers=None,
+        backends=None,
+        budgets=None,
+    ):
+        """Re-verify a batch, reusing stored outcomes for unchanged tasks.
+
+        The incremental counterpart of :meth:`verify_many`: every task
+        whose structural fingerprint (content plus effective session
+        configuration) matches a ledger'd outcome is returned without
+        re-running anything; the rest run through the backend chain,
+        still enjoying subtree-level cache reuse for the parts the edit
+        did not touch.  ``changed`` optionally declares the edited
+        subtrees (pre-edit nodes or fingerprints); their dependency cone
+        is dropped first via :meth:`invalidate`, which keeps long-lived
+        sessions from accumulating dead artifacts.  The returned
+        :class:`Report` carries ``fingerprint_hits`` (whole outcomes
+        reused), ``cone_invalidations`` (artifacts dropped) and
+        ``artifacts_reused`` (subtree-level cache hits during the
+        re-run).  Verdicts are always identical to a cold
+        :meth:`verify_many` — fingerprints are content addresses, so a
+        reused outcome is the outcome the cold run would recompute.
+        """
+        normalized = [self.task(t) for t in tasks]
+        cone = self.invalidate(changed) if changed else 0
+        reused = {}
+        for index, task in enumerate(normalized):
+            fp = self._ledger_fingerprint(task, backends, budgets)
+            if fp is None:
+                continue
+            cached = self._ledger.get(fp)
+            if cached is not None:
+                reused[index] = cached
+        self._fingerprint_hits += len(reused)
+        return self._run_batch(
+            normalized,
+            max_workers,
+            backends,
+            budgets,
+            fingerprint_hits=len(reused),
+            cone_invalidations=cone,
+            reused=reused,
+        )
+
+    def reset(self):
+        """Forget everything cached: verdicts, images, compiled
+        closures, the result ledger and the dependency graph.  A reset
+        session verifies exactly like a cold one (and its dependency
+        graph holds no stale edges from before the reset)."""
+        self.oracle.cache_clear()
+        self.images.clear()
+        self.compiles.clear()
+        self._program_cache.clear()
+        self._assertion_cache.clear()
+        self._ledger.clear()
+        self.deps.clear()
+        self._fingerprint_hits = 0
+        self._cone_invalidations = 0
 
     def disprove(self, pre, program, post, construct_proof=False):
         """Thm. 5: a disproof of ``{pre} program {post}`` (or ``None``).
@@ -635,7 +883,9 @@ class Session:
             outcomes.append(outcome)
             if outcome.decided:
                 break
-        return TaskResult(task, tuple(outcomes))
+        result = TaskResult(task, tuple(outcomes))
+        self._remember(task, result, backends, budgets)
+        return result
 
     def __repr__(self):
         return "Session(%r, backends=%s)" % (

@@ -144,6 +144,7 @@ def _run_chunk(chunk, budgets, transport_proofs):
     session = _WORKER_SESSION
     before = session.oracle.cache_info()
     images_before = session.images.stats()
+    compiles_before = session.compiles.stats()
     methods_before = session.oracle.method_counts()
     out = []
     for index, document in chunk:
@@ -157,6 +158,7 @@ def _run_chunk(chunk, budgets, transport_proofs):
         out.append((index, encoded))
     after = session.oracle.cache_info()
     images_after = session.images.stats()
+    compiles_after = session.compiles.stats()
     methods_after = session.oracle.method_counts()
     delta = (
         after["hits"] - before["hits"],
@@ -168,6 +170,11 @@ def _run_chunk(chunk, budgets, transport_proofs):
         methods_after.get("brute", 0) - methods_before.get("brute", 0),
         images_after["mask_hits"] - images_before["mask_hits"],
         images_after["mask_misses"] - images_before["mask_misses"],
+        # subtree-level reuse inside this worker: entailment + image +
+        # compile cache hits, mirroring the inline artifacts_reused
+        (after["hits"] - before["hits"])
+        + (images_after["hits"] - images_before["hits"])
+        + (compiles_after["hits"] - compiles_before["hits"]),
     )
     return out, delta
 
@@ -212,6 +219,7 @@ def verify_many_sharded(
     image_hits = image_misses = image_evictions = 0
     sat_decisions = brute_decisions = 0
     mask_hits = mask_misses = 0
+    artifacts_reused = 0
     with ProcessPoolExecutor(
         max_workers=shards, initializer=_init_worker, initargs=(spec,)
     ) as pool:
@@ -230,6 +238,7 @@ def verify_many_sharded(
             brute_decisions += chunk_delta[6]
             mask_hits += chunk_delta[7]
             mask_misses += chunk_delta[8]
+            artifacts_reused += chunk_delta[9]
             for index, documents in rows:
                 outcomes_by_index[index] = tuple(from_wire(d) for d in documents)
     elapsed = _task_mod.clock() - started
@@ -248,4 +257,5 @@ def verify_many_sharded(
         entailment_brute_decisions=brute_decisions,
         image_mask_hits=mask_hits,
         image_mask_misses=mask_misses,
+        artifacts_reused=artifacts_reused,
     )

@@ -80,6 +80,12 @@ from ..compile import (
     compile_state_predicate,
 )
 from ..compile.assertion import mask_prefix_fn
+from ..deps.fingerprint import (
+    Fingerprint,
+    FingerprintError,
+    fingerprint as _fingerprint,
+    subtree_fingerprints as _subtree_fingerprints,
+)
 from ..semantics.bigstep import post_states, post_states_interpreted
 from ..semantics.state import ExtState
 from ..util import iter_subsets
@@ -125,12 +131,21 @@ def candidate_initial_sets(pre, universe, max_size=None):
 class ImageCache:
     """A thread-safe memo of single-state executions.
 
-    Keys are ``(command, domain, program_state)`` — commands and domains
-    hash structurally, so the cache is safe to share across universes,
-    tasks and :meth:`~repro.api.session.Session.verify_many` threads;
-    values are the ``frozenset`` of final program states.  Computation
-    happens outside the lock, so a race costs at most one duplicated
-    execution, never a wrong entry.
+    Keys are ``(command_fingerprint, domain, program_state)`` — the
+    command participates via its stable structural content hash
+    (:func:`~repro.deps.fingerprint.fingerprint`), domains hash
+    structurally — so the cache is safe to share across universes, tasks
+    and :meth:`~repro.api.session.Session.verify_many` threads, and
+    equal commands share entries no matter how they were built; values
+    are the ``frozenset`` of final program states.  (A command outside
+    the fingerprintable fragment stays in the key as the object itself —
+    behaviorally identical, just invisible to cone invalidation.)  With
+    a ``deps`` :class:`~repro.deps.graph.DependencyGraph`, every stored
+    entry records the command-subtree fingerprints it was derived from
+    as an ``("image", key)`` artifact, so editing any subtree of a
+    command invalidates exactly its image rows.  Computation happens
+    outside the lock, so a race costs at most one duplicated execution,
+    never a wrong entry.
 
     ``max_entries`` optionally bounds the table with least-recently-used
     eviction (default ``None``: unbounded, the historical behavior).  A
@@ -152,7 +167,7 @@ class ImageCache:
     rejected.
     """
 
-    def __init__(self, max_entries=None):
+    def __init__(self, max_entries=None, deps=None):
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be >= 1 or None, got %r"
                              % (max_entries,))
@@ -164,6 +179,7 @@ class ImageCache:
         # its universe, command and state alive)
         self._mask_keys = {}
         self._lock = threading.Lock()
+        self._deps = deps
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
@@ -171,6 +187,14 @@ class ImageCache:
         self.mask_hits = 0
         self.mask_misses = 0
         self.mask_evictions = 0
+
+    @staticmethod
+    def _base_key(command, domain, prog):
+        """The fingerprint-canonical key of one ``(command, σ)`` row."""
+        try:
+            return (_fingerprint(command), domain, prog)
+        except FingerprintError:
+            return (command, domain, prog)
 
     def post_image(self, command, prog, domain, max_states=100000,
                    executor=None):
@@ -181,7 +205,7 @@ class ImageCache:
         entries are executor-agnostic — both executors implement the
         same semantics, which the conformance harness cross-checks.
         """
-        key = (command, domain, prog)
+        key = self._base_key(command, domain, prog)
         with self._lock:
             entry = self._table.get(key)
             if entry is not None and max_states >= entry[1]:
@@ -203,7 +227,13 @@ class ImageCache:
                     evicted_key, _ = self._table.popitem(last=False)
                     self.evictions += 1
                     self._evict_masks_of(evicted_key)
+                    if self._deps is not None:
+                        self._deps.discard(("image", evicted_key))
             self.misses += 1
+        if self._deps is not None and isinstance(key[0], Fingerprint):
+            self._deps.record(
+                ("image", key), _subtree_fingerprints(command)
+            )
         return finals
 
     def _evict_masks_of(self, base_key):
@@ -242,10 +272,17 @@ class ImageCache:
             if entry is None or max_states < entry[1]:
                 self._masks[key] = (mask, max_states)
                 self._mask_keys.setdefault(
-                    (command, universe.domain, phi.prog), set()
+                    self._base_key(command, universe.domain, phi.prog), set()
                 ).add(key)
             self.mask_misses += 1
         return mask
+
+    def drop(self, key):
+        """Remove one base row (and its mask-tier entries) by its
+        canonical key — the form ``("image", key)`` artifacts carry."""
+        with self._lock:
+            self._table.pop(key, None)
+            self._evict_masks_of(key)
 
     def info(self):
         """``{"hits": ..., "misses": ..., "size": ...}``."""
@@ -278,6 +315,9 @@ class ImageCache:
             self.mask_hits = 0
             self.mask_misses = 0
             self.mask_evictions = 0
+        if self._deps is not None:
+            # no stale edges may outlive the entries they point at
+            self._deps.forget_kind("image")
 
     def __len__(self):
         with self._lock:

@@ -394,6 +394,9 @@ register(
         "entailment_brute_decisions": r.entailment_brute_decisions,
         "image_mask_hits": r.image_mask_hits,
         "image_mask_misses": r.image_mask_misses,
+        "fingerprint_hits": r.fingerprint_hits,
+        "cone_invalidations": r.cone_invalidations,
+        "artifacts_reused": r.artifacts_reused,
     },
     lambda node: Report(
         tuple(decode(x) for x in node["results"]),
@@ -407,6 +410,9 @@ register(
         entailment_brute_decisions=node["entailment_brute_decisions"],
         image_mask_hits=node["image_mask_hits"],
         image_mask_misses=node["image_mask_misses"],
+        fingerprint_hits=node["fingerprint_hits"],
+        cone_invalidations=node["cone_invalidations"],
+        artifacts_reused=node["artifacts_reused"],
     ),
 )
 

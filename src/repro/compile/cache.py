@@ -12,17 +12,54 @@ across tasks in a batch and across ``verify_many`` threads.  Code
 without a session (``post_states``, module-level entailment helpers)
 falls back to the module-wide :func:`default_cache`.
 
-Keys are ``(kind, node, ...)`` tuples.  Syntactic nodes (commands,
-expressions, Def. 9 assertions) are frozen dataclasses and hash
-structurally, so equal trees share one artifact; semantic assertions
-hash by identity, which still de-duplicates the repeated queries a
-session issues against the same assertion object.  Unhashable keys
-bypass the cache entirely (the caller just compiles fresh).
+Keys are ``(kind, node, ...)`` tuples.  Before lookup each key is
+*canonicalized*: AST/domain elements with a stable content encoding are
+replaced by their :class:`~repro.deps.fingerprint.Fingerprint`, so equal
+trees share one artifact no matter how they were built, and — when the
+cache is constructed with a :class:`~repro.deps.graph.DependencyGraph`
+— every stored artifact records the subtree fingerprints it was derived
+from, making it reachable by dependency-cone invalidation
+(``("compile", key)`` artifacts).  Semantic assertions have no stable
+encoding and stay in the key as objects (hashing by identity), which
+still de-duplicates the repeated queries a session issues against the
+same assertion object.  Unhashable keys bypass the cache entirely (the
+caller just compiles fresh).
 """
 
 import threading
+from dataclasses import is_dataclass
+
+from ..deps.fingerprint import FingerprintError, fingerprint, subtree_fingerprints
+from ..values import Domain
 
 _MISS = object()
+
+
+def _canonical_key(key):
+    """``(canonical key, dependency fingerprints)`` for one cache key.
+
+    Composite elements (dataclass AST nodes, domains) become their
+    fingerprints and contribute their subtree fingerprints to the
+    dependency set; primitives pass through; anything unfingerprintable
+    (semantic assertions) stays as the object itself and contributes no
+    dependencies.
+    """
+    if not isinstance(key, tuple):
+        return key, frozenset()
+    out = []
+    deps = set()
+    for element in key:
+        if (is_dataclass(element) and not isinstance(element, type)) or isinstance(
+            element, Domain
+        ):
+            try:
+                out.append(fingerprint(element))
+                deps |= subtree_fingerprints(element)
+            except FingerprintError:
+                out.append(element)
+        else:
+            out.append(element)
+    return tuple(out), frozenset(deps)
 
 
 class CompileCache:
@@ -35,9 +72,10 @@ class CompileCache:
     :func:`~repro.compile.assertion.compile_assertion` fallbacks.
     """
 
-    def __init__(self):
+    def __init__(self, deps=None):
         self._table = {}
         self._lock = threading.Lock()
+        self._deps = deps
         self.hits = 0
         self.misses = 0
         self.fallbacks = {}
@@ -45,6 +83,7 @@ class CompileCache:
     def get_or_build(self, key, build):
         """The artifact for ``key``, compiling via ``build()`` at most once
         (modulo benign races).  Unhashable keys compile fresh every call."""
+        key, dep_fps = _canonical_key(key)
         try:
             hash(key)
         except TypeError:
@@ -64,7 +103,15 @@ class CompileCache:
                 return existing
             self._table[key] = artifact
             self.misses += 1
+        if self._deps is not None and dep_fps:
+            self._deps.record(("compile", key), dep_fps)
         return artifact
+
+    def drop(self, key):
+        """Remove one artifact by its *canonical* key (the form
+        dependency-graph ``("compile", key)`` artifacts carry)."""
+        with self._lock:
+            self._table.pop(key, None)
 
     def record_fallback(self, reasons):
         """Count each fallback reason (called once per compiled assertion)."""
@@ -90,6 +137,11 @@ class CompileCache:
             self.hits = 0
             self.misses = 0
             self.fallbacks = {}
+        if self._deps is not None:
+            # a cleared cache must leave no stale dependency edges: the
+            # graph would otherwise claim artifacts this cache no longer
+            # holds (the "stale fingerprint hits" failure mode)
+            self._deps.forget_kind("compile")
 
     def __len__(self):
         with self._lock:

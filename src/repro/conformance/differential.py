@@ -60,6 +60,16 @@ on one generated trial at a time:
     object *equal* to the inline result — proof trees, witnesses and
     elapsed floats included — and the content key must be stable across
     re-encodings of the same task.
+``incremental-vs-cold``
+    The incremental path (:meth:`~repro.api.session.Session.reverify`
+    over the fingerprint ledger and dependency-cone invalidation of
+    :mod:`repro.deps`) must be invisible too: after verifying a small
+    suite in a long-lived warm session, applying a random edit script
+    and re-verifying with ``changed=`` must produce results whose wire
+    documents — proofs, witnesses, methods — equal a cold
+    ``verify_many`` of the edited suite in a fresh session, elapsed
+    floats excepted.  A fingerprint collision, an over-eager ledger hit
+    or an under-invalidated cone all surface here as a disagreement.
 
 Each disagreement is reported as a :class:`Disagreement` carrying a
 *shrunk minimal reproducer* (see :mod:`repro.conformance.shrink`).
@@ -106,11 +116,26 @@ CHECK_KINDS = (
     "hl-embedding",
     "il-embedding",
     "store-vs-inline",
+    "incremental-vs-cold",
 )
 
 
 def _verdict(flag):
     return {True: "valid", False: "invalid"}[bool(flag)]
+
+
+def _zero_elapsed(node):
+    """A wire document with every ``elapsed`` float zeroed — the
+    equality the incremental-vs-cold check needs (wall-clock is the one
+    field two equal verifications legitimately disagree on)."""
+    if isinstance(node, dict):
+        return {
+            key: (0.0 if key == "elapsed" else _zero_elapsed(value))
+            for key, value in node.items()
+        }
+    if isinstance(node, list):
+        return [_zero_elapsed(value) for value in node]
+    return node
 
 
 @dataclass(frozen=True)
@@ -217,6 +242,11 @@ class DifferentialChecker:
         # with the checker)
         self._store = None
         self._store_dir = None
+        # the incremental-vs-cold check's long-lived warm session, built
+        # on first use: its ledger and dependency graph accumulate
+        # across trials, which is exactly the long-lived-session regime
+        # the check is meant to exercise
+        self._warm = None
 
     def check_enabled(self, kind):
         """Whether the ``checks`` filter selects this check kind."""
@@ -549,6 +579,67 @@ class DifferentialChecker:
             )
         return None
 
+    def _warm_session(self):
+        if self._warm is None:
+            self._warm = Session(
+                self.config.pvars, lo=self.config.lo, hi=self.config.hi
+            )
+        return self._warm
+
+    def incremental_disagreement(self, triple, aux_seed):
+        """Reverify-after-edit must equal a cold run of the edited suite.
+
+        Builds a two-task suite (the trial's triple plus a generated
+        sibling sharing its pre/post), verifies it in the long-lived
+        warm session, applies a random edit script (replace one task's
+        command with a freshly generated one), and re-verifies with
+        ``changed=`` declaring the pre-edit command.  The incremental
+        report's results must encode to the same wire documents —
+        elapsed floats zeroed — as a cold ``verify_many`` of the edited
+        suite in a brand-new session.
+        """
+        from dataclasses import replace as _replace
+
+        from ..codec import to_wire
+        from ..gen.programs import gen_command
+
+        rng = random.Random(aux_seed ^ 0xD1FF)
+        warm = self._warm_session()
+        sibling = gen_command(rng, self.config)
+        suite = [
+            warm.task(
+                triple.pre, triple.command, triple.post, invariant=triple.invariant
+            ),
+            warm.task(triple.pre, sibling, triple.post),
+        ]
+        warm.verify_many(suite)
+        victim = rng.randrange(len(suite))
+        old = suite[victim]
+        edited = list(suite)
+        edited[victim] = _replace(old, command=gen_command(rng, self.config))
+        incremental = warm.reverify(edited, changed=[old.command])
+        cold = Session(
+            self.config.pvars, lo=self.config.lo, hi=self.config.hi
+        ).verify_many(edited)
+        warm_docs = [_zero_elapsed(to_wire(r)) for r in incremental.results]
+        cold_docs = [_zero_elapsed(to_wire(r)) for r in cold.results]
+        if warm_docs != cold_docs:
+            mismatched = [
+                i for i, (w, c) in enumerate(zip(warm_docs, cold_docs)) if w != c
+            ]
+            return (
+                "incremental reverify diverged from a cold run after editing "
+                "task %d (mismatched tasks: %s; %d fingerprint hits, %d cone "
+                "invalidations)"
+                % (
+                    victim,
+                    mismatched,
+                    incremental.fingerprint_hits,
+                    incremental.cone_invalidations,
+                )
+            )
+        return None
+
     # -- the per-trial pass ----------------------------------------------
     def check_trial(self, trial):
         """Run every applicable check → a :class:`TrialOutcome`."""
@@ -614,5 +705,10 @@ class DifferentialChecker:
                 shrink_cmd_only,
             )
         run("store-vs-inline", self.store_disagreement, shrink_triple)
+        run(
+            "incremental-vs-cold",
+            lambda t, _: self.incremental_disagreement(t, aux_seed),
+            shrink_triple,
+        )
 
         return TrialOutcome(trial, oracle.valid, tuple(ran), tuple(disagreements))

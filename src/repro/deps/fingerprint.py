@@ -1,0 +1,247 @@
+"""Stable Merkle-style content hashes for syntax trees and contexts.
+
+Every cache in the system keys artifacts by *whole-task identity*
+(structural dataclass hashes in-process, sha256 of the full wire
+document on disk), so the dominant CI-at-scale workload — "program
+changed slightly, re-verify the suite" — pays a full recompute even
+though almost every subterm survived the edit.  A *fingerprint* is the
+missing primitive: a content hash computed bottom-up over a subtree, so
+
+- equal subtrees have equal fingerprints no matter how, where or in
+  what order they were constructed (parsed, sugar-built, unpickled,
+  regenerated in a worker process);
+- an edit to any node changes the fingerprint of exactly the *cone
+  above it* — the edited node and its ancestors — and nothing else;
+- the derivation never consults ``id()`` or Python ``hash()`` (which is
+  ``PYTHONHASHSEED``-perturbed for strings), so fingerprints are stable
+  across process restarts, machines and hash seeds, which is what lets
+  the on-disk :class:`~repro.serve.store.ResultStore` and cross-process
+  shard workers agree on keys.
+
+:func:`fingerprint` handles the library's syntactic universe —
+commands, program expressions, hyper-expressions, Def. 9 assertions,
+tasks, domains — via one generic walk: frozen dataclasses hash as
+``(class, field fingerprints)``, containers by their canonicalized
+elements, primitives by tagged bytes.  Semantic assertions wrapping
+Python callables have no stable content encoding and raise
+:class:`FingerprintError`; callers fall back to today's object keys.
+
+:func:`subtree_fingerprints` returns the fingerprint of every composite
+node in a tree — the *dependency set* a derived artifact records in the
+:class:`~repro.deps.graph.DependencyGraph` so that an edit invalidates
+exactly the artifacts whose cone contains the changed subtree.
+
+Both walks are memoized per node (structural keys, so equal subtrees
+share one entry) in module-level tables — like the compile layer's
+:func:`~repro.compile.cache.default_cache`, the memo is a process-wide
+amortizer, not a correctness mechanism.
+"""
+
+import hashlib
+from dataclasses import fields, is_dataclass
+
+from ..errors import ReproError
+from ..values import Domain
+
+
+class FingerprintError(ReproError):
+    """Raised for objects with no stable content encoding (callables,
+    semantic assertions, open resources)."""
+
+
+class Fingerprint(str):
+    """A sha256-hex content hash, distinguishable from plain strings.
+
+    Being a ``str`` subclass it hashes, sorts, pickles and
+    JSON-serializes like the hex digest it is; being a distinct *type*
+    lets cache keys mix fingerprints with ordinary string fields (kind
+    tags, method names) without ambiguity.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self):
+        return "Fingerprint('%s…')" % self[:12]
+
+
+#: node -> Fingerprint (structural keys; unhashable nodes bypass).
+_FP_MEMO = {}
+#: node -> frozenset of composite-subtree fingerprints.
+_SUBTREE_MEMO = {}
+
+
+def _digest(tag, parts):
+    """sha256 over ``tag(part,part,...)`` — the one Merkle combiner."""
+    h = hashlib.sha256()
+    h.update(tag.encode("utf-8"))
+    h.update(b"(")
+    for part in parts:
+        h.update(part.encode("ascii"))
+        h.update(b",")
+    h.update(b")")
+    return Fingerprint(h.hexdigest())
+
+
+def _primitive_digest(obj):
+    """Tagged digest of a primitive, or ``None`` if not primitive.
+
+    ``bool`` is checked before ``int`` (it subclasses it) and every tag
+    is distinct, so ``1``, ``1.0``, ``True`` and ``"1"`` all fingerprint
+    differently.
+    """
+    if obj is None:
+        return _digest("none", ())
+    if isinstance(obj, bool):
+        return _digest("bool", ("1" if obj else "0",))
+    if isinstance(obj, int):
+        return _digest("int", (str(obj),))
+    if isinstance(obj, float):
+        return _digest("float", (repr(obj),))
+    if isinstance(obj, str):
+        return _digest("str", (obj.encode("utf-8").hex(),))
+    if isinstance(obj, bytes):
+        return _digest("bytes", (obj.hex(),))
+    return None
+
+
+def fingerprint(obj):
+    """The stable content hash of one (sub)tree → :class:`Fingerprint`.
+
+    Total on commands, expressions, syntactic assertions, tasks, frozen
+    config dataclasses, domains, and containers/primitives thereof.
+    Raises :class:`FingerprintError` for anything whose content cannot
+    be encoded stably (callables, semantic assertions, arbitrary
+    objects).
+    """
+    if isinstance(obj, Fingerprint):
+        return obj
+    digest = _primitive_digest(obj)
+    if digest is not None:
+        return digest
+    try:
+        cached = _FP_MEMO.get(obj)
+    except TypeError:
+        cached = None
+        hashable = False
+    else:
+        hashable = True
+    if cached is not None:
+        return cached
+    if is_dataclass(obj) and not isinstance(obj, type):
+        cls = type(obj)
+        parts = [fingerprint(getattr(obj, f.name)) for f in fields(obj)]
+        digest = _digest("dc:%s.%s" % (cls.__module__, cls.__qualname__), parts)
+    elif isinstance(obj, Domain):
+        # domains are plain classes with structural equality; their
+        # content is the name plus the ordered value tuple
+        digest = _digest(
+            "domain:%s" % obj.name, [fingerprint(v) for v in obj.values]
+        )
+    elif isinstance(obj, (tuple, list)):
+        digest = _digest("seq", [fingerprint(v) for v in obj])
+    elif isinstance(obj, (frozenset, set)):
+        digest = _digest("set", sorted(fingerprint(v) for v in obj))
+    elif isinstance(obj, dict):
+        digest = _digest(
+            "map",
+            sorted(fingerprint(k) + ":" + fingerprint(v) for k, v in obj.items()),
+        )
+    else:
+        raise FingerprintError(
+            "cannot fingerprint %s objects (no stable content encoding): %r"
+            % (type(obj).__name__, obj)
+        )
+    if hashable:
+        _FP_MEMO[obj] = digest
+    return digest
+
+
+def fingerprintable(obj):
+    """Whether :func:`fingerprint` accepts ``obj`` (no exception probe
+    needed by callers that just want the fallback path)."""
+    try:
+        fingerprint(obj)
+    except FingerprintError:
+        return False
+    return True
+
+
+def subtree_fingerprints(obj):
+    """Fingerprints of every *composite* node in ``obj``'s tree.
+
+    Composite means dataclass nodes and domains — the things an edit
+    script can replace; containers and primitives are traversed but not
+    collected (they are not edit targets, and collecting every literal
+    would bloat dependency sets without sharpening invalidation).
+    Raises :class:`FingerprintError` exactly when :func:`fingerprint`
+    does.
+    """
+    try:
+        cached = _SUBTREE_MEMO.get(obj)
+    except TypeError:
+        cached = None
+        hashable = False
+    else:
+        hashable = True
+    if cached is not None:
+        return cached
+    out = set()
+    if is_dataclass(obj) and not isinstance(obj, type):
+        out.add(fingerprint(obj))
+        for f in fields(obj):
+            out |= subtree_fingerprints(getattr(obj, f.name))
+    elif isinstance(obj, Domain):
+        out.add(fingerprint(obj))
+    elif isinstance(obj, (tuple, list, frozenset, set)):
+        for v in obj:
+            out |= subtree_fingerprints(v)
+    elif isinstance(obj, dict):
+        for k, v in obj.items():
+            out |= subtree_fingerprints(k)
+            out |= subtree_fingerprints(v)
+    else:
+        fingerprint(obj)  # raises FingerprintError on non-primitives
+    result = frozenset(out)
+    if hashable:
+        _SUBTREE_MEMO[obj] = result
+    return result
+
+
+def combine(*parts):
+    """One fingerprint from several (e.g. task content + context)."""
+    return _digest("combine", [fingerprint(p) for p in parts])
+
+
+def context_fingerprint(context):
+    """The fingerprint of a JSON-safe semantic-context mapping.
+
+    Dict insertion order never matters (maps hash by sorted entries);
+    any semantic difference — domain bounds, entailment method, oracle
+    caps, backend chain, budgets — changes the digest.
+    """
+    return fingerprint(dict(context or {}))
+
+
+def task_fingerprint(task, context=None):
+    """The content address of one task under one semantic context.
+
+    ``task`` is a :class:`~repro.api.task.VerificationTask` (a frozen
+    dataclass, so the task's own fingerprint covers pre, command, post,
+    invariant and label); ``context`` is the session-side configuration
+    the verdict additionally depends on.  Raises
+    :class:`FingerprintError` for tasks with semantic assertions.
+    """
+    return combine(fingerprint(task), context_fingerprint(context))
+
+
+def task_dependencies(task):
+    """The dependency set of one task: every composite subtree of its
+    triple components (the task node itself included)."""
+    return subtree_fingerprints(task)
+
+
+def clear_memo():
+    """Drop the process-wide memo tables (tests; never required for
+    correctness — fingerprints are pure functions of content)."""
+    _FP_MEMO.clear()
+    _SUBTREE_MEMO.clear()

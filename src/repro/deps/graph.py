@@ -1,0 +1,141 @@
+"""The dependency graph: which cached artifacts derive from which subtrees.
+
+Content-addressed keys (:mod:`repro.deps.fingerprint`) already make the
+caches *correct* under edits — a changed subtree changes every enclosing
+fingerprint, so stale entries can never be returned.  What they do not
+give is *invalidation*: after an edit, the entries derived from the old
+subtree are dead weight (a long-lived session would accumulate them
+forever), and :meth:`~repro.api.session.Session.reverify` needs to know
+which stored outcomes are untouched without re-deriving anything.
+
+A :class:`DependencyGraph` records, per cached artifact, the set of
+subtree fingerprints it was derived from:
+
+- ``("result",  task_fp)``       — a ledger'd :class:`TaskResult`
+- ``("entail",  (pre_fp, post_fp))`` — a memoized entailment verdict
+- ``("image",   image_key)``     — an image-table row
+- ``("compile", compile_key)``   — a compiled closure
+
+``invalidate(changed)`` returns (and removes) exactly the artifacts
+whose dependency set intersects the changed fingerprints — the *cone
+above the edit* — so the owning caches can drop them.  Everything else
+survives, which is the whole point: an edit to one subtree of one task
+in a 10k-triple suite leaves ~all artifacts standing.
+
+Thread safety matches the caches it serves: one lock around the tables,
+recording outside a race costs a benign re-record, never a wrong edge.
+"""
+
+import threading
+
+
+class DependencyGraph:
+    """A bidirectional artifact ↔ subtree-fingerprint index."""
+
+    def __init__(self):
+        self._deps = {}   # artifact key -> frozenset of fingerprints
+        self._rdeps = {}  # fingerprint  -> set of artifact keys
+        self._lock = threading.Lock()
+        self.recorded = 0
+        self.invalidated = 0
+
+    def record(self, artifact, fingerprints):
+        """Record that ``artifact`` was derived from ``fingerprints``.
+
+        Re-recording an artifact replaces its dependency set (the
+        artifact was recomputed; its new derivation wins).
+        """
+        fingerprints = frozenset(fingerprints)
+        with self._lock:
+            old = self._deps.get(artifact)
+            if old is not None:
+                for fp in old - fingerprints:
+                    bucket = self._rdeps.get(fp)
+                    if bucket is not None:
+                        bucket.discard(artifact)
+                        if not bucket:
+                            del self._rdeps[fp]
+            self._deps[artifact] = fingerprints
+            for fp in fingerprints:
+                self._rdeps.setdefault(fp, set()).add(artifact)
+            self.recorded += 1
+
+    def dependencies_of(self, artifact):
+        """The recorded dependency set (empty if unrecorded)."""
+        with self._lock:
+            return self._deps.get(artifact, frozenset())
+
+    def cone(self, fingerprints):
+        """Artifacts whose dependency set meets ``fingerprints`` (no
+        removal — the dry-run view of :meth:`invalidate`)."""
+        out = set()
+        with self._lock:
+            for fp in fingerprints:
+                out |= self._rdeps.get(fp, set())
+        return out
+
+    def invalidate(self, fingerprints):
+        """Remove and return the cone above the changed fingerprints."""
+        with self._lock:
+            doomed = set()
+            for fp in fingerprints:
+                doomed |= self._rdeps.get(fp, set())
+            for artifact in doomed:
+                self._remove(artifact)
+            self.invalidated += len(doomed)
+            return doomed
+
+    def discard(self, artifact):
+        """Forget one artifact (cache eviction; not an invalidation)."""
+        with self._lock:
+            self._remove(artifact)
+
+    def forget_kind(self, kind):
+        """Forget every ``(kind, ...)`` artifact — the hook cache
+        ``clear()`` paths call so a cleared cache leaves no stale edges
+        behind (a cleared session must behave exactly like a cold one)."""
+        with self._lock:
+            doomed = [a for a in self._deps if a[0] == kind]
+            for artifact in doomed:
+                self._remove(artifact)
+
+    def _remove(self, artifact):
+        """Drop one artifact and its reverse edges (lock held)."""
+        deps = self._deps.pop(artifact, None)
+        if deps is None:
+            return
+        for fp in deps:
+            bucket = self._rdeps.get(fp)
+            if bucket is not None:
+                bucket.discard(artifact)
+                if not bucket:
+                    del self._rdeps[fp]
+
+    def clear(self):
+        with self._lock:
+            self._deps.clear()
+            self._rdeps.clear()
+            self.recorded = 0
+            self.invalidated = 0
+
+    def stats(self):
+        """``{"artifacts", "fingerprints", "edges", "recorded",
+        "invalidated"}``."""
+        with self._lock:
+            return {
+                "artifacts": len(self._deps),
+                "fingerprints": len(self._rdeps),
+                "edges": sum(len(d) for d in self._deps.values()),
+                "recorded": self.recorded,
+                "invalidated": self.invalidated,
+            }
+
+    def __len__(self):
+        with self._lock:
+            return len(self._deps)
+
+    def __repr__(self):
+        stats = self.stats()
+        return "DependencyGraph(%d artifacts, %d edges)" % (
+            stats["artifacts"], stats["edges"],
+        )

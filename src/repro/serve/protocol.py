@@ -45,6 +45,7 @@ on-disk store outlive any one daemon.
 import hashlib
 import json
 
+from ..codec import wire as _wire
 from ..errors import ReproError
 
 #: Version of the *envelope* protocol (independent of the codec's
@@ -101,8 +102,21 @@ def task_key(document, context=None):
     budgets, ...).  Equal ``(document, context)`` pairs hash equal
     regardless of dict insertion order; any semantic difference changes
     the key.
+
+    The codec ``SCHEMA_VERSION`` is folded into every key (read at call
+    time, so tests may monkeypatch it): stored results are wire
+    documents, and a result written under schema N would decode wrongly
+    — or crash — under N±1.  Versioned keys turn that into a plain
+    cache miss, so a store written by an old daemon is simply cold, not
+    poisonous, to a new one.
     """
-    payload = canonical_json({"context": context or {}, "task": document})
+    payload = canonical_json(
+        {
+            "context": context or {},
+            "schema_version": _wire.SCHEMA_VERSION,
+            "task": document,
+        }
+    )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 

@@ -43,7 +43,6 @@ from typing import Optional
 from ..api.sharding import default_shards
 from ..api.task import VerificationTask, clock
 from ..codec import WireError, from_wire
-from ..codec.wire import SCHEMA_VERSION
 from .protocol import (
     ProtocolError,
     error_document,
@@ -242,10 +241,14 @@ class VerificationServer:
 
     # -- the verify op ----------------------------------------------------
     def _context(self, budgets):
-        """The semantic context folded into every store key."""
+        """The semantic context folded into every store key.
+
+        The codec schema version is NOT listed here — ``task_key``
+        itself folds it in, so every caller (server, client-side
+        hashing, the conformance checks) gets version-partitioned keys
+        without having to remember to add it."""
         config = self.config
         return {
-            "schema_version": SCHEMA_VERSION,
             "lo": config.lo,
             "hi": config.hi,
             "entailment": config.entailment,

@@ -1,0 +1,205 @@
+"""Incremental re-verification: the ledger, the cone, the counters.
+
+``Session.reverify`` must be *invisible* semantically — same verdicts,
+proofs and witnesses as a cold ``verify_many`` — while reusing stored
+outcomes for unchanged tasks.  These tests pin the reuse accounting
+(``fingerprint_hits`` / ``cone_invalidations`` / ``artifacts_reused``),
+the ``changed=`` cone drop, the configuration sensitivity of ledger
+keys, the semantic-assertion fallback, and the :meth:`Session.reset`
+contract (a reset session re-verifies exactly like a cold one).
+"""
+
+import pytest
+
+from repro.api.session import Report, Session
+from repro.assertions.semantic import sem
+from repro.codec import from_wire, to_wire
+
+SUITE = [
+    ("forall <a>, <b>. a(l) == b(l)",
+     "y := nonDet(); l := h xor y",
+     "forall <a>, <b>. exists <c>. c(h) == a(h) && c(l) == b(l)"),
+    ("forall <a>. a(l) == 0", "l := 0", "forall <a>. a(l) == 0"),
+    ("exists <a>. a(h) == 1", "l := h", "exists <a>. a(l) == 1"),
+    ("true", "l := h", "forall <a>, <b>. a(l) == b(l)"),
+]
+
+
+@pytest.fixture
+def session():
+    return Session(["h", "l", "y"], lo=0, hi=1)
+
+
+def cold_report(tasks, **kwargs):
+    return Session(["h", "l", "y"], lo=0, hi=1).verify_many(tasks, **kwargs)
+
+
+class TestReuse:
+    def test_unchanged_suite_is_fully_reused(self, session):
+        first = session.verify_many(SUITE)
+        again = session.reverify(SUITE)
+        assert again.fingerprint_hits == len(SUITE)
+        assert again.cone_invalidations == 0
+        assert [r.verdict for r in again] == [r.verdict for r in first]
+        assert [r.method for r in again] == [r.method for r in first]
+        # reused results are the ledger'd objects — nothing re-ran
+        assert all(a is b for a, b in zip(first.results, again.results))
+
+    def test_edit_one_task_reruns_only_it(self, session):
+        session.verify_many(SUITE)
+        old_cmd = session.parse_program(SUITE[1][1])
+        edited = list(SUITE)
+        edited[1] = (SUITE[1][0], "l := 1", SUITE[1][2])
+        report = session.reverify(edited, changed=[old_cmd])
+        assert report.fingerprint_hits == len(SUITE) - 1
+        assert report.cone_invalidations > 0
+        cold = cold_report(edited)
+        assert [r.verdict for r in report] == [r.verdict for r in cold]
+        assert [r.method for r in report] == [r.method for r in cold]
+
+    def test_cold_session_reverify_is_just_verify(self, session):
+        report = session.reverify(SUITE)
+        assert report.fingerprint_hits == 0
+        cold = cold_report(SUITE)
+        assert [r.verdict for r in report] == [r.verdict for r in cold]
+
+    def test_reverify_without_changed_still_reuses(self, session):
+        session.verify_many(SUITE)
+        edited = list(SUITE)
+        edited[0] = ("true", SUITE[0][1], SUITE[0][2])
+        report = session.reverify(edited)
+        # content addressing needs no edit declaration for correctness:
+        # the edited task misses, the rest hit
+        assert report.fingerprint_hits == len(SUITE) - 1
+        assert report.cone_invalidations == 0
+        assert [r.verdict for r in report] == [
+            r.verdict for r in cold_report(edited)
+        ]
+
+
+class TestConeInvalidation:
+    def test_changed_drops_the_ledger_entry(self, session):
+        session.verify_many(SUITE)
+        before = len(session._ledger)
+        old_cmd = session.parse_program(SUITE[1][1])
+        dropped = session.invalidate([old_cmd])
+        assert dropped > 0
+        assert len(session._ledger) == before - 1
+
+    def test_changed_accepts_raw_fingerprints(self, session):
+        from repro.deps import fingerprint
+
+        session.verify_many(SUITE)
+        old_cmd = session.parse_program(SUITE[1][1])
+        report = session.reverify(SUITE, changed=[fingerprint(old_cmd)])
+        # the task itself was not edited, so after the cone drop it
+        # simply re-runs and re-ledgers — N-1 hits, same verdicts
+        assert report.fingerprint_hits == len(SUITE) - 1
+        assert report.cone_invalidations > 0
+
+    def test_editing_a_shared_subtree_invalidates_all_containers(self):
+        session = Session(["h", "l", "y"], lo=0, hi=1)
+        shared = [
+            ("forall <a>. a(l) == 0", "l := 0", "forall <a>. a(l) == 0"),
+            ("true", "l := 0", "exists <a>. a(l) == 0"),
+        ]
+        session.verify_many(shared)
+        old_cmd = session.parse_program("l := 0")
+        report = session.reverify(shared, changed=[old_cmd])
+        # both tasks contain the changed subtree: neither may be reused
+        # from a stale ledger after its declared edit
+        assert report.fingerprint_hits == 0
+
+    def test_semantic_changed_items_are_skipped(self, session):
+        session.verify_many(SUITE)
+        dropped = session.invalidate([sem(lambda s: True)])
+        assert dropped == 0
+
+
+class TestLedgerKeys:
+    def test_budget_change_is_never_a_false_hit(self, session):
+        session.verify_many(SUITE)
+        report = session.reverify(SUITE, budgets={"exhaustive": 30.0})
+        assert report.fingerprint_hits == 0
+
+    def test_backend_chain_change_is_never_a_false_hit(self, session):
+        from repro.api.backends import ExhaustiveBackend
+
+        session.verify_many(SUITE)
+        report = session.reverify(SUITE, backends=[ExhaustiveBackend()])
+        assert report.fingerprint_hits == 0
+
+    def test_semantic_tasks_always_rerun(self, session):
+        suite = [
+            (sem(lambda states: bool(states)), "l := 0", sem(lambda states: True)),
+        ]
+        first = session.verify_many(suite)
+        again = session.reverify(suite)
+        assert again.fingerprint_hits == 0
+        assert [r.verdict for r in again] == [r.verdict for r in first]
+
+
+class TestReset:
+    def test_reset_reverifies_like_a_cold_run(self, session):
+        session.verify_many(SUITE)
+        session.reset()
+        report = session.reverify(SUITE)
+        assert report.fingerprint_hits == 0
+        assert len(session.deps) > 0  # re-recorded by the fresh run
+        cold = cold_report(SUITE)
+        assert [r.verdict for r in report] == [r.verdict for r in cold]
+        assert [r.method for r in report] == [r.method for r in cold]
+
+    def test_reset_empties_every_cache_and_the_graph(self, session):
+        session.verify_many(SUITE)
+        assert len(session.deps) > 0 and len(session._ledger) > 0
+        session.reset()
+        assert len(session.deps) == 0
+        assert len(session._ledger) == 0
+        assert session.cache_info()["entailment_size"] == 0
+        assert session.cache_info()["image_size"] == 0
+        assert session.cache_info()["compile_size"] == 0
+
+    def test_cache_clear_paths_drop_graph_entries(self, session):
+        session.verify_many(SUITE)
+        session.oracle.cache_clear()
+        assert not any(a[0] == "entail" for a in session.deps._deps)
+        session.images.clear()
+        session.compiles.clear()
+        kinds = {a[0] for a in session.deps._deps}
+        assert kinds <= {"result"}
+
+
+class TestCounters:
+    def test_report_counters_round_trip_the_codec(self):
+        report = Report(
+            (), fingerprint_hits=3, cone_invalidations=2, artifacts_reused=7
+        )
+        decoded = from_wire(to_wire(report))
+        assert decoded.fingerprint_hits == 3
+        assert decoded.cone_invalidations == 2
+        assert decoded.artifacts_reused == 7
+
+    def test_summary_mentions_the_incremental_line(self, session):
+        session.verify_many(SUITE)
+        report = session.reverify(SUITE)
+        assert "incremental: %d fingerprint hits" % len(SUITE) in report.summary()
+
+    def test_artifacts_reused_counts_subtree_hits(self, session):
+        session.verify_many(SUITE)
+        edited = list(SUITE)
+        edited[0] = ("true", SUITE[0][1], SUITE[0][2])
+        report = session.reverify(edited)
+        # the re-run task shares its command and post with the warm run:
+        # compiled closures / images / verdicts must hit
+        assert report.artifacts_reused > 0
+
+    def test_sharded_report_aggregates_artifacts_reused(self, session):
+        # two shards, each repeating a command across its chunk: the
+        # per-worker compile/image/entailment hits must flow back
+        suite = SUITE * 2
+        report = session.verify_many(suite, sharding="process", shards=2)
+        assert report.artifacts_reused > 0
+        assert report.fingerprint_hits == 0  # plain batches never claim reuse
+        decoded = from_wire(to_wire(report))
+        assert decoded.artifacts_reused == report.artifacts_reused

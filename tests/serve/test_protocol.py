@@ -43,6 +43,42 @@ class TestTaskKey:
         assert len(key) == 64
         int(key, 16)
 
+    def test_schema_version_partitions_keys(self, monkeypatch):
+        from repro.codec import wire
+
+        current = task_key(DOC)
+        monkeypatch.setattr(wire, "SCHEMA_VERSION", wire.SCHEMA_VERSION - 1)
+        assert task_key(DOC) != current
+
+    def test_previous_schema_record_is_a_miss_not_a_crash(
+        self, monkeypatch, tmp_path
+    ):
+        # A store written by a v(N-1) daemon must look *cold* to a vN
+        # one: the old record sits under the old versioned key, so the
+        # new daemon never even opens it — no decode, no crash.
+        from repro.codec import wire
+        from repro.serve.store import ResultStore
+
+        store = ResultStore(tmp_path / "store")
+        monkeypatch.setattr(wire, "SCHEMA_VERSION", wire.SCHEMA_VERSION - 1)
+        old_key = task_key(DOC, {"lo": 0, "hi": 1})
+        store.put(
+            old_key,
+            {
+                "$kind": "task-result",
+                "schema_version": wire.SCHEMA_VERSION,
+                "tag": "stale",
+            },
+        )
+        monkeypatch.undo()
+        new_key = task_key(DOC, {"lo": 0, "hi": 1})
+        assert new_key != old_key
+        # the current-version key never collides with the old record ...
+        assert store.get(new_key) is None
+        # ... and even a direct hit on the old key is rejected by the
+        # store's embedded-version check rather than decoded wrongly
+        assert store.get(old_key) is None
+
     def test_canonical_json_sorts_and_minimizes(self):
         assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
 

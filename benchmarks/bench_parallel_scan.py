@@ -1,0 +1,172 @@
+"""Intra-task parallelism: the partitioned mask-space scan at scale.
+
+The workload is the regime the partitioned scan was built for — one
+*large* always-valid triple: 4 program variables over {0, 1} give 16
+extended states and a full 65536-candidate enumeration with no early
+exit, so a serial oracle pins exactly one core for the whole scan.
+``CheckerEngine(parallel=P)`` tiles the candidate-index space across a
+persistent process pool (the image table is still executed once, in the
+parent) and merges to the canonical verdict.
+
+This benchmark (a plain script, so CI can smoke-run it) does two
+things:
+
+1. **cross-validation** — the parallel verdict, witness and
+   ``checked_sets`` must be byte-identical to the serial scan's, at
+   every worker count (the same guarantee the ``parallel-vs-sequential``
+   fuzz check enforces trial-by-trial);
+2. **scaling** — wall time at 4 workers must beat the serial scan by
+   >= 2x.  The assertion only arms when the machine exposes >= 4 CPUs
+   (on fewer cores the law of physics wins and the measured ratio is
+   reported without failing the build — same skip pattern as
+   ``bench_fuzz_shard.py``).
+
+Usage::
+
+    python benchmarks/bench_parallel_scan.py            # full workload
+    python benchmarks/bench_parallel_scan.py --quick    # CI smoke
+"""
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.assertions.parser import parse_assertion  # noqa: E402
+from repro.checker.engine import CheckerEngine, ImageCache  # noqa: E402
+from repro.checker.universe import Universe  # noqa: E402
+from repro.compile.cache import CompileCache  # noqa: E402
+from repro.lang.parser import parse_command  # noqa: E402
+from repro.values import IntRange  # noqa: E402
+
+MIN_SCALING = 2.0
+WORKER_COUNTS = (1, 2, 4)
+
+#: 4 program variables over {0, 1}: 16 extended states, 65536 candidate
+#: initial sets.  The precondition accepts everything and the
+#: postcondition holds universally, so every scan is a full enumeration
+#: — the no-early-exit worst case a single core used to be stuck with.
+PVARS = ("w", "x", "y", "z")
+PRE = "true"
+POST = "forall <a>. forall <b>. a(x) + b(y) >= 0"
+#: The command steps outside the declared {0, 1} grid (x can reach 2),
+#: so the bench also exercises the out-of-grid intern-table replay the
+#: workers perform before scanning.
+PROGRAM = "x := x + y; w := nonDet()"
+
+
+def build_engines():
+    """One engine per worker count, all sharing one image/compile cache.
+
+    Sharing the caches mirrors production (a session's serial and
+    parallel scans see the same image table) and keeps the comparison
+    about the scan itself, not about cold image execution.
+    """
+    universe = Universe(PVARS, IntRange(0, 1))
+    images = ImageCache()
+    compiles = CompileCache()
+    engines = {}
+    for workers in WORKER_COUNTS:
+        engines[workers] = CheckerEngine(
+            universe,
+            images,
+            compile_cache=compiles,
+            # workers=1 is the serial baseline: the engine coerces
+            # parallel<2 to None, so no pool is ever built for it
+            parallel=workers,
+            parallel_min_candidates=0,
+        )
+    return engines
+
+
+def timed_scan(engine, pre, command, post, reps):
+    started = time.perf_counter()
+    result = None
+    for _ in range(reps):
+        result = engine.check(pre, command, post)
+    return time.perf_counter() - started, result
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="single repetition (CI smoke mode)"
+    )
+    parser.add_argument(
+        "--reps", type=int, help="scan repetitions per worker count "
+        "(default: 3, quick: 1)"
+    )
+    args = parser.parse_args(argv)
+    reps = args.reps if args.reps is not None else (1 if args.quick else 3)
+
+    pre = parse_assertion(PRE)
+    post = parse_assertion(POST)
+    command = parse_command(PROGRAM)
+    engines = build_engines()
+
+    print("=" * 64)
+    print("parallel scan benchmark (%s)" % ("quick" if args.quick else "full"))
+    print("=" * 64)
+    print(
+        "workload: {%s} %s {%s}" % (PRE, PROGRAM, POST)
+    )
+    print(
+        "  %d extended states, 65536 candidate sets, no early exit, "
+        "%d rep(s) per worker count" % (2 ** len(PVARS), reps)
+    )
+
+    # warmup: populate the shared image cache and spawn each pool once,
+    # so the timed runs measure the scan, not process startup
+    baseline = engines[1].check(pre, command, post)
+    for workers in WORKER_COUNTS[1:]:
+        warm = engines[workers].check(pre, command, post)
+        same = (
+            warm.valid == baseline.valid
+            and warm.witness_pre == baseline.witness_pre
+            and warm.witness_post == baseline.witness_post
+            and warm.checked_sets == baseline.checked_sets
+        )
+        assert same, (
+            "parallel scan (%d workers) diverged from the serial scan"
+            % workers
+        )
+    assert baseline.valid and baseline.checked_sets == 65536
+    print("cross-validation: verdict/witness/checked_sets identical at "
+          "1/2/4 workers: OK")
+    print()
+
+    elapsed = {}
+    for workers in WORKER_COUNTS:
+        elapsed[workers], result = timed_scan(
+            engines[workers], pre, command, post, reps
+        )
+        rate = reps * result.checked_sets / elapsed[workers]
+        label = "serial scan" if workers == 1 else "%d workers" % workers
+        print("  %-14s %8.3fs  %10.0f candidates/s"
+              % (label + ":", elapsed[workers], rate))
+
+    scaling = elapsed[1] / elapsed[4] if elapsed[4] else float("inf")
+    cpus = os.cpu_count() or 1
+    print("  scaling (4 workers vs serial):   %.2fx  (%d CPUs visible)"
+          % (scaling, cpus))
+    if cpus >= 4:
+        assert scaling >= MIN_SCALING, (
+            "expected >= %.1fx wall-time scaling with 4 workers on %d CPUs, "
+            "measured %.2fx" % (MIN_SCALING, cpus, scaling)
+        )
+        print("scaling >= %.1fx: OK" % MIN_SCALING)
+    else:
+        print(
+            "scaling assertion skipped: %d CPU(s) < 4 workers "
+            "(ratio reported for the record)" % cpus
+        )
+    for engine in engines.values():
+        engine.close()
+
+
+if __name__ == "__main__":
+    main()

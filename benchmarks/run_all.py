@@ -105,8 +105,24 @@ def compare_results(document, baseline):
             bench["elapsed"] / base["elapsed"] if base["elapsed"] else float("inf")
         )
         gated = bool(bench["ratios"])
+        # a ratio measured on a different CPU count is not comparable:
+        # e.g. a sharding bench recorded on a 4-CPU machine reads as a
+        # bogus slowdown when replayed on 1 CPU (process overhead, no
+        # parallelism) — note it and skip the gate instead of failing
+        base_cpus = base.get("cpus", baseline.get("machine", {}).get("cpus"))
+        fresh_cpus = bench.get("cpus", document.get("machine", {}).get("cpus"))
+        cpu_mismatch = (
+            base_cpus is not None
+            and fresh_cpus is not None
+            and base_cpus != fresh_cpus
+        )
         verdict = "ok"
-        if gated and factor > REGRESSION_FACTOR:
+        if gated and cpu_mismatch:
+            verdict = (
+                "skipped: baseline measured on %s CPU(s), this run on %s"
+                % (base_cpus, fresh_cpus)
+            )
+        elif gated and factor > REGRESSION_FACTOR:
             verdict = "REGRESSION (> %.0fx)" % REGRESSION_FACTOR
             regressions.append(name)
         elif not gated:
@@ -174,6 +190,10 @@ def run_bench(entry, mode, quick, env, timeout):
         "ok": ok,
         "elapsed": round(elapsed, 3),
         "ratios": ratios,
+        # scaling ratios (sharding, intra-task parallelism) only mean
+        # anything under the CPU count they were measured on; --compare
+        # refuses to gate across a mismatch
+        "cpus": os.cpu_count(),
         "tail": output.strip().splitlines()[-12:] if not ok else [],
     }
 

@@ -83,6 +83,25 @@ def _scan_initial_sets(task, session, budget, max_size=None):
     engine = session.engine
     checked = 0
     if engine.bitset:
+        scanner = engine._parallel_scanner()
+        if scanner is not None:
+            outcome = scanner.run(
+                task.pre,
+                task.command,
+                task.post,
+                max_size=max_size,
+                expired=lambda: _expired(budget),
+            )
+            if outcome is not None:
+                kind, payload = outcome
+                if kind == "exhausted":
+                    return _EXHAUSTED, None, payload
+                result = payload
+                if result.valid:
+                    return _PASSED, None, result.checked_sets
+                witness = Witness(result.witness_pre, result.witness_post)
+                return _REFUTED, witness, result.checked_sets
+            # ineligible scan: fall through to the serial enumeration
         # walk raw id-bitmasks and decode only the refuting candidate —
         # accepted sets never leave machine-word form
         universe = session.universe

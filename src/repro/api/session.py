@@ -241,6 +241,15 @@ class Report(WireCodec):
     (:meth:`decided_by_backend`), so they need no extra wire fields and
     aggregate correctly across process shards.
 
+    The ``parallel_*`` counters come from the intra-task partitioned
+    scan (:mod:`repro.checker.parallel`, enabled with
+    ``Session(intra_task_workers=N)``): ``parallel_blocks`` is the
+    number of mask-index blocks shipped to the process pool during the
+    batch, ``blocks_cancelled`` how many were revoked or cut short by a
+    lower-index refutation (wasted work avoided), and
+    ``parallel_scan_states`` the candidates actually scanned in workers.
+    All zero when intra-task parallelism is off or no scan was eligible.
+
     The incremental counters (``fingerprint_*`` / ``cone_*`` /
     ``artifacts_reused``) come from the :mod:`repro.deps` subsystem:
     ``fingerprint_hits`` counts whole stored task outcomes reused by
@@ -266,6 +275,9 @@ class Report(WireCodec):
     fingerprint_hits: int = 0
     cone_invalidations: int = 0
     artifacts_reused: int = 0
+    parallel_blocks: int = 0
+    blocks_cancelled: int = 0
+    parallel_scan_states: int = 0
 
     def __iter__(self):
         return iter(self.results)
@@ -346,6 +358,12 @@ class Report(WireCodec):
                 self.cone_invalidations,
                 self.artifacts_reused,
             ),
+            "  parallel: %d blocks, %d cancelled, %d states scanned"
+            % (
+                self.parallel_blocks,
+                self.blocks_cancelled,
+                self.parallel_scan_states,
+            ),
         ]
         for index, result in enumerate(self.results):
             verdict = {True: "verified", False: "refuted", None: "undecided"}[
@@ -414,6 +432,13 @@ class Session:
         ``None``: unbounded).  Long-lived sessions enumerating many
         distinct ``(command, state)`` pairs can cap memory; evicted
         entries re-execute on demand, so verdicts never change.
+    intra_task_workers:
+        Optional worker-process count (``>= 2``) for intra-task
+        parallelism: eligible oracle scans are partitioned over the
+        mask-index space and merged to the canonical (lowest-index)
+        witness — see :mod:`repro.checker.parallel`.  Orthogonal to
+        ``verify_many(sharding=...)``, which parallelizes *across*
+        tasks; the two compose.  Default ``None``: serial scans.
 
     Example::
 
@@ -437,6 +462,7 @@ class Session:
         budgets=None,
         max_set_size=None,
         max_image_entries=None,
+        intra_task_workers=None,
     ):
         self.universe = Universe(pvars, IntRange(lo, hi), lvars=lvars)
         self.entailment = entailment
@@ -462,8 +488,12 @@ class Session:
         # One image cache for the whole session: per-state executions
         # persist across tasks in a batch and across verify_many threads.
         self.images = ImageCache(max_entries=max_image_entries, deps=self.deps)
+        self.intra_task_workers = intra_task_workers
         self.engine = CheckerEngine(
-            self.universe, self.images, compile_cache=self.compiles
+            self.universe,
+            self.images,
+            compile_cache=self.compiles,
+            parallel=intra_task_workers,
         )
         self.max_set_size = max_set_size
         self.backends = (
@@ -479,6 +509,15 @@ class Session:
         self._ledger = {}
         self._fingerprint_hits = 0
         self._cone_invalidations = 0
+
+    def close(self):
+        """Release worker processes held by intra-task parallelism.
+
+        Idempotent and optional — pools also shut down at interpreter
+        exit, and a closed session transparently restarts its pool on
+        the next eligible parallel scan.  Serial sessions are no-ops.
+        """
+        self.engine.close()
 
     # -- parsing (memoized) ------------------------------------------------
     def parse_program(self, program):
@@ -630,6 +669,7 @@ class Session:
         images = self.images.stats()
         compiles = self.compiles.stats()
         methods = self.oracle.method_counts()
+        par = self.engine.parallel_stats()
         started = _task_mod.clock()
         if max_workers is not None and max_workers > 1:
             with ThreadPoolExecutor(max_workers=max_workers) as pool:
@@ -648,6 +688,7 @@ class Session:
         images_after = self.images.stats()
         compiles_after = self.compiles.stats()
         methods_after = self.oracle.method_counts()
+        par_after = self.engine.parallel_stats()
         # subtree-level reuse: compiled closures, image rows and
         # entailment verdicts served from cache during this batch (the
         # mask tier shadows the image tier, so it is not double-counted)
@@ -673,6 +714,9 @@ class Session:
             fingerprint_hits=fingerprint_hits,
             cone_invalidations=cone_invalidations,
             artifacts_reused=artifacts_reused,
+            parallel_blocks=par_after["blocks"] - par["blocks"],
+            blocks_cancelled=par_after["cancelled"] - par["cancelled"],
+            parallel_scan_states=par_after["scan_states"] - par["scan_states"],
         )
 
     # -- incremental re-verification ---------------------------------------

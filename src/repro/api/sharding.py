@@ -60,6 +60,7 @@ class SessionSpec:
     entailment: str
     max_set_size: Optional[int]
     max_image_entries: Optional[int] = None
+    intra_task_workers: Optional[int] = None
 
     @classmethod
     def of(cls, session):
@@ -88,6 +89,7 @@ class SessionSpec:
             entailment=session.entailment,
             max_set_size=session.max_set_size,
             max_image_entries=session.images.max_entries,
+            intra_task_workers=session.intra_task_workers,
         )
 
     def build(self):
@@ -101,6 +103,7 @@ class SessionSpec:
             entailment=self.entailment,
             max_set_size=self.max_set_size,
             max_image_entries=self.max_image_entries,
+            intra_task_workers=self.intra_task_workers,
         )
 
 
@@ -142,10 +145,22 @@ def _run_chunk(chunk, budgets, transport_proofs):
     transport).
     """
     session = _WORKER_SESSION
+    try:
+        return _run_chunk_inner(session, chunk, budgets, transport_proofs)
+    finally:
+        # tear the nested intra-task pool down while this shard worker is
+        # still alive: leaving it to interpreter-exit atexit hooks
+        # deadlocks the executor join (the engine rebuilds the pool
+        # lazily if this worker picks up another chunk)
+        session.engine.close()
+
+
+def _run_chunk_inner(session, chunk, budgets, transport_proofs):
     before = session.oracle.cache_info()
     images_before = session.images.stats()
     compiles_before = session.compiles.stats()
     methods_before = session.oracle.method_counts()
+    par_before = session.engine.parallel_stats()
     out = []
     for index, document in chunk:
         task = from_wire(document)
@@ -160,6 +175,7 @@ def _run_chunk(chunk, budgets, transport_proofs):
     images_after = session.images.stats()
     compiles_after = session.compiles.stats()
     methods_after = session.oracle.method_counts()
+    par_after = session.engine.parallel_stats()
     delta = (
         after["hits"] - before["hits"],
         after["misses"] - before["misses"],
@@ -175,6 +191,11 @@ def _run_chunk(chunk, budgets, transport_proofs):
         (after["hits"] - before["hits"])
         + (images_after["hits"] - images_before["hits"])
         + (compiles_after["hits"] - compiles_before["hits"]),
+        # intra-task parallelism inside this shard (zero unless the
+        # spec carries intra_task_workers)
+        par_after["blocks"] - par_before["blocks"],
+        par_after["cancelled"] - par_before["cancelled"],
+        par_after["scan_states"] - par_before["scan_states"],
     )
     return out, delta
 
@@ -220,6 +241,7 @@ def verify_many_sharded(
     sat_decisions = brute_decisions = 0
     mask_hits = mask_misses = 0
     artifacts_reused = 0
+    parallel_blocks = blocks_cancelled = parallel_scan_states = 0
     with ProcessPoolExecutor(
         max_workers=shards, initializer=_init_worker, initargs=(spec,)
     ) as pool:
@@ -239,6 +261,9 @@ def verify_many_sharded(
             mask_hits += chunk_delta[7]
             mask_misses += chunk_delta[8]
             artifacts_reused += chunk_delta[9]
+            parallel_blocks += chunk_delta[10]
+            blocks_cancelled += chunk_delta[11]
+            parallel_scan_states += chunk_delta[12]
             for index, documents in rows:
                 outcomes_by_index[index] = tuple(from_wire(d) for d in documents)
     elapsed = _task_mod.clock() - started
@@ -258,4 +283,7 @@ def verify_many_sharded(
         image_mask_hits=mask_hits,
         image_mask_misses=mask_misses,
         artifacts_reused=artifacts_reused,
+        parallel_blocks=parallel_blocks,
+        blocks_cancelled=blocks_cancelled,
+        parallel_scan_states=parallel_scan_states,
     )

@@ -133,6 +133,12 @@ class EntailmentOracle:
         # :meth:`method_counts`.
         self._counts = {}
         self._counts_lock = threading.Lock()
+        # Lazily-built persistent SAT backend (method="sat" only): one
+        # IncrementalEntailment per oracle retains learned clauses and
+        # subformula encodings across the thousands of near-identical
+        # queries a chain run issues.  See solver/encode.py.
+        self._incremental = None
+        self._incremental_lock = threading.Lock()
 
     # -- method bookkeeping ------------------------------------------------
     def _record(self, method):
@@ -190,14 +196,27 @@ class EntailmentOracle:
         self._tl.used = []
         self._tl.last = None
 
+    def _sat_incremental(self):
+        """The oracle's persistent SAT backend, built on first use."""
+        backend = self._incremental
+        if backend is None:
+            from ..solver.encode import IncrementalEntailment
+
+            with self._incremental_lock:
+                backend = self._incremental
+                if backend is None:
+                    backend = IncrementalEntailment(self.universe, self.domain)
+                    self._incremental = backend
+        return backend
+
     # -- queries -----------------------------------------------------------
     def entails(self, pre, post):
         """True iff ``pre |= post``; never raises on a negative verdict."""
         if self.method == "sat":
-            from ..solver.encode import entails_sat, Unsupported
+            from ..solver.encode import Unsupported
 
             try:
-                verdict = entails_sat(pre, post, self.universe, self.domain)
+                verdict = self._sat_incremental().entails(pre, post)
             except Unsupported:
                 pass  # fall back to brute force for non-syntactic operands
             else:

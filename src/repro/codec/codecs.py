@@ -397,6 +397,9 @@ register(
         "fingerprint_hits": r.fingerprint_hits,
         "cone_invalidations": r.cone_invalidations,
         "artifacts_reused": r.artifacts_reused,
+        "parallel_blocks": r.parallel_blocks,
+        "blocks_cancelled": r.blocks_cancelled,
+        "parallel_scan_states": r.parallel_scan_states,
     },
     lambda node: Report(
         tuple(decode(x) for x in node["results"]),
@@ -413,6 +416,9 @@ register(
         fingerprint_hits=node["fingerprint_hits"],
         cone_invalidations=node["cone_invalidations"],
         artifacts_reused=node["artifacts_reused"],
+        parallel_blocks=node["parallel_blocks"],
+        blocks_cancelled=node["blocks_cancelled"],
+        parallel_scan_states=node["parallel_scan_states"],
     ),
 )
 

@@ -34,7 +34,7 @@ _SESSIONS_LOCK = threading.Lock()
 
 
 def spec_for_task(task, lo=0, hi=1, entailment="sat", max_set_size=None,
-                  max_image_entries=None):
+                  max_image_entries=None, intra_task_workers=None):
     """The :class:`SessionSpec` a task document runs under.
 
     The universe's variables are inferred from the triple exactly like
@@ -54,6 +54,7 @@ def spec_for_task(task, lo=0, hi=1, entailment="sat", max_set_size=None,
         entailment=entailment,
         max_set_size=max_set_size,
         max_image_entries=max_image_entries,
+        intra_task_workers=intra_task_workers,
     )
 
 

@@ -37,9 +37,12 @@ from ..assertions.syntax import (
     SOr,
     SynAssertion,
 )
+import threading
+
 from ..compile.hyper import compile_cmp, compile_hexpr
-from .formula import FFalse, FTrue, f_or, fand, fnot, fvar
-from .sat import solve_formula
+from ..errors import SolverError
+from .formula import FAnd, FFalse, FNot, FOr, FTrue, FVar, f_or, fand, fnot, fvar
+from .sat import IncrementalSolver, solve_formula
 
 _MISSING = object()
 
@@ -191,6 +194,111 @@ def entails_sat(pre, post, universe, domain, atom=None):
         fnot(ground_assertion(post, universe, domain, atom=atom)),
     )
     return solve_formula(query) is None
+
+
+class IncrementalEntailment:
+    """Entailment queries over one universe on a *persistent* solver.
+
+    :func:`entails_sat` pays the full pipeline per query — ground,
+    Tseitin-encode into a fresh CNF, solve from scratch — although a
+    chain run issues thousands of near-identical queries over the same
+    membership atoms.  This class keeps one
+    :class:`~repro.solver.sat.IncrementalSolver` alive for the
+    universe's lifetime and exploits two structural facts:
+
+    1. the Tseitin encoding (:func:`~repro.solver.cnf.tseitin`) emits
+       *biconditional* definitions — each definition clause set is a
+       conservative extension, true in every model — so definitional
+       clauses can be added once, globally, and shared by all queries;
+    2. a query is then a single solver call under one **assumption**
+       (the root literal of ``⟦pre⟧ ∧ ¬⟦post⟧``): UNSAT under the
+       assumption iff entailed.  No per-query activation groups means
+       clauses learned refuting one query carry over undiminished to
+       the next.
+
+    Subformula encodings are memoized structurally (formulas are frozen
+    dataclasses), so shared subtrees across queries — the common case:
+    the same ``pre`` against many ``post``\\ s — encode once; grounded
+    formulas are additionally cached per assertion object, skipping the
+    grounding walk entirely on repeats.  Verdicts are identical to
+    :func:`entails_sat`, which the solver tests assert; thread-safe
+    (one lock per instance, matching the oracle's sharing).
+    """
+
+    def __init__(self, universe, domain):
+        self.universe = tuple(universe)
+        self.domain = domain
+        self._atom = _interned_atom(self.universe)
+        self._solver = IncrementalSolver()
+        self._atom_vars = {}  # atom key -> solver variable
+        self._lits = {}  # formula (structural) -> solver literal
+        self._grounded = {}  # id(assertion) -> (assertion ref, formula)
+        self._lock = threading.Lock()
+        self.queries = 0
+
+    def _ground(self, assertion):
+        entry = self._grounded.get(id(assertion))
+        if entry is not None and entry[0] is assertion:
+            return entry[1]
+        formula = ground_assertion(
+            assertion, self.universe, self.domain, atom=self._atom
+        )
+        # keyed by identity, the ref in the value keeps the id stable
+        self._grounded[id(assertion)] = (assertion, formula)
+        return formula
+
+    def _lit(self, formula):
+        """The solver literal defined (once) to be ``formula``."""
+        lit = self._lits.get(formula)
+        if lit is not None:
+            return lit
+        solver = self._solver
+        if isinstance(formula, FVar):
+            var = self._atom_vars.get(formula.name)
+            if var is None:
+                var = solver.new_var()
+                self._atom_vars[formula.name] = var
+            lit = var
+        elif isinstance(formula, FTrue):
+            lit = solver.new_var()
+            solver.add_clause((lit,))
+        elif isinstance(formula, FFalse):
+            var = solver.new_var()
+            solver.add_clause((-var,))
+            lit = var
+        elif isinstance(formula, FNot):
+            lit = -self._lit(formula.operand)
+        elif isinstance(formula, (FAnd, FOr)):
+            parts = [self._lit(part) for part in formula.parts]
+            var = solver.new_var()
+            if isinstance(formula, FAnd):
+                for part in parts:
+                    solver.add_clause((-var, part))
+                solver.add_clause(tuple(-part for part in parts) + (var,))
+            else:
+                solver.add_clause((-var,) + tuple(parts))
+                for part in parts:
+                    solver.add_clause((-part, var))
+            lit = var
+        else:
+            raise SolverError("cannot encode %r" % (formula,))
+        self._lits[formula] = lit
+        return lit
+
+    def entails(self, pre, post):
+        """``pre |= post`` over subsets of the universe.
+
+        Raises :class:`Unsupported` when either side cannot be
+        grounded (callers fall back to brute force, exactly as with
+        :func:`entails_sat`).
+        """
+        if not isinstance(pre, Assertion) or not isinstance(post, Assertion):
+            raise Unsupported("operands must be assertions")
+        with self._lock:
+            query = fand(self._ground(pre), fnot(self._ground(post)))
+            root = self._lit(query)
+            self.queries += 1
+            return self._solver.solve(assumptions=(root,)) is None
 
 
 def entailment_model(pre, post, universe, domain, atom=None):

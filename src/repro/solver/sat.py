@@ -3,10 +3,25 @@
 The default ``propagation="watched"`` mode is conflict-driven clause
 learning: two-watched-literal unit propagation, first-UIP conflict
 analysis, non-chronological backjumping, VSIDS-style variable
-activities seeded with Jeroslow-Wang scores, and phase saving.  The
-search runs on an explicit trail rather than Python recursion, so deep
-splits on hundreds of variables cannot hit the interpreter's recursion
-limit.
+activities seeded with Jeroslow-Wang scores, phase saving, Luby-paced
+restarts and LBD-based learned-clause-database reduction.  The search
+runs on an explicit trail rather than Python recursion, so deep splits
+on hundreds of variables cannot hit the interpreter's recursion limit.
+
+The CDCL machinery lives in :class:`IncrementalSolver`, a *persistent*
+solver: clauses, watches, activities, saved phases and — decisively —
+learned clauses survive across ``solve()`` calls, and each call may
+pass *assumptions* (literals the search treats as fixed decisions,
+Minisat-style: re-pushed after every backjump, reported UNSAT when one
+becomes falsified by the clause database plus earlier assumptions).
+Conclusions learned under assumption-free analysis mention no
+per-query markers, so everything learned answering one query
+accelerates the next — the entailment oracle
+(:class:`~repro.solver.encode.IncrementalEntailment`) exploits exactly
+this across the thousands of near-identical queries a chain run
+issues.  :class:`SATSolver` is the one-shot facade over the same
+machinery (plus root pure-literal elimination, which is only sound
+when no further clauses can arrive).
 
 The original solver survives untouched behind ``propagation="rescan"``:
 learning-free DPLL — full-clause rescan propagation to fixpoint,
@@ -19,12 +34,13 @@ literals)`` spent on choosing alone, atop a learning-free search of
 tens of thousands of decisions.  CDCL decides the same pair in well
 under a second.
 
-Pure-literal elimination still runs once at the root in both modes.
-Learned clauses are consequences of the original formula *plus* the
-root pure-literal assignments; since fixing a pure literal preserves
-satisfiability, verdicts are unaffected.  Both modes are
+Pure-literal elimination still runs once at the root in both one-shot
+modes.  Learned clauses are consequences of the original formula
+*plus* the root pure-literal assignments; since fixing a pure literal
+preserves satisfiability, verdicts are unaffected.  Both modes are
 cross-validated against brute-force truth-table enumeration in
-``tests/solver/test_sat.py``.
+``tests/solver/test_sat.py``, and restart/reduction invariance plus
+assumption-incremental correctness in ``tests/checker/test_parallel.py``.
 """
 
 import heapq
@@ -38,6 +54,441 @@ _ACTIVITY_GROWTH = 1.0 / 0.95
 #: Rescale threshold for activities (precision guard, keeps floats finite).
 _ACTIVITY_CAP = 1e100
 
+#: Conflicts allowed before the first restart; subsequent budgets are
+#: this times the Luby sequence (64, 64, 128, 64, 64, 128, 256, ...).
+_RESTART_BASE = 64
+
+#: Conflicts before the first learned-clause-database reduction...
+_REDUCE_BASE = 2000
+
+#: ...growing by this much after each reduction (the DB is allowed to
+#: keep more as the instance proves harder).
+_REDUCE_GROWTH = 300
+
+
+def _luby(x):
+    """The ``x``-th (0-based) term of the Luby restart sequence
+    (1 1 2 1 1 2 4 ...), via the standard Minisat recurrence."""
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) >> 1
+        seq -= 1
+        x %= size
+    return 1 << seq
+
+
+class IncrementalSolver:
+    """A persistent CDCL solver: clauses in, many queries out.
+
+    Unlike :class:`SATSolver`, which is built around one clause set and
+    one ``solve()``, this solver accumulates state for a *lifetime* of
+    queries: ``add_clause`` grows the database between solves (at the
+    root level — clauses are simplified against permanent root facts on
+    the way in), and ``solve(assumptions=...)`` decides satisfiability
+    under a set of fixed literals without asserting them, leaving every
+    clause learned along the way behind for the next call.  Assumptions
+    are handled Minisat-style: pushed as decisions before any free
+    decision, re-pushed after every backjump, and reported UNSAT (under
+    the assumptions — the database itself stays live) the moment one is
+    falsified by propagation from the database plus earlier
+    assumptions.  Learned clauses never mention assumption markers, so
+    they are consequences of the database alone and remain sound for
+    every future query — the property the incremental entailment oracle
+    is built on.
+
+    ``restarts`` enables Luby-paced restarts (the search abandons its
+    current decision stack after a conflict budget and retries with the
+    activities it has learned — saved phases make this cheap);
+    ``reduce_db`` enables periodic deletion of the worst half of the
+    learned clauses, ranked by literal-block distance (LBD — the number
+    of distinct decision levels in the clause; "glue" clauses with LBD
+    <= 2, binary clauses and clauses currently locked as reasons are
+    never deleted).  Both default on and neither affects verdicts,
+    which ``tests/checker/test_parallel.py`` asserts.
+
+    All tie-breaking is deterministic (no randomness anywhere), so
+    verdicts, models and stats are reproducible run to run.
+    """
+
+    def __init__(self, restarts=True, reduce_db=True, stats=None,
+                 activity=None, phase=None, seed_scores=True):
+        self.num_vars = 0
+        self.restarts = restarts
+        self.reduce_db = reduce_db
+        self.seed_scores = seed_scores
+        self.assign = {}
+        self.level = {}
+        self.reason = {}
+        self.trail = []  # signed literals, assignment order
+        self.trail_lim = []  # trail length at the moment of each decision
+        self.qhead = 0
+        self.watch = defaultdict(list)
+        self.activity = activity if activity is not None else {}
+        self.phase = phase if phase is not None else {}
+        self.heap = []
+        self.var_inc = 1.0
+        self.learned = []  # learned clauses eligible for reduction
+        self.lbd = {}  # id(learned clause) -> LBD at learn time
+        self.unsat = False
+        self.reduce_limit = _REDUCE_BASE
+        self.conflicts_since_reduce = 0
+        if stats is None:
+            stats = {}
+        for key in ("decisions", "propagations", "pure_literals",
+                    "conflicts", "restarts", "learned_deleted"):
+            stats.setdefault(key, 0)
+        self.stats = stats
+
+    # -- variables ---------------------------------------------------------
+    def ensure_vars(self, count):
+        """Grow the variable universe to ``1..count``."""
+        for var in range(self.num_vars + 1, count + 1):
+            self.activity.setdefault(var, 0.0)
+            self.phase.setdefault(var, True)
+            heapq.heappush(self.heap, (-self.activity[var], var))
+        if count > self.num_vars:
+            self.num_vars = count
+
+    def new_var(self):
+        """Allocate and return a fresh variable."""
+        self.ensure_vars(self.num_vars + 1)
+        return self.num_vars
+
+    # -- database ----------------------------------------------------------
+    def add_clause(self, lits):
+        """Add one clause (between solves, at the root level).
+
+        The clause is deduplicated, dropped if tautological and
+        simplified against the permanent root assignment (root facts
+        never unassign, so a root-satisfied clause is satisfied forever
+        and a root-false literal is false forever).  Returns ``False``
+        iff the database just became permanently unsatisfiable.
+        """
+        if self.unsat:
+            return False
+        if self.trail_lim:
+            raise SolverError("add_clause mid-search (cancel to root first)")
+        clause = tuple(dict.fromkeys(lits))
+        if any(-lit in clause for lit in clause):
+            return True  # tautology
+        kept = []
+        for lit in clause:
+            var = abs(lit)
+            if var > self.num_vars:
+                self.ensure_vars(var)
+            value = self.assign.get(var)
+            if value is None:
+                kept.append(lit)
+            elif value == (lit > 0):
+                return True  # satisfied by a root fact: satisfied forever
+            # else: false at root, drop the literal
+        if self.seed_scores and kept:
+            weight = 2.0 ** -len(kept)
+            for lit in kept:
+                var = abs(lit)
+                bumped = self.activity[var] + weight
+                self.activity[var] = bumped
+                heapq.heappush(self.heap, (-bumped, var))
+        if not kept:
+            self.unsat = True
+            return False
+        if len(kept) == 1:
+            value = self.assign.get(abs(kept[0]))
+            if value is None:
+                self._record(kept[0], None)  # propagated at next solve
+                self.stats["propagations"] += 1
+            elif value != (kept[0] > 0):
+                self.unsat = True
+                return False
+            return True
+        mutable = list(kept)
+        self.watch[mutable[0]].append(mutable)
+        self.watch[mutable[1]].append(mutable)
+        return True
+
+    # -- trail -------------------------------------------------------------
+    def _record(self, lit, why):
+        var = lit if lit > 0 else -lit
+        self.assign[var] = lit > 0
+        self.level[var] = len(self.trail_lim)
+        self.reason[var] = why
+        self.trail.append(lit)
+        self.phase[var] = lit > 0
+
+    def _propagate(self):
+        """Propagate ``trail[qhead:]``; the conflicting clause or None."""
+        assign = self.assign
+        watch = self.watch
+        trail = self.trail
+        stats = self.stats
+        while self.qhead < len(trail):
+            false_lit = -trail[self.qhead]
+            self.qhead += 1
+            watchers = watch[false_lit]
+            i = 0
+            while i < len(watchers):
+                clause = watchers[i]
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                other = clause[0]
+                value = assign.get(abs(other))
+                if value is not None and value == (other > 0):
+                    i += 1  # clause already satisfied by its other watch
+                    continue
+                for k in range(2, len(clause)):
+                    candidate = clause[k]
+                    seen = assign.get(abs(candidate))
+                    if seen is None or seen == (candidate > 0):
+                        # migrate the watch to a non-false literal
+                        clause[1], clause[k] = clause[k], clause[1]
+                        watch[candidate].append(clause)
+                        watchers[i] = watchers[-1]
+                        watchers.pop()
+                        break
+                else:
+                    if value is None:
+                        # every other literal is false: ``other`` is unit
+                        self._record(other, clause)
+                        stats["propagations"] += 1
+                        i += 1
+                    else:
+                        return clause  # all literals false: conflict
+        return None
+
+    def _cancel_until(self, target_level):
+        if len(self.trail_lim) <= target_level:
+            return
+        mark = self.trail_lim[target_level]
+        heap = self.heap
+        activity = self.activity
+        for lit in self.trail[mark:]:
+            var = abs(lit)
+            del self.assign[var]
+            del self.level[var]
+            del self.reason[var]
+            heapq.heappush(heap, (-activity[var], var))
+        del self.trail[mark:]
+        del self.trail_lim[target_level:]
+        self.qhead = mark
+
+    def _analyze(self, conflict):
+        """First-UIP learning: (learned clause, backjump level, LBD).
+
+        Resolves the conflict clause backward along the trail with the
+        reasons of current-level literals until exactly one
+        current-level literal remains (the first unique implication
+        point); that literal, negated, asserts at the backjump level.
+        Level-0 literals are facts and are dropped.  Every variable met
+        on the conflict side gets an activity bump.  The LBD is the
+        number of distinct decision levels among the learned clause's
+        literals, measured at learn time.
+        """
+        activity = self.activity
+        heap = self.heap
+        level = self.level
+        trail = self.trail
+        learned = [None]  # slot 0: the asserting (UIP) literal
+        seen = set()
+        pending = 0  # current-level literals awaiting resolution
+        current = len(self.trail_lim)
+        idx = len(trail) - 1
+        p_var = None
+        clause = conflict
+        while True:
+            for lit in clause:
+                var = abs(lit)
+                if var == p_var or var in seen or level[var] == 0:
+                    continue
+                seen.add(var)
+                bumped = activity[var] + self.var_inc
+                activity[var] = bumped
+                heapq.heappush(heap, (-bumped, var))
+                if level[var] == current:
+                    pending += 1
+                else:
+                    learned.append(lit)
+            while abs(trail[idx]) not in seen:
+                idx -= 1
+            p = trail[idx]
+            p_var = abs(p)
+            idx -= 1
+            pending -= 1
+            if pending == 0:
+                learned[0] = -p
+                break
+            clause = self.reason[p_var]
+        self.var_inc *= _ACTIVITY_GROWTH
+        if self.var_inc > _ACTIVITY_CAP:
+            scale = 1.0 / _ACTIVITY_CAP
+            self.var_inc *= scale
+            for var in activity:
+                activity[var] *= scale
+            self.heap = [
+                (-activity[v], v) for v in range(1, self.num_vars + 1)
+                if v not in self.assign
+            ]
+            heapq.heapify(self.heap)
+        lbd = len({level[abs(lit)] for lit in learned if lit is not None}
+                  | {current})
+        if len(learned) == 1:
+            return learned, 0, lbd
+        # watch invariant: slot 1 must hold a backjump-level literal
+        deepest = max(range(1, len(learned)),
+                      key=lambda i: level[abs(learned[i])])
+        learned[1], learned[deepest] = learned[deepest], learned[1]
+        return learned, level[abs(learned[1])], lbd
+
+    def _reduce(self):
+        """Delete the worst half of the learned clauses.
+
+        Ranked by (LBD, length) descending; glue clauses (LBD <= 2),
+        binary clauses and clauses currently locked as the reason of a
+        trail literal survive.  Deletion is physical — the clause is
+        unlinked from both watch lists by identity — so no tombstones
+        slow down propagation afterwards.
+        """
+        self.conflicts_since_reduce = 0
+        self.reduce_limit += _REDUCE_GROWTH
+        locked = {
+            id(why) for why in self.reason.values() if why is not None
+        }
+        ranked = sorted(
+            self.learned,
+            key=lambda c: (self.lbd[id(c)], len(c)),
+            reverse=True,
+        )
+        limit = len(self.learned) // 2
+        drop = []
+        for clause in ranked:
+            if len(drop) >= limit:
+                break
+            if (self.lbd[id(clause)] > 2 and len(clause) > 2
+                    and id(clause) not in locked):
+                drop.append(clause)
+        if not drop:
+            return
+        for clause in drop:
+            for lit in (clause[0], clause[1]):
+                watchers = self.watch[lit]
+                for i, entry in enumerate(watchers):
+                    if entry is clause:
+                        watchers[i] = watchers[-1]
+                        watchers.pop()
+                        break
+            del self.lbd[id(clause)]
+        dropped = {id(clause) for clause in drop}
+        self.learned = [c for c in self.learned if id(c) not in dropped]
+        self.stats["learned_deleted"] += len(drop)
+
+    # -- one-shot hooks (SATSolver facade only) ------------------------------
+    def propagate_root(self):
+        """Propagate pending root units; ``False`` iff the database is
+        now permanently unsatisfiable."""
+        if self.unsat:
+            return False
+        if self._propagate() is not None:
+            self.unsat = True
+            return False
+        return True
+
+    def assume_root(self, lit):
+        """Record a root fact that is *not* a consequence of the
+        database (the one-shot facade's pure literals: they satisfy
+        every clause they occur in and their complements occur nowhere,
+        so recording them can neither imply units nor conflict).
+        Unsound if clauses are added afterwards — incremental users
+        never call this."""
+        self._record(lit, None)
+        self.qhead = len(self.trail)
+
+    # -- search ------------------------------------------------------------
+    def solve(self, assumptions=(), max_decisions=5_000_000):
+        """A satisfying assignment ``{var: bool}`` or ``None``.
+
+        ``None`` means unsatisfiable *under the assumptions*; whether
+        the database itself died is visible as :attr:`unsat`.  The
+        returned model assigns every constrained variable (unconstrained
+        ones are simply absent); the trail is rewound to the root either
+        way, so the solver is immediately ready for more clauses or the
+        next query.
+        """
+        if self.unsat:
+            return None
+        self._cancel_until(0)
+        if not self.propagate_root():
+            return None
+        restart_num = 0
+        conflict_budget = (
+            _RESTART_BASE * _luby(restart_num) if self.restarts else None
+        )
+        conflicts_here = 0
+        decisions_here = 0
+        stats = self.stats
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                if not self.trail_lim:
+                    self.unsat = True  # conflict from root facts alone
+                    return None
+                stats["conflicts"] += 1
+                conflicts_here += 1
+                self.conflicts_since_reduce += 1
+                learned, backjump, lbd = self._analyze(conflict)
+                self._cancel_until(backjump)
+                if len(learned) >= 2:
+                    self.watch[learned[0]].append(learned)
+                    self.watch[learned[1]].append(learned)
+                    self.learned.append(learned)
+                    self.lbd[id(learned)] = lbd
+                self._record(learned[0], learned)
+                stats["propagations"] += 1
+                if (self.reduce_db
+                        and self.conflicts_since_reduce >= self.reduce_limit):
+                    self._reduce()
+                continue
+            if (conflict_budget is not None
+                    and conflicts_here >= conflict_budget):
+                stats["restarts"] += 1
+                restart_num += 1
+                conflict_budget = _RESTART_BASE * _luby(restart_num)
+                conflicts_here = 0
+                self._cancel_until(0)
+                continue
+            # assumptions are (re-)pushed, in order, before any free
+            # decision; one found false here is entailed by the database
+            # plus earlier assumptions -> UNSAT under the assumptions
+            lit = None
+            for wanted in assumptions:
+                value = self.assign.get(abs(wanted))
+                if value is None:
+                    lit = wanted
+                    break
+                if value != (wanted > 0):
+                    self._cancel_until(0)
+                    return None
+            if lit is None:
+                # free decision: highest-activity unassigned variable,
+                # saved phase
+                while self.heap:
+                    negact, var = heapq.heappop(self.heap)
+                    if var not in self.assign and -negact == self.activity[var]:
+                        lit = var if self.phase[var] else -var
+                        break
+                if lit is None:
+                    model = dict(self.assign)  # total assignment: SAT
+                    self._cancel_until(0)
+                    return model
+            stats["decisions"] += 1
+            decisions_here += 1
+            if decisions_here > max_decisions:
+                self._cancel_until(0)
+                raise SolverError("decision budget exhausted")
+            self.trail_lim.append(len(self.trail))
+            self._record(lit, None)
+
 
 class SATSolver:
     """Decide satisfiability of a CNF given as integer-literal clauses.
@@ -47,15 +498,24 @@ class SATSolver:
     historical DPLL with full-clause rescan propagation).  Verdicts and
     the ``stats`` keys (``decisions`` / ``propagations`` /
     ``pure_literals``) mean the same thing in both modes; ``conflicts``
-    counts learned conflicts and stays 0 under ``"rescan"``.  Models may
-    differ between modes — both always satisfy the CNF.
+    counts learned conflicts and stays 0 under ``"rescan"``, as do the
+    CDCL-only ``restarts`` / ``learned_deleted``.  Models may differ
+    between modes — both always satisfy the CNF.
+
+    ``restarts`` / ``reduce_db`` toggle the CDCL mode's Luby restarts
+    and learned-clause-database reduction (both default on, neither
+    affects verdicts); ``benchmarks/bench_solver.py`` measures the
+    with-vs-without deltas.
     """
 
-    def __init__(self, clauses, num_vars, propagation="watched"):
+    def __init__(self, clauses, num_vars, propagation="watched",
+                 restarts=True, reduce_db=True):
         if propagation not in ("watched", "rescan"):
             raise SolverError("unknown propagation mode %r" % (propagation,))
         self.num_vars = num_vars
         self.propagation = propagation
+        self.restarts = restarts
+        self.reduce_db = reduce_db
         self.clauses = []
         for clause in clauses:
             clause = tuple(dict.fromkeys(clause))
@@ -67,6 +527,8 @@ class SATSolver:
             "propagations": 0,
             "pure_literals": 0,
             "conflicts": 0,
+            "restarts": 0,
+            "learned_deleted": 0,
         }
         self._score_variables()
 
@@ -109,215 +571,42 @@ class SATSolver:
     # -- CDCL (watched) mode --------------------------------------------------
 
     def _solve_watched(self):
-        """Conflict-driven clause learning over watched propagation.
+        """One-shot facade over :class:`IncrementalSolver`.
 
-        The trail holds signed literals in assignment order; a decision
-        pushes its trail mark onto ``trail_lim`` (so the decision level
-        is ``len(trail_lim)``).  Every conflict is analyzed to its
-        first-UIP asserting clause, the search backjumps to that
-        clause's second-highest decision level, and the clause is
-        learned (watching its asserting literal and one literal of the
-        backjump level).  Variable activities start at the
-        Jeroslow-Wang seed and are bumped on every conflict-side
-        variable; decisions take the highest-activity unassigned
-        variable (lazy max-heap, ties to the lowest index) in its last
-        assigned phase.  A conflict at decision level 0 is UNSAT.
+        Loads the clause set, runs root propagation and the root
+        pure-literal fixpoint (sound here and only here: no further
+        clauses can arrive, so a literal pure now is pure forever),
+        then hands the search to the incremental machinery with the
+        Jeroslow-Wang-seeded activities and phases.
         """
-        assign = {}
-        level = {}
-        reason = {}
-        trail = []  # signed literals, assignment order
-        trail_lim = []  # trail length at the moment of each decision
-        watch = defaultdict(list)
+        inc = IncrementalSolver(
+            restarts=self.restarts,
+            reduce_db=self.reduce_db,
+            stats=self.stats,
+            activity=self._activity,
+            phase=self._saved_phase,
+            seed_scores=False,  # activities arrive pre-seeded
+        )
+        inc.ensure_vars(self.num_vars)
         for clause in self.clauses:
-            if not clause:
-                return None  # empty clause: UNSAT outright
-            if len(clause) >= 2:
-                mutable = list(clause)
-                watch[mutable[0]].append(mutable)
-                watch[mutable[1]].append(mutable)
-
-        activity = self._activity
-        phase = self._saved_phase
-        heap = [(-activity[v], v) for v in range(1, self.num_vars + 1)]
-        heapq.heapify(heap)
-        stats = self.stats
-
-        def record(lit, why):
-            var = lit if lit > 0 else -lit
-            assign[var] = lit > 0
-            level[var] = len(trail_lim)
-            reason[var] = why
-            trail.append(lit)
-            phase[var] = lit > 0
-
-        # root level: unit clauses
-        for clause in self.clauses:
-            if len(clause) == 1:
-                lit = clause[0]
-                value = assign.get(abs(lit))
-                if value is None:
-                    record(lit, None)
-                    stats["propagations"] += 1
-                elif value != (lit > 0):
-                    return None
-
-        qhead = 0
-
-        def propagate():
-            """Propagate trail[qhead:]; the conflicting clause or None."""
-            nonlocal qhead
-            while qhead < len(trail):
-                false_lit = -trail[qhead]
-                qhead += 1
-                watchers = watch[false_lit]
-                i = 0
-                while i < len(watchers):
-                    clause = watchers[i]
-                    if clause[0] == false_lit:
-                        clause[0], clause[1] = clause[1], clause[0]
-                    other = clause[0]
-                    value = assign.get(abs(other))
-                    if value is not None and value == (other > 0):
-                        i += 1  # clause already satisfied by its other watch
-                        continue
-                    for k in range(2, len(clause)):
-                        candidate = clause[k]
-                        seen = assign.get(abs(candidate))
-                        if seen is None or seen == (candidate > 0):
-                            # migrate the watch to a non-false literal
-                            clause[1], clause[k] = clause[k], clause[1]
-                            watch[candidate].append(clause)
-                            watchers[i] = watchers[-1]
-                            watchers.pop()
-                            break
-                    else:
-                        if value is None:
-                            # every other literal is false: ``other`` is unit
-                            record(other, clause)
-                            stats["propagations"] += 1
-                            i += 1
-                        else:
-                            return clause  # all literals false: conflict
-            return None
-
-        if propagate() is not None:
+            if not inc.add_clause(clause):
+                return None
+        if not inc.propagate_root():
             return None
         # root pure literals: they satisfy every clause they occur in and
         # their complements occur nowhere, so recording them can neither
         # imply units nor conflict (their negation's watch list is empty)
         while True:
             pures = [
-                lit for lit in self._pure_literals(assign)
-                if abs(lit) not in assign
+                lit for lit in self._pure_literals(inc.assign)
+                if abs(lit) not in inc.assign
             ]
             if not pures:
                 break
             for lit in pures:
-                record(lit, None)
-                stats["pure_literals"] += 1
-            qhead = len(trail)
-
-        var_inc = 1.0
-
-        def analyze(conflict):
-            """First-UIP learning: (learned clause, backjump level).
-
-            Resolves the conflict clause backward along the trail with
-            the reasons of current-level literals until exactly one
-            current-level literal remains (the first unique implication
-            point); that literal, negated, asserts at the backjump
-            level.  Level-0 literals are facts (root units, their
-            propagations, pure literals) and are dropped.  Every
-            variable met on the conflict side gets an activity bump.
-            """
-            nonlocal var_inc
-            learned = [None]  # slot 0: the asserting (UIP) literal
-            seen = set()
-            pending = 0  # current-level literals awaiting resolution
-            current = len(trail_lim)
-            idx = len(trail) - 1
-            p_var = None
-            clause = conflict
-            while True:
-                for lit in clause:
-                    var = abs(lit)
-                    if var == p_var or var in seen or level[var] == 0:
-                        continue
-                    seen.add(var)
-                    bumped = activity[var] + var_inc
-                    activity[var] = bumped
-                    heapq.heappush(heap, (-bumped, var))
-                    if level[var] == current:
-                        pending += 1
-                    else:
-                        learned.append(lit)
-                while abs(trail[idx]) not in seen:
-                    idx -= 1
-                p = trail[idx]
-                p_var = abs(p)
-                idx -= 1
-                pending -= 1
-                if pending == 0:
-                    learned[0] = -p
-                    break
-                clause = reason[p_var]
-            var_inc *= _ACTIVITY_GROWTH
-            if var_inc > _ACTIVITY_CAP:
-                scale = 1.0 / _ACTIVITY_CAP
-                var_inc *= scale
-                for var in activity:
-                    activity[var] *= scale
-                heap[:] = [(-activity[v], v) for v in range(1, self.num_vars + 1)]
-                heapq.heapify(heap)
-            if len(learned) == 1:
-                return learned, 0
-            # watch invariant: slot 1 must hold a backjump-level literal
-            deepest = max(range(1, len(learned)), key=lambda i: level[abs(learned[i])])
-            learned[1], learned[deepest] = learned[deepest], learned[1]
-            return learned, level[abs(learned[1])]
-
-        def cancel_until(target_level):
-            nonlocal qhead
-            mark = trail_lim[target_level]
-            for lit in trail[mark:]:
-                var = abs(lit)
-                del assign[var]
-                del level[var]
-                del reason[var]
-                heapq.heappush(heap, (-activity[var], var))
-            del trail[mark:]
-            del trail_lim[target_level:]
-            qhead = mark
-
-        while True:
-            conflict = propagate()
-            if conflict is not None:
-                if not trail_lim:
-                    return None  # conflict with only root facts: UNSAT
-                stats["conflicts"] += 1
-                learned, backjump = analyze(conflict)
-                cancel_until(backjump)
-                if len(learned) >= 2:
-                    watch[learned[0]].append(learned)
-                    watch[learned[1]].append(learned)
-                record(learned[0], learned)
-                stats["propagations"] += 1
-                continue
-            # decision: highest-activity unassigned variable, saved phase
-            lit = None
-            while heap:
-                negact, var = heapq.heappop(heap)
-                if var not in assign and -negact == activity[var]:
-                    lit = var if phase[var] else -var
-                    break
-            if lit is None:
-                return dict(assign)  # total assignment: SAT
-            stats["decisions"] += 1
-            if stats["decisions"] > self._max_decisions:
-                raise SolverError("decision budget exhausted")
-            trail_lim.append(len(trail))
-            record(lit, None)
+                inc.assume_root(lit)
+                self.stats["pure_literals"] += 1
+        return inc.solve(max_decisions=self._max_decisions)
 
     def _pure_literals(self, assign):
         """Literals occurring in one polarity only among unsatisfied clauses."""
